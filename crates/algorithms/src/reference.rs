@@ -1,0 +1,205 @@
+//! Sequential reference implementations used to validate every backend.
+
+use std::collections::VecDeque;
+
+use ugc_graph::{Graph, VertexId};
+
+/// The DSL's "infinite distance" marker (`int` max).
+pub const INF: i64 = i32::MAX as i64;
+
+/// BFS levels from `src`; `-1` for unreachable vertices.
+pub fn bfs_levels(g: &Graph, src: VertexId) -> Vec<i64> {
+    let mut level = vec![-1i64; g.num_vertices()];
+    let mut q = VecDeque::new();
+    level[src as usize] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        for &u in g.out_neighbors(v) {
+            if level[u as usize] == -1 {
+                level[u as usize] = level[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+/// Dijkstra distances from `src`; [`INF`] for unreachable vertices.
+pub fn dijkstra(g: &Graph, src: VertexId) -> Vec<i64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0i64, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let weights = g.out_csr().neighbor_weights(v);
+        for (k, &u) in g.out_neighbors(v).iter().enumerate() {
+            let w = weights.map_or(1, |ws| ws[k]) as i64;
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels: each vertex gets the minimum vertex id of
+/// its (weakly) connected component — the fixpoint of min-label
+/// propagation on symmetric graphs.
+pub fn cc_labels(g: &Graph) -> Vec<i64> {
+    let n = g.num_vertices();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (s, d, _) in g.out_csr().iter_edges() {
+        let (rs, rd) = (find(&mut parent, s as usize), find(&mut parent, d as usize));
+        if rs != rd {
+            // Union by smaller root id so the representative is the min.
+            let (lo, hi) = if rs < rd { (rs, rd) } else { (rd, rs) };
+            parent[hi] = lo;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v) as i64).collect()
+}
+
+/// PageRank with `iters` damped iterations (the DSL source's exact
+/// update schedule, including zero-out-degree handling).
+pub fn pagerank(g: &Graph, iters: usize, damp: f64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let beta = (1.0 - damp) / n as f64;
+    let mut old_rank = vec![1.0 / n as f64; n];
+    let mut new_rank = vec![0.0f64; n];
+    for _ in 0..iters {
+        let contrib: Vec<f64> = (0..n as VertexId)
+            .map(|v| {
+                let d = g.out_degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    old_rank[v as usize] / d as f64
+                }
+            })
+            .collect();
+        for (s, d, _) in g.out_csr().iter_edges() {
+            new_rank[d as usize] += contrib[s as usize];
+        }
+        for v in 0..n {
+            old_rank[v] = beta + damp * new_rank[v];
+            new_rank[v] = 0.0;
+        }
+    }
+    old_rank
+}
+
+/// Brandes single-source dependency scores from `src`: for every vertex
+/// `v`, `delta[v] = Σ_{w : v precedes w} σ_v/σ_w · (1 + delta[w])`,
+/// the quantity the BC algorithm's `centrality` vector holds.
+pub fn bc_dependencies(g: &Graph, src: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut sigma = vec![0u64; n];
+    let mut level = vec![-1i64; n];
+    let mut order: Vec<VertexId> = Vec::new();
+    sigma[src as usize] = 1;
+    level[src as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        for &u in g.out_neighbors(v) {
+            if level[u as usize] == -1 {
+                level[u as usize] = level[v as usize] + 1;
+                q.push_back(u);
+            }
+            if level[u as usize] == level[v as usize] + 1 {
+                sigma[u as usize] += sigma[v as usize];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &w in order.iter().rev() {
+        for &v in g.in_neighbors(w) {
+            if level[v as usize] >= 0 && level[v as usize] + 1 == level[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] as f64 / sigma[w as usize] as f64 * (1.0 + delta[w as usize]);
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graph::generators;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = generators::path(4);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![-1, -1, 0, 1]);
+    }
+
+    #[test]
+    fn dijkstra_on_two_communities() {
+        let g = generators::two_communities();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0);
+        // 0->1 weight 1 (first pushed edge).
+        assert_eq!(d[1], 1);
+        assert!(d.iter().all(|&x| x < INF));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_inf() {
+        let g = ugc_graph::Graph::from_edges(3, &[(0, 1)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], INF);
+    }
+
+    #[test]
+    fn cc_labels_two_components() {
+        let g = ugc_graph::Graph::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let l = cc_labels(&g);
+        assert_eq!(l, vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = generators::rmat(8, 4, 1, false);
+        let pr = pagerank(&g, 20, 0.85);
+        let s: f64 = pr.iter().sum();
+        // Dangling mass leaks, so <= 1, but should be near 1 on a
+        // symmetrized graph with few isolated vertices.
+        assert!(s > 0.5 && s <= 1.0 + 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn bc_star_center_dominates() {
+        let g = generators::star(6);
+        let d = bc_dependencies(&g, 1);
+        // From leaf 1, all shortest paths go through the hub 0.
+        assert!(d[0] > d[2], "{d:?}");
+    }
+
+    #[test]
+    fn bc_path_dependencies() {
+        let g = generators::path(4);
+        let d = bc_dependencies(&g, 0);
+        // delta[2] = 1 (for 3), delta[1] = 1*(1+1) = 2, delta[0] = 3.
+        assert_eq!(d, vec![3.0, 2.0, 1.0, 0.0]);
+    }
+}

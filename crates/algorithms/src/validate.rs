@@ -1,0 +1,192 @@
+//! Validators: check backend outputs against the reference implementations.
+//!
+//! Each validator returns `Err` with a human-readable explanation naming
+//! the first offending vertex, so backend test failures are actionable.
+
+use ugc_graph::{Graph, VertexId};
+
+use crate::reference;
+
+/// Validates a BFS parent array from `src`: reachability must match the
+/// reference levels, parent edges must exist, and each parent must sit one
+/// level above its child.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn check_bfs_parents(g: &Graph, src: VertexId, parents: &[i64]) -> Result<(), String> {
+    let levels = reference::bfs_levels(g, src);
+    if parents.len() != levels.len() {
+        return Err(format!(
+            "parent array has {} entries for {} vertices",
+            parents.len(),
+            levels.len()
+        ));
+    }
+    for v in 0..parents.len() {
+        let reached = parents[v] != -1;
+        let ref_reached = levels[v] != -1;
+        if reached != ref_reached {
+            return Err(format!(
+                "vertex {v}: reachability mismatch (parent {}, reference level {})",
+                parents[v], levels[v]
+            ));
+        }
+        if !reached || v as VertexId == src {
+            continue;
+        }
+        let p = parents[v];
+        if p < 0 || p as usize >= parents.len() {
+            return Err(format!("vertex {v}: parent {p} out of range"));
+        }
+        if !g.out_neighbors(p as VertexId).contains(&(v as VertexId)) {
+            return Err(format!("vertex {v}: parent edge {p}->{v} not in graph"));
+        }
+        if levels[p as usize] + 1 != levels[v] {
+            return Err(format!(
+                "vertex {v}: parent {p} at level {} but child at level {}",
+                levels[p as usize], levels[v]
+            ));
+        }
+    }
+    if parents[src as usize] == -1 {
+        return Err("source vertex not marked".to_string());
+    }
+    Ok(())
+}
+
+/// Validates SSSP distances from `src` against Dijkstra.
+///
+/// # Errors
+///
+/// Returns the first mismatching vertex.
+pub fn check_sssp_distances(g: &Graph, src: VertexId, dist: &[i64]) -> Result<(), String> {
+    let expect = reference::dijkstra(g, src);
+    for v in 0..expect.len() {
+        if dist[v] != expect[v] {
+            return Err(format!(
+                "vertex {v}: distance {} but Dijkstra says {}",
+                dist[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates CC labels: must equal the minimum vertex id per component.
+///
+/// # Errors
+///
+/// Returns the first mismatching vertex.
+pub fn check_cc_labels(g: &Graph, labels: &[i64]) -> Result<(), String> {
+    let expect = reference::cc_labels(g);
+    for v in 0..expect.len() {
+        if labels[v] != expect[v] {
+            return Err(format!(
+                "vertex {v}: label {} but component minimum is {}",
+                labels[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates PageRank values against the sequential reference within
+/// `tol` (absolute, per-vertex).
+///
+/// # Errors
+///
+/// Returns the first out-of-tolerance vertex.
+pub fn check_pagerank(g: &Graph, ranks: &[f64], tol: f64) -> Result<(), String> {
+    let expect = reference::pagerank(g, 20, 0.85);
+    for v in 0..expect.len() {
+        if (ranks[v] - expect[v]).abs() > tol {
+            return Err(format!(
+                "vertex {v}: rank {} but reference {} (tol {tol})",
+                ranks[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates BC dependency scores from `src` within `tol`.
+///
+/// # Errors
+///
+/// Returns the first out-of-tolerance vertex.
+pub fn check_bc(g: &Graph, src: VertexId, scores: &[f64], tol: f64) -> Result<(), String> {
+    let expect = reference::bc_dependencies(g, src);
+    for v in 0..expect.len() {
+        if (scores[v] - expect[v]).abs() > tol {
+            return Err(format!(
+                "vertex {v}: dependency {} but reference {} (tol {tol})",
+                scores[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graph::generators;
+
+    #[test]
+    fn bfs_validator_accepts_reference_tree() {
+        let g = generators::two_communities();
+        // Build parents from reference levels greedily.
+        let levels = reference::bfs_levels(&g, 0);
+        let mut parents = vec![-1i64; g.num_vertices()];
+        parents[0] = 0;
+        for v in 0..g.num_vertices() as u32 {
+            if v != 0 && levels[v as usize] > 0 {
+                for &u in g.in_neighbors(v) {
+                    if levels[u as usize] + 1 == levels[v as usize] {
+                        parents[v as usize] = u as i64;
+                        break;
+                    }
+                }
+            }
+        }
+        check_bfs_parents(&g, 0, &parents).unwrap();
+    }
+
+    #[test]
+    fn bfs_validator_rejects_wrong_level_parent() {
+        let g = generators::path(4);
+        // Claim 3's parent is 1 (level 1, but 3 is level 3).
+        let parents = vec![0, 0, 1, 1];
+        assert!(check_bfs_parents(&g, 0, &parents).is_err());
+    }
+
+    #[test]
+    fn sssp_validator_matches_dijkstra() {
+        let g = generators::two_communities();
+        let d = reference::dijkstra(&g, 0);
+        check_sssp_distances(&g, 0, &d).unwrap();
+        let mut bad = d.clone();
+        bad[3] += 1;
+        assert!(check_sssp_distances(&g, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn cc_validator() {
+        let g = generators::two_communities();
+        let l = reference::cc_labels(&g);
+        check_cc_labels(&g, &l).unwrap();
+    }
+
+    #[test]
+    fn pr_and_bc_validators_tolerance() {
+        let g = generators::two_communities();
+        let pr = reference::pagerank(&g, 20, 0.85);
+        check_pagerank(&g, &pr, 1e-9).unwrap();
+        let mut off = pr.clone();
+        off[0] += 0.1;
+        assert!(check_pagerank(&g, &off, 1e-9).is_err());
+        let bc = reference::bc_dependencies(&g, 0);
+        check_bc(&g, 0, &bc, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,517 @@
+//! The CPU operator executor: real multithreaded traversal.
+
+use ugc_graph::Csr;
+use ugc_graphir::ir::{EdgeSetIteratorData, Stmt};
+use ugc_graphir::keys;
+use ugc_graphir::types::{Direction, VertexSetRepr};
+use ugc_runtime::eval::{BufferedOutput, EdgeCtx, Evaluator, NullMemory, NullOutput};
+use ugc_runtime::interp::{ExecError, OperatorExecutor, ProgramState};
+use ugc_runtime::parallel::{default_threads, parallel_for_with_local};
+use ugc_runtime::value::Value;
+use ugc_runtime::vertexset::VertexSet;
+use ugc_runtime::UdfId;
+use ugc_schedule::schedule_of;
+
+use crate::schedule::CpuSchedule;
+
+/// Executes GraphIR iteration operators on host threads.
+#[derive(Debug, Clone)]
+pub struct CpuExecutor {
+    /// Worker thread count (defaults to available parallelism).
+    pub num_threads: usize,
+}
+
+impl Default for CpuExecutor {
+    fn default() -> Self {
+        CpuExecutor {
+            num_threads: default_threads(),
+        }
+    }
+}
+
+/// Everything a traversal needs, resolved once per operator.
+struct OpPlan {
+    udf: UdfId,
+    takes_weight: bool,
+    src_filter: Option<UdfId>,
+    dst_filter: Option<UdfId>,
+    requires_output: bool,
+    dedup: bool,
+    out_repr: VertexSetRepr,
+    serial_threshold: usize,
+    edge_aware: bool,
+    cache_blocking: bool,
+}
+
+impl CpuExecutor {
+    fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Result<OpPlan, ExecError> {
+        let udf = state
+            .udfs
+            .id_of(&data.apply)
+            .ok_or_else(|| ExecError::new(format!("unknown UDF `{}`", data.apply)))?;
+        let lookup = |name: &Option<String>| -> Result<Option<UdfId>, ExecError> {
+            match name {
+                None => Ok(None),
+                Some(n) => state
+                    .udfs
+                    .id_of(n)
+                    .map(Some)
+                    .ok_or_else(|| ExecError::new(format!("unknown filter `{n}`"))),
+            }
+        };
+        let sched = schedule_of(stmt);
+        let cpu_sched = sched
+            .as_ref()
+            .and_then(|r| r.as_simple().cloned())
+            .and_then(|s| s.as_any().downcast_ref::<CpuSchedule>().cloned());
+        let parallelization = stmt.meta.get_str("parallelization").unwrap_or("VERTEX_BASED").to_string();
+        Ok(OpPlan {
+            udf,
+            takes_weight: state.udfs.get(udf).num_params == 3,
+            src_filter: lookup(&data.src_filter)?,
+            dst_filter: lookup(&data.dst_filter)?,
+            requires_output: data.output.is_some(),
+            dedup: stmt.meta.flag(keys::APPLY_DEDUPLICATION),
+            out_repr: stmt
+                .meta
+                .get_repr(keys::OUTPUT_REPRESENTATION)
+                .unwrap_or(VertexSetRepr::Sparse),
+            serial_threshold: cpu_sched.as_ref().map_or(512, |s| s.serial_threshold()),
+            edge_aware: parallelization != "VERTEX_BASED",
+            cache_blocking: cpu_sched.as_ref().is_some_and(|s| s.cache_blocking()),
+        })
+    }
+
+    /// Splits `members` into chunks of roughly `grain` out-edges each.
+    fn degree_chunks(csr: &Csr, members: &[u32], grain: usize) -> Vec<std::ops::Range<usize>> {
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (i, &v) in members.iter().enumerate() {
+            acc += csr.degree(v);
+            if acc >= grain {
+                chunks.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < members.len() {
+            chunks.push(start..members.len());
+        }
+        chunks
+    }
+
+    fn finish(
+        state: &mut ProgramState<'_>,
+        plan: &OpPlan,
+        locals: Vec<BufferedOutput>,
+    ) -> Option<VertexSet> {
+        let mut enqueued = Vec::new();
+        for l in locals {
+            for (q, v, p) in l.priority_updates {
+                state.queues[q].push(v, p);
+            }
+            enqueued.extend(l.enqueued);
+        }
+        if plan.requires_output {
+            let mut out = VertexSet::from_members(state.graph.num_vertices(), enqueued);
+            if plan.dedup {
+                out.dedup();
+            }
+            if out.repr() != plan.out_repr {
+                out = out.to_repr(plan.out_repr);
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+fn passes(ev: &Evaluator<'_>, f: Option<UdfId>, v: u32) -> bool {
+    match f {
+        None => true,
+        Some(id) => ev
+            .call(
+                id,
+                &[Value::Int(v as i64)],
+                EdgeCtx::default(),
+                &mut NullOutput,
+                &mut NullMemory,
+            )
+            .is_none_or(|r| r.as_bool()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_range(
+    ev: &Evaluator<'_>,
+    csr: &Csr,
+    members: &[u32],
+    range: std::ops::Range<usize>,
+    plan: &OpPlan,
+    out: &mut BufferedOutput,
+) {
+    for &src in &members[range] {
+        if !passes(ev, plan.src_filter, src) {
+            continue;
+        }
+        let weights = csr.neighbor_weights(src);
+        for (k, &dst) in csr.neighbors(src).iter().enumerate() {
+            if !passes(ev, plan.dst_filter, dst) {
+                continue;
+            }
+            let w = weights.map_or(1, |ws| ws[k]) as i64;
+            let mut args = vec![Value::Int(src as i64), Value::Int(dst as i64)];
+            if plan.takes_weight {
+                args.push(Value::Int(w));
+            }
+            ev.call(plan.udf, &args, EdgeCtx { weight: w }, out, &mut NullMemory);
+        }
+    }
+}
+
+fn pull_range(
+    ev: &Evaluator<'_>,
+    in_csr: &Csr,
+    membership: Option<&VertexSet>,
+    range: std::ops::Range<usize>,
+    plan: &OpPlan,
+    out: &mut BufferedOutput,
+) {
+    for dst in range {
+        let dst = dst as u32;
+        if !passes(ev, plan.dst_filter, dst) {
+            continue;
+        }
+        let weights = in_csr.neighbor_weights(dst);
+        for (k, &src) in in_csr.neighbors(dst).iter().enumerate() {
+            if let Some(m) = membership {
+                if !m.contains(src) {
+                    continue;
+                }
+            }
+            if !passes(ev, plan.src_filter, src) {
+                continue;
+            }
+            let w = weights.map_or(1, |ws| ws[k]) as i64;
+            let mut args = vec![Value::Int(src as i64), Value::Int(dst as i64)];
+            if plan.takes_weight {
+                args.push(Value::Int(w));
+            }
+            ev.call(plan.udf, &args, EdgeCtx { weight: w }, out, &mut NullMemory);
+            // Direction-optimizing early exit: once the destination no
+            // longer passes its filter (e.g. BFS parent now set), stop
+            // scanning its in-edges.
+            if plan.dst_filter.is_some() && !passes(ev, plan.dst_filter, dst) {
+                break;
+            }
+        }
+    }
+}
+
+impl OperatorExecutor for CpuExecutor {
+    fn edge_iterator(
+        &mut self,
+        state: &mut ProgramState<'_>,
+        stmt: &Stmt,
+        data: &EdgeSetIteratorData,
+    ) -> Result<Option<VertexSet>, ExecError> {
+        let plan = Self::plan(state, stmt, data)?;
+        let direction = stmt
+            .meta
+            .get_direction(keys::DIRECTION)
+            .unwrap_or(Direction::Push);
+        let input = state.input_set(&data.input)?;
+
+        // Resolve traversal CSRs honoring the `transposed` flag.
+        let fwd: &Csr = if data.transposed {
+            state.graph.in_csr()
+        } else {
+            state.graph.out_csr()
+        };
+        let bwd: &Csr = if data.transposed {
+            state.graph.out_csr()
+        } else {
+            state.graph.in_csr()
+        };
+
+        let ev = Evaluator::new(&state.udfs, &state.props, &state.globals, state.graph);
+        let locals: Vec<BufferedOutput> = match direction {
+            Direction::Push => {
+                let members = input.iter();
+                if plan.cache_blocking && data.input.is_none() {
+                    // EdgeBlocking: iterate destination blocks for locality.
+                    cache_blocked_push(&ev, fwd, &members, &plan, self.num_threads)
+                } else if members.len() < plan.serial_threshold {
+                    let mut out = BufferedOutput::default();
+                    push_range(&ev, fwd, &members, 0..members.len(), &plan, &mut out);
+                    vec![out]
+                } else if plan.edge_aware {
+                    let chunks = Self::degree_chunks(fwd, &members, 2048);
+                    parallel_for_with_local(
+                        self.num_threads,
+                        chunks.len(),
+                        1,
+                        |_tid, crange, local: &mut BufferedOutput| {
+                            for ci in crange {
+                                push_range(&ev, fwd, &members, chunks[ci].clone(), &plan, local);
+                            }
+                        },
+                    )
+                } else {
+                    parallel_for_with_local(
+                        self.num_threads,
+                        members.len(),
+                        64,
+                        |_tid, range, local: &mut BufferedOutput| {
+                            push_range(&ev, fwd, &members, range, &plan, local);
+                        },
+                    )
+                }
+            }
+            Direction::Pull => {
+                let n = state.graph.num_vertices();
+                let membership = if data.input.is_none() {
+                    None
+                } else {
+                    let repr = stmt
+                        .meta
+                        .get_repr(keys::PULL_INPUT_FRONTIER)
+                        .unwrap_or(VertexSetRepr::Boolmap);
+                    Some(input.to_repr(repr))
+                };
+                let membership = membership.as_ref();
+                if n < plan.serial_threshold {
+                    let mut out = BufferedOutput::default();
+                    pull_range(&ev, bwd, membership, 0..n, &plan, &mut out);
+                    vec![out]
+                } else {
+                    parallel_for_with_local(
+                        self.num_threads,
+                        n,
+                        128,
+                        |_tid, range, local: &mut BufferedOutput| {
+                            pull_range(&ev, bwd, membership, range, &plan, local);
+                        },
+                    )
+                }
+            }
+        };
+        Ok(CpuExecutor::finish(state, &plan, locals))
+    }
+
+    fn vertex_iterator(
+        &mut self,
+        state: &mut ProgramState<'_>,
+        _stmt: &Stmt,
+        set: Option<&str>,
+        apply: &str,
+    ) -> Result<(), ExecError> {
+        let udf = state
+            .udfs
+            .id_of(apply)
+            .ok_or_else(|| ExecError::new(format!("unknown UDF `{apply}`")))?;
+        let members = match set {
+            None => VertexSet::all(state.graph.num_vertices()).iter(),
+            Some(n) => state
+                .env
+                .set(n)
+                .ok_or_else(|| ExecError::new(format!("set `{n}` is not bound")))?
+                .iter(),
+        };
+        let ev = Evaluator::new(&state.udfs, &state.props, &state.globals, state.graph);
+        let locals: Vec<BufferedOutput> = if members.len() < 512 {
+            let mut out = BufferedOutput::default();
+            for &v in &members {
+                ev.call(
+                    udf,
+                    &[Value::Int(v as i64)],
+                    EdgeCtx::default(),
+                    &mut out,
+                    &mut NullMemory,
+                );
+            }
+            vec![out]
+        } else {
+            parallel_for_with_local(
+                self.num_threads,
+                members.len(),
+                256,
+                |_tid, range, local: &mut BufferedOutput| {
+                    for &v in &members[range] {
+                        ev.call(
+                            udf,
+                            &[Value::Int(v as i64)],
+                            EdgeCtx::default(),
+                            local,
+                            &mut NullMemory,
+                        );
+                    }
+                },
+            )
+        };
+        for l in locals {
+            for (q, v, p) in l.priority_updates {
+                state.queues[q].push(v, p);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// EdgeBlocking (cache-blocked) all-edges push traversal: destinations are
+/// processed in blocks sized to the last-level cache so random writes stay
+/// resident (GraphIt's EdgeBlocking / NUMA optimization for PageRank).
+fn cache_blocked_push(
+    ev: &Evaluator<'_>,
+    csr: &Csr,
+    members: &[u32],
+    plan: &OpPlan,
+    num_threads: usize,
+) -> Vec<BufferedOutput> {
+    const BLOCK: u32 = 1 << 14;
+    let n = csr.num_vertices() as u32;
+    let mut all = Vec::new();
+    let mut lo = 0u32;
+    while lo < n {
+        let hi = (lo + BLOCK).min(n);
+        let locals = parallel_for_with_local(
+            num_threads,
+            members.len(),
+            64,
+            |_tid, range, local: &mut BufferedOutput| {
+                for &src in &members[range] {
+                    if !passes(ev, plan.src_filter, src) {
+                        continue;
+                    }
+                    let neigh = csr.neighbors(src);
+                    let weights = csr.neighbor_weights(src);
+                    let start = neigh.partition_point(|&d| d < lo);
+                    for k in start..neigh.len() {
+                        let dst = neigh[k];
+                        if dst >= hi {
+                            break;
+                        }
+                        if !passes(ev, plan.dst_filter, dst) {
+                            continue;
+                        }
+                        let w = weights.map_or(1, |ws| ws[k]) as i64;
+                        let mut args = vec![Value::Int(src as i64), Value::Int(dst as i64)];
+                        if plan.takes_weight {
+                            args.push(Value::Int(w));
+                        }
+                        ev.call(plan.udf, &args, EdgeCtx { weight: w }, local, &mut NullMemory);
+                    }
+                }
+            },
+        );
+        all.extend(locals);
+        lo = hi;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use ugc_runtime::interp::run_main;
+
+    const BFS: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const parent : vector{Vertex}(int) = -1;
+const start_vertex : Vertex;
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} = edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+"#;
+
+    fn run_bfs(sched: Option<CpuSchedule>) -> Vec<i64> {
+        let mut prog = ugc_midend::frontend_to_ir(BFS).unwrap();
+        if let Some(s) = sched {
+            ugc_schedule::apply_schedule(&mut prog, "s1", ugc_schedule::ScheduleRef::simple(s))
+                .unwrap();
+        }
+        ugc_midend::run_passes(&mut prog).unwrap();
+        let graph = ugc_graph::generators::two_communities();
+        let mut externs = HashMap::new();
+        externs.insert("start_vertex".to_string(), Value::Int(0));
+        let mut state = ProgramState::new(prog, &graph, &externs).unwrap();
+        run_main(&mut state, &mut CpuExecutor::default()).unwrap();
+        let parent = state.props.id_of("parent").unwrap();
+        state
+            .props
+            .snapshot(parent)
+            .into_iter()
+            .map(|v| v.as_int())
+            .collect()
+    }
+
+    fn assert_valid_bfs_tree(parents: &[i64]) {
+        let g = ugc_graph::generators::two_communities();
+        // Every vertex reachable from 0; parent edges must exist.
+        for (v, &p) in parents.iter().enumerate() {
+            assert_ne!(p, -1, "vertex {v} unreached");
+            if v != 0 {
+                assert!(
+                    g.out_neighbors(p as u32).contains(&(v as u32)),
+                    "parent edge {p}->{v} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_push_default() {
+        assert_valid_bfs_tree(&run_bfs(None));
+    }
+
+    #[test]
+    fn bfs_pull() {
+        assert_valid_bfs_tree(&run_bfs(Some(
+            CpuSchedule::new().with_direction(ugc_schedule::SchedDirection::Pull),
+        )));
+    }
+
+    #[test]
+    fn bfs_hybrid() {
+        assert_valid_bfs_tree(&run_bfs(Some(
+            CpuSchedule::new().with_direction(ugc_schedule::SchedDirection::Hybrid),
+        )));
+    }
+
+    #[test]
+    fn bfs_edge_aware_parallel() {
+        assert_valid_bfs_tree(&run_bfs(Some(
+            CpuSchedule::new()
+                .with_parallelization(ugc_schedule::Parallelization::EdgeAwareVertexBased)
+                .with_serial_threshold(0),
+        )));
+    }
+
+    #[test]
+    fn degree_chunks_cover_members() {
+        let g = ugc_graph::generators::star(64);
+        let members: Vec<u32> = (0..64).collect();
+        let chunks = CpuExecutor::degree_chunks(g.out_csr(), &members, 16);
+        let covered: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, 64);
+        assert!(chunks.len() > 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! `SimpleCPUSchedule` — the CPU GraphVM's scheduling object.
+
+use std::any::Any;
+
+use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+
+/// CPU scheduling options (the original GraphIt CPU space).
+///
+/// A non-consuming builder is unnecessary here — schedules are small value
+/// types configured once — so the `with_*` methods consume and return
+/// `self` for one-liner construction, mirroring the paper's
+/// `sched1.configDirection(PUSH)` style.
+///
+/// # Example
+///
+/// ```
+/// use ugc_backend_cpu::CpuSchedule;
+/// use ugc_schedule::{SchedDirection, SimpleSchedule, Parallelization};
+///
+/// let s = CpuSchedule::new()
+///     .with_direction(SchedDirection::Hybrid)
+///     .with_parallelization(Parallelization::EdgeAwareVertexBased)
+///     .with_delta(8);
+/// assert_eq!(s.direction(), SchedDirection::Hybrid);
+/// assert_eq!(s.delta(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuSchedule {
+    direction: SchedDirection,
+    parallelization: Parallelization,
+    pull_frontier: PullFrontierRepr,
+    dedup: bool,
+    delta: i64,
+    hybrid_threshold: f64,
+    /// Frontiers smaller than this run serially (avoids parallel dispatch
+    /// overhead on tiny road-graph rounds; the CPU analogue of the paper's
+    /// bucket-fusion benefit).
+    serial_threshold: usize,
+    /// NUMA-aware / cache-blocked all-edges traversal (GraphIt's
+    /// EdgeBlocking): process edges in destination-range blocks.
+    cache_blocking: bool,
+}
+
+impl Default for CpuSchedule {
+    fn default() -> Self {
+        CpuSchedule {
+            direction: SchedDirection::Push,
+            parallelization: Parallelization::VertexBased,
+            pull_frontier: PullFrontierRepr::Boolmap,
+            dedup: false,
+            delta: 1,
+            hybrid_threshold: 0.15,
+            serial_threshold: 512,
+            cache_blocking: false,
+        }
+    }
+}
+
+impl CpuSchedule {
+    /// The default CPU schedule (matches the paper's baseline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the traversal direction.
+    pub fn with_direction(mut self, d: SchedDirection) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Sets the parallelization scheme.
+    pub fn with_parallelization(mut self, p: Parallelization) -> Self {
+        self.parallelization = p;
+        self
+    }
+
+    /// Sets the pull-side input frontier representation.
+    pub fn with_pull_frontier(mut self, r: PullFrontierRepr) -> Self {
+        self.pull_frontier = r;
+        self
+    }
+
+    /// Enables explicit output deduplication.
+    pub fn with_deduplication(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Sets the ∆ bucket width for priority-queue algorithms.
+    pub fn with_delta(mut self, delta: i64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the hybrid push→pull switch threshold (fraction of |V|).
+    pub fn with_hybrid_threshold(mut self, t: f64) -> Self {
+        self.hybrid_threshold = t;
+        self
+    }
+
+    /// Sets the serial-execution threshold (frontier size).
+    pub fn with_serial_threshold(mut self, t: usize) -> Self {
+        self.serial_threshold = t;
+        self
+    }
+
+    /// Enables cache-blocked all-edges traversal (EdgeBlocking).
+    pub fn with_cache_blocking(mut self, yes: bool) -> Self {
+        self.cache_blocking = yes;
+        self
+    }
+
+    /// The serial-execution threshold.
+    pub fn serial_threshold(&self) -> usize {
+        self.serial_threshold
+    }
+
+    /// Whether cache blocking is enabled.
+    pub fn cache_blocking(&self) -> bool {
+        self.cache_blocking
+    }
+}
+
+impl SimpleSchedule for CpuSchedule {
+    fn parallelization(&self) -> Parallelization {
+        self.parallelization
+    }
+
+    fn direction(&self) -> SchedDirection {
+        self.direction
+    }
+
+    fn pull_frontier(&self) -> PullFrontierRepr {
+        self.pull_frontier
+    }
+
+    fn deduplication(&self) -> bool {
+        self.dedup
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    fn hybrid_threshold(&self) -> f64 {
+        self.hybrid_threshold
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_baseline() {
+        let s = CpuSchedule::new();
+        assert_eq!(s.direction(), SchedDirection::Push);
+        assert_eq!(s.parallelization(), Parallelization::VertexBased);
+        assert!(!s.deduplication());
+        assert_eq!(s.delta(), 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let s = CpuSchedule::new()
+            .with_direction(SchedDirection::Pull)
+            .with_deduplication(true)
+            .with_cache_blocking(true)
+            .with_serial_threshold(64);
+        assert_eq!(s.direction(), SchedDirection::Pull);
+        assert!(s.deduplication());
+        assert!(s.cache_blocking());
+        assert_eq!(s.serial_threshold(), 64);
+    }
+
+    #[test]
+    fn downcast_from_trait_object() {
+        let s: Box<dyn SimpleSchedule> = Box::new(CpuSchedule::new().with_delta(4));
+        let c = s.as_any().downcast_ref::<CpuSchedule>().unwrap();
+        assert_eq!(c.delta, 4);
+    }
+}

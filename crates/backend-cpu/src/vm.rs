@@ -1,0 +1,120 @@
+//! The CPU GraphVM entry point.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ugc_graph::Graph;
+use ugc_graphir::ir::Program;
+use ugc_runtime::interp::{run_main, ExecError, ProgramState};
+use ugc_runtime::value::Value;
+
+use crate::executor::CpuExecutor;
+
+/// The CPU GraphVM: executes midend-processed GraphIR on host threads.
+#[derive(Debug, Clone, Default)]
+pub struct CpuGraphVm {
+    /// Operator executor (thread count lives here).
+    pub executor: CpuExecutor,
+}
+
+/// The result of one execution: final program state plus wall-clock time.
+pub struct Execution<'g> {
+    /// Final state (properties, globals, prints).
+    pub state: ProgramState<'g>,
+    /// Wall-clock time of `main` (excludes state setup).
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Debug for Execution<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution")
+            .field("elapsed", &self.elapsed)
+            .finish()
+    }
+}
+
+impl Execution<'_> {
+    /// Snapshot of a property by name as integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property does not exist (a compile bug, not a data
+    /// error).
+    pub fn property_ints(&self, name: &str) -> Vec<i64> {
+        let id = self.state.props.id_of(name).expect("property exists");
+        self.state
+            .props
+            .snapshot(id)
+            .into_iter()
+            .map(|v| v.as_int())
+            .collect()
+    }
+
+    /// Snapshot of a property by name as floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property does not exist.
+    pub fn property_floats(&self, name: &str) -> Vec<f64> {
+        let id = self.state.props.id_of(name).expect("property exists");
+        self.state
+            .props
+            .snapshot(id)
+            .into_iter()
+            .map(|v| v.as_float())
+            .collect()
+    }
+}
+
+impl CpuGraphVm {
+    /// A VM with `num_threads` workers.
+    pub fn with_threads(num_threads: usize) -> Self {
+        CpuGraphVm {
+            executor: CpuExecutor { num_threads },
+        }
+    }
+
+    /// Executes a program (already lowered and passed through the midend)
+    /// on `graph`, binding extern consts from `externs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for unbound externs or execution failures.
+    pub fn execute<'g>(
+        &self,
+        prog: Program,
+        graph: &'g Graph,
+        externs: &HashMap<String, Value>,
+    ) -> Result<Execution<'g>, ExecError> {
+        let mut state = ProgramState::new(prog, graph, externs)?;
+        let mut exec = self.executor.clone();
+        let start = Instant::now();
+        run_main(&mut state, &mut exec)?;
+        let elapsed = start.elapsed();
+        Ok(Execution { state, elapsed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_runs_and_times() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const x : vector{Vertex}(int) = 7;
+func main()
+    print 42;
+end
+"#;
+        let prog = ugc_midend::frontend_to_ir(src).unwrap();
+        let graph = ugc_graph::generators::path(3);
+        let vm = CpuGraphVm::with_threads(2);
+        let run = vm.execute(prog, &graph, &HashMap::new()).unwrap();
+        assert_eq!(run.state.prints, vec!["42"]);
+        assert_eq!(run.property_ints("x"), vec![7, 7, 7]);
+    }
+}

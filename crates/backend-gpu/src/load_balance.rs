@@ -1,0 +1,277 @@
+//! The load-balancing runtime library (paper §III-C2).
+//!
+//! "Since the logic of assigning edges to threads is largely independent of
+//! the actual computation to be performed, load-balancing implementations
+//! can be cleanly moved to a set of template library functions." This
+//! module is that library: each strategy maps the active vertices (and
+//! their adjacency lists) onto warps of lane assignments, which the
+//! executor then turns into timing traces.
+
+use ugc_graph::Csr;
+
+/// A contiguous run of edges of one source vertex assigned to a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneWork {
+    /// Source vertex.
+    pub src: u32,
+    /// Range into the CSR's flat edge arrays.
+    pub edges: std::ops::Range<usize>,
+    /// Extra per-lane scalar instructions charged by the strategy (e.g.
+    /// STRICT's binary search for the owning vertex).
+    pub overhead: u32,
+}
+
+/// One warp: up to 32 lanes, each with a list of work items.
+pub type WarpAssignment = Vec<Vec<LaneWork>>;
+
+/// GPU load-balancing strategies (the GraphIt GPU set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadBalance {
+    /// One thread per active vertex.
+    #[default]
+    VertexBased,
+    /// Thread/warp/CTA buckets by degree (Merrill et al.).
+    Twc,
+    /// CTA-cooperative: a 256-thread block walks each vertex's edges.
+    Cm,
+    /// Warp-cooperative: a 32-thread warp walks each vertex's edges.
+    Wm,
+    /// Perfect edge balance via binary search over the prefix array.
+    Strict,
+    /// One thread per edge, source found per edge.
+    EdgeOnly,
+    /// TWC refined to fixed-size edge chunks.
+    Etwc,
+}
+
+impl LoadBalance {
+    /// All strategies (for sweeps).
+    pub const ALL: [LoadBalance; 7] = [
+        LoadBalance::VertexBased,
+        LoadBalance::Twc,
+        LoadBalance::Cm,
+        LoadBalance::Wm,
+        LoadBalance::Strict,
+        LoadBalance::EdgeOnly,
+        LoadBalance::Etwc,
+    ];
+}
+
+const WARP: usize = 32;
+
+/// Maps active vertices to warps under a strategy.
+pub fn assign(csr: &Csr, members: &[u32], lb: LoadBalance) -> Vec<WarpAssignment> {
+    match lb {
+        LoadBalance::VertexBased => vertex_based(csr, members),
+        LoadBalance::Wm => cooperative(csr, members, WARP),
+        LoadBalance::Cm => cooperative(csr, members, 256),
+        LoadBalance::Strict => chunked_edges(csr, members, 1, 6),
+        LoadBalance::EdgeOnly => chunked_edges(csr, members, 1, 1),
+        LoadBalance::Etwc => chunked_edges(csr, members, WARP, 2),
+        LoadBalance::Twc => twc(csr, members),
+    }
+}
+
+/// One lane per vertex; lanes grouped into warps in member order.
+fn vertex_based(csr: &Csr, members: &[u32]) -> Vec<WarpAssignment> {
+    members
+        .chunks(WARP)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&v| {
+                    let lo = csr.edge_offset(v);
+                    vec![LaneWork {
+                        src: v,
+                        edges: lo..lo + csr.degree(v),
+                        overhead: 0,
+                    }]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Each vertex's edge list strided across `group` lanes (`group`/32 warps
+/// work together); vertices handled one after another by the same group.
+fn cooperative(csr: &Csr, members: &[u32], group: usize) -> Vec<WarpAssignment> {
+    let mut warps = Vec::new();
+    for group_members in members.chunks(group.max(1)) {
+        // `group` lanes cooperate over each member's edges in turn.
+        let mut lanes: Vec<Vec<LaneWork>> = vec![Vec::new(); group];
+        for &v in group_members {
+            let lo = csr.edge_offset(v);
+            let deg = csr.degree(v);
+            // Contiguous slices per lane keep adjacent lanes on adjacent
+            // edges (coalesced).
+            let per_lane = deg.div_ceil(group).max(1);
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let s = l * per_lane;
+                if s >= deg {
+                    continue;
+                }
+                let e = ((l + 1) * per_lane).min(deg);
+                lane.push(LaneWork {
+                    src: v,
+                    edges: lo + s..lo + e,
+                    overhead: 2,
+                });
+            }
+        }
+        for w in lanes.chunks(WARP) {
+            let warp: WarpAssignment = w.to_vec();
+            if warp.iter().any(|l| !l.is_empty()) {
+                warps.push(warp);
+            }
+        }
+    }
+    warps
+}
+
+/// One chunk of at most `chunk` edges per lane, dealt in edge order;
+/// `overhead` models the per-lane cost of locating the source vertex.
+fn chunked_edges(
+    csr: &Csr,
+    members: &[u32],
+    chunk: usize,
+    overhead: u32,
+) -> Vec<WarpAssignment> {
+    let mut works = Vec::new();
+    for &v in members {
+        let lo = csr.edge_offset(v);
+        let deg = csr.degree(v);
+        let mut s = 0usize;
+        while s < deg {
+            let e = (s + chunk).min(deg);
+            works.push(LaneWork {
+                src: v,
+                edges: lo + s..lo + e,
+                overhead,
+            });
+            s = e;
+        }
+    }
+    works
+        .chunks(WARP)
+        .map(|w| w.iter().map(|lw| vec![lw.clone()]).collect())
+        .collect()
+}
+
+/// TWC: small-degree vertices thread-mapped, medium warp-mapped, large
+/// CTA-mapped.
+fn twc(csr: &Csr, members: &[u32]) -> Vec<WarpAssignment> {
+    let mut small = Vec::new();
+    let mut medium = Vec::new();
+    let mut large = Vec::new();
+    for &v in members {
+        match csr.degree(v) {
+            0..=31 => small.push(v),
+            32..=255 => medium.push(v),
+            _ => large.push(v),
+        }
+    }
+    let mut warps = vertex_based(csr, &small);
+    warps.extend(cooperative(csr, &medium, WARP));
+    warps.extend(cooperative(csr, &large, 256));
+    warps
+}
+
+/// Total edges covered by an assignment (sanity checks / tests).
+pub fn covered_edges(warps: &[WarpAssignment]) -> usize {
+    warps
+        .iter()
+        .flat_map(|w| w.iter())
+        .flat_map(|lane| lane.iter())
+        .map(|lw| lw.edges.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graph::generators;
+
+    fn total_degree(csr: &Csr, members: &[u32]) -> usize {
+        members.iter().map(|&v| csr.degree(v)).sum()
+    }
+
+    #[test]
+    fn every_strategy_covers_all_edges() {
+        let g = generators::rmat(8, 4, 3, false);
+        let csr = g.out_csr();
+        let members: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let expect = total_degree(csr, &members);
+        for lb in LoadBalance::ALL {
+            let warps = assign(csr, &members, lb);
+            assert_eq!(covered_edges(&warps), expect, "{lb:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_cover_subset_frontiers() {
+        let g = generators::star(100);
+        let csr = g.out_csr();
+        let members = vec![0u32, 5, 17];
+        let expect = total_degree(csr, &members);
+        for lb in LoadBalance::ALL {
+            assert_eq!(covered_edges(&assign(csr, &members, lb)), expect, "{lb:?}");
+        }
+    }
+
+    #[test]
+    fn strict_bounds_max_lane_work() {
+        let g = generators::star(1000);
+        let csr = g.out_csr();
+        let members = vec![0u32]; // hub with 999 edges
+        let warps = assign(csr, &members, LoadBalance::Strict);
+        for w in &warps {
+            for lane in w {
+                for lw in lane {
+                    assert!(lw.edges.len() <= 1);
+                }
+            }
+        }
+        // Vertex-based puts all 999 edges on one lane.
+        let vb = assign(csr, &members, LoadBalance::VertexBased);
+        assert_eq!(vb.len(), 1);
+        assert_eq!(vb[0][0][0].edges.len(), 999);
+    }
+
+    #[test]
+    fn wm_spreads_hub_across_warp() {
+        let g = generators::star(330);
+        let csr = g.out_csr();
+        let warps = assign(csr, &[0u32], LoadBalance::Wm);
+        assert_eq!(warps.len(), 1);
+        let lanes_with_work = warps[0].iter().filter(|l| !l.is_empty()).count();
+        assert!(lanes_with_work >= 30, "{lanes_with_work}");
+        // Roughly 329/32 ≈ 11 edges per lane.
+        let max_lane: usize = warps[0]
+            .iter()
+            .map(|l| l.iter().map(|lw| lw.edges.len()).sum())
+            .max()
+            .unwrap();
+        assert!(max_lane <= 11, "{max_lane}");
+    }
+
+    #[test]
+    fn twc_buckets_by_degree() {
+        // Mix of small and hub vertices.
+        let mut b = ugc_graph::GraphBuilder::new(400);
+        for i in 1..400 {
+            b.add_edge(0, i as u32); // vertex 0: degree 399 (large)
+        }
+        b.add_edge(1, 2).add_edge(2, 3); // small
+        let g = b.into_graph();
+        let warps = assign(g.out_csr(), &[0, 1, 2, 3], LoadBalance::Twc);
+        assert_eq!(covered_edges(&warps), 401);
+    }
+
+    #[test]
+    fn empty_frontier_yields_no_warps() {
+        let g = generators::path(4);
+        for lb in LoadBalance::ALL {
+            assert!(assign(g.out_csr(), &[], lb).is_empty(), "{lb:?}");
+        }
+    }
+}

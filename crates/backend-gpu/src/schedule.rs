@@ -1,0 +1,242 @@
+//! `SimpleGPUSchedule` — the GPU GraphVM's scheduling object (paper
+//! Fig. 6a).
+
+use std::any::Any;
+
+use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+
+use crate::load_balance::LoadBalance;
+
+/// How output frontiers are materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrontierCreation {
+    /// Compact during traversal with an atomic cursor (`FUSED`).
+    #[default]
+    Fused,
+    /// Mark a boolmap during traversal, compact in a follow-up kernel.
+    UnfusedBoolmap,
+    /// Mark a bitmap during traversal, compact in a follow-up kernel.
+    UnfusedBitmap,
+}
+
+/// GPU scheduling options.
+///
+/// # Example
+///
+/// ```
+/// use ugc_backend_gpu::{GpuSchedule, LoadBalance, FrontierCreation};
+/// use ugc_schedule::SchedDirection;
+///
+/// let sched1 = GpuSchedule::new()
+///     .with_direction(SchedDirection::Push)
+///     .with_frontier_creation(FrontierCreation::Fused)
+///     .with_load_balance(LoadBalance::Twc);
+/// assert_eq!(sched1.load_balance(), LoadBalance::Twc);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuSchedule {
+    direction: SchedDirection,
+    load_balance: LoadBalance,
+    frontier_creation: FrontierCreation,
+    pull_frontier: PullFrontierRepr,
+    dedup: bool,
+    delta: i64,
+    hybrid_threshold: f64,
+    kernel_fusion: bool,
+    edge_blocking: Option<u32>,
+    async_execution: bool,
+}
+
+impl Default for GpuSchedule {
+    fn default() -> Self {
+        GpuSchedule {
+            direction: SchedDirection::Push,
+            load_balance: LoadBalance::VertexBased,
+            frontier_creation: FrontierCreation::Fused,
+            pull_frontier: PullFrontierRepr::Boolmap,
+            dedup: false,
+            delta: 1,
+            hybrid_threshold: 0.15,
+            kernel_fusion: false,
+            edge_blocking: None,
+            async_execution: false,
+        }
+    }
+}
+
+impl GpuSchedule {
+    /// The default GPU schedule (the paper's baseline: push,
+    /// vertex-based).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the traversal direction (`configDirection`).
+    pub fn with_direction(mut self, d: SchedDirection) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Sets the load-balancing strategy (`configLoadBalance`).
+    pub fn with_load_balance(mut self, lb: LoadBalance) -> Self {
+        self.load_balance = lb;
+        self
+    }
+
+    /// Sets frontier materialization (`configFrontierCreation`).
+    pub fn with_frontier_creation(mut self, fc: FrontierCreation) -> Self {
+        self.frontier_creation = fc;
+        self
+    }
+
+    /// Sets the pull-side input frontier representation.
+    pub fn with_pull_frontier(mut self, r: PullFrontierRepr) -> Self {
+        self.pull_frontier = r;
+        self
+    }
+
+    /// Enables explicit output deduplication (`configDeduplication`).
+    pub fn with_deduplication(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Sets the ∆ bucket width (`configDelta`).
+    pub fn with_delta(mut self, delta: i64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the hybrid direction threshold.
+    pub fn with_hybrid_threshold(mut self, t: f64) -> Self {
+        self.hybrid_threshold = t;
+        self
+    }
+
+    /// Requests kernel fusion of the enclosing loop (`configKernelFusion`).
+    pub fn with_kernel_fusion(mut self, yes: bool) -> Self {
+        self.kernel_fusion = yes;
+        self
+    }
+
+    /// Enables EdgeBlocking with the given destination-block size.
+    pub fn with_edge_blocking(mut self, block: u32) -> Self {
+        self.edge_blocking = Some(block);
+        self
+    }
+
+    /// Enables asynchronous execution for ordered loops: the fused
+    /// megakernel drops its grid synchronizations, letting rounds overlap.
+    /// Correct only for monotone updates (∆-stepping relaxations) — the
+    /// SEP-Graph optimization the paper leaves as future work (§IV-C).
+    /// Implies kernel fusion.
+    pub fn with_async_execution(mut self, yes: bool) -> Self {
+        self.async_execution = yes;
+        if yes {
+            self.kernel_fusion = true;
+        }
+        self
+    }
+
+    /// The load-balancing strategy.
+    pub fn load_balance(&self) -> LoadBalance {
+        self.load_balance
+    }
+
+    /// The frontier materialization choice.
+    pub fn frontier_creation(&self) -> FrontierCreation {
+        self.frontier_creation
+    }
+
+    /// Whether kernel fusion was requested.
+    pub fn kernel_fusion(&self) -> bool {
+        self.kernel_fusion
+    }
+
+    /// The EdgeBlocking block size, if enabled.
+    pub fn edge_blocking(&self) -> Option<u32> {
+        self.edge_blocking
+    }
+
+    /// Whether asynchronous (sync-free) ordered execution was requested.
+    pub fn async_execution(&self) -> bool {
+        self.async_execution
+    }
+}
+
+impl SimpleSchedule for GpuSchedule {
+    fn parallelization(&self) -> Parallelization {
+        match self.load_balance {
+            LoadBalance::VertexBased => Parallelization::VertexBased,
+            LoadBalance::EdgeOnly | LoadBalance::Strict => Parallelization::EdgeBased,
+            _ => Parallelization::EdgeAwareVertexBased,
+        }
+    }
+
+    fn direction(&self) -> SchedDirection {
+        self.direction
+    }
+
+    fn pull_frontier(&self) -> PullFrontierRepr {
+        self.pull_frontier
+    }
+
+    fn deduplication(&self) -> bool {
+        self.dedup
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    fn hybrid_threshold(&self) -> f64 {
+        self.hybrid_threshold
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_baseline() {
+        let s = GpuSchedule::new();
+        assert_eq!(s.direction(), SchedDirection::Push);
+        assert_eq!(s.load_balance(), LoadBalance::VertexBased);
+        assert_eq!(s.frontier_creation(), FrontierCreation::Fused);
+        assert!(!s.kernel_fusion());
+    }
+
+    #[test]
+    fn parallelization_derives_from_load_balance() {
+        assert_eq!(
+            GpuSchedule::new()
+                .with_load_balance(LoadBalance::Strict)
+                .parallelization(),
+            Parallelization::EdgeBased
+        );
+        assert_eq!(
+            GpuSchedule::new()
+                .with_load_balance(LoadBalance::Twc)
+                .parallelization(),
+            Parallelization::EdgeAwareVertexBased
+        );
+    }
+
+    #[test]
+    fn builder_options() {
+        let s = GpuSchedule::new()
+            .with_kernel_fusion(true)
+            .with_edge_blocking(4096)
+            .with_deduplication(true)
+            .with_delta(16);
+        assert!(s.kernel_fusion());
+        assert_eq!(s.edge_blocking(), Some(4096));
+        assert!(s.deduplication());
+        assert_eq!(s.delta(), 16);
+    }
+}

@@ -1,0 +1,175 @@
+//! `SimpleHBSchedule` — the HammerBlade GraphVM's scheduling object (paper
+//! Fig. 6b).
+
+use std::any::Any;
+
+use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+
+/// Work-distribution strategies on the manycore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HbLoadBalance {
+    /// Contiguous chunks of the active-vertex list per core.
+    #[default]
+    VertexBased,
+    /// Degree-balanced chunks.
+    EdgeBased,
+    /// `ALIGNED`: cache-line-aligned blocks of vertex ids (the paper's
+    /// alignment-based partitioning).
+    Aligned,
+}
+
+/// HammerBlade scheduling options.
+///
+/// # Example
+///
+/// ```
+/// use ugc_backend_hb::{HbSchedule, HbLoadBalance};
+/// use ugc_schedule::SchedDirection;
+///
+/// let sched1 = HbSchedule::new()
+///     .with_load_balance(HbLoadBalance::Aligned)
+///     .with_direction(SchedDirection::Hybrid);
+/// assert_eq!(sched1.load_balance(), HbLoadBalance::Aligned);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbSchedule {
+    direction: SchedDirection,
+    load_balance: HbLoadBalance,
+    blocked_access: bool,
+    block_size: u32,
+    pull_frontier: PullFrontierRepr,
+    delta: i64,
+    hybrid_threshold: f64,
+}
+
+impl Default for HbSchedule {
+    fn default() -> Self {
+        HbSchedule {
+            direction: SchedDirection::Push,
+            load_balance: HbLoadBalance::VertexBased,
+            blocked_access: false,
+            block_size: 64,
+            pull_frontier: PullFrontierRepr::Boolmap,
+            delta: 1,
+            hybrid_threshold: 0.15,
+        }
+    }
+}
+
+impl HbSchedule {
+    /// The default HammerBlade schedule (the paper's baseline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the traversal direction (`configDirection`).
+    pub fn with_direction(mut self, d: SchedDirection) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Sets the load-balancing strategy (`configLoadBalance`).
+    pub fn with_load_balance(mut self, lb: HbLoadBalance) -> Self {
+        self.load_balance = lb;
+        self
+    }
+
+    /// Enables the blocked access method (scratchpad prefetch).
+    pub fn with_blocked_access(mut self, yes: bool) -> Self {
+        self.blocked_access = yes;
+        self
+    }
+
+    /// Sets the work-block size `b` (vertices per block, a multiple of the
+    /// LLC line).
+    pub fn with_block_size(mut self, b: u32) -> Self {
+        self.block_size = b.max(1);
+        self
+    }
+
+    /// Sets the pull-side frontier representation.
+    pub fn with_pull_frontier(mut self, r: PullFrontierRepr) -> Self {
+        self.pull_frontier = r;
+        self
+    }
+
+    /// Sets the ∆ bucket width.
+    pub fn with_delta(mut self, delta: i64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// The load-balancing strategy.
+    pub fn load_balance(&self) -> HbLoadBalance {
+        self.load_balance
+    }
+
+    /// Whether blocked access is enabled.
+    pub fn blocked_access(&self) -> bool {
+        self.blocked_access
+    }
+
+    /// The work-block size.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+}
+
+impl SimpleSchedule for HbSchedule {
+    fn parallelization(&self) -> Parallelization {
+        match self.load_balance {
+            HbLoadBalance::VertexBased => Parallelization::VertexBased,
+            HbLoadBalance::EdgeBased => Parallelization::EdgeBased,
+            HbLoadBalance::Aligned => Parallelization::EdgeAwareVertexBased,
+        }
+    }
+
+    fn direction(&self) -> SchedDirection {
+        self.direction
+    }
+
+    fn pull_frontier(&self) -> PullFrontierRepr {
+        self.pull_frontier
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    fn hybrid_threshold(&self) -> f64 {
+        self.hybrid_threshold
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_baseline() {
+        let s = HbSchedule::new();
+        assert_eq!(s.load_balance(), HbLoadBalance::VertexBased);
+        assert!(!s.blocked_access());
+        assert_eq!(s.block_size(), 64);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let s = HbSchedule::new()
+            .with_blocked_access(true)
+            .with_block_size(128)
+            .with_delta(8);
+        assert!(s.blocked_access());
+        assert_eq!(s.block_size(), 128);
+        assert_eq!(s.delta(), 8);
+    }
+
+    #[test]
+    fn zero_block_size_clamped() {
+        assert_eq!(HbSchedule::new().with_block_size(0).block_size(), 1);
+    }
+}

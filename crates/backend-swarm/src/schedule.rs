@@ -1,0 +1,203 @@
+//! `SimpleSwarmSchedule` — the Swarm GraphVM's scheduling object (paper
+//! Fig. 6c).
+
+use std::any::Any;
+
+use ugc_schedule::{Parallelization, SchedDirection, SimpleSchedule};
+
+/// Task granularity for edge processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskGranularity {
+    /// One task per active vertex, processing all its edges.
+    #[default]
+    Coarse,
+    /// Per-edge-chunk subtasks with spatial hints (Fig. 5).
+    FineGrained,
+}
+
+/// How frontiers are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Frontiers {
+    /// Software work queues with a barrier per round (the T4 baseline).
+    #[default]
+    Buffered,
+    /// `VERTEXSET_TO_TASKS`: rounds become timestamps; no barriers.
+    VertexsetToTasks,
+}
+
+/// Swarm scheduling options.
+///
+/// # Example
+///
+/// ```
+/// use ugc_backend_swarm::{SwarmSchedule, TaskGranularity, Frontiers};
+///
+/// let sched1 = SwarmSchedule::new()
+///     .with_task_granularity(TaskGranularity::FineGrained)
+///     .with_frontiers(Frontiers::VertexsetToTasks);
+/// assert!(sched1.spatial_hints());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwarmSchedule {
+    direction: SchedDirection,
+    granularity: TaskGranularity,
+    frontiers: Frontiers,
+    spatial_hints: bool,
+    shuffle_edges: bool,
+    privatize: bool,
+    delta: i64,
+}
+
+impl Default for SwarmSchedule {
+    fn default() -> Self {
+        SwarmSchedule {
+            direction: SchedDirection::Push,
+            granularity: TaskGranularity::Coarse,
+            frontiers: Frontiers::Buffered,
+            spatial_hints: false,
+            shuffle_edges: false,
+            privatize: true,
+            delta: 1,
+        }
+    }
+}
+
+impl SwarmSchedule {
+    /// The default Swarm schedule (the T4-style baseline: coarse tasks,
+    /// buffered frontiers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets traversal direction (`configDirection`).
+    pub fn with_direction(mut self, d: SchedDirection) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Sets task granularity (`taskGranularity`); fine granularity enables
+    /// spatial hints (the two ship together in the paper's Fig. 5).
+    pub fn with_task_granularity(mut self, g: TaskGranularity) -> Self {
+        self.granularity = g;
+        if g == TaskGranularity::FineGrained {
+            self.spatial_hints = true;
+        }
+        self
+    }
+
+    /// Sets frontier handling (`configFrontiers`).
+    pub fn with_frontiers(mut self, f: Frontiers) -> Self {
+        self.frontiers = f;
+        self
+    }
+
+    /// Explicitly toggles spatial hints.
+    pub fn with_spatial_hints(mut self, yes: bool) -> Self {
+        self.spatial_hints = yes;
+        self
+    }
+
+    /// Shuffles edge-processing order (reduces same-line overlap for
+    /// topology-driven algorithms at some locality cost).
+    pub fn with_shuffle_edges(mut self, yes: bool) -> Self {
+        self.shuffle_edges = yes;
+        self
+    }
+
+    /// Toggles shared→private state conversion (on by default; turning it
+    /// off reintroduces a shared round counter — the ablation knob).
+    pub fn with_privatization(mut self, yes: bool) -> Self {
+        self.privatize = yes;
+        self
+    }
+
+    /// Sets the ∆ bucket width: priorities are coarsened to `prio / delta`
+    /// timestamps.
+    pub fn with_delta(mut self, delta: i64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Task granularity.
+    pub fn task_granularity(&self) -> TaskGranularity {
+        self.granularity
+    }
+
+    /// Frontier handling.
+    pub fn frontiers(&self) -> Frontiers {
+        self.frontiers
+    }
+
+    /// Whether spatial hints are attached to update tasks.
+    pub fn spatial_hints(&self) -> bool {
+        self.spatial_hints
+    }
+
+    /// Whether edges are shuffled.
+    pub fn shuffle_edges(&self) -> bool {
+        self.shuffle_edges
+    }
+
+    /// Whether shared state is privatized.
+    pub fn privatize(&self) -> bool {
+        self.privatize
+    }
+}
+
+impl SimpleSchedule for SwarmSchedule {
+    fn parallelization(&self) -> Parallelization {
+        match self.granularity {
+            TaskGranularity::Coarse => Parallelization::VertexBased,
+            TaskGranularity::FineGrained => Parallelization::EdgeAwareVertexBased,
+        }
+    }
+
+    fn direction(&self) -> SchedDirection {
+        self.direction
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_t4_baseline() {
+        let s = SwarmSchedule::new();
+        assert_eq!(s.task_granularity(), TaskGranularity::Coarse);
+        assert_eq!(s.frontiers(), Frontiers::Buffered);
+        assert!(!s.spatial_hints());
+        assert!(s.privatize());
+    }
+
+    #[test]
+    fn fine_granularity_implies_hints() {
+        let s = SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained);
+        assert!(s.spatial_hints());
+        assert_eq!(
+            s.parallelization(),
+            Parallelization::EdgeAwareVertexBased
+        );
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let s = SwarmSchedule::new()
+            .with_frontiers(Frontiers::VertexsetToTasks)
+            .with_shuffle_edges(true)
+            .with_privatization(false)
+            .with_delta(4);
+        assert_eq!(s.frontiers(), Frontiers::VertexsetToTasks);
+        assert!(s.shuffle_edges());
+        assert!(!s.privatize());
+        assert_eq!(s.delta(), 4);
+    }
+}

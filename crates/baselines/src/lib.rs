@@ -1,0 +1,19 @@
+//! Comparator baselines for the paper's evaluation figures.
+//!
+//! * [`gpu_frameworks`] — mini reimplementations of the three GPU graph
+//!   frameworks of Fig. 9 (Gunrock, GSwitch, SEP-Graph), hand-written
+//!   directly against the [`ugc_sim_gpu`] simulator. Each encodes the
+//!   design point the paper credits for its results: Gunrock's generic
+//!   kernel-per-operation pipeline, GSwitch's adaptive direction/load-
+//!   balance switching, SEP-Graph's asynchronous barrier-free execution
+//!   (which beats UGC on road-graph SSSP).
+//! * [`swarm_hand`] — the hand-tuned Swarm BFS/SSSP of Fig. 12 (prior-work
+//!   style task programs written against the [`ugc_sim_swarm`] API),
+//!   tailored to road graphs: eager per-neighbor task spawning that wins on
+//!   low-degree graphs and drowns in task overhead on social graphs.
+
+pub mod gpu_frameworks;
+pub mod swarm_hand;
+
+pub use gpu_frameworks::{run_framework, Framework, FrameworkRun};
+pub use swarm_hand::{hand_tuned_bfs, hand_tuned_sssp};

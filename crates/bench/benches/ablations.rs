@@ -1,0 +1,208 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * GPU kernel fusion on/off (road vs social),
+//! * GPU load-balancing strategy sweep on a skewed graph,
+//! * Swarm vertex-set→tasks vs buffered frontiers,
+//! * Swarm fine-grained splitting + hints vs coarse tasks,
+//! * HammerBlade blocked access vs plain demand access,
+//! * CPU hybrid direction vs push-only,
+//! * Table IX's blocked-access experiment as a bench.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ugc::{Algorithm, Target};
+use ugc_backend_cpu::CpuSchedule;
+use ugc_backend_gpu::{GpuSchedule, LoadBalance};
+use ugc_backend_hb::HbSchedule;
+use ugc_backend_swarm::{Frontiers, SwarmSchedule, TaskGranularity};
+use ugc_bench::measure;
+use ugc_graph::{Dataset, Scale};
+use ugc_schedule::{SchedDirection, ScheduleRef};
+
+fn sim_bench(
+    c: &mut Criterion,
+    group_name: &str,
+    target: Target,
+    algo: Algorithm,
+    dataset: Dataset,
+    variants: Vec<(&'static str, ScheduleRef)>,
+) {
+    let graph = dataset.generate(Scale::Tiny);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (label, sched) in variants {
+        let sched = sched.clone();
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = measure(target, algo, &graph, sched.clone(), 1);
+                    total += Duration::from_secs_f64(m.time_ms / 1e3);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gpu_kernel_fusion(c: &mut Criterion) {
+    for (ds, name) in [
+        (Dataset::RoadNetCa, "ablation/gpu_fusion/road"),
+        (Dataset::Pokec, "ablation/gpu_fusion/social"),
+    ] {
+        sim_bench(
+            c,
+            name,
+            Target::Gpu,
+            Algorithm::Bfs,
+            ds,
+            vec![
+                ("unfused", ScheduleRef::simple(GpuSchedule::new())),
+                (
+                    "fused",
+                    ScheduleRef::simple(GpuSchedule::new().with_kernel_fusion(true)),
+                ),
+            ],
+        );
+    }
+}
+
+fn gpu_load_balance(c: &mut Criterion) {
+    let variants = LoadBalance::ALL
+        .iter()
+        .map(|&lb| {
+            let label: &'static str = match lb {
+                LoadBalance::VertexBased => "VERTEX_BASED",
+                LoadBalance::Twc => "TWC",
+                LoadBalance::Cm => "CM",
+                LoadBalance::Wm => "WM",
+                LoadBalance::Strict => "STRICT",
+                LoadBalance::EdgeOnly => "EDGE_ONLY",
+                LoadBalance::Etwc => "ETWC",
+            };
+            (
+                label,
+                ScheduleRef::simple(GpuSchedule::new().with_load_balance(lb)),
+            )
+        })
+        .collect();
+    sim_bench(
+        c,
+        "ablation/gpu_load_balance/bfs_social",
+        Target::Gpu,
+        Algorithm::Bfs,
+        Dataset::Hollywood,
+        variants,
+    );
+}
+
+fn swarm_task_conversion(c: &mut Criterion) {
+    sim_bench(
+        c,
+        "ablation/swarm_frontiers/bfs_road",
+        Target::Swarm,
+        Algorithm::Bfs,
+        Dataset::RoadNetCa,
+        vec![
+            ("buffered", ScheduleRef::simple(SwarmSchedule::new())),
+            (
+                "vertexset_to_tasks",
+                ScheduleRef::simple(
+                    SwarmSchedule::new().with_frontiers(Frontiers::VertexsetToTasks),
+                ),
+            ),
+            (
+                "tasks_fine_hints",
+                ScheduleRef::simple(
+                    SwarmSchedule::new()
+                        .with_frontiers(Frontiers::VertexsetToTasks)
+                        .with_task_granularity(TaskGranularity::FineGrained),
+                ),
+            ),
+        ],
+    );
+}
+
+fn swarm_privatization(c: &mut Criterion) {
+    sim_bench(
+        c,
+        "ablation/swarm_privatization/bfs_road",
+        Target::Swarm,
+        Algorithm::Bfs,
+        Dataset::RoadNetCa,
+        vec![
+            (
+                "shared_round_var",
+                ScheduleRef::simple(
+                    SwarmSchedule::new()
+                        .with_frontiers(Frontiers::VertexsetToTasks)
+                        .with_privatization(false),
+                ),
+            ),
+            (
+                "privatized",
+                ScheduleRef::simple(
+                    SwarmSchedule::new().with_frontiers(Frontiers::VertexsetToTasks),
+                ),
+            ),
+        ],
+    );
+}
+
+fn hb_blocked_access(c: &mut Criterion) {
+    sim_bench(
+        c,
+        "ablation/hb_blocked_access/pr_social",
+        Target::HammerBlade,
+        Algorithm::PageRank,
+        Dataset::Pokec,
+        vec![
+            ("demand", ScheduleRef::simple(HbSchedule::new())),
+            (
+                "blocked",
+                ScheduleRef::simple(HbSchedule::new().with_blocked_access(true)),
+            ),
+        ],
+    );
+}
+
+fn cpu_hybrid_direction(c: &mut Criterion) {
+    sim_bench(
+        c,
+        "ablation/cpu_direction/bfs_social",
+        Target::Cpu,
+        Algorithm::Bfs,
+        Dataset::Hollywood,
+        vec![
+            ("push", ScheduleRef::simple(CpuSchedule::new())),
+            (
+                "pull",
+                ScheduleRef::simple(CpuSchedule::new().with_direction(SchedDirection::Pull)),
+            ),
+            (
+                "hybrid",
+                ScheduleRef::simple(CpuSchedule::new().with_direction(SchedDirection::Hybrid)),
+            ),
+        ],
+    );
+}
+
+fn config() -> Criterion {
+    // Deterministic simulated timings have zero variance, which the
+    // plotting backend cannot render.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = gpu_kernel_fusion,
+    gpu_load_balance,
+    swarm_task_conversion,
+    swarm_privatization,
+    hb_blocked_access,
+    cpu_hybrid_direction
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench regenerating Fig. 10: BFS strong scaling on the
+//! HammerBlade manycore (32→256 cores) and on Swarm (1→64 cores).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ugc::{Algorithm, Compiler, Target};
+use ugc_backend_hb::HbGraphVm;
+use ugc_backend_swarm::SwarmGraphVm;
+use ugc_bench::tuned_schedule_for;
+use ugc_graph::{Dataset, Scale};
+
+fn externs() -> std::collections::HashMap<String, ugc_runtime::value::Value> {
+    let mut m = std::collections::HashMap::new();
+    m.insert(
+        "start_vertex".to_string(),
+        ugc_runtime::value::Value::Int(0),
+    );
+    m
+}
+
+fn fig10a(c: &mut Criterion) {
+    let dataset = Dataset::RoadCentral;
+    let graph = dataset.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("fig10a/hammerblade_bfs");
+    group.sample_size(10);
+    for rows in [2usize, 4, 8, 16] {
+        group.bench_function(format!("{}cores", rows * 16), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut comp = Compiler::new(Algorithm::Bfs);
+                    comp.start_vertex(0).schedule(
+                        Algorithm::Bfs.schedule_path(),
+                        tuned_schedule_for(Target::HammerBlade, Algorithm::Bfs, &graph),
+                    );
+                    let prog = comp.compile().expect("compiles");
+                    let run = HbGraphVm::with_rows(rows)
+                        .execute(prog, &graph, &externs())
+                        .expect("runs");
+                    total += Duration::from_nanos(run.cycles);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig10b(c: &mut Criterion) {
+    let dataset = Dataset::RoadCentral;
+    let graph = dataset.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("fig10b/swarm_bfs");
+    group.sample_size(10);
+    for cores in [1usize, 4, 16, 64] {
+        group.bench_function(format!("{cores}cores"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut comp = Compiler::new(Algorithm::Bfs);
+                    comp.start_vertex(0).schedule(
+                        Algorithm::Bfs.schedule_path(),
+                        tuned_schedule_for(Target::Swarm, Algorithm::Bfs, &graph),
+                    );
+                    let prog = comp.compile().expect("compiles");
+                    let run = SwarmGraphVm::with_cores(cores)
+                        .execute(prog, &graph, &externs())
+                        .expect("runs");
+                    total += Duration::from_nanos(run.cycles);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Deterministic simulated timings have zero variance, which the
+    // plotting backend cannot render.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig10a, fig10b
+}
+criterion_main!(benches);

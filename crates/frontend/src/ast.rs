@@ -1,0 +1,306 @@
+//! Abstract syntax tree of the GraphIt algorithm language.
+
+use ugc_graphir::types::{BinOp, ReduceOp, UnOp};
+
+use crate::lexer::Span;
+
+/// A parsed source program: an ordered list of top-level declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProgram {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+impl SourceProgram {
+    /// Finds a function declaration by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a const declaration by name.
+    pub fn constant(&self, name: &str) -> Option<&ConstDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Const(c) if c.name == name => Some(c),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `element Vertex end` — declares an element type name.
+    Element {
+        /// The element type name (`Vertex`, `Edge`).
+        name: String,
+    },
+    /// `const name : type [= init];`
+    Const(ConstDecl),
+    /// `func name(params) [-> ret : type] body end`
+    Func(FuncDecl),
+}
+
+/// A `const` declaration. A missing initializer means the value is bound by
+/// the host at run time (e.g. `start_vertex`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Optional initializer.
+    pub init: Option<AExpr>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, TypeExpr)>,
+    /// GraphIt-style named return (`-> output : bool`).
+    pub ret: Option<(String, TypeExpr)>,
+    /// Body statements.
+    pub body: Vec<AStmt>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Type expressions of the algorithm language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `bool`
+    Bool,
+    /// `Vertex` (or any declared element used as a vertex type)
+    Vertex,
+    /// `vertexset{Vertex}`
+    VertexSet,
+    /// `edgeset{Edge}(Vertex, Vertex [, int])` — `weighted` when the third
+    /// argument is present.
+    EdgeSet {
+        /// Whether edges carry integer weights.
+        weighted: bool,
+    },
+    /// `vector{Vertex}(T)` — a per-vertex property of element type `T`.
+    Vector(Box<TypeExpr>),
+    /// `priority_queue{Vertex}(int)`
+    PriorityQueue,
+    /// `list{vertexset{Vertex}}`
+    List,
+}
+
+impl TypeExpr {
+    /// Whether this is a scalar (register) type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            TypeExpr::Int | TypeExpr::Float | TypeExpr::Bool | TypeExpr::Vertex
+        )
+    }
+}
+
+/// A statement with optional scheduling label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AStmt {
+    /// What the statement does.
+    pub kind: AStmtKind,
+    /// Optional `#label#`.
+    pub label: Option<String>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmtKind {
+    /// `var name : type = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Optional initializer.
+        init: Option<AExpr>,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Target (identifier or index expression).
+        target: AExpr,
+        /// Value.
+        value: AExpr,
+    },
+    /// `lvalue op= expr;`
+    Reduce {
+        /// Target (identifier or index expression).
+        target: AExpr,
+        /// Which reduction.
+        op: ReduceOp,
+        /// Value folded in.
+        value: AExpr,
+    },
+    /// `if cond body [else body] end`
+    If {
+        /// Condition.
+        cond: AExpr,
+        /// Then branch.
+        then_body: Vec<AStmt>,
+        /// Else branch.
+        else_body: Vec<AStmt>,
+    },
+    /// `while cond body end`
+    While {
+        /// Condition.
+        cond: AExpr,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `for v in start:end body end`
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive start.
+        start: AExpr,
+        /// Exclusive end.
+        end: AExpr,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `expr;` (method calls evaluated for effect)
+    ExprStmt(AExpr),
+    /// `print expr;`
+    Print(AExpr),
+    /// `delete name;`
+    Delete(String),
+    /// `break;`
+    Break,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AExpr {
+    /// The expression kind.
+    pub kind: AExprKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Identifier reference.
+    Ident(String),
+    /// `base[index]`.
+    Index {
+        /// Indexed expression (a property vector name).
+        base: Box<AExpr>,
+        /// Index expression.
+        index: Box<AExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<AExpr>,
+        /// Right operand.
+        rhs: Box<AExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<AExpr>,
+    },
+    /// Free function call: `callee(args)` — UDFs or builtins
+    /// (`fabs`, `out_degree`, `load`, …).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<AExpr>,
+    },
+    /// Method call: `receiver.method(args)` — the graph operators.
+    MethodCall {
+        /// Receiver expression.
+        receiver: Box<AExpr>,
+        /// Method name (`from`, `to`, `applyModified`, …).
+        method: String,
+        /// Arguments.
+        args: Vec<AExpr>,
+    },
+    /// `new type(args)` — allocates sets, lists, priority queues.
+    New {
+        /// Allocated type.
+        ty: TypeExpr,
+        /// Constructor arguments.
+        args: Vec<AExpr>,
+    },
+}
+
+impl AExpr {
+    /// Convenience constructor with a default span (used in tests).
+    pub fn ident(name: &str) -> AExpr {
+        AExpr {
+            kind: AExprKind::Ident(name.into()),
+            span: Span::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_helpers() {
+        let p = SourceProgram {
+            decls: vec![
+                Decl::Element {
+                    name: "Vertex".into(),
+                },
+                Decl::Func(FuncDecl {
+                    name: "main".into(),
+                    params: vec![],
+                    ret: None,
+                    body: vec![],
+                    span: Span::default(),
+                }),
+                Decl::Const(ConstDecl {
+                    name: "edges".into(),
+                    ty: TypeExpr::EdgeSet { weighted: false },
+                    init: None,
+                    span: Span::default(),
+                }),
+            ],
+        };
+        assert!(p.func("main").is_some());
+        assert!(p.func("other").is_none());
+        assert!(p.constant("edges").is_some());
+    }
+
+    #[test]
+    fn scalar_types() {
+        assert!(TypeExpr::Vertex.is_scalar());
+        assert!(!TypeExpr::VertexSet.is_scalar());
+        assert!(!TypeExpr::Vector(Box::new(TypeExpr::Int)).is_scalar());
+    }
+}

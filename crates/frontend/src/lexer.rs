@@ -1,0 +1,468 @@
+//! Lexer for the GraphIt algorithm language.
+//!
+//! Comments start with `%` and run to end of line (GraphIt convention).
+//! Scheduling labels (`#s0#`) are lexed as [`TokenKind::Label`] tokens.
+
+use std::fmt;
+
+/// A source position: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (used by `load("path")`).
+    Str(String),
+    /// A scheduling label `#name#`.
+    Label(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `min=`
+    MinAssign,
+    /// `max=`
+    MaxAssign,
+    /// `|=`
+    OrAssign,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    StarTok,
+    /// `/`
+    Slash,
+    /// `%%` — modulo (plain `%` starts a comment)
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` / `&&`
+    AndAnd,
+    /// `or` / `||`
+    OrOr,
+    /// `!` / `not`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Label(l) => write!(f, "#{l}#"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Assign => f.write_str("="),
+            TokenKind::PlusAssign => f.write_str("+="),
+            TokenKind::MinAssign => f.write_str("min="),
+            TokenKind::MaxAssign => f.write_str("max="),
+            TokenKind::OrAssign => f.write_str("|="),
+            TokenKind::Arrow => f.write_str("->"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::StarTok => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%%"),
+            TokenKind::EqEq => f.write_str("=="),
+            TokenKind::NotEq => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::AndAnd => f.write_str("and"),
+            TokenKind::OrOr => f.write_str("or"),
+            TokenKind::Bang => f.write_str("!"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Offending position.
+    pub span: Span,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes GraphIt source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings, malformed numbers, or
+/// unexpected characters.
+///
+/// # Example
+///
+/// ```
+/// use ugc_frontend::lexer::{lex, TokenKind};
+///
+/// let toks = lex("parent[v] = -1;").unwrap();
+/// assert!(matches!(toks[0].kind, TokenKind::Ident(_)));
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let span = Span { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '%' => {
+                // `%%` is modulo; single `%` starts a comment.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'%' {
+                    bump!();
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokenKind::Percent,
+                        span,
+                    });
+                } else {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        bump!();
+                    }
+                }
+            }
+            '#' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'#' && bytes[i] != b'\n' {
+                    bump!();
+                }
+                if i >= bytes.len() || bytes[i] != b'#' {
+                    return Err(LexError {
+                        span,
+                        message: "unterminated label (expected closing `#`)".into(),
+                    });
+                }
+                let name = src[start..i].trim().to_string();
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Label(name),
+                    span,
+                });
+            }
+            '"' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    bump!();
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        span,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                let s = src[start..i].to_string();
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    span,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit()) {
+                    bump!();
+                }
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| LexError {
+                        span,
+                        message: format!("bad float literal: {e}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| LexError {
+                        span,
+                        message: format!("bad int literal: {e}"),
+                    })?)
+                };
+                tokens.push(Token { kind, span });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                // `min=` / `max=` reduction tokens.
+                let kind = if (word == "min" || word == "max") && i < bytes.len() && bytes[i] == b'='
+                    && !(i + 1 < bytes.len() && bytes[i + 1] == b'=')
+                {
+                    bump!();
+                    if word == "min" {
+                        TokenKind::MinAssign
+                    } else {
+                        TokenKind::MaxAssign
+                    }
+                } else {
+                    match word {
+                        "and" => TokenKind::AndAnd,
+                        "or" => TokenKind::OrOr,
+                        "not" => TokenKind::Bang,
+                        _ => TokenKind::Ident(word.to_string()),
+                    }
+                };
+                tokens.push(Token { kind, span });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (kind, len) = match two {
+                    "+=" => (TokenKind::PlusAssign, 2),
+                    "|=" => (TokenKind::OrAssign, 2),
+                    "->" => (TokenKind::Arrow, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::NotEq, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    _ => {
+                        let k = match c {
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '{' => TokenKind::LBrace,
+                            '}' => TokenKind::RBrace,
+                            '[' => TokenKind::LBracket,
+                            ']' => TokenKind::RBracket,
+                            ',' => TokenKind::Comma,
+                            ';' => TokenKind::Semi,
+                            ':' => TokenKind::Colon,
+                            '.' => TokenKind::Dot,
+                            '=' => TokenKind::Assign,
+                            '+' => TokenKind::Plus,
+                            '-' => TokenKind::Minus,
+                            '*' => TokenKind::StarTok,
+                            '/' => TokenKind::Slash,
+                            '<' => TokenKind::Lt,
+                            '>' => TokenKind::Gt,
+                            '!' => TokenKind::Bang,
+                            other => {
+                                return Err(LexError {
+                                    span,
+                                    message: format!("unexpected character `{other}`"),
+                                })
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                tokens.push(Token { kind, span });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_identifiers_and_ints() {
+        assert_eq!(
+            kinds("foo 42"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_floats() {
+        assert_eq!(kinds("0.85")[0], TokenKind::Float(0.85));
+    }
+
+    #[test]
+    fn lex_labels() {
+        assert_eq!(kinds("#s0# while")[0], TokenKind::Label("s0".into()));
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(kinds("x % comment\ny").len(), 3); // x, y, eof
+    }
+
+    #[test]
+    fn lex_modulo_double_percent() {
+        assert_eq!(kinds("a %% b")[1], TokenKind::Percent);
+    }
+
+    #[test]
+    fn lex_reduce_operators() {
+        assert_eq!(kinds("a min= b")[1], TokenKind::MinAssign);
+        assert_eq!(kinds("a max= b")[1], TokenKind::MaxAssign);
+        assert_eq!(kinds("a += b")[1], TokenKind::PlusAssign);
+        assert_eq!(kinds("a |= b")[1], TokenKind::OrAssign);
+    }
+
+    #[test]
+    fn min_eq_eq_is_comparison_not_reduction() {
+        // `min == b` must not lex `min=` then `= b`.
+        let k = kinds("min == b");
+        assert_eq!(k[0], TokenKind::Ident("min".into()));
+        assert_eq!(k[1], TokenKind::EqEq);
+    }
+
+    #[test]
+    fn lex_compound_operators() {
+        assert_eq!(kinds("a != b")[1], TokenKind::NotEq);
+        assert_eq!(kinds("a -> b")[1], TokenKind::Arrow);
+        assert_eq!(kinds("a <= b")[1], TokenKind::Le);
+    }
+
+    #[test]
+    fn lex_string_literal() {
+        assert_eq!(kinds("load(\"g.el\")")[2], TokenKind::Str("g.el".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_label_is_error() {
+        assert!(lex("#s0 while").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn keywords_and_or_not() {
+        assert_eq!(kinds("a and b")[1], TokenKind::AndAnd);
+        assert_eq!(kinds("a or b")[1], TokenKind::OrOr);
+        assert_eq!(kinds("not a")[0], TokenKind::Bang);
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! GraphIt algorithm-language frontend for UGC.
+//!
+//! UGC "uses exactly the same algorithm language as GraphIt, enabling us to
+//! reuse the source code written for various applications" (§II-A). This
+//! crate implements that language: a lexer, a recursive-descent parser
+//! producing a typed AST, and a type checker. Lowering from the AST to
+//! GraphIR lives in `ugc-midend` (it is the first stage of the
+//! hardware-independent compiler).
+//!
+//! The supported language is the subset exercised by the paper's five
+//! algorithms (PageRank, BFS, SSSP with ∆-stepping, CC, BC):
+//!
+//! ```text
+//! element Vertex end
+//! element Edge end
+//! const edges : edgeset{Edge}(Vertex,Vertex) = load(argv[1]);
+//! const vertices : vertexset{Vertex} = edges.getVertices();
+//! const parent : vector{Vertex}(int) = -1;
+//! const start_vertex : Vertex;             % bound by the host at run time
+//!
+//! func toFilter(v : Vertex) -> output : bool
+//!     output = (parent[v] == -1);
+//! end
+//! func updateEdge(src : Vertex, dst : Vertex)
+//!     parent[dst] = src;
+//! end
+//! func main()
+//!     var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+//!     frontier.addVertex(start_vertex);
+//!     parent[start_vertex] = start_vertex;
+//!     #s0# while (frontier.getVertexSetSize() != 0)
+//!         #s1# var output : vertexset{Vertex} =
+//!             edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+//!         delete frontier;
+//!         frontier = output;
+//!     end
+//! end
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ugc_frontend::parse;
+//!
+//! let src = "element Vertex end\nfunc main()\nend";
+//! let ast = parse(src).unwrap();
+//! assert_eq!(ast.decls.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod typecheck;
+
+pub use ast::SourceProgram;
+pub use lexer::{LexError, Span, Token, TokenKind};
+pub use parser::{parse, ParseError};
+pub use typecheck::{typecheck, TypeError};
+
+/// Parses and type-checks in one step.
+///
+/// # Errors
+///
+/// Returns the textual rendering of the first parse or type error.
+pub fn parse_and_check(src: &str) -> Result<SourceProgram, String> {
+    let prog = parse(src).map_err(|e| e.to_string())?;
+    typecheck(&prog).map_err(|errs| {
+        errs.iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    Ok(prog)
+}

@@ -1,0 +1,795 @@
+//! Recursive-descent parser for the GraphIt algorithm language.
+
+use std::fmt;
+
+use ugc_graphir::types::{BinOp, ReduceOp, UnOp};
+
+use crate::ast::{
+    AExpr, AExprKind, AStmt, AStmtKind, ConstDecl, Decl, FuncDecl, SourceProgram, TypeExpr,
+};
+use crate::lexer::{lex, Span, Token, TokenKind};
+
+/// Parse failure with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Offending position.
+    pub span: Span,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            span: e.span,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a GraphIt source program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+///
+/// # Example
+///
+/// ```
+/// use ugc_frontend::parse;
+///
+/// let p = parse("const x : int = 3;").unwrap();
+/// assert_eq!(p.decls.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<SourceProgram, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            span: self.peek().span,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.next())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn program(&mut self) -> Result<SourceProgram, ParseError> {
+        let mut decls = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            decls.push(self.decl()?);
+        }
+        Ok(SourceProgram { decls })
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        if self.eat_keyword("element") {
+            let name = self.expect_ident()?;
+            self.expect_keyword("end")?;
+            Ok(Decl::Element { name })
+        } else if self.at_keyword("const") {
+            let span = self.peek().span;
+            self.next();
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.type_expr()?;
+            let init = if self.peek().kind == TokenKind::Assign {
+                self.next();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&TokenKind::Semi)?;
+            Ok(Decl::Const(ConstDecl {
+                name,
+                ty,
+                init,
+                span,
+            }))
+        } else if self.at_keyword("func") {
+            Ok(Decl::Func(self.func_decl()?))
+        } else {
+            self.err(format!(
+                "expected `element`, `const` or `func`, found {}",
+                self.peek().kind
+            ))
+        }
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, ParseError> {
+        let span = self.peek().span;
+        self.expect_keyword("func")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        while self.peek().kind != TokenKind::RParen {
+            if !params.is_empty() {
+                self.expect(&TokenKind::Comma)?;
+            }
+            let pname = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let pty = self.type_expr()?;
+            params.push((pname, pty));
+        }
+        self.expect(&TokenKind::RParen)?;
+        let ret = if self.peek().kind == TokenKind::Arrow {
+            self.next();
+            let rname = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let rty = self.type_expr()?;
+            Some((rname, rty))
+        } else {
+            None
+        };
+        let body = self.stmt_block(&["end"])?;
+        self.expect_keyword("end")?;
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "int" => Ok(TypeExpr::Int),
+            "float" | "double" => Ok(TypeExpr::Float),
+            "bool" => Ok(TypeExpr::Bool),
+            "Vertex" | "Edge" => Ok(TypeExpr::Vertex),
+            "vertexset" => {
+                self.elem_braces()?;
+                Ok(TypeExpr::VertexSet)
+            }
+            "edgeset" => {
+                self.elem_braces()?;
+                self.expect(&TokenKind::LParen)?;
+                self.expect_ident()?;
+                self.expect(&TokenKind::Comma)?;
+                self.expect_ident()?;
+                let weighted = if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                    self.expect_ident()?; // `int`
+                    true
+                } else {
+                    false
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(TypeExpr::EdgeSet { weighted })
+            }
+            "vector" => {
+                self.elem_braces()?;
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.type_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(TypeExpr::Vector(Box::new(inner)))
+            }
+            "priority_queue" => {
+                self.elem_braces()?;
+                self.expect(&TokenKind::LParen)?;
+                self.type_expr()?; // priority type (always int here)
+                self.expect(&TokenKind::RParen)?;
+                Ok(TypeExpr::PriorityQueue)
+            }
+            "list" => {
+                self.expect(&TokenKind::LBrace)?;
+                self.type_expr()?; // inner type (vertexset)
+                self.expect(&TokenKind::RBrace)?;
+                Ok(TypeExpr::List)
+            }
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn elem_braces(&mut self) -> Result<String, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(name)
+    }
+
+    /// Parses statements until one of `terminators` (keywords) is at the
+    /// cursor. Does not consume the terminator.
+    fn stmt_block(&mut self, terminators: &[&str]) -> Result<Vec<AStmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            if terminators.iter().any(|t| self.at_keyword(t)) {
+                return Ok(stmts);
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<AStmt, ParseError> {
+        let label = if let TokenKind::Label(l) = &self.peek().kind {
+            let l = l.clone();
+            self.next();
+            Some(l)
+        } else {
+            None
+        };
+        let span = self.peek().span;
+        let kind = self.stmt_kind()?;
+        Ok(AStmt { kind, label, span })
+    }
+
+    fn stmt_kind(&mut self) -> Result<AStmtKind, ParseError> {
+        if self.at_keyword("var") {
+            self.next();
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.type_expr()?;
+            let init = if self.peek().kind == TokenKind::Assign {
+                self.next();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&TokenKind::Semi)?;
+            return Ok(AStmtKind::VarDecl { name, ty, init });
+        }
+        if self.at_keyword("if") {
+            self.next();
+            let cond = self.expr()?;
+            let then_body = self.stmt_block(&["else", "end"])?;
+            let else_body = if self.eat_keyword("else") {
+                self.stmt_block(&["end"])?
+            } else {
+                Vec::new()
+            };
+            self.expect_keyword("end")?;
+            return Ok(AStmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if self.at_keyword("while") {
+            self.next();
+            let cond = self.expr()?;
+            let body = self.stmt_block(&["end"])?;
+            self.expect_keyword("end")?;
+            return Ok(AStmtKind::While { cond, body });
+        }
+        if self.at_keyword("for") {
+            self.next();
+            let var = self.expect_ident()?;
+            self.expect_keyword("in")?;
+            let start = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let end = self.expr()?;
+            let body = self.stmt_block(&["end"])?;
+            self.expect_keyword("end")?;
+            return Ok(AStmtKind::For {
+                var,
+                start,
+                end,
+                body,
+            });
+        }
+        if self.at_keyword("print") {
+            self.next();
+            let e = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(AStmtKind::Print(e));
+        }
+        if self.at_keyword("delete") {
+            self.next();
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(AStmtKind::Delete(name));
+        }
+        if self.at_keyword("break") {
+            self.next();
+            self.expect(&TokenKind::Semi)?;
+            return Ok(AStmtKind::Break);
+        }
+        // Expression-leading statement: assignment, reduction or expr-stmt.
+        let target = self.expr()?;
+        let kind = match &self.peek().kind {
+            TokenKind::Assign => {
+                self.next();
+                let value = self.expr()?;
+                AStmtKind::Assign { target, value }
+            }
+            TokenKind::PlusAssign => {
+                self.next();
+                let value = self.expr()?;
+                AStmtKind::Reduce {
+                    target,
+                    op: ReduceOp::Sum,
+                    value,
+                }
+            }
+            TokenKind::MinAssign => {
+                self.next();
+                let value = self.expr()?;
+                AStmtKind::Reduce {
+                    target,
+                    op: ReduceOp::Min,
+                    value,
+                }
+            }
+            TokenKind::MaxAssign => {
+                self.next();
+                let value = self.expr()?;
+                AStmtKind::Reduce {
+                    target,
+                    op: ReduceOp::Max,
+                    value,
+                }
+            }
+            TokenKind::OrAssign => {
+                self.next();
+                let value = self.expr()?;
+                AStmtKind::Reduce {
+                    target,
+                    op: ReduceOp::Or,
+                    value,
+                }
+            }
+            _ => AStmtKind::ExprStmt(target),
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(kind)
+    }
+
+    fn expr(&mut self) -> Result<AExpr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    fn binop_at(&self) -> Option<(BinOp, u8)> {
+        let op = match &self.peek().kind {
+            TokenKind::OrOr => (BinOp::Or, 1),
+            TokenKind::AndAnd => (BinOp::And, 2),
+            TokenKind::EqEq => (BinOp::Eq, 3),
+            TokenKind::NotEq => (BinOp::Ne, 3),
+            TokenKind::Lt => (BinOp::Lt, 4),
+            TokenKind::Le => (BinOp::Le, 4),
+            TokenKind::Gt => (BinOp::Gt, 4),
+            TokenKind::Ge => (BinOp::Ge, 4),
+            TokenKind::Plus => (BinOp::Add, 5),
+            TokenKind::Minus => (BinOp::Sub, 5),
+            TokenKind::StarTok => (BinOp::Mul, 6),
+            TokenKind::Slash => (BinOp::Div, 6),
+            TokenKind::Percent => (BinOp::Mod, 6),
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<AExpr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, prec)) = self.binop_at() {
+            if prec < min_prec {
+                break;
+            }
+            let span = self.peek().span;
+            self.next();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = AExpr {
+                kind: AExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<AExpr, ParseError> {
+        let span = self.peek().span;
+        match &self.peek().kind {
+            TokenKind::Minus => {
+                self.next();
+                let operand = self.unary_expr()?;
+                // Fold negation of literals so `-1` is a literal.
+                let kind = match operand.kind {
+                    AExprKind::Int(v) => AExprKind::Int(-v),
+                    AExprKind::Float(v) => AExprKind::Float(-v),
+                    other => AExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(AExpr { kind: other, span: operand.span }),
+                    },
+                };
+                Ok(AExpr { kind, span })
+            }
+            TokenKind::Bang => {
+                self.next();
+                let operand = self.unary_expr()?;
+                Ok(AExpr {
+                    kind: AExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<AExpr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Dot => {
+                    let span = self.peek().span;
+                    self.next();
+                    let method = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let args = self.call_args()?;
+                    e = AExpr {
+                        kind: AExprKind::MethodCall {
+                            receiver: Box::new(e),
+                            method,
+                            args,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::LBracket => {
+                    let span = self.peek().span;
+                    self.next();
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = AExpr {
+                        kind: AExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(index),
+                        },
+                        span,
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<AExpr>, ParseError> {
+        let mut args = Vec::new();
+        while self.peek().kind != TokenKind::RParen {
+            if !args.is_empty() {
+                self.expect(&TokenKind::Comma)?;
+            }
+            args.push(self.expr()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<AExpr, ParseError> {
+        let span = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(AExpr {
+                    kind: AExprKind::Int(v),
+                    span,
+                })
+            }
+            TokenKind::Float(v) => {
+                self.next();
+                Ok(AExpr {
+                    kind: AExprKind::Float(v),
+                    span,
+                })
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(AExpr {
+                    kind: AExprKind::Str(s),
+                    span,
+                })
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name == "true" || name == "false" {
+                    self.next();
+                    return Ok(AExpr {
+                        kind: AExprKind::Bool(name == "true"),
+                        span,
+                    });
+                }
+                if name == "new" {
+                    self.next();
+                    let ty = self.type_expr()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let args = self.call_args()?;
+                    return Ok(AExpr {
+                        kind: AExprKind::New { ty, args },
+                        span,
+                    });
+                }
+                self.next();
+                if self.peek().kind == TokenKind::LParen {
+                    self.next();
+                    let args = self.call_args()?;
+                    return Ok(AExpr {
+                        kind: AExprKind::Call { callee: name, args },
+                        span,
+                    });
+                }
+                Ok(AExpr {
+                    kind: AExprKind::Ident(name),
+                    span,
+                })
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_element_and_const() {
+        let p = parse("element Vertex end\nconst x : int = 3;").unwrap();
+        assert_eq!(p.decls.len(), 2);
+        assert!(matches!(&p.decls[0], Decl::Element { name } if name == "Vertex"));
+    }
+
+    #[test]
+    fn parse_extern_const_without_init() {
+        let p = parse("const start_vertex : Vertex;").unwrap();
+        let c = p.constant("start_vertex").unwrap();
+        assert!(c.init.is_none());
+        assert_eq!(c.ty, TypeExpr::Vertex);
+    }
+
+    #[test]
+    fn parse_edgeset_types() {
+        let p = parse("const e : edgeset{Edge}(Vertex,Vertex) = load(\"x\");\nconst w : edgeset{Edge}(Vertex,Vertex,int);").unwrap();
+        assert_eq!(
+            p.constant("e").unwrap().ty,
+            TypeExpr::EdgeSet { weighted: false }
+        );
+        assert_eq!(
+            p.constant("w").unwrap().ty,
+            TypeExpr::EdgeSet { weighted: true }
+        );
+    }
+
+    #[test]
+    fn parse_vector_type() {
+        let p = parse("const parent : vector{Vertex}(int) = -1;").unwrap();
+        let c = p.constant("parent").unwrap();
+        assert_eq!(c.ty, TypeExpr::Vector(Box::new(TypeExpr::Int)));
+        assert!(matches!(
+            c.init.as_ref().unwrap().kind,
+            AExprKind::Int(-1)
+        ));
+    }
+
+    #[test]
+    fn parse_function_with_named_return() {
+        let src = "func toFilter(v : Vertex) -> output : bool\noutput = (parent[v] == -1);\nend";
+        let p = parse(src).unwrap();
+        let f = p.func("toFilter").unwrap();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.ret.as_ref().unwrap().0, "output");
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parse_labeled_while_and_method_chain() {
+        let src = r#"
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} = edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+"#;
+        let p = parse(src).unwrap();
+        let main = p.func("main").unwrap();
+        assert_eq!(main.body.len(), 2);
+        let AStmtKind::While { body, .. } = &main.body[1].kind else {
+            panic!("expected while");
+        };
+        assert_eq!(main.body[1].label.as_deref(), Some("s0"));
+        assert_eq!(body[0].label.as_deref(), Some("s1"));
+        let AStmtKind::VarDecl { init: Some(init), .. } = &body[0].kind else {
+            panic!("expected var decl");
+        };
+        // Outermost is applyModified(...)
+        let AExprKind::MethodCall { method, args, receiver } = &init.kind else {
+            panic!("expected method call");
+        };
+        assert_eq!(method, "applyModified");
+        assert_eq!(args.len(), 3);
+        let AExprKind::MethodCall { method: to, .. } = &receiver.kind else {
+            panic!("expected chained call");
+        };
+        assert_eq!(to, "to");
+    }
+
+    #[test]
+    fn parse_reduce_statements() {
+        let src = "func f(src : Vertex, dst : Vertex)\nIDs[dst] min= IDs[src];\nranks[dst] += 0.5;\nend";
+        let p = parse(src).unwrap();
+        let f = p.func("f").unwrap();
+        assert!(matches!(
+            f.body[0].kind,
+            AStmtKind::Reduce { op: ReduceOp::Min, .. }
+        ));
+        assert!(matches!(
+            f.body[1].kind,
+            AStmtKind::Reduce { op: ReduceOp::Sum, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_if_else() {
+        let src = "func f(v : Vertex)\nif num_paths[v] != 0\nx = 1;\nelse\nx = 0;\nend\nend";
+        let p = parse(src).unwrap();
+        let f = p.func("f").unwrap();
+        let AStmtKind::If { then_body, else_body, .. } = &f.body[0].kind else {
+            panic!("expected if");
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parse_for_loop() {
+        let src = "func main()\nfor i in 0:20\nvertices.apply(f);\nend\nend";
+        let p = parse(src).unwrap();
+        let f = p.func("main").unwrap();
+        assert!(matches!(f.body[0].kind, AStmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parse_new_priority_queue() {
+        let src = "const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(dist, start_vertex);";
+        let p = parse(src).unwrap();
+        let c = p.constant("pq").unwrap();
+        let AExprKind::New { ty, args } = &c.init.as_ref().unwrap().kind else {
+            panic!("expected new");
+        };
+        assert_eq!(*ty, TypeExpr::PriorityQueue);
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn parse_operator_precedence() {
+        let src = "const x : float = 1.0 + 2.0 * 3.0;";
+        let p = parse(src).unwrap();
+        let AExprKind::Binary { op: BinOp::Add, rhs, .. } =
+            &p.constant("x").unwrap().init.as_ref().unwrap().kind
+        else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(rhs.kind, AExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_unary_fold_negative_literals() {
+        let p = parse("const x : int = -5;").unwrap();
+        assert!(matches!(
+            p.constant("x").unwrap().init.as_ref().unwrap().kind,
+            AExprKind::Int(-5)
+        ));
+    }
+
+    #[test]
+    fn parse_list_type_and_calls() {
+        let src = "func main()\nvar l : list{vertexset{Vertex}} = new list{vertexset{Vertex}}();\nl.append(frontier);\nend";
+        let p = parse(src).unwrap();
+        let f = p.func("main").unwrap();
+        assert_eq!(f.body.len(), 2);
+        assert!(matches!(&f.body[1].kind, AStmtKind::ExprStmt(e)
+            if matches!(&e.kind, AExprKind::MethodCall { method, .. } if method == "append")));
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse("const x : int = ;").unwrap_err();
+        assert!(err.to_string().contains("expected expression"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn parse_break_and_print() {
+        let src = "func main()\nwhile true\nprint 3;\nbreak;\nend\nend";
+        let p = parse(src).unwrap();
+        let AStmtKind::While { body, .. } = &p.func("main").unwrap().body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(body[0].kind, AStmtKind::Print(_)));
+        assert!(matches!(body[1].kind, AStmtKind::Break));
+    }
+
+    #[test]
+    fn parse_modulo_and_logical() {
+        let src = "const x : bool = (a %% 2 == 0) and not b;";
+        let p = parse(src).unwrap();
+        let AExprKind::Binary { op: BinOp::And, .. } =
+            &p.constant("x").unwrap().init.as_ref().unwrap().kind
+        else {
+            panic!("expected and at top");
+        };
+    }
+}

@@ -1,0 +1,901 @@
+//! Type checker for the GraphIt algorithm language.
+//!
+//! Validates declarations, statement shapes, operator/method signatures and
+//! scalar coercions (`Vertex` unifies with `int`; `int` widens to `float`)
+//! before the midend lowers the AST to GraphIR.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ugc_graphir::types::{BinOp, ReduceOp, UnOp};
+
+use crate::ast::{
+    AExpr, AExprKind, AStmt, AStmtKind, Decl, FuncDecl, SourceProgram, TypeExpr,
+};
+use crate::lexer::Span;
+
+/// The checker's internal type lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Float,
+    Bool,
+    Vertex,
+    VertexSet,
+    EdgeSet,
+    PrioQueue,
+    List,
+    Str,
+    Void,
+    /// A property vector; the element type is tracked separately.
+    Vector,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Int => "int",
+            Ty::Float => "float",
+            Ty::Bool => "bool",
+            Ty::Vertex => "Vertex",
+            Ty::VertexSet => "vertexset",
+            Ty::EdgeSet => "edgeset",
+            Ty::PrioQueue => "priority_queue",
+            Ty::List => "list",
+            Ty::Str => "string",
+            Ty::Void => "void",
+            Ty::Vector => "vector",
+        };
+        f.write_str(s)
+    }
+}
+
+fn lower_ty(t: &TypeExpr) -> Ty {
+    match t {
+        TypeExpr::Int => Ty::Int,
+        TypeExpr::Float => Ty::Float,
+        TypeExpr::Bool => Ty::Bool,
+        TypeExpr::Vertex => Ty::Vertex,
+        TypeExpr::VertexSet => Ty::VertexSet,
+        TypeExpr::EdgeSet { .. } => Ty::EdgeSet,
+        TypeExpr::Vector(_) => Ty::Vector,
+        TypeExpr::PriorityQueue => Ty::PrioQueue,
+        TypeExpr::List => Ty::List,
+    }
+}
+
+fn vector_elem(t: &TypeExpr) -> Option<Ty> {
+    match t {
+        TypeExpr::Vector(inner) => Some(lower_ty(inner)),
+        _ => None,
+    }
+}
+
+fn int_like(t: Ty) -> bool {
+    matches!(t, Ty::Int | Ty::Vertex)
+}
+
+fn numeric(t: Ty) -> bool {
+    int_like(t) || t == Ty::Float
+}
+
+/// `from` is acceptable where `to` is expected.
+fn coerces(from: Ty, to: Ty) -> bool {
+    from == to
+        || (int_like(from) && int_like(to))
+        || (int_like(from) && to == Ty::Float)
+}
+
+/// A type error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Offending position.
+    pub span: Span,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+struct FuncSig {
+    params: Vec<Ty>,
+    ret: Ty,
+}
+
+struct Checker<'a> {
+    consts: HashMap<String, &'a TypeExpr>,
+    funcs: HashMap<String, FuncSig>,
+    errors: Vec<TypeError>,
+    /// Lexical scopes for locals (innermost last).
+    scopes: Vec<HashMap<String, Ty>>,
+    /// Element types of property vectors.
+    vector_elems: HashMap<String, Ty>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, span: Span, message: impl Into<String>) {
+        self.errors.push(TypeError {
+            span,
+            message: message.into(),
+        });
+    }
+
+    fn lookup(&self, name: &str) -> Option<Ty> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(*t);
+            }
+        }
+        self.consts.get(name).map(|t| lower_ty(t))
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), ty);
+    }
+
+    fn check_block(&mut self, stmts: &[AStmt]) {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.check_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn check_stmt(&mut self, s: &AStmt) {
+        match &s.kind {
+            AStmtKind::VarDecl { name, ty, init } => {
+                let t = lower_ty(ty);
+                if let Some(e) = init {
+                    let it = self.check_expr(e);
+                    if it != Ty::Void && !coerces(it, t) {
+                        self.err(
+                            s.span,
+                            format!("cannot initialize `{name}` of type {t} with {it}"),
+                        );
+                    }
+                }
+                if let Some(elem) = vector_elem(ty) {
+                    self.vector_elems.insert(name.clone(), elem);
+                }
+                self.declare(name, t);
+            }
+            AStmtKind::Assign { target, value } => {
+                let tt = self.check_lvalue(target);
+                let vt = self.check_expr(value);
+                if let (Some(tt), vt) = (tt, vt) {
+                    if !coerces(vt, tt) {
+                        self.err(s.span, format!("cannot assign {vt} to {tt} location"));
+                    }
+                }
+            }
+            AStmtKind::Reduce { target, op, value } => {
+                let tt = self.check_lvalue(target);
+                let vt = self.check_expr(value);
+                if let Some(tt) = tt {
+                    let ok = match op {
+                        ReduceOp::Sum | ReduceOp::Min | ReduceOp::Max => {
+                            numeric(tt) && numeric(vt)
+                        }
+                        ReduceOp::Or => tt == Ty::Bool && vt == Ty::Bool,
+                    };
+                    if !ok {
+                        self.err(s.span, format!("reduction `{op}` not valid on {tt} and {vt}"));
+                    }
+                }
+            }
+            AStmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let ct = self.check_expr(cond);
+                if ct != Ty::Bool {
+                    self.err(s.span, format!("if condition must be bool, found {ct}"));
+                }
+                self.check_block(then_body);
+                self.check_block(else_body);
+            }
+            AStmtKind::While { cond, body } => {
+                let ct = self.check_expr(cond);
+                if ct != Ty::Bool {
+                    self.err(s.span, format!("while condition must be bool, found {ct}"));
+                }
+                self.check_block(body);
+            }
+            AStmtKind::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let st = self.check_expr(start);
+                let et = self.check_expr(end);
+                if !int_like(st) || !int_like(et) {
+                    self.err(s.span, "for bounds must be integers".to_string());
+                }
+                self.scopes.push(HashMap::new());
+                self.declare(var, Ty::Int);
+                for st in body {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+            }
+            AStmtKind::ExprStmt(e) | AStmtKind::Print(e) => {
+                self.check_expr(e);
+            }
+            AStmtKind::Delete(name) => {
+                match self.lookup(name) {
+                    None => self.err(s.span, format!("delete of unknown variable `{name}`")),
+                    Some(Ty::VertexSet) | Some(Ty::List) => {}
+                    Some(t) => self.err(s.span, format!("cannot delete a value of type {t}")),
+                }
+            }
+            AStmtKind::Break => {}
+        }
+    }
+
+    fn check_lvalue(&mut self, e: &AExpr) -> Option<Ty> {
+        match &e.kind {
+            AExprKind::Ident(name) => match self.lookup(name) {
+                Some(t) => Some(t),
+                None => {
+                    self.err(e.span, format!("assignment to undeclared variable `{name}`"));
+                    None
+                }
+            },
+            AExprKind::Index { base, index } => {
+                let it = self.check_expr(index);
+                if !int_like(it) {
+                    self.err(e.span, format!("vector index must be a vertex/int, found {it}"));
+                }
+                let AExprKind::Ident(vec_name) = &base.kind else {
+                    self.err(e.span, "only named vectors can be indexed".to_string());
+                    return None;
+                };
+                self.vector_elem_of(vec_name, e.span)
+            }
+            _ => {
+                self.err(e.span, "invalid assignment target".to_string());
+                None
+            }
+        }
+    }
+
+    fn vector_elem_of(&mut self, name: &str, span: Span) -> Option<Ty> {
+        if let Some(elem) = self.vector_elems.get(name) {
+            return Some(*elem);
+        }
+        if let Some(t) = self.consts.get(name) {
+            if let Some(elem) = vector_elem(t) {
+                return Some(elem);
+            }
+        }
+        match self.lookup(name) {
+            Some(Ty::Vector) | None => {
+                self.err(span, format!("`{name}` is not an indexable vector"));
+                None
+            }
+            Some(t) => {
+                self.err(span, format!("cannot index `{name}` of type {t}"));
+                None
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &AExpr) -> Ty {
+        match &e.kind {
+            AExprKind::Int(_) => Ty::Int,
+            AExprKind::Float(_) => Ty::Float,
+            AExprKind::Bool(_) => Ty::Bool,
+            AExprKind::Str(_) => Ty::Str,
+            AExprKind::Ident(name) => match self.lookup(name) {
+                Some(t) => t,
+                None => {
+                    self.err(e.span, format!("unknown identifier `{name}`"));
+                    Ty::Void
+                }
+            },
+            AExprKind::Index { base, index } => {
+                let it = self.check_expr(index);
+                if !int_like(it) {
+                    self.err(e.span, format!("vector index must be a vertex/int, found {it}"));
+                }
+                let AExprKind::Ident(vec_name) = &base.kind else {
+                    self.err(e.span, "only named vectors can be indexed".to_string());
+                    return Ty::Void;
+                };
+                self.vector_elem_of(vec_name, e.span).unwrap_or(Ty::Void)
+            }
+            AExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        if lt != Ty::Bool || rt != Ty::Bool {
+                            self.err(e.span, format!("`{op}` requires bool operands, found {lt} and {rt}"));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let compatible = (numeric(lt) && numeric(rt))
+                            || (lt == Ty::Bool && rt == Ty::Bool);
+                        if !compatible {
+                            self.err(e.span, format!("cannot compare {lt} with {rt}"));
+                        }
+                        Ty::Bool
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        if !(numeric(lt) && numeric(rt)) {
+                            self.err(e.span, format!("arithmetic on {lt} and {rt}"));
+                            return Ty::Void;
+                        }
+                        if lt == Ty::Float || rt == Ty::Float {
+                            Ty::Float
+                        } else {
+                            Ty::Int
+                        }
+                    }
+                }
+            }
+            AExprKind::Unary { op, operand } => {
+                let ot = self.check_expr(operand);
+                match op {
+                    UnOp::Neg => {
+                        if !numeric(ot) {
+                            self.err(e.span, format!("negation of {ot}"));
+                        }
+                        ot
+                    }
+                    UnOp::Not => {
+                        if ot != Ty::Bool {
+                            self.err(e.span, format!("`!` on {ot}"));
+                        }
+                        Ty::Bool
+                    }
+                    UnOp::ToFloat => Ty::Float,
+                    UnOp::ToInt => Ty::Int,
+                }
+            }
+            AExprKind::Call { callee, args } => self.check_call(e.span, callee, args),
+            AExprKind::MethodCall {
+                receiver,
+                method,
+                args,
+            } => {
+                let rt = self.check_expr(receiver);
+                self.check_method(e.span, rt, method, args)
+            }
+            AExprKind::New { ty, args } => {
+                for a in args {
+                    self.check_expr(a);
+                }
+                match ty {
+                    TypeExpr::VertexSet => Ty::VertexSet,
+                    TypeExpr::List => Ty::List,
+                    TypeExpr::PriorityQueue => {
+                        if args.len() != 2 {
+                            self.err(
+                                e.span,
+                                "new priority_queue expects (tracked_vector, source_vertex)",
+                            );
+                        }
+                        Ty::PrioQueue
+                    }
+                    other => {
+                        self.err(e.span, format!("cannot `new` a {other:?}"));
+                        Ty::Void
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_call(&mut self, span: Span, callee: &str, args: &[AExpr]) -> Ty {
+        // Builtins first.
+        match callee {
+            "load" => {
+                // Arguments are host-resolved (file path / argv); skip checks.
+                return Ty::EdgeSet;
+            }
+            "fabs" => {
+                self.expect_args(span, callee, args, 1);
+                for a in args {
+                    let t = self.check_expr(a);
+                    if !numeric(t) {
+                        self.err(span, format!("fabs on {t}"));
+                    }
+                }
+                return Ty::Float;
+            }
+            "out_degree" | "in_degree" => {
+                self.expect_args(span, callee, args, 1);
+                for a in args {
+                    let t = self.check_expr(a);
+                    if !int_like(t) {
+                        self.err(span, format!("{callee} expects a vertex, found {t}"));
+                    }
+                }
+                return Ty::Int;
+            }
+            "to_float" => {
+                self.expect_args(span, callee, args, 1);
+                for a in args {
+                    self.check_expr(a);
+                }
+                return Ty::Float;
+            }
+            "to_int" => {
+                self.expect_args(span, callee, args, 1);
+                for a in args {
+                    self.check_expr(a);
+                }
+                return Ty::Int;
+            }
+            _ => {}
+        }
+        let arg_tys: Vec<Ty> = args.iter().map(|a| self.check_expr(a)).collect();
+        let Some(sig) = self.funcs.get(callee) else {
+            self.err(span, format!("call to unknown function `{callee}`"));
+            return Ty::Void;
+        };
+        if sig.params.len() != arg_tys.len() {
+            let (want, got) = (sig.params.len(), arg_tys.len());
+            let ret = sig.ret;
+            self.err(
+                span,
+                format!("`{callee}` expects {want} arguments, got {got}"),
+            );
+            return ret;
+        }
+        let params = sig.params.clone();
+        let ret = sig.ret;
+        for (i, (a, p)) in arg_tys.iter().zip(params.iter()).enumerate() {
+            if !coerces(*a, *p) {
+                self.err(span, format!("argument {i} of `{callee}`: expected {p}, found {a}"));
+            }
+        }
+        ret
+    }
+
+    fn expect_args(&mut self, span: Span, what: &str, args: &[AExpr], n: usize) {
+        if args.len() != n {
+            self.err(span, format!("`{what}` expects {n} argument(s), got {}", args.len()));
+        }
+    }
+
+    fn expect_func_arg(&mut self, span: Span, method: &str, arg: &AExpr) -> Option<String> {
+        if let AExprKind::Ident(name) = &arg.kind {
+            if self.funcs.contains_key(name) {
+                return Some(name.clone());
+            }
+        }
+        self.err(span, format!("`{method}` expects a function name argument"));
+        None
+    }
+
+    fn check_method(&mut self, span: Span, recv: Ty, method: &str, args: &[AExpr]) -> Ty {
+        match (recv, method) {
+            (Ty::EdgeSet, "getVertices") => {
+                self.expect_args(span, method, args, 0);
+                Ty::VertexSet
+            }
+            (Ty::EdgeSet, "transpose") => {
+                self.expect_args(span, method, args, 0);
+                Ty::EdgeSet
+            }
+            (Ty::EdgeSet, "from") => {
+                self.expect_args(span, method, args, 1);
+                // `from` accepts a vertex set or a filter function.
+                if let AExprKind::Ident(n) = &args[0].kind {
+                    if self.funcs.contains_key(n) {
+                        return Ty::EdgeSet;
+                    }
+                }
+                let t = self.check_expr(&args[0]);
+                if t != Ty::VertexSet {
+                    self.err(span, format!("`from` expects a vertexset or filter, found {t}"));
+                }
+                Ty::EdgeSet
+            }
+            (Ty::EdgeSet, "to") | (Ty::EdgeSet, "srcFilter") | (Ty::EdgeSet, "dstFilter") => {
+                self.expect_args(span, method, args, 1);
+                self.expect_func_arg(span, method, &args[0]);
+                Ty::EdgeSet
+            }
+            (Ty::EdgeSet, "apply") => {
+                self.expect_args(span, method, args, 1);
+                self.expect_func_arg(span, method, &args[0]);
+                Ty::Void
+            }
+            (Ty::EdgeSet, "applyModified") => {
+                if args.len() != 2 && args.len() != 3 {
+                    self.err(span, "`applyModified` expects (func, vector[, bool])");
+                    return Ty::VertexSet;
+                }
+                self.expect_func_arg(span, method, &args[0]);
+                if let AExprKind::Ident(v) = &args[1].kind {
+                    if self.vector_elem_of(v, span).is_none() {
+                        // error already recorded
+                    }
+                } else {
+                    self.err(span, "`applyModified` second argument must be a vector name");
+                }
+                if let Some(a) = args.get(2) {
+                    let t = self.check_expr(a);
+                    if t != Ty::Bool {
+                        self.err(span, "`applyModified` third argument must be a bool");
+                    }
+                }
+                Ty::VertexSet
+            }
+            (Ty::EdgeSet, "applyUpdatePriority") => {
+                self.expect_args(span, method, args, 1);
+                self.expect_func_arg(span, method, &args[0]);
+                Ty::Void
+            }
+            (Ty::VertexSet, "getVertexSetSize") | (Ty::VertexSet, "size") => {
+                self.expect_args(span, method, args, 0);
+                Ty::Int
+            }
+            (Ty::VertexSet, "addVertex") => {
+                self.expect_args(span, method, args, 1);
+                let t = self.check_expr(&args[0]);
+                if !int_like(t) {
+                    self.err(span, format!("`addVertex` expects a vertex, found {t}"));
+                }
+                Ty::Void
+            }
+            (Ty::VertexSet, "apply") => {
+                self.expect_args(span, method, args, 1);
+                self.expect_func_arg(span, method, &args[0]);
+                Ty::Void
+            }
+            (Ty::PrioQueue, "finished") => {
+                self.expect_args(span, method, args, 0);
+                Ty::Bool
+            }
+            (Ty::PrioQueue, "dequeue_ready_set") => {
+                self.expect_args(span, method, args, 0);
+                Ty::VertexSet
+            }
+            (Ty::PrioQueue, "updatePriorityMin") | (Ty::PrioQueue, "updatePrioritySum") => {
+                self.expect_args(span, method, args, 2);
+                let vt = self.check_expr(&args[0]);
+                let pt = self.check_expr(&args[1]);
+                if !int_like(vt) {
+                    self.err(span, format!("`{method}` first argument must be a vertex"));
+                }
+                if !int_like(pt) {
+                    self.err(span, format!("`{method}` second argument must be an int priority"));
+                }
+                Ty::Void
+            }
+            (Ty::List, "append") => {
+                self.expect_args(span, method, args, 1);
+                let t = self.check_expr(&args[0]);
+                if t != Ty::VertexSet {
+                    self.err(span, format!("`append` expects a vertexset, found {t}"));
+                }
+                Ty::Void
+            }
+            (Ty::List, "pop") => {
+                self.expect_args(span, method, args, 0);
+                Ty::VertexSet
+            }
+            (Ty::List, "retrieve") => {
+                self.expect_args(span, method, args, 1);
+                let t = self.check_expr(&args[0]);
+                if !int_like(t) {
+                    self.err(span, format!("`retrieve` expects an int index, found {t}"));
+                }
+                Ty::VertexSet
+            }
+            (Ty::List, "getSize") | (Ty::List, "size") => {
+                self.expect_args(span, method, args, 0);
+                Ty::Int
+            }
+            (recv, m) => {
+                for a in args {
+                    self.check_expr(a);
+                }
+                self.err(span, format!("no method `{m}` on {recv}"));
+                Ty::Void
+            }
+        }
+    }
+}
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns every type error found.
+///
+/// # Example
+///
+/// ```
+/// use ugc_frontend::{parse, typecheck};
+///
+/// let p = parse("const x : int = 1;\nfunc main()\nend").unwrap();
+/// assert!(typecheck(&p).is_ok());
+/// ```
+pub fn typecheck(prog: &SourceProgram) -> Result<(), Vec<TypeError>> {
+    let mut consts: HashMap<String, &TypeExpr> = HashMap::new();
+    let mut funcs: HashMap<String, FuncSig> = HashMap::new();
+    let mut errors = Vec::new();
+
+    for d in &prog.decls {
+        match d {
+            Decl::Element { .. } => {}
+            Decl::Const(c) => {
+                if consts.insert(c.name.clone(), &c.ty).is_some() {
+                    errors.push(TypeError {
+                        span: c.span,
+                        message: format!("duplicate const `{}`", c.name),
+                    });
+                }
+            }
+            Decl::Func(f) => {
+                let sig = FuncSig {
+                    params: f.params.iter().map(|(_, t)| lower_ty(t)).collect(),
+                    ret: f.ret.as_ref().map(|(_, t)| lower_ty(t)).unwrap_or(Ty::Void),
+                };
+                if funcs.insert(f.name.clone(), sig).is_some() {
+                    errors.push(TypeError {
+                        span: f.span,
+                        message: format!("duplicate function `{}`", f.name),
+                    });
+                }
+            }
+        }
+    }
+
+    if !funcs.contains_key("main") {
+        errors.push(TypeError {
+            span: Span::default(),
+            message: "program has no `main` function".into(),
+        });
+    }
+
+    let mut checker = Checker {
+        consts,
+        funcs,
+        errors,
+        scopes: vec![HashMap::new()],
+        vector_elems: HashMap::new(),
+    };
+
+    // Pre-register vector element types for const vectors.
+    for d in &prog.decls {
+        if let Decl::Const(c) = d {
+            if let Some(elem) = vector_elem(&c.ty) {
+                checker.vector_elems.insert(c.name.clone(), elem);
+            }
+        }
+    }
+
+    // Check const initializers.
+    for d in &prog.decls {
+        if let Decl::Const(c) = d {
+            if let Some(init) = &c.init {
+                let it = checker.check_expr(init);
+                let declared = lower_ty(&c.ty);
+                let ok = match declared {
+                    Ty::Vector => {
+                        // Vector initializers are per-element fills.
+                        let elem = vector_elem(&c.ty).expect("vector type");
+                        coerces(it, elem)
+                    }
+                    t => coerces(it, t),
+                };
+                if !ok && it != Ty::Void {
+                    checker.err(
+                        c.span,
+                        format!("cannot initialize const `{}` of type {declared} with {it}", c.name),
+                    );
+                }
+            }
+        }
+    }
+
+    // Check function bodies.
+    for d in &prog.decls {
+        if let Decl::Func(f) = d {
+            check_func(&mut checker, f);
+        }
+    }
+
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(checker.errors)
+    }
+}
+
+fn check_func(checker: &mut Checker<'_>, f: &FuncDecl) {
+    checker.scopes.push(HashMap::new());
+    for (name, ty) in &f.params {
+        checker.declare(name, lower_ty(ty));
+    }
+    if let Some((name, ty)) = &f.ret {
+        checker.declare(name, lower_ty(ty));
+    }
+    for s in &f.body {
+        checker.check_stmt(s);
+    }
+    checker.scopes.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), Vec<TypeError>> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    const PRELUDE: &str = "element Vertex end\nelement Edge end\nconst edges : edgeset{Edge}(Vertex,Vertex) = load(\"g\");\nconst vertices : vertexset{Vertex} = edges.getVertices();\nconst parent : vector{Vertex}(int) = -1;\n";
+
+    #[test]
+    fn bfs_like_program_checks() {
+        let src = format!(
+            "{PRELUDE}
+const start_vertex : Vertex;
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{{Vertex}} = new vertexset{{Vertex}}(0);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{{Vertex}} = edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end"
+        );
+        check(&src).unwrap();
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let errs = check("const x : int = 1;").unwrap_err();
+        assert!(errs[0].message.contains("no `main`"));
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let errs = check("func main()\nvar x : int = nope;\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown identifier")));
+    }
+
+    #[test]
+    fn bad_condition_type_rejected() {
+        let errs = check("func main()\nwhile 3\nend\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("must be bool")));
+    }
+
+    #[test]
+    fn vertex_coerces_to_int() {
+        // parent[dst] = src — assigning a Vertex into an int vector.
+        let src = format!(
+            "{PRELUDE}func f(src : Vertex, dst : Vertex)\nparent[dst] = src;\nend\nfunc main()\nend"
+        );
+        check(&src).unwrap();
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let src = "func main()\nvar x : float = 3;\nend";
+        check(src).unwrap();
+    }
+
+    #[test]
+    fn float_does_not_narrow_to_int() {
+        let errs = check("func main()\nvar x : int = 3.5;\nend").unwrap_err();
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn method_on_wrong_receiver_rejected() {
+        let src = format!("{PRELUDE}func main()\nvertices.applyModified(f, parent);\nend");
+        let errs = check(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no method `applyModified`")));
+    }
+
+    #[test]
+    fn reduce_type_rules() {
+        let src = format!(
+            "{PRELUDE}func f(src : Vertex, dst : Vertex)\nparent[dst] min= parent[src];\nend\nfunc main()\nend"
+        );
+        check(&src).unwrap();
+        let bad = format!(
+            "{PRELUDE}const flags : vector{{Vertex}}(bool) = false;\nfunc f(src : Vertex, dst : Vertex)\nflags[dst] min= flags[src];\nend\nfunc main()\nend"
+        );
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn priority_queue_methods() {
+        let src = format!(
+            "{PRELUDE}
+const dist : vector{{Vertex}}(int) = 2147483647;
+const start_vertex : Vertex;
+const pq : priority_queue{{Vertex}}(int) = new priority_queue{{Vertex}}(int)(dist, start_vertex);
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var new_dist : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, new_dist);
+end
+func main()
+    dist[start_vertex] = 0;
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{{Vertex}} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end"
+        );
+        check(&src).unwrap();
+    }
+
+    #[test]
+    fn list_methods() {
+        let src = format!(
+            "{PRELUDE}func main()
+var l : list{{vertexset{{Vertex}}}} = new list{{vertexset{{Vertex}}}}();
+var f : vertexset{{Vertex}} = new vertexset{{Vertex}}(0);
+l.append(f);
+var n : int = l.getSize();
+var g : vertexset{{Vertex}} = l.pop();
+delete g;
+end"
+        );
+        check(&src).unwrap();
+    }
+
+    #[test]
+    fn delete_scalar_rejected() {
+        let errs = check("func main()\nvar x : int = 1;\ndelete x;\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("cannot delete")));
+    }
+
+    #[test]
+    fn wrong_arity_udf_call_rejected() {
+        let src = "func helper(a : int)\nend\nfunc main()\nhelper(1, 2);\nend";
+        let errs = check(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expects 1 arguments")));
+    }
+
+    #[test]
+    fn builtins_check() {
+        let src = format!(
+            "{PRELUDE}const contrib : vector{{Vertex}}(float) = 0.0;
+func f(v : Vertex)
+    contrib[v] = fabs(contrib[v]) / to_float(out_degree(v));
+end
+func main()
+end"
+        );
+        check(&src).unwrap();
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let errs = check("func main()\nend\nfunc main()\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate function")));
+    }
+}

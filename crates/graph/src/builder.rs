@@ -1,0 +1,140 @@
+//! Incremental graph construction.
+
+use crate::{Csr, EdgeList, Graph, VertexId, Weight};
+
+/// Builder for [`Graph`] values with optional cleanup steps.
+///
+/// A non-consuming builder: configuration methods take `&mut self`, and the
+/// terminal methods [`GraphBuilder::into_graph`] / [`GraphBuilder::into_csr`]
+/// consume the accumulated edges.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).add_edge(1, 2).symmetric(true);
+/// let g = b.into_graph();
+/// assert_eq!(g.num_edges(), 4); // both directions
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+    symmetric: bool,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph of `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            edges: EdgeList::new(num_vertices),
+            symmetric: false,
+            dedup: false,
+        }
+    }
+
+    /// Adds a directed, unweighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of bounds.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.edges.push(src, dst);
+        self
+    }
+
+    /// Adds a directed, weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of bounds.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) -> &mut Self {
+        self.edges.push_weighted(src, dst, w);
+        self
+    }
+
+    /// If `true`, the reverse of every edge is added at build time
+    /// (undirected-graph convention: each edge counted once per direction).
+    pub fn symmetric(&mut self, yes: bool) -> &mut Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// If `true`, duplicate edges and self-loops are removed at build time.
+    pub fn dedup(&mut self, yes: bool) -> &mut Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Number of edges added so far (before symmetrization/dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    fn finish(mut self) -> EdgeList {
+        if self.symmetric {
+            self.edges.symmetrize();
+        }
+        if self.dedup {
+            self.edges.dedup_and_strip_loops();
+        }
+        self.edges
+    }
+
+    /// Builds the final [`Csr`].
+    pub fn into_csr(self) -> Csr {
+        self.finish().into_csr()
+    }
+
+    /// Builds the final [`Graph`].
+    pub fn into_graph(self) -> Graph {
+        self.finish().into_graph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_plain() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.into_graph();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn builder_symmetric_dedup() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 1).symmetric(true).dedup(true);
+        let g = b.into_graph();
+        // 0->1 and 1->0 each symmetrized then deduped; self loop removed.
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn builder_weighted() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 10).symmetric(true);
+        let g = b.into_graph();
+        assert_eq!(g.out_csr().neighbor_weights(1).unwrap(), &[10]);
+    }
+
+    #[test]
+    fn builder_len_tracking() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.is_empty());
+        b.add_edge(0, 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Coordinate-format edge lists.
+
+use crate::{Csr, Graph, VertexId, Weight};
+
+/// An edge list in coordinate (COO) format — the interchange representation
+/// between loaders, generators and [`Csr`] construction.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::EdgeList;
+///
+/// let mut el = EdgeList::new(3);
+/// el.push(0, 1);
+/// el.push_weighted(1, 2, 4);
+/// assert_eq!(el.len(), 2);
+/// let g = el.into_graph();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+    weighted: bool,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+            weighted: false,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges collected so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether any edge was added with an explicit weight.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Adds an unweighted edge (weight defaults to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_vertices`.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        self.check(src, dst);
+        self.edges.push((src, dst, 1));
+    }
+
+    /// Adds a weighted edge and marks the list as weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_vertices`.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        self.check(src, dst);
+        self.weighted = true;
+        self.edges.push((src, dst, w));
+    }
+
+    fn check(&self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of bounds for {} vertices",
+            self.num_vertices
+        );
+    }
+
+    /// Adds the reverse of every present edge, making the list symmetric.
+    pub fn symmetrize(&mut self) {
+        let rev: Vec<_> = self.edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
+        self.edges.extend(rev);
+    }
+
+    /// Removes duplicate `(src, dst)` pairs (keeping the smallest weight)
+    /// and self-loops.
+    pub fn dedup_and_strip_loops(&mut self) {
+        self.edges.retain(|&(s, d, _)| s != d);
+        self.edges
+            .sort_unstable_by_key(|&(s, d, w)| (s, d, w));
+        self.edges.dedup_by_key(|&mut (s, d, _)| (s, d));
+    }
+
+    /// View of the collected `(src, dst, weight)` triples.
+    pub fn edges(&self) -> &[(VertexId, VertexId, Weight)] {
+        &self.edges
+    }
+
+    /// Converts into a CSR, respecting weightedness.
+    pub fn into_csr(self) -> Csr {
+        if self.weighted {
+            Csr::from_weighted_edges(self.num_vertices, &self.edges)
+        } else {
+            let pairs: Vec<_> = self.edges.iter().map(|&(s, d, _)| (s, d)).collect();
+            Csr::from_edges(self.num_vertices, &pairs)
+        }
+    }
+
+    /// Converts into a [`Graph`].
+    pub fn into_graph(self) -> Graph {
+        Graph::new(self.into_csr())
+    }
+}
+
+impl Extend<(VertexId, VertexId)> for EdgeList {
+    fn extend<T: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: T) {
+        for (s, d) in iter {
+            self.push(s, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.symmetrize();
+        assert_eq!(el.len(), 4);
+        let g = el.into_graph();
+        assert_eq!(g.out_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_loops() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(0, 1);
+        el.push(1, 1);
+        el.push(2, 0);
+        el.dedup_and_strip_loops();
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.edges(), &[(0, 1, 1), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn dedup_keeps_smallest_weight() {
+        let mut el = EdgeList::new(2);
+        el.push_weighted(0, 1, 9);
+        el.push_weighted(0, 1, 3);
+        el.dedup_and_strip_loops();
+        assert_eq!(el.edges(), &[(0, 1, 3)]);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let mut el = EdgeList::new(2);
+        el.push_weighted(0, 1, 5);
+        assert!(el.is_weighted());
+        let g = el.into_graph();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_csr().neighbor_weights(0).unwrap(), &[5]);
+    }
+
+    #[test]
+    fn extend_from_pairs() {
+        let mut el = EdgeList::new(4);
+        el.extend(vec![(0, 1), (2, 3)]);
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut el = EdgeList::new(1);
+        el.push(0, 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Compressed sparse row adjacency and the [`Graph`] façade.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::{VertexId, Weight};
+
+/// Compressed sparse row adjacency structure.
+///
+/// Stores, for each source vertex, a contiguous slice of neighbor ids and
+/// (optionally) parallel edge weights. `offsets` has `num_vertices + 1`
+/// entries; neighbors of `v` live at `targets[offsets[v]..offsets[v + 1]]`.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::Csr;
+///
+/// let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (2, 0)]);
+/// assert_eq!(csr.neighbors(0), &[1, 2]);
+/// assert_eq!(csr.degree(1), 0);
+/// assert_eq!(csr.num_edges(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<Weight>>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(src, dst)` pairs. Neighbor lists are sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Self::from_weighted_iter(num_vertices, edges.iter().map(|&(s, d)| (s, d, 1)), false)
+    }
+
+    /// Builds a weighted CSR from `(src, dst, weight)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_weighted_edges(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Self {
+        Self::from_weighted_iter(num_vertices, edges.iter().copied(), true)
+    }
+
+    fn from_weighted_iter(
+        num_vertices: usize,
+        edges: impl Iterator<Item = (VertexId, VertexId, Weight)> + Clone,
+        weighted: bool,
+    ) -> Self {
+        let mut degrees = vec![0usize; num_vertices];
+        let mut num_edges = 0usize;
+        for (s, d, _) in edges.clone() {
+            assert!(
+                (s as usize) < num_vertices && (d as usize) < num_vertices,
+                "edge ({s}, {d}) out of bounds for {num_vertices} vertices"
+            );
+            degrees[s as usize] += 1;
+            num_edges += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..num_vertices].to_vec();
+        let mut targets = vec![0 as VertexId; num_edges];
+        let mut weights = if weighted { vec![0; num_edges] } else { Vec::new() };
+        for (s, d, w) in edges {
+            let at = cursor[s as usize];
+            targets[at] = d;
+            if weighted {
+                weights[at] = w;
+            }
+            cursor[s as usize] += 1;
+        }
+        // Sort each neighbor slice (with weights kept parallel).
+        for v in 0..num_vertices {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            if weighted {
+                let mut pairs: Vec<(VertexId, Weight)> = targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(weights[lo..hi].iter().copied())
+                    .collect();
+                pairs.sort_unstable();
+                for (i, (t, w)) in pairs.into_iter().enumerate() {
+                    targets[lo + i] = t;
+                    weights[lo + i] = w;
+                }
+            } else {
+                targets[lo..hi].sort_unstable();
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights: if weighted { Some(weights) } else { None },
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor slice of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weight slice parallel to [`Csr::neighbors`], or `None` if unweighted.
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+    }
+
+    /// Offset of the first edge of `v` in the flat edge arrays.
+    pub fn edge_offset(&self, v: VertexId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// The full offsets array (`num_vertices + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat targets array (one entry per edge).
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The flat weights array, if weighted.
+    pub fn weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Weight of the `i`-th edge in flat order; `1` if unweighted.
+    pub fn edge_weight_at(&self, i: usize) -> Weight {
+        self.weights.as_ref().map_or(1, |w| w[i])
+    }
+
+    /// The reverse graph: every edge `(s, d)` becomes `(d, s)`.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let weighted = self.is_weighted();
+        let iter = TransposeIter {
+            csr: self,
+            v: 0,
+            i: 0,
+        };
+        Csr::from_weighted_iter(n, iter, weighted)
+    }
+
+    /// Iterates over all edges as `(src, dst, weight)` (weight 1 if
+    /// unweighted) in flat CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |v| {
+            let lo = self.offsets[v as usize];
+            self.neighbors(v)
+                .iter()
+                .enumerate()
+                .map(move |(i, &d)| (v, d, self.edge_weight_at(lo + i)))
+        })
+    }
+}
+
+#[derive(Clone)]
+struct TransposeIter<'a> {
+    csr: &'a Csr,
+    v: usize,
+    i: usize,
+}
+
+impl Iterator for TransposeIter<'_> {
+    type Item = (VertexId, VertexId, Weight);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.v >= self.csr.num_vertices() {
+                return None;
+            }
+            let (lo, hi) = (self.csr.offsets[self.v], self.csr.offsets[self.v + 1]);
+            if lo + self.i < hi {
+                let at = lo + self.i;
+                let d = self.csr.targets[at];
+                let w = self.csr.edge_weight_at(at);
+                self.i += 1;
+                return Some((d, self.v as VertexId, w));
+            }
+            self.v += 1;
+            self.i = 0;
+        }
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Csr")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("weighted", &self.is_weighted())
+            .finish()
+    }
+}
+
+/// A directed graph in CSR form with a lazily materialized transpose.
+///
+/// Push-direction traversals read out-edges; pull-direction traversals read
+/// in-edges, which are materialized on first use and cached.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.out_neighbors(0), &[1]);
+/// assert_eq!(g.in_neighbors(2), &[1]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    out: Csr,
+    inn: OnceLock<Csr>,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        let inn = OnceLock::new();
+        if let Some(i) = self.inn.get() {
+            let _ = inn.set(i.clone());
+        }
+        Graph {
+            out: self.out.clone(),
+            inn,
+        }
+    }
+}
+
+impl Graph {
+    /// Wraps an out-edge CSR as a graph.
+    pub fn new(out: Csr) -> Self {
+        Graph {
+            out,
+            inn: OnceLock::new(),
+        }
+    }
+
+    /// Builds a graph from directed `(src, dst)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Graph::new(Csr::from_edges(num_vertices, edges))
+    }
+
+    /// Builds a weighted graph from `(src, dst, weight)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_weighted_edges(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Self {
+        Graph::new(Csr::from_weighted_edges(num_vertices, edges))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.out.is_weighted()
+    }
+
+    /// The out-edge CSR.
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-edge CSR (transpose), materialized on first call.
+    pub fn in_csr(&self) -> &Csr {
+        self.inn.get_or_init(|| self.out.transpose())
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v` (materializes the transpose on first call).
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_csr().degree(v)
+    }
+
+    /// Out-neighbors of `v`, sorted.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbors of `v`, sorted (materializes the transpose).
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.in_csr().neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_basic_shape() {
+        let c = diamond();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 4);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(3), &[] as &[VertexId]);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.offsets(), &[0, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn csr_sorts_neighbors() {
+        let c = Csr::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn csr_weighted_keeps_weight_parallel() {
+        let c = Csr::from_weighted_edges(3, &[(0, 2, 7), (0, 1, 3)]);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbor_weights(0).unwrap(), &[3, 7]);
+        assert_eq!(c.edge_weight_at(0), 3);
+        assert_eq!(c.edge_weight_at(1), 7);
+    }
+
+    #[test]
+    fn csr_unweighted_weight_is_one() {
+        let c = diamond();
+        assert!(!c.is_weighted());
+        assert_eq!(c.edge_weight_at(2), 1);
+        assert!(c.neighbor_weights(0).is_none());
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let c = diamond();
+        let t = c.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert_eq!(t.num_edges(), c.num_edges());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let c = diamond();
+        assert_eq!(c.transpose().transpose(), c);
+    }
+
+    #[test]
+    fn transpose_keeps_weights() {
+        let c = Csr::from_weighted_edges(3, &[(0, 1, 5), (2, 1, 9)]);
+        let t = c.transpose();
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.neighbor_weights(1).unwrap(), &[5, 9]);
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let c = diamond();
+        let edges: Vec<_> = c.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn graph_lazy_transpose() {
+        let g = Graph::from_edges(3, &[(0, 1), (2, 1)]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn graph_clone_preserves_transpose() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let _ = g.in_csr();
+        let g2 = g.clone();
+        assert_eq!(g2.in_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let _ = Csr::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_preserved() {
+        let c = Csr::from_edges(2, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(c.neighbors(0), &[0, 1, 1]);
+        assert_eq!(c.num_edges(), 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scaled-down, deterministic stand-ins for the ten input graphs of the
+//! paper's Table VIII.
+//!
+//! The real datasets (SNAP, DIMACS, Network Repository; up to 530M edges)
+//! are not redistributable nor tractable here, so each is replaced by a
+//! synthetic graph with the same *structural class* — power-law degree
+//! distribution for the social/web graphs, bounded degree and high diameter
+//! for the road networks — because those are the properties the paper's
+//! scheduling decisions key on. All graphs are weighted so that SSSP can run
+//! on any of them; unweighted algorithms ignore the weights.
+
+use crate::generators;
+use crate::stats::DegreeProfile;
+use crate::Graph;
+
+/// Size class for dataset stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// A few hundred vertices — for unit/integration tests.
+    Tiny,
+    /// Tens of thousands of vertices — the benchmark default.
+    #[default]
+    Small,
+    /// Several times larger — for scaling studies.
+    Medium,
+}
+
+/// The ten input graphs of Table VIII.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::{Dataset, Scale};
+///
+/// let g = Dataset::RoadNetCa.generate(Scale::Tiny);
+/// assert!(g.num_vertices() > 100);
+/// assert!(g.is_weighted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// RN — RoadNetCA (road, 1.97M/5.5M in the paper).
+    RoadNetCa,
+    /// RC — RoadCentral (road, 14.1M/33.9M).
+    RoadCentral,
+    /// RU — RoadUSA (road, 23.9M/57.7M).
+    RoadUsa,
+    /// PK — Pokec (social, 1.6M/30.6M).
+    Pokec,
+    /// HW — Hollywood (social, 1.1M/112.8M — dense).
+    Hollywood,
+    /// LJ — LiveJournal (social, 4.8M/85.7M).
+    LiveJournal,
+    /// OK — Orkut (social, 3.0M/212.7M — dense).
+    Orkut,
+    /// IC — Indochina (web, 7.4M/302.0M).
+    Indochina,
+    /// TW — Twitter (social, 21.3M/530.1M).
+    Twitter,
+    /// SW — SinaWeibo (social, 58.7M/522.6M).
+    SinaWeibo,
+}
+
+impl Dataset {
+    /// All ten datasets in the paper's row order (roads first).
+    pub const ALL: [Dataset; 10] = [
+        Dataset::RoadNetCa,
+        Dataset::RoadCentral,
+        Dataset::RoadUsa,
+        Dataset::Pokec,
+        Dataset::Hollywood,
+        Dataset::LiveJournal,
+        Dataset::Orkut,
+        Dataset::Indochina,
+        Dataset::Twitter,
+        Dataset::SinaWeibo,
+    ];
+
+    /// The six datasets evaluated on HammerBlade in the paper (simulation
+    /// costs kept the other four out).
+    pub const HAMMERBLADE_SET: [Dataset; 6] = [
+        Dataset::RoadNetCa,
+        Dataset::RoadCentral,
+        Dataset::Pokec,
+        Dataset::Hollywood,
+        Dataset::LiveJournal,
+        Dataset::Orkut,
+    ];
+
+    /// Two-letter abbreviation used in the paper's figures.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Dataset::RoadNetCa => "RN",
+            Dataset::RoadCentral => "RC",
+            Dataset::RoadUsa => "RU",
+            Dataset::Pokec => "PK",
+            Dataset::Hollywood => "HW",
+            Dataset::LiveJournal => "LJ",
+            Dataset::Orkut => "OK",
+            Dataset::Indochina => "IC",
+            Dataset::Twitter => "TW",
+            Dataset::SinaWeibo => "SW",
+        }
+    }
+
+    /// Structural class of the original dataset.
+    pub fn profile(self) -> DegreeProfile {
+        match self {
+            Dataset::RoadNetCa | Dataset::RoadCentral | Dataset::RoadUsa => DegreeProfile::Bounded,
+            _ => DegreeProfile::PowerLaw,
+        }
+    }
+
+    /// `(vertices, edges)` of the original dataset per Table VIII.
+    pub fn paper_size(self) -> (u64, u64) {
+        match self {
+            Dataset::RoadNetCa => (1_971_281, 5_533_214),
+            Dataset::RoadCentral => (14_081_816, 33_866_826),
+            Dataset::RoadUsa => (23_947_347, 57_708_624),
+            Dataset::Pokec => (1_632_803, 30_622_564),
+            Dataset::Hollywood => (1_139_905, 112_751_422),
+            Dataset::LiveJournal => (4_847_571, 85_702_474),
+            Dataset::Orkut => (2_997_166, 212_698_418),
+            Dataset::Indochina => (7_414_865, 301_969_638),
+            Dataset::Twitter => (21_297_772, 530_051_090),
+            Dataset::SinaWeibo => (58_655_849, 522_642_066),
+        }
+    }
+
+    /// Deterministic seed per dataset so stand-ins differ from each other.
+    fn seed(self) -> u64 {
+        match self {
+            Dataset::RoadNetCa => 0xA0,
+            Dataset::RoadCentral => 0xA1,
+            Dataset::RoadUsa => 0xA2,
+            Dataset::Pokec => 0xB0,
+            Dataset::Hollywood => 0xB1,
+            Dataset::LiveJournal => 0xB2,
+            Dataset::Orkut => 0xB3,
+            Dataset::Indochina => 0xB4,
+            Dataset::Twitter => 0xB5,
+            Dataset::SinaWeibo => 0xB6,
+        }
+    }
+
+    /// Generates the stand-in graph at the requested scale. Deterministic.
+    pub fn generate(self, scale: Scale) -> Graph {
+        let seed = self.seed();
+        match self {
+            Dataset::RoadNetCa => road(scale, 100, seed),
+            Dataset::RoadCentral => road(scale, 190, seed),
+            Dataset::RoadUsa => road(scale, 240, seed),
+            Dataset::Pokec => social(scale, 13, 9, seed),
+            Dataset::Hollywood => social(scale, 12, 24, seed),
+            Dataset::LiveJournal => social(scale, 14, 9, seed),
+            Dataset::Orkut => social(scale, 13, 32, seed),
+            Dataset::Indochina => social(scale, 14, 16, seed),
+            Dataset::Twitter => social(scale, 15, 12, seed),
+            Dataset::SinaWeibo => social(scale, 15, 9, seed),
+        }
+    }
+}
+
+fn road(scale: Scale, side: usize, seed: u64) -> Graph {
+    let side = match scale {
+        Scale::Tiny => side / 4,
+        Scale::Small => side,
+        Scale::Medium => side * 2,
+    };
+    generators::road_grid(side, side, 0.05, seed, true)
+}
+
+fn social(scale: Scale, log_n: u32, edge_factor: usize, seed: u64) -> Graph {
+    let (log_n, edge_factor) = match scale {
+        Scale::Tiny => (8, edge_factor.min(8)),
+        Scale::Small => (log_n, edge_factor),
+        Scale::Medium => (log_n + 1, edge_factor),
+    };
+    generators::rmat(log_n, edge_factor, seed, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn all_tiny_datasets_generate() {
+        for d in Dataset::ALL {
+            let g = d.generate(Scale::Tiny);
+            assert!(g.num_vertices() > 0, "{d:?}");
+            assert!(g.num_edges() > 0, "{d:?}");
+            assert!(g.is_weighted(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn profiles_match_generated_structure() {
+        for d in [Dataset::RoadNetCa, Dataset::Twitter] {
+            let g = d.generate(Scale::Small);
+            assert_eq!(stats::classify(&g), d.profile(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Pokec.generate(Scale::Tiny);
+        let b = Dataset::Pokec.generate(Scale::Tiny);
+        assert_eq!(a.out_csr().targets(), b.out_csr().targets());
+    }
+
+    #[test]
+    fn datasets_differ_from_each_other() {
+        let a = Dataset::Twitter.generate(Scale::Tiny);
+        let b = Dataset::SinaWeibo.generate(Scale::Tiny);
+        assert_ne!(a.out_csr().targets(), b.out_csr().targets());
+    }
+
+    #[test]
+    fn abbrevs_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Dataset::ALL {
+            assert!(seen.insert(d.abbrev()));
+        }
+    }
+
+    #[test]
+    fn paper_sizes_match_table_viii_totals() {
+        // Spot-check a couple of rows.
+        assert_eq!(Dataset::Twitter.paper_size().1, 530_051_090);
+        assert_eq!(Dataset::RoadNetCa.paper_size().0, 1_971_281);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic synthetic graph generators.
+//!
+//! All generators take an explicit seed and produce identical graphs on every
+//! run, which keeps benchmarks and tests reproducible. Two families matter
+//! for the paper's evaluation:
+//!
+//! * **Power-law graphs** ([`rmat`]) stand in for the social/web graphs
+//!   (Orkut, Twitter, LiveJournal, …): a few very-high-degree hubs, low
+//!   diameter.
+//! * **Road-like graphs** ([`road_grid`]) stand in for RoadUSA/RoadNetCA/
+//!   RoadCentral: bounded degree, huge diameter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{EdgeList, Graph, VertexId, Weight};
+
+/// Maximum random edge weight produced by the weighted generators.
+pub const MAX_WEIGHT: Weight = 64;
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.), the standard
+/// power-law graph model (Graph500 uses a=0.57, b=c=0.19).
+///
+/// Produces `num_vertices * edge_factor` directed edges, then symmetrizes and
+/// deduplicates, matching the undirected convention of Table VIII (each edge
+/// counted once per direction).
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::generators::rmat;
+///
+/// let g = rmat(10, 8, 42, false); // 2^10 vertices, ~8 * 2^10 edges
+/// assert_eq!(g.num_vertices(), 1024);
+/// assert!(g.num_edges() > 1024);
+/// ```
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64, weighted: bool) -> Graph {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut el = EdgeList::new(n);
+    let target = n * edge_factor;
+    for _ in 0..target {
+        let (mut x0, mut x1) = (0usize, n - 1);
+        let (mut y0, mut y1) = (0usize, n - 1);
+        while x0 < x1 {
+            // Add noise per level so degrees smooth out (standard practice).
+            let r: f64 = rng.gen();
+            let (da, db, dc) = (
+                a * (0.9 + 0.2 * rng.gen::<f64>()),
+                b * (0.9 + 0.2 * rng.gen::<f64>()),
+                c * (0.9 + 0.2 * rng.gen::<f64>()),
+            );
+            let norm = da + db + dc + (1.0 - a - b - c);
+            let (pa, pb, pc) = (da / norm, db / norm, dc / norm);
+            let xm = (x0 + x1) / 2;
+            let ym = (y0 + y1) / 2;
+            if r < pa {
+                x1 = xm;
+                y1 = ym;
+            } else if r < pa + pb {
+                x1 = xm;
+                y0 = ym + 1;
+            } else if r < pa + pb + pc {
+                x0 = xm + 1;
+                y1 = ym;
+            } else {
+                x0 = xm + 1;
+                y0 = ym + 1;
+            }
+        }
+        let (s, d) = (x0 as VertexId, y0 as VertexId);
+        if weighted {
+            el.push_weighted(s, d, rng.gen_range(1..=MAX_WEIGHT));
+        } else {
+            el.push(s, d);
+        }
+    }
+    el.symmetrize();
+    el.dedup_and_strip_loops();
+    el.into_graph()
+}
+
+/// Road-network-like generator: a `width × height` grid where each vertex
+/// connects to its right and down neighbors, plus a sprinkling of random
+/// "highway" diagonals (`extra_fraction` of the grid edges). High diameter,
+/// degree ≤ ~6 — the structural profile of the DIMACS road graphs.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::generators::road_grid;
+///
+/// let g = road_grid(16, 16, 0.05, 7, true);
+/// assert_eq!(g.num_vertices(), 256);
+/// assert!(g.is_weighted());
+/// ```
+pub fn road_grid(width: usize, height: usize, extra_fraction: f64, seed: u64, weighted: bool) -> Graph {
+    let n = width * height;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let idx = |x: usize, y: usize| (y * width + x) as VertexId;
+    let push = |el: &mut EdgeList, s: VertexId, d: VertexId, rng: &mut StdRng| {
+        if weighted {
+            el.push_weighted(s, d, rng.gen_range(1..=MAX_WEIGHT));
+        } else {
+            el.push(s, d);
+        }
+    };
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                push(&mut el, idx(x, y), idx(x + 1, y), &mut rng);
+            }
+            if y + 1 < height {
+                push(&mut el, idx(x, y), idx(x, y + 1), &mut rng);
+            }
+        }
+    }
+    let extras = ((el.len() as f64) * extra_fraction) as usize;
+    for _ in 0..extras {
+        let s = rng.gen_range(0..n) as VertexId;
+        // Short-range shortcut: jump a few rows/columns away, like ramps.
+        let dx = rng.gen_range(0..width.min(8));
+        let dy = rng.gen_range(0..height.min(8));
+        let d = ((s as usize + dy * width + dx) % n) as VertexId;
+        if s != d {
+            push(&mut el, s, d, &mut rng);
+        }
+    }
+    el.symmetrize();
+    el.dedup_and_strip_loops();
+    el.into_graph()
+}
+
+/// Uniform random graph with `num_edges` directed edges drawn uniformly
+/// (Erdős–Rényi G(n, m) style), symmetrized and deduplicated.
+pub fn uniform_random(num_vertices: usize, num_edges: usize, seed: u64, weighted: bool) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(num_vertices);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..num_vertices) as VertexId;
+        let d = rng.gen_range(0..num_vertices) as VertexId;
+        if weighted {
+            el.push_weighted(s, d, rng.gen_range(1..=MAX_WEIGHT));
+        } else {
+            el.push(s, d);
+        }
+    }
+    el.symmetrize();
+    el.dedup_and_strip_loops();
+    el.into_graph()
+}
+
+/// A directed path `0 -> 1 -> … -> n-1`. Useful as a worst-case-diameter
+/// fixture.
+pub fn path(num_vertices: usize) -> Graph {
+    let edges: Vec<_> = (0..num_vertices.saturating_sub(1))
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
+    Graph::from_edges(num_vertices, &edges)
+}
+
+/// A star: vertex 0 connects to every other vertex (both directions). The
+/// canonical load-imbalance fixture.
+pub fn star(num_vertices: usize) -> Graph {
+    let mut edges = Vec::new();
+    for i in 1..num_vertices {
+        edges.push((0, i as VertexId));
+        edges.push((i as VertexId, 0));
+    }
+    Graph::from_edges(num_vertices, &edges)
+}
+
+/// A complete directed graph on `n` vertices (no self loops).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                edges.push((s as VertexId, d as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A small fixed 8-vertex graph with two communities joined by a bridge —
+/// handy in unit tests where exact results are asserted.
+///
+/// Structure (undirected, weight = index+1 in push order):
+/// community A = {0,1,2,3} (cycle + chord), community B = {4,5,6,7}
+/// (cycle + chord), bridge 3–4.
+pub fn two_communities() -> Graph {
+    let und = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (0, 2),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4),
+        (5, 7),
+        (3, 4),
+    ];
+    let mut el = EdgeList::new(8);
+    for (i, &(s, d)) in und.iter().enumerate() {
+        el.push_weighted(s, d, (i + 1) as Weight);
+        el.push_weighted(d, s, (i + 1) as Weight);
+    }
+    el.into_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 4, 1, false);
+        let b = rmat(8, 4, 1, false);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.out_csr().targets(), b.out_csr().targets());
+    }
+
+    #[test]
+    fn rmat_different_seed_differs() {
+        let a = rmat(8, 4, 1, false);
+        let b = rmat(8, 4, 2, false);
+        assert_ne!(a.out_csr().targets(), b.out_csr().targets());
+    }
+
+    #[test]
+    fn rmat_is_symmetric() {
+        let g = rmat(7, 4, 3, false);
+        for v in 0..g.num_vertices() as VertexId {
+            for &u in g.out_neighbors(v) {
+                assert!(g.out_neighbors(u).contains(&v), "missing reverse of ({v},{u})");
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_is_power_law_ish() {
+        let g = rmat(10, 8, 5, false);
+        let s = stats::degree_stats(&g);
+        // Hubs should be far above the mean degree.
+        assert!(s.max_degree as f64 > 8.0 * s.avg_degree, "{s:?}");
+    }
+
+    #[test]
+    fn road_grid_bounded_degree_high_diameter() {
+        let g = road_grid(32, 32, 0.05, 9, true);
+        let s = stats::degree_stats(&g);
+        assert!(s.max_degree <= 16, "road degree too high: {s:?}");
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn road_grid_weights_in_range() {
+        let g = road_grid(8, 8, 0.1, 2, true);
+        for (_, _, w) in g.out_csr().iter_edges() {
+            assert!((1..=MAX_WEIGHT).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_random_edge_count_close() {
+        let g = uniform_random(100, 500, 11, false);
+        // Symmetrized then deduped: between 500 and 1000 directed edges.
+        assert!(g.num_edges() > 400 && g.num_edges() <= 1000, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.out_degree(0), 4);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.out_degree(2), 3);
+    }
+
+    #[test]
+    fn two_communities_bridge() {
+        let g = two_communities();
+        assert_eq!(g.num_vertices(), 8);
+        assert!(g.out_neighbors(3).contains(&4));
+        assert!(g.is_weighted());
+    }
+}

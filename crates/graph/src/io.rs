@@ -1,0 +1,222 @@
+//! Plain-text edge-list loading and saving.
+//!
+//! The format is the de-facto standard used by SNAP and most graph tools:
+//! one edge per line, `src dst [weight]`, `#`-prefixed comment lines
+//! ignored. Vertex ids are dense non-negative integers.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::num::ParseIntError;
+use std::path::Path;
+
+use crate::{EdgeList, Graph, VertexId};
+
+/// Error returned by the edge-list parser.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "i/o error reading graph: {e}"),
+            ParseGraphError::Malformed { line, reason } => {
+                write!(f, "malformed edge list at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseGraphError {
+    fn from(e: io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+impl From<ParseIntError> for ParseGraphError {
+    fn from(e: ParseIntError) -> Self {
+        ParseGraphError::Malformed {
+            line: 0,
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Reads an edge list from any reader. The number of vertices is
+/// `max id + 1`. Note a mutable reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failure or a malformed line.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::io::read_edge_list;
+///
+/// let text = "# comment\n0 1\n1 2 7\n";
+/// let g = read_edge_list(text.as_bytes()).unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, ParseGraphError> {
+    let buf = BufReader::new(reader);
+    let mut triples = Vec::new();
+    let mut weighted = false;
+    let mut max_id: i64 = -1;
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> Result<i64, ParseGraphError> {
+            s.ok_or_else(|| ParseGraphError::Malformed {
+                line: i + 1,
+                reason: format!("missing {what}"),
+            })?
+            .parse::<i64>()
+            .map_err(|e| ParseGraphError::Malformed {
+                line: i + 1,
+                reason: format!("bad {what}: {e}"),
+            })
+        };
+        let s = parse(parts.next(), "source")?;
+        let d = parse(parts.next(), "destination")?;
+        if s < 0 || d < 0 {
+            return Err(ParseGraphError::Malformed {
+                line: i + 1,
+                reason: "negative vertex id".to_string(),
+            });
+        }
+        let w = match parts.next() {
+            Some(ws) => {
+                weighted = true;
+                ws.parse::<i32>().map_err(|e| ParseGraphError::Malformed {
+                    line: i + 1,
+                    reason: format!("bad weight: {e}"),
+                })?
+            }
+            None => 1,
+        };
+        max_id = max_id.max(s).max(d);
+        triples.push((s as VertexId, d as VertexId, w));
+    }
+    let n = (max_id + 1) as usize;
+    let mut el = EdgeList::new(n);
+    for (s, d, w) in triples {
+        if weighted {
+            el.push_weighted(s, d, w);
+        } else {
+            el.push(s, d);
+        }
+    }
+    Ok(el.into_graph())
+}
+
+/// Loads an edge-list file from disk.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failure or a malformed line.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, ParseGraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Writes a graph as a plain-text edge list (weights included when present).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> io::Result<()> {
+    let mut out = String::new();
+    let weighted = g.is_weighted();
+    for (s, d, w) in g.out_csr().iter_edges() {
+        if weighted {
+            let _ = writeln!(out, "{s} {d} {w}");
+        } else {
+            let _ = writeln!(out, "{s} {d}");
+        }
+        if out.len() > 1 << 16 {
+            writer.write_all(out.as_bytes())?;
+            out.clear();
+        }
+    }
+    writer.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let g = read_edge_list("0 1\n2 0\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn parse_weighted() {
+        let g = read_edge_list("0 1 5\n".as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_csr().neighbor_weights(0).unwrap(), &[5]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = read_edge_list("# hi\n\n% also\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_number() {
+        let err = read_edge_list("0 1\nnope\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_id_rejected() {
+        let err = read_edge_list("-1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseGraphError::Malformed { .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::two_communities();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.out_csr().targets(), g2.out_csr().targets());
+        assert_eq!(g.out_csr().weights(), g2.out_csr().weights());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = read_edge_list("x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Degree statistics used by scheduling heuristics and dataset tables.
+
+use crate::{Graph, VertexId};
+
+/// Summary degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Number of vertices with zero out-degree.
+    pub num_isolated: usize,
+}
+
+/// Computes [`DegreeStats`] over out-degrees.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graph::{Graph, stats::degree_stats};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+/// let s = degree_stats(&g);
+/// assert_eq!(s.max_degree, 2);
+/// assert_eq!(s.num_isolated, 2);
+/// ```
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut max_degree = 0;
+    let mut num_isolated = 0;
+    for v in 0..n as VertexId {
+        let d = g.out_degree(v);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            num_isolated += 1;
+        }
+    }
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        max_degree,
+        avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        num_isolated,
+    }
+}
+
+/// Classification of a graph's degree distribution, used to pick schedule
+/// families exactly as the paper does ("social graphs vs road graphs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeProfile {
+    /// Power-law-like: hubs far above mean degree, low diameter.
+    PowerLaw,
+    /// Bounded-degree: road networks, meshes; high diameter.
+    Bounded,
+}
+
+/// Heuristic classification: power-law if the max degree exceeds
+/// `8 × average degree` and the average degree is above 4.
+pub fn classify(g: &Graph) -> DegreeProfile {
+    let s = degree_stats(g);
+    if s.max_degree as f64 > 8.0 * s.avg_degree && s.avg_degree > 4.0 {
+        DegreeProfile::PowerLaw
+    } else {
+        DegreeProfile::Bounded
+    }
+}
+
+/// Histogram of out-degrees in power-of-two buckets: entry `i` counts
+/// vertices with degree in `[2^i, 2^(i+1))`, entry 0 counts degree 0 and 1.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.out_degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_on_star() {
+        let g = generators::star(10);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.num_isolated, 0);
+        assert_eq!(s.num_edges, 18);
+    }
+
+    #[test]
+    fn classify_rmat_power_law() {
+        let g = generators::rmat(10, 8, 1, false);
+        assert_eq!(classify(&g), DegreeProfile::PowerLaw);
+    }
+
+    #[test]
+    fn classify_road_bounded() {
+        let g = generators::road_grid(32, 32, 0.05, 1, false);
+        assert_eq!(classify(&g), DegreeProfile::Bounded);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertices() {
+        let g = generators::rmat(8, 4, 1, false);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::Graph::from_edges(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests on the graph substrate's invariants.
+
+use proptest::prelude::*;
+use ugc_graph::{Csr, EdgeList, Graph};
+
+/// Strategy: a vertex count and a set of in-range edges.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..64).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..256))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_edge_multiset((n, edges) in edges_strategy()) {
+        let csr = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.num_edges(), edges.len());
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut got: Vec<(u32, u32)> = csr.iter_edges().map(|(s, d, _)| (s, d)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count((n, edges) in edges_strategy()) {
+        let csr = Csr::from_edges(n, &edges);
+        let total: usize = (0..n as u32).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, edges.len());
+    }
+
+    #[test]
+    fn transpose_is_involution((n, edges) in edges_strategy()) {
+        let csr = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_preserves_edge_count((n, edges) in edges_strategy()) {
+        let csr = Csr::from_edges(n, &edges);
+        let t = csr.transpose();
+        prop_assert_eq!(t.num_edges(), csr.num_edges());
+        // Every edge reversed is present.
+        for (s, d, _) in csr.iter_edges() {
+            prop_assert!(t.neighbors(d).contains(&s));
+        }
+    }
+
+    #[test]
+    fn in_degree_equals_incoming_edges((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n, &edges);
+        for v in 0..n as u32 {
+            let expect = edges.iter().filter(|&&(_, d)| d == v).count();
+            prop_assert_eq!(g.in_degree(v), expect);
+        }
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric((n, edges) in edges_strategy()) {
+        let mut el = EdgeList::new(n);
+        for &(s, d) in &edges {
+            el.push(s, d);
+        }
+        el.symmetrize();
+        el.dedup_and_strip_loops();
+        let g = el.into_graph();
+        for v in 0..n as u32 {
+            for &u in g.out_neighbors(v) {
+                prop_assert!(g.out_neighbors(u).contains(&v), "missing {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_removes_all_duplicates((n, edges) in edges_strategy()) {
+        let mut el = EdgeList::new(n);
+        for &(s, d) in &edges {
+            el.push(s, d);
+            el.push(s, d); // force duplicates
+        }
+        el.dedup_and_strip_loops();
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d, _) in el.edges() {
+            prop_assert!(s != d, "self loop survived");
+            prop_assert!(seen.insert((s, d)), "duplicate ({s},{d}) survived");
+        }
+    }
+
+    #[test]
+    fn io_round_trip((n, edges) in edges_strategy()) {
+        let g = Graph::from_edges(n.max(1), &edges);
+        let mut buf = Vec::new();
+        ugc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        if g.num_edges() > 0 {
+            let g2 = ugc_graph::io::read_edge_list(buf.as_slice()).unwrap();
+            prop_assert_eq!(g.out_csr().targets(), g2.out_csr().targets());
+        }
+    }
+
+    #[test]
+    fn rmat_deterministic_for_seed(seed in 0u64..500) {
+        let a = ugc_graph::generators::rmat(6, 4, seed, true);
+        let b = ugc_graph::generators::rmat(6, 4, seed, true);
+        prop_assert_eq!(a.out_csr().targets(), b.out_csr().targets());
+        prop_assert_eq!(a.out_csr().weights(), b.out_csr().weights());
+    }
+}

@@ -1,0 +1,669 @@
+//! GraphIR program structure: programs, functions, statements, expressions.
+//!
+//! Statements and expressions each carry a [`Metadata`] map (see the crate
+//! docs); *arguments* — the struct fields — capture what is needed for
+//! correctness, while metadata captures optimization decisions.
+
+use crate::meta::Metadata;
+use crate::types::{BinOp, Intrinsic, ReduceOp, Type, UnOp};
+
+/// A complete GraphIR program: property vectors, scalar globals, priority
+/// queues, user-defined functions, and the `main` body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Per-vertex property vectors (`VertexData` in Table II).
+    pub properties: Vec<PropertyDecl>,
+    /// Scalar globals shared between host and device.
+    pub globals: Vec<GlobalDecl>,
+    /// Priority queues for ordered algorithms (∆-stepping SSSP).
+    pub queues: Vec<QueueDecl>,
+    /// User-defined functions applied by the iteration operators.
+    pub functions: Vec<Function>,
+    /// The host-level `main` body.
+    pub main: Vec<Stmt>,
+    /// Program-wide metadata.
+    pub meta: Metadata,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a per-vertex property initialized to `init` for every
+    /// vertex.
+    pub fn add_property(&mut self, name: impl Into<String>, ty: Type, init: Expr) -> &mut Self {
+        self.properties.push(PropertyDecl {
+            name: name.into(),
+            ty,
+            init,
+            meta: Metadata::new(),
+        });
+        self
+    }
+
+    /// Looks up a property declaration by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyDecl> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// Declares a scalar global.
+    pub fn add_global(&mut self, name: impl Into<String>, ty: Type, init: Option<Expr>) -> &mut Self {
+        self.globals.push(GlobalDecl {
+            name: name.into(),
+            ty,
+            init,
+            meta: Metadata::new(),
+        });
+        self
+    }
+
+    /// Looks up a global declaration by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Declares a priority queue tracking `tracked_property`, seeded with
+    /// `source`.
+    pub fn add_queue(
+        &mut self,
+        name: impl Into<String>,
+        tracked_property: impl Into<String>,
+        source: Expr,
+    ) -> &mut Self {
+        self.queues.push(QueueDecl {
+            name: name.into(),
+            tracked_property: tracked_property.into(),
+            source,
+            meta: Metadata::new(),
+        });
+        self
+    }
+
+    /// Looks up a queue declaration by name.
+    pub fn queue(&self, name: &str) -> Option<&QueueDecl> {
+        self.queues.iter().find(|q| q.name == name)
+    }
+
+    /// Adds a user-defined function.
+    pub fn add_function(&mut self, f: Function) -> &mut Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup of a function by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+}
+
+/// Declaration of a per-vertex property vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDecl {
+    /// Property name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Initial value for every vertex (a constant expression).
+    pub init: Expr,
+    /// Metadata (e.g., array-of-struct vs struct-of-array decisions).
+    pub meta: Metadata,
+}
+
+/// Declaration of a scalar global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Global name.
+    pub name: String,
+    /// Value type.
+    pub ty: Type,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Metadata.
+    pub meta: Metadata,
+}
+
+/// Declaration of a priority queue (`PrioQueue` in Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueDecl {
+    /// Queue name.
+    pub name: String,
+    /// The integer property holding each vertex's priority.
+    pub tracked_property: String,
+    /// The initially enqueued vertex.
+    pub source: Expr,
+    /// Metadata — e.g., the ∆ bucket width chosen by the schedule.
+    pub meta: Metadata,
+}
+
+/// A function parameter or named return value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name bound in the body.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+}
+
+impl Param {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Param {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A user-defined function (UDF) applied by the iteration operators, or a
+/// host helper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters. Edge UDFs take `(src, dst)`; vertex UDFs take `(v)`.
+    pub params: Vec<Param>,
+    /// Optional named return (GraphIt's `-> output : bool` style).
+    pub ret: Option<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Metadata (placement, analysis results).
+    pub meta: Metadata,
+}
+
+impl Function {
+    /// Creates a function with the given signature and empty body.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret: Option<Param>) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            body: Vec::new(),
+            meta: Metadata::new(),
+        }
+    }
+}
+
+/// A statement plus its label and metadata.
+///
+/// Labels come from the `#s0#` markers in the algorithm source and are how
+/// scheduling directives find their target statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Optional scheduling label (`s0`, `s1`, …).
+    pub label: Option<String>,
+    /// Metadata attached by passes.
+    pub meta: Metadata,
+}
+
+impl Stmt {
+    /// Wraps a kind with no label and empty metadata.
+    pub fn new(kind: StmtKind) -> Self {
+        Stmt {
+            kind,
+            label: None,
+            meta: Metadata::new(),
+        }
+    }
+
+    /// Wraps a kind with a scheduling label.
+    pub fn labeled(label: impl Into<String>, kind: StmtKind) -> Self {
+        Stmt {
+            kind,
+            label: Some(label.into()),
+            meta: Metadata::new(),
+        }
+    }
+}
+
+impl From<StmtKind> for Stmt {
+    fn from(kind: StmtKind) -> Self {
+        Stmt::new(kind)
+    }
+}
+
+/// Assignment target: a local/global variable or a property element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable (local, parameter, named return, or global).
+    Var(String),
+    /// `prop[index]` — one element of a property vector.
+    Prop {
+        /// Property name.
+        prop: String,
+        /// Vertex index expression.
+        index: Box<Expr>,
+    },
+}
+
+impl LValue {
+    /// Convenience constructor for a property element target.
+    pub fn prop(prop: impl Into<String>, index: Expr) -> Self {
+        LValue::Prop {
+            prop: prop.into(),
+            index: Box::new(index),
+        }
+    }
+}
+
+/// The statement kinds of GraphIR (paper Table II plus scalar control flow).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Declare (and optionally initialize) a local variable.
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Variable type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Plain assignment.
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// Value.
+        value: Expr,
+    },
+    /// Reduction assignment (`+=`, `min=`, `max=`, `|=`). The
+    /// atomics-insertion pass may set [`keys::IS_ATOMIC`](crate::keys).
+    Reduce {
+        /// Target location.
+        target: LValue,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Value to fold in.
+        value: Expr,
+        /// If present, this variable is set to `true` when the reduction
+        /// changed the target (GraphIt's "tracking variable").
+        tracking: Option<String>,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while` loop. The GPU GraphVM may set
+    /// [`keys::NEEDS_FUSION`](crate::keys) on the carrying [`Stmt`].
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop over `start..end`.
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive start.
+        start: Expr,
+        /// Exclusive end.
+        end: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Expression evaluated for effect.
+    ExprStmt(Expr),
+    /// Return from the enclosing function (UDFs with named returns assign
+    /// the return variable instead).
+    Return(Expr),
+    /// Break out of the innermost loop.
+    Break,
+    /// The flagship operator: iterate (a subset of) the graph's edges and
+    /// apply a UDF to each.
+    EdgeSetIterator(EdgeSetIteratorData),
+    /// Iterate the vertices of a set (or all vertices) and apply a UDF.
+    VertexSetIterator {
+        /// Input set name; `None` means all vertices.
+        set: Option<String>,
+        /// The vertex UDF.
+        apply: String,
+    },
+    /// Append a vertex to a frontier being constructed. `set` of `None`
+    /// targets the enclosing `EdgeSetIterator`'s output frontier.
+    EnqueueVertex {
+        /// Explicit target set, or `None` for the implicit output frontier.
+        set: Option<String>,
+        /// The vertex to enqueue.
+        vertex: Expr,
+    },
+    /// Remove duplicate vertices from a frontier.
+    VertexSetDedup {
+        /// The set to deduplicate.
+        set: String,
+    },
+    /// `UpdatePriorityMin` / `UpdatePrioritySum` from Table II: fold a new
+    /// priority into `queue`'s tracked property for `vertex` and reschedule
+    /// it. `op` is [`ReduceOp::Min`] or [`ReduceOp::Sum`].
+    UpdatePriority {
+        /// Queue being updated.
+        queue: String,
+        /// Vertex whose priority changes.
+        vertex: Expr,
+        /// Min or Sum.
+        op: ReduceOp,
+        /// The candidate priority (Min) or the increment (Sum).
+        value: Expr,
+    },
+    /// Append a frontier to a [`Type::FrontierList`].
+    ListAppend {
+        /// The list.
+        list: String,
+        /// The set to append.
+        set: String,
+    },
+    /// Retrieve the frontier at `index` (counted from the front) into
+    /// `out`.
+    ListRetrieve {
+        /// The list.
+        list: String,
+        /// Index expression.
+        index: Expr,
+        /// Output set variable.
+        out: String,
+    },
+    /// Pop the most recently appended frontier into `out` (BC's backward
+    /// sweep).
+    ListPopBack {
+        /// The list.
+        list: String,
+        /// Output set variable.
+        out: String,
+    },
+    /// Destroy a set/list variable (GraphIt's `delete`).
+    Delete {
+        /// Variable name.
+        name: String,
+    },
+    /// Host-side print for debugging examples.
+    Print(Expr),
+}
+
+/// Arguments of the `EdgeSetIterator` instruction (paper Table II). The
+/// interesting optimization decisions (direction, representations, load
+/// balancing) live in the statement's metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSetIteratorData {
+    /// The graph (edge set) variable to traverse.
+    pub graph: String,
+    /// Input frontier variable; `None` means all vertices are active.
+    pub input: Option<String>,
+    /// Output frontier variable to create; `None` when no output is needed.
+    pub output: Option<String>,
+    /// The edge UDF `(src, dst)`.
+    pub apply: String,
+    /// Optional filter on source vertices (`from(func)`).
+    pub src_filter: Option<String>,
+    /// Optional filter on destination vertices (`to(func)`).
+    pub dst_filter: Option<String>,
+    /// For `applyModified`: the property whose modification marks a vertex
+    /// as belonging to the output frontier.
+    pub tracked_prop: Option<String>,
+    /// Traverse the transposed graph (used by BC's backward pass).
+    pub transposed: bool,
+}
+
+impl EdgeSetIteratorData {
+    /// Minimal constructor: apply `apply` to every edge of `graph`.
+    pub fn all_edges(graph: impl Into<String>, apply: impl Into<String>) -> Self {
+        EdgeSetIteratorData {
+            graph: graph.into(),
+            input: None,
+            output: None,
+            apply: apply.into(),
+            src_filter: None,
+            dst_filter: None,
+            tracked_prop: None,
+            transposed: false,
+        }
+    }
+}
+
+/// An expression plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Metadata attached by passes (e.g., `is_atomic` on a CAS).
+    pub meta: Metadata,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference (local, parameter, named return, or global).
+    Var(String),
+    /// `prop[index]`.
+    PropRead {
+        /// Property name.
+        prop: String,
+        /// Vertex index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Built-in runtime operation.
+    Intrinsic {
+        /// Which intrinsic.
+        kind: Intrinsic,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Call a user-defined (boolean filter or helper) function.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Atomic compare-and-swap on a property element; evaluates to `true`
+    /// when the swap happened. Inserted by the atomics pass (Fig. 4 line 3).
+    CompareAndSwap {
+        /// Property name.
+        prop: String,
+        /// Vertex index expression.
+        index: Box<Expr>,
+        /// Expected value.
+        expected: Box<Expr>,
+        /// Replacement value.
+        new: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Wraps a kind with empty metadata.
+    pub fn new(kind: ExprKind) -> Self {
+        Expr {
+            kind,
+            meta: Metadata::new(),
+        }
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Self {
+        Expr::new(ExprKind::Int(v))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> Self {
+        Expr::new(ExprKind::Float(v))
+    }
+
+    /// Boolean literal.
+    pub fn bool(v: bool) -> Self {
+        Expr::new(ExprKind::Bool(v))
+    }
+
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::new(ExprKind::Var(name.into()))
+    }
+
+    /// Property read `prop[index]`.
+    pub fn prop(prop: impl Into<String>, index: Expr) -> Self {
+        Expr::new(ExprKind::PropRead {
+            prop: prop.into(),
+            index: Box::new(index),
+        })
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::new(ExprKind::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// Unary operation.
+    pub fn un(op: UnOp, operand: Expr) -> Self {
+        Expr::new(ExprKind::Unary {
+            op,
+            operand: Box::new(operand),
+        })
+    }
+
+    /// Intrinsic call.
+    pub fn intrinsic(kind: Intrinsic, args: Vec<Expr>) -> Self {
+        Expr::new(ExprKind::Intrinsic { kind, args })
+    }
+
+    /// UDF call.
+    pub fn call(func: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::new(ExprKind::Call {
+            func: func.into(),
+            args,
+        })
+    }
+
+    /// Compare-and-swap on `prop[index]`.
+    pub fn cas(prop: impl Into<String>, index: Expr, expected: Expr, new: Expr) -> Self {
+        Expr::new(ExprKind::CompareAndSwap {
+            prop: prop.into(),
+            index: Box::new(index),
+            expected: Box::new(expected),
+            new: Box::new(new),
+        })
+    }
+}
+
+impl From<ExprKind> for Expr {
+    fn from(kind: ExprKind) -> Self {
+        Expr::new(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys;
+    use crate::types::Direction;
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::new();
+        p.add_property("rank", Type::Float, Expr::float(0.0));
+        p.add_global("err", Type::Float, Some(Expr::float(0.0)));
+        p.add_queue("pq", "dist", Expr::int(0));
+        assert!(p.property("rank").is_some());
+        assert!(p.property("nope").is_none());
+        assert!(p.global("err").is_some());
+        assert_eq!(p.queue("pq").unwrap().tracked_property, "dist");
+    }
+
+    #[test]
+    fn function_round_trip() {
+        let mut p = Program::new();
+        let f = Function::new(
+            "toFilter",
+            vec![Param::new("v", Type::Vertex)],
+            Some(Param::new("output", Type::Bool)),
+        );
+        p.add_function(f);
+        assert_eq!(p.function("toFilter").unwrap().params.len(), 1);
+        p.function_mut("toFilter").unwrap().meta.set(keys::PLACEMENT, "DEVICE");
+        assert_eq!(
+            p.function("toFilter").unwrap().meta.get_str(keys::PLACEMENT),
+            Some("DEVICE")
+        );
+    }
+
+    #[test]
+    fn stmt_labels_and_metadata() {
+        let mut s = Stmt::labeled(
+            "s1",
+            StmtKind::EdgeSetIterator(EdgeSetIteratorData::all_edges("edges", "updateEdge")),
+        );
+        s.meta.set(keys::DIRECTION, Direction::Push);
+        assert_eq!(s.label.as_deref(), Some("s1"));
+        assert_eq!(s.meta.get_direction(keys::DIRECTION), Some(Direction::Push));
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(
+            BinOp::Eq,
+            Expr::prop("parent", Expr::var("v")),
+            Expr::int(-1),
+        );
+        match &e.kind {
+            ExprKind::Binary { op, lhs, .. } => {
+                assert_eq!(*op, BinOp::Eq);
+                assert!(matches!(lhs.kind, ExprKind::PropRead { .. }));
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn cas_expr_shape() {
+        let e = Expr::cas("parent", Expr::var("dst"), Expr::int(-1), Expr::var("src"));
+        assert!(matches!(e.kind, ExprKind::CompareAndSwap { .. }));
+    }
+
+    #[test]
+    fn edge_set_iterator_defaults() {
+        let d = EdgeSetIteratorData::all_edges("edges", "f");
+        assert!(d.input.is_none());
+        assert!(!d.transposed);
+    }
+
+    #[test]
+    fn stmt_from_kind() {
+        let s: Stmt = StmtKind::Break.into();
+        assert_eq!(s.kind, StmtKind::Break);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! GraphIR — the domain-specific intermediate representation at the core of
+//! the Unified GraphIt Compiler framework (UGC).
+//!
+//! GraphIR sits between the hardware-independent compiler and the
+//! hardware-specific backends ("GraphVMs"). Like LLVM IR it is an in-memory
+//! program representation transformed IR-to-IR by passes; unlike LLVM IR it
+//! is *domain-specific*: instead of loop nests it has operators such as
+//! [`EdgeSetIterator`](ir::EdgeSetIteratorData) (iterate the edges incident
+//! to a set of active vertices and apply a user-defined function) and
+//! `VertexSetIterator`, and instead of raw pointers it has graphs, vertex
+//! sets, per-vertex property vectors, and priority queues.
+//!
+//! Every node carries **arguments** (correctness-relevant, derived from the
+//! algorithm) and **metadata** (optimization-relevant, attached by compiler
+//! passes and freely extensible by backends) — see [`meta::Metadata`], which
+//! reproduces the paper's `setMetadata<T>` / `getMetadata<T>` API with
+//! string labels.
+//!
+//! The module map follows the paper's Table II:
+//!
+//! * [`types`] — GraphIR data types (`Vertex`, `VertexSet` representations,
+//!   traversal [`types::Direction`], reduction operators, intrinsics),
+//! * [`ir`] — program structure: [`ir::Program`], [`ir::Function`],
+//!   [`ir::Stmt`]/[`ir::StmtKind`], [`ir::Expr`],
+//! * [`meta`] — the extensible metadata map,
+//! * [`keys`] — well-known metadata keys used by the stock passes,
+//! * [`printer`] — the pretty printer producing the paper's Fig. 4 style
+//!   textual form,
+//! * [`visit`] — statement/expression walkers used by analysis passes,
+//! * [`verify`] — a structural verifier run between passes.
+//!
+//! # Example
+//!
+//! ```
+//! use ugc_graphir::ir::{Program, Expr};
+//! use ugc_graphir::types::Type;
+//!
+//! let mut prog = Program::new();
+//! prog.add_property("parent", Type::Vertex, Expr::int(-1));
+//! assert!(prog.property("parent").is_some());
+//! ```
+
+pub mod ir;
+pub mod keys;
+pub mod meta;
+pub mod printer;
+pub mod types;
+pub mod verify;
+pub mod visit;
+
+pub use ir::{Expr, Function, Program, Stmt, StmtKind};
+pub use meta::{MetaValue, Metadata};
+pub use types::{Direction, ReduceOp, Type, VertexSetRepr};

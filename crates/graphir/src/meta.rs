@@ -1,0 +1,319 @@
+//! The extensible metadata API.
+//!
+//! The paper attaches optimization-relevant information to IR nodes with
+//! `setMetadata<T>(std::string label, T val)` / `getMetadata<T>(label)`.
+//! Because the label space is open, backends can stack new metadata without
+//! changing GraphIR definitions. This module reproduces that design: a
+//! [`Metadata`] map from string labels to [`MetaValue`]s, where `MetaValue`
+//! covers the common scalar kinds plus an `Any` escape hatch for arbitrary
+//! shared payloads (used, e.g., to attach schedule objects to statements).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::{Direction, VertexSetRepr};
+
+/// A single metadata value.
+#[derive(Clone)]
+pub enum MetaValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Integer parameter.
+    Int(i64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// String parameter (also used for variable/function names).
+    Str(String),
+    /// Traversal direction.
+    Direction(Direction),
+    /// Vertex set representation.
+    Repr(VertexSetRepr),
+    /// List of strings (e.g., hoisted variable names).
+    StrList(Vec<String>),
+    /// Arbitrary shared payload, downcast by whoever attached it.
+    Any(Arc<dyn Any + Send + Sync>),
+}
+
+impl fmt::Debug for MetaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaValue::Bool(v) => write!(f, "{v}"),
+            MetaValue::Int(v) => write!(f, "{v}"),
+            MetaValue::Float(v) => write!(f, "{v}"),
+            MetaValue::Str(v) => write!(f, "{v:?}"),
+            MetaValue::Direction(v) => write!(f, "{v}"),
+            MetaValue::Repr(v) => write!(f, "{v}"),
+            MetaValue::StrList(v) => write!(f, "{v:?}"),
+            MetaValue::Any(_) => write!(f, "<any>"),
+        }
+    }
+}
+
+impl PartialEq for MetaValue {
+    fn eq(&self, other: &Self) -> bool {
+        use MetaValue::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Direction(a), Direction(b)) => a == b,
+            (Repr(a), Repr(b)) => a == b,
+            (StrList(a), StrList(b)) => a == b,
+            (Any(a), Any(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl From<bool> for MetaValue {
+    fn from(v: bool) -> Self {
+        MetaValue::Bool(v)
+    }
+}
+impl From<i64> for MetaValue {
+    fn from(v: i64) -> Self {
+        MetaValue::Int(v)
+    }
+}
+impl From<f64> for MetaValue {
+    fn from(v: f64) -> Self {
+        MetaValue::Float(v)
+    }
+}
+impl From<&str> for MetaValue {
+    fn from(v: &str) -> Self {
+        MetaValue::Str(v.to_string())
+    }
+}
+impl From<String> for MetaValue {
+    fn from(v: String) -> Self {
+        MetaValue::Str(v)
+    }
+}
+impl From<Direction> for MetaValue {
+    fn from(v: Direction) -> Self {
+        MetaValue::Direction(v)
+    }
+}
+impl From<VertexSetRepr> for MetaValue {
+    fn from(v: VertexSetRepr) -> Self {
+        MetaValue::Repr(v)
+    }
+}
+impl From<Vec<String>> for MetaValue {
+    fn from(v: Vec<String>) -> Self {
+        MetaValue::StrList(v)
+    }
+}
+
+/// String-keyed metadata map carried by every GraphIR node.
+///
+/// # Example
+///
+/// ```
+/// use ugc_graphir::meta::Metadata;
+///
+/// let mut m = Metadata::new();
+/// m.set("is_atomic", true);
+/// m.set("delta", 8i64);
+/// assert_eq!(m.get_bool("is_atomic"), Some(true));
+/// assert_eq!(m.get_int("delta"), Some(8));
+/// assert_eq!(m.get_bool("missing"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metadata {
+    entries: BTreeMap<String, MetaValue>,
+}
+
+impl Metadata {
+    /// Creates an empty metadata map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `label` to `value`, replacing any previous value.
+    pub fn set(&mut self, label: impl Into<String>, value: impl Into<MetaValue>) {
+        self.entries.insert(label.into(), value.into());
+    }
+
+    /// Attaches an arbitrary shared payload under `label`.
+    pub fn set_any<T: Any + Send + Sync>(&mut self, label: impl Into<String>, value: Arc<T>) {
+        self.entries.insert(label.into(), MetaValue::Any(value));
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, label: &str) -> Option<&MetaValue> {
+        self.entries.get(label)
+    }
+
+    /// Whether `label` is present.
+    pub fn contains(&self, label: &str) -> bool {
+        self.entries.contains_key(label)
+    }
+
+    /// Removes `label`, returning its previous value.
+    pub fn remove(&mut self, label: &str) -> Option<MetaValue> {
+        self.entries.remove(label)
+    }
+
+    /// Typed lookup of a boolean.
+    pub fn get_bool(&self, label: &str) -> Option<bool> {
+        match self.get(label) {
+            Some(MetaValue::Bool(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean lookup defaulting to `false` when absent.
+    pub fn flag(&self, label: &str) -> bool {
+        self.get_bool(label).unwrap_or(false)
+    }
+
+    /// Typed lookup of an integer.
+    pub fn get_int(&self, label: &str) -> Option<i64> {
+        match self.get(label) {
+            Some(MetaValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a float.
+    pub fn get_float(&self, label: &str) -> Option<f64> {
+        match self.get(label) {
+            Some(MetaValue::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a string.
+    pub fn get_str(&self, label: &str) -> Option<&str> {
+        match self.get(label) {
+            Some(MetaValue::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a direction.
+    pub fn get_direction(&self, label: &str) -> Option<Direction> {
+        match self.get(label) {
+            Some(MetaValue::Direction(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a vertex set representation.
+    pub fn get_repr(&self, label: &str) -> Option<VertexSetRepr> {
+        match self.get(label) {
+            Some(MetaValue::Repr(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a string list.
+    pub fn get_str_list(&self, label: &str) -> Option<&[String]> {
+        match self.get(label) {
+            Some(MetaValue::StrList(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup + downcast of an `Any` payload.
+    pub fn get_any<T: Any + Send + Sync>(&self, label: &str) -> Option<Arc<T>> {
+        match self.get(label) {
+            Some(MetaValue::Any(v)) => v.clone().downcast::<T>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetaValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut m = Metadata::new();
+        m.set("k", 1i64);
+        m.set("k", 2i64);
+        assert_eq!(m.get_int("k"), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn typed_lookup_rejects_wrong_type() {
+        let mut m = Metadata::new();
+        m.set("k", true);
+        assert_eq!(m.get_int("k"), None);
+        assert_eq!(m.get_bool("k"), Some(true));
+    }
+
+    #[test]
+    fn flag_defaults_false() {
+        let m = Metadata::new();
+        assert!(!m.flag("whatever"));
+    }
+
+    #[test]
+    fn any_payload_downcasts() {
+        #[derive(Debug, PartialEq)]
+        struct Payload(u32);
+        let mut m = Metadata::new();
+        m.set_any("sched", Arc::new(Payload(7)));
+        let p = m.get_any::<Payload>("sched").unwrap();
+        assert_eq!(*p, Payload(7));
+        assert!(m.get_any::<String>("sched").is_none());
+    }
+
+    #[test]
+    fn direction_and_repr() {
+        let mut m = Metadata::new();
+        m.set("direction", Direction::Pull);
+        m.set("repr", VertexSetRepr::Bitmap);
+        assert_eq!(m.get_direction("direction"), Some(Direction::Pull));
+        assert_eq!(m.get_repr("repr"), Some(VertexSetRepr::Bitmap));
+    }
+
+    #[test]
+    fn str_list() {
+        let mut m = Metadata::new();
+        m.set("hoisted", vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.get_str_list("hoisted").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut m = Metadata::new();
+        m.set("k", "v");
+        assert!(m.contains("k"));
+        m.remove("k");
+        assert!(!m.contains("k"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iter_in_label_order() {
+        let mut m = Metadata::new();
+        m.set("b", 1i64);
+        m.set("a", 2i64);
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

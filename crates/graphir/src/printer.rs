@@ -1,0 +1,393 @@
+//! Pretty printer producing the paper's Fig. 4 textual style.
+//!
+//! GraphIR is an in-memory structure; this printer exists for debugging,
+//! golden tests, and documentation. Metadata is rendered inside `<...>`
+//! after the node name, exactly like the figure.
+
+use std::fmt::Write;
+
+use crate::ir::{Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind};
+use crate::meta::Metadata;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for prop in &p.properties {
+        let _ = writeln!(
+            out,
+            "VertexData{} {} : {} = {}",
+            meta_str(&prop.meta),
+            prop.name,
+            prop.ty,
+            print_expr(&prop.init)
+        );
+    }
+    for g in &p.globals {
+        match &g.init {
+            Some(e) => {
+                let _ = writeln!(out, "Global{} {} : {} = {}", meta_str(&g.meta), g.name, g.ty, print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "Global{} {} : {}", meta_str(&g.meta), g.name, g.ty);
+            }
+        }
+    }
+    for q in &p.queues {
+        let _ = writeln!(
+            out,
+            "PrioQueue{} {} tracking {} from {}",
+            meta_str(&q.meta),
+            q.name,
+            q.tracked_property,
+            print_expr(&q.source)
+        );
+    }
+    for f in &p.functions {
+        out.push_str(&print_function(f));
+    }
+    out.push_str("Function main ( {\n");
+    for s in &p.main {
+        print_stmt(&mut out, s, 1);
+    }
+    out.push_str("})\n");
+    out
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ty, p.name))
+        .collect();
+    let ret = f
+        .ret
+        .as_ref()
+        .map(|r| format!(" -> {} {}", r.ty, r.name))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "Function{} {} ({}{}, {{",
+        meta_str(&f.meta),
+        f.name,
+        params.join(", "),
+        ret
+    );
+    for s in &f.body {
+        print_stmt(&mut out, s, 1);
+    }
+    out.push_str("})\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn meta_str(m: &Metadata) -> String {
+    if m.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = m
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    format!("<{}>", inner.join(", "))
+}
+
+fn label_str(s: &Stmt) -> String {
+    s.label
+        .as_ref()
+        .map(|l| format!("#{l}# "))
+        .unwrap_or_default()
+}
+
+/// Renders one statement (with nested bodies) at `level` indentation.
+pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    out.push_str(&label_str(s));
+    let m = meta_str(&s.meta);
+    match &s.kind {
+        StmtKind::VarDecl { name, ty, init } => match init {
+            Some(e) => {
+                let _ = writeln!(out, "VarDecl{m} {name} : {ty} = {}", print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "VarDecl{m} {name} : {ty}");
+            }
+        },
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "AssignStmt{m}({}, {})", print_lvalue(target), print_expr(value));
+        }
+        StmtKind::Reduce {
+            target,
+            op,
+            value,
+            tracking,
+        } => {
+            let t = tracking
+                .as_ref()
+                .map(|t| format!(", tracking={t}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "ReductionOp{m}({} {op} {}{t})",
+                print_lvalue(target),
+                print_expr(value)
+            );
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "If{m} ({}, {{", print_expr(cond));
+            for st in then_body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}, {\n");
+            for st in else_body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("})\n");
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "WhileLoopStmt{m}({}, {{", print_expr(cond));
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("})\n");
+        }
+        StmtKind::For {
+            var,
+            start,
+            end,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "ForStmt{m}({var}, {}, {}, {{",
+                print_expr(start),
+                print_expr(end)
+            );
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("})\n");
+        }
+        StmtKind::ExprStmt(e) => {
+            let _ = writeln!(out, "ExprStmt{m}({})", print_expr(e));
+        }
+        StmtKind::Return(e) => {
+            let _ = writeln!(out, "Return{m}({})", print_expr(e));
+        }
+        StmtKind::Break => {
+            let _ = writeln!(out, "Break{m}");
+        }
+        StmtKind::EdgeSetIterator(d) => {
+            let mut args = vec![d.graph.clone()];
+            args.push(d.input.clone().unwrap_or_else(|| "ALL".into()));
+            args.push(d.output.clone().unwrap_or_else(|| "NONE".into()));
+            args.push(d.apply.clone());
+            if let Some(f) = &d.src_filter {
+                args.push(format!("from={f}"));
+            }
+            if let Some(f) = &d.dst_filter {
+                args.push(format!("to={f}"));
+            }
+            if let Some(p) = &d.tracked_prop {
+                args.push(format!("tracked={p}"));
+            }
+            if d.transposed {
+                args.push("transposed".into());
+            }
+            let _ = writeln!(out, "EdgeSetIterator{m}({})", args.join(", "));
+        }
+        StmtKind::VertexSetIterator { set, apply } => {
+            let _ = writeln!(
+                out,
+                "VertexSetIterator{m}({}, {apply})",
+                set.clone().unwrap_or_else(|| "ALL".into())
+            );
+        }
+        StmtKind::EnqueueVertex { set, vertex } => {
+            let _ = writeln!(
+                out,
+                "EnqueueVertex{m}({}, {})",
+                set.clone().unwrap_or_else(|| "output_frontier".into()),
+                print_expr(vertex)
+            );
+        }
+        StmtKind::VertexSetDedup { set } => {
+            let _ = writeln!(out, "VertexSetDedup{m}({set})");
+        }
+        StmtKind::UpdatePriority {
+            queue,
+            vertex,
+            op,
+            value,
+        } => {
+            let name = match op {
+                crate::types::ReduceOp::Sum => "UpdatePrioritySum",
+                _ => "UpdatePriorityMin",
+            };
+            let _ = writeln!(
+                out,
+                "{name}{m}({queue}, {}, {})",
+                print_expr(vertex),
+                print_expr(value)
+            );
+        }
+        StmtKind::ListAppend { list, set } => {
+            let _ = writeln!(out, "ListAppend{m}({list}, {set})");
+        }
+        StmtKind::ListRetrieve { list, index, out: o } => {
+            let _ = writeln!(out, "ListRetrieve{m}({list}, {}, {o})", print_expr(index));
+        }
+        StmtKind::ListPopBack { list, out: o } => {
+            let _ = writeln!(out, "ListPopBack{m}({list}, {o})");
+        }
+        StmtKind::Delete { name } => {
+            let _ = writeln!(out, "Delete{m}({name})");
+        }
+        StmtKind::Print(e) => {
+            let _ = writeln!(out, "Print{m}({})", print_expr(e));
+        }
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Prop { prop, index } => format!("{prop}[{}]", print_expr(index)),
+    }
+}
+
+/// Renders one expression.
+pub fn print_expr(e: &Expr) -> String {
+    let m = meta_str(&e.meta);
+    match &e.kind {
+        ExprKind::Int(v) => format!("{v}"),
+        ExprKind::Float(v) => format!("{v}"),
+        ExprKind::Bool(v) => format!("{v}"),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::PropRead { prop, index } => format!("{prop}[{}]", print_expr(index)),
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", print_expr(lhs), print_expr(rhs))
+        }
+        ExprKind::Unary { op, operand } => format!("{op}{}", print_expr(operand)),
+        ExprKind::Intrinsic { kind, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{kind}({})", args.join(", "))
+        }
+        ExprKind::Call { func, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{func}({})", args.join(", "))
+        }
+        ExprKind::CompareAndSwap {
+            prop,
+            index,
+            expected,
+            new,
+        } => format!(
+            "CompareAndSwap{m}({prop}[{}], {}, {})",
+            print_expr(index),
+            print_expr(expected),
+            print_expr(new)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{EdgeSetIteratorData, Param, Program};
+    use crate::keys;
+    use crate::types::{BinOp, Direction, Type};
+
+    #[test]
+    fn prints_bfs_like_ir() {
+        let mut p = Program::new();
+        p.add_property("parent", Type::Vertex, Expr::int(-1));
+        let mut f = Function::new(
+            "updateEdge",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut cas = Expr::cas("parent", Expr::var("dst"), Expr::int(-1), Expr::var("src"));
+        cas.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(Stmt::new(StmtKind::VarDecl {
+            name: "enqueue".into(),
+            ty: Type::Bool,
+            init: Some(cas),
+        }));
+        f.body.push(Stmt::new(StmtKind::If {
+            cond: Expr::var("enqueue"),
+            then_body: vec![Stmt::new(StmtKind::EnqueueVertex {
+                set: None,
+                vertex: Expr::var("dst"),
+            })],
+            else_body: vec![],
+        }));
+        p.add_function(f);
+        let mut it = Stmt::labeled(
+            "s1",
+            StmtKind::EdgeSetIterator(EdgeSetIteratorData {
+                graph: "edges".into(),
+                input: Some("frontier".into()),
+                output: Some("output".into()),
+                apply: "updateEdge".into(),
+                src_filter: None,
+                dst_filter: Some("toFilter".into()),
+                tracked_prop: Some("parent".into()),
+                transposed: false,
+            }),
+        );
+        it.meta.set(keys::DIRECTION, Direction::Push);
+        it.meta.set(keys::REQUIRES_OUTPUT, true);
+        p.main.push(Stmt::new(StmtKind::While {
+            cond: Expr::bin(
+                BinOp::Ne,
+                Expr::intrinsic(
+                    crate::types::Intrinsic::VertexSetSize,
+                    vec![Expr::var("frontier")],
+                ),
+                Expr::int(0),
+            ),
+            body: vec![it],
+        }));
+
+        let text = print_program(&p);
+        assert!(text.contains("CompareAndSwap<is_atomic=true>"), "{text}");
+        assert!(text.contains("EdgeSetIterator<direction=PUSH, requires_output=true>"), "{text}");
+        assert!(text.contains("#s1#"), "{text}");
+        assert!(text.contains("WhileLoopStmt"), "{text}");
+        assert!(text.contains("EnqueueVertex"), "{text}");
+    }
+
+    #[test]
+    fn expr_precedence_is_parenthesized() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::int(1),
+            Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3)),
+        );
+        assert_eq!(print_expr(&e), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn empty_program_prints_main() {
+        let text = print_program(&Program::new());
+        assert!(text.contains("Function main"));
+    }
+}

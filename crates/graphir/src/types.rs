@@ -1,0 +1,289 @@
+//! GraphIR data types and operator enums (paper Table II, upper half).
+
+use std::fmt;
+
+/// The type of a GraphIR variable, property element, or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// A vertex id (stored as an integer; `-1` conventionally means "none").
+    Vertex,
+    /// A set of vertices (a frontier). Concrete representation is a
+    /// backend decision — see [`VertexSetRepr`].
+    VertexSet,
+    /// The graph (edge set). Can be weighted or unweighted.
+    EdgeSet,
+    /// A priority queue of vertices keyed by an integer property.
+    PrioQueue,
+    /// A list of vertex sets (used by betweenness centrality to record the
+    /// frontier of every round for the backward pass).
+    FrontierList,
+}
+
+impl Type {
+    /// Whether values of this type are scalars (fit in a register).
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Bool | Type::Vertex)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Int => "int",
+            Type::Float => "float",
+            Type::Bool => "bool",
+            Type::Vertex => "Vertex",
+            Type::VertexSet => "VertexSet",
+            Type::EdgeSet => "EdgeSet",
+            Type::PrioQueue => "PrioQueue",
+            Type::FrontierList => "FrontierList",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Edge traversal direction of an `EdgeSetIterator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Iterate out-edges of the input frontier ("push").
+    #[default]
+    Push,
+    /// Iterate in-edges of candidate destinations ("pull").
+    Pull,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Push => "PUSH",
+            Direction::Pull => "PULL",
+        })
+    }
+}
+
+/// Concrete representation of a vertex set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VertexSetRepr {
+    /// A dense array of member vertex ids.
+    #[default]
+    Sparse,
+    /// One bit per vertex.
+    Bitmap,
+    /// One byte per vertex.
+    Boolmap,
+}
+
+impl fmt::Display for VertexSetRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VertexSetRepr::Sparse => "SPARSE",
+            VertexSetRepr::Bitmap => "BITMAP",
+            VertexSetRepr::Boolmap => "BOOLMAP",
+        })
+    }
+}
+
+/// Reduction operators for `Reduce` statements (`+=`, `min=`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `target += value`
+    Sum,
+    /// `target min= value` (keep minimum)
+    Min,
+    /// `target max= value` (keep maximum)
+    Max,
+    /// `target |= value` for booleans
+    Or,
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReduceOp::Sum => "+=",
+            ReduceOp::Min => "min=",
+            ReduceOp::Max => "max=",
+            ReduceOp::Or => "|=",
+        })
+    }
+}
+
+/// Binary operators in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+    /// Int → float conversion.
+    ToFloat,
+    /// Float → int conversion (truncating).
+    ToInt,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::ToFloat => "(float)",
+            UnOp::ToInt => "(int)",
+        })
+    }
+}
+
+/// Built-in operations exposed to algorithm code and passes as expression
+/// intrinsics (runtime/host API calls in the generated code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `VertexSetSize(set)` — number of active vertices.
+    VertexSetSize,
+    /// `NumVertices(graph)` — total vertices of the graph.
+    NumVertices,
+    /// `NumEdges(graph)` — total directed edges.
+    NumEdges,
+    /// `OutDegree(graph, v)`.
+    OutDegree,
+    /// `InDegree(graph, v)`.
+    InDegree,
+    /// `EdgeWeight()` — weight of the edge currently being applied
+    /// (valid only inside an edge UDF).
+    EdgeWeight,
+    /// `PrioQueueFinished(queue)` — whether the priority queue is drained.
+    PrioQueueFinished,
+    /// `DequeueReadySet(queue)` — pop the next ready bucket as a vertex set.
+    DequeueReadySet,
+    /// `ListSize(list)` — number of frontiers stored in a frontier list.
+    ListSize,
+    /// `Abs(x)` — absolute value (float result), the DSL's `fabs`.
+    Abs,
+    /// `NewVertexSet(count)` — allocate a vertex set containing vertices
+    /// `0..count` (0 = empty set).
+    NewVertexSet,
+    /// `NewFrontierList()` — allocate an empty frontier list.
+    NewFrontierList,
+    /// `StartTimer()` / `StopTimer()` pair for measurement regions.
+    StartTimer,
+    /// See [`Intrinsic::StartTimer`].
+    StopTimer,
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Intrinsic::VertexSetSize => "VertexSetSize",
+            Intrinsic::NumVertices => "NumVertices",
+            Intrinsic::NumEdges => "NumEdges",
+            Intrinsic::OutDegree => "OutDegree",
+            Intrinsic::InDegree => "InDegree",
+            Intrinsic::EdgeWeight => "EdgeWeight",
+            Intrinsic::PrioQueueFinished => "PrioQueueFinished",
+            Intrinsic::DequeueReadySet => "DequeueReadySet",
+            Intrinsic::ListSize => "ListSize",
+            Intrinsic::Abs => "Abs",
+            Intrinsic::NewVertexSet => "NewVertexSet",
+            Intrinsic::NewFrontierList => "NewFrontierList",
+            Intrinsic::StartTimer => "StartTimer",
+            Intrinsic::StopTimer => "StopTimer",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display_round_trip_names() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::VertexSet.to_string(), "VertexSet");
+    }
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Type::Vertex.is_scalar());
+        assert!(!Type::EdgeSet.is_scalar());
+    }
+
+    #[test]
+    fn binop_comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Direction::Push.to_string(), "PUSH");
+        assert_eq!(VertexSetRepr::Bitmap.to_string(), "BITMAP");
+        assert_eq!(ReduceOp::Min.to_string(), "min=");
+        assert_eq!(UnOp::Not.to_string(), "!");
+        assert_eq!(Intrinsic::VertexSetSize.to_string(), "VertexSetSize");
+    }
+}

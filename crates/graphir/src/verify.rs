@@ -1,0 +1,248 @@
+//! Structural verifier run between compiler passes.
+//!
+//! Catches dangling references early: undeclared properties, unknown UDFs,
+//! unbound variables, duplicate scheduling labels. Backends call
+//! [`verify`] before lowering so pass bugs surface at compile time rather
+//! than as wrong answers.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ir::{ExprKind, Program, Stmt, StmtKind};
+use crate::visit::{stmt_exprs, walk_expr, walk_stmts};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(message: impl Into<String>) -> VerifyError {
+    VerifyError {
+        message: message.into(),
+    }
+}
+
+/// Verifies structural invariants of a program.
+///
+/// # Errors
+///
+/// Returns every violation found (the list is never silently truncated).
+pub fn verify(prog: &Program) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+
+    let props: HashSet<&str> = prog.properties.iter().map(|p| p.name.as_str()).collect();
+    let funcs: HashSet<&str> = prog.functions.iter().map(|f| f.name.as_str()).collect();
+    let queues: HashSet<&str> = prog.queues.iter().map(|q| q.name.as_str()).collect();
+
+    // Queues must track declared properties.
+    for q in &prog.queues {
+        if !props.contains(q.tracked_property.as_str()) {
+            errors.push(err(format!(
+                "queue `{}` tracks undeclared property `{}`",
+                q.name, q.tracked_property
+            )));
+        }
+    }
+
+    // Duplicate declarations.
+    check_unique(prog.properties.iter().map(|p| p.name.as_str()), "property", &mut errors);
+    check_unique(prog.functions.iter().map(|f| f.name.as_str()), "function", &mut errors);
+    check_unique(prog.globals.iter().map(|g| g.name.as_str()), "global", &mut errors);
+
+    // Duplicate labels in main.
+    let mut labels = HashSet::new();
+    walk_stmts(&prog.main, &mut |s: &Stmt| {
+        if let Some(l) = &s.label {
+            if !labels.insert(l.clone()) {
+                errors.push(err(format!("duplicate scheduling label `#{l}#`")));
+            }
+        }
+    });
+
+    // References inside every statement (main + function bodies).
+    let mut check_body = |body: &[Stmt], ctx: &str| {
+        walk_stmts(body, &mut |s: &Stmt| {
+            match &s.kind {
+                StmtKind::EdgeSetIterator(d) => {
+                    if !funcs.contains(d.apply.as_str()) {
+                        errors.push(err(format!(
+                            "{ctx}: EdgeSetIterator applies unknown function `{}`",
+                            d.apply
+                        )));
+                    }
+                    for flt in [&d.src_filter, &d.dst_filter].into_iter().flatten() {
+                        if !funcs.contains(flt.as_str()) {
+                            errors.push(err(format!(
+                                "{ctx}: EdgeSetIterator filter `{flt}` is not a declared function"
+                            )));
+                        }
+                    }
+                    if let Some(tp) = &d.tracked_prop {
+                        if !props.contains(tp.as_str()) {
+                            errors.push(err(format!(
+                                "{ctx}: EdgeSetIterator tracks undeclared property `{tp}`"
+                            )));
+                        }
+                    }
+                }
+                StmtKind::VertexSetIterator { apply, .. }
+                    if !funcs.contains(apply.as_str()) => {
+                        errors.push(err(format!(
+                            "{ctx}: VertexSetIterator applies unknown function `{apply}`"
+                        )));
+                    }
+                StmtKind::UpdatePriority { queue, .. }
+                    if !queues.contains(queue.as_str()) => {
+                        errors.push(err(format!(
+                            "{ctx}: UpdatePriority on undeclared queue `{queue}`"
+                        )));
+                    }
+                StmtKind::Assign { target, .. } | StmtKind::Reduce { target, .. } => {
+                    if let crate::ir::LValue::Prop { prop, .. } = target {
+                        if !props.contains(prop.as_str()) {
+                            errors.push(err(format!(
+                                "{ctx}: write to undeclared property `{prop}`"
+                            )));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            stmt_exprs(s, &mut |e| {
+                walk_expr(e, &mut |e| match &e.kind {
+                    ExprKind::PropRead { prop, .. }
+                        if !props.contains(prop.as_str()) => {
+                            errors.push(err(format!(
+                                "{ctx}: read of undeclared property `{prop}`"
+                            )));
+                        }
+                    ExprKind::CompareAndSwap { prop, .. }
+                        if !props.contains(prop.as_str()) => {
+                            errors.push(err(format!(
+                                "{ctx}: CompareAndSwap on undeclared property `{prop}`"
+                            )));
+                        }
+                    ExprKind::Call { func, .. }
+                        if !funcs.contains(func.as_str()) => {
+                            errors.push(err(format!("{ctx}: call to unknown function `{func}`")));
+                        }
+                    _ => {}
+                });
+            });
+        });
+    };
+
+    check_body(&prog.main, "main");
+    for f in &prog.functions {
+        check_body(&f.body, &format!("function `{}`", f.name));
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_unique<'a>(
+    names: impl Iterator<Item = &'a str>,
+    what: &str,
+    errors: &mut Vec<VerifyError>,
+) {
+    let mut seen = HashSet::new();
+    for n in names {
+        if !seen.insert(n) {
+            errors.push(err(format!("duplicate {what} `{n}`")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{EdgeSetIteratorData, Expr, Function, Program, Stmt, StmtKind};
+    use crate::types::Type;
+
+    fn valid_program() -> Program {
+        let mut p = Program::new();
+        p.add_property("parent", Type::Vertex, Expr::int(-1));
+        p.add_function(Function::new("updateEdge", vec![], None));
+        p.main.push(Stmt::new(StmtKind::EdgeSetIterator(
+            EdgeSetIteratorData::all_edges("edges", "updateEdge"),
+        )));
+        p
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(verify(&valid_program()).is_ok());
+    }
+
+    #[test]
+    fn unknown_apply_function_fails() {
+        let mut p = valid_program();
+        if let StmtKind::EdgeSetIterator(d) = &mut p.main[0].kind {
+            d.apply = "nope".into();
+        }
+        let errs = verify(&p).unwrap_err();
+        assert!(errs[0].to_string().contains("unknown function `nope`"));
+    }
+
+    #[test]
+    fn undeclared_property_read_fails() {
+        let mut p = valid_program();
+        p.function_mut("updateEdge").unwrap().body.push(Stmt::new(StmtKind::ExprStmt(
+            Expr::prop("ghost", Expr::int(0)),
+        )));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("ghost")));
+    }
+
+    #[test]
+    fn duplicate_label_fails() {
+        let mut p = valid_program();
+        p.main[0].label = Some("s0".into());
+        p.main.push(Stmt::labeled("s0", StmtKind::Break));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate scheduling label")));
+    }
+
+    #[test]
+    fn queue_tracking_unknown_property_fails() {
+        let mut p = valid_program();
+        p.add_queue("pq", "missing", Expr::int(0));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared property `missing`")));
+    }
+
+    #[test]
+    fn duplicate_function_fails() {
+        let mut p = valid_program();
+        p.add_function(Function::new("updateEdge", vec![], None));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate function")));
+    }
+
+    #[test]
+    fn update_priority_requires_declared_queue() {
+        let mut p = valid_program();
+        p.function_mut("updateEdge").unwrap().body.push(Stmt::new(StmtKind::UpdatePriority {
+            queue: "pq".into(),
+            vertex: Expr::int(0),
+            op: crate::types::ReduceOp::Min,
+            value: Expr::int(1),
+        }));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared queue")));
+    }
+}

@@ -1,0 +1,305 @@
+//! Statement and expression walkers used by analysis and rewrite passes.
+
+use crate::ir::{Expr, ExprKind, LValue, Program, Stmt, StmtKind};
+
+/// Calls `f` on every statement in `stmts`, pre-order, recursing into
+/// nested bodies.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match &s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Mutable variant of [`walk_stmts`]; `f` runs before recursion.
+pub fn walk_stmts_mut(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
+    for s in stmts {
+        f(s);
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts_mut(then_body, f);
+                walk_stmts_mut(else_body, f);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk_stmts_mut(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Calls `f` on every expression directly contained in `stmt` (not
+/// recursing into nested statements; combine with [`walk_stmts`] for that).
+pub fn stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    let on_lvalue = |lv: &'a LValue, f: &mut dyn FnMut(&'a Expr)| {
+        if let LValue::Prop { index, .. } = lv {
+            f(index);
+        }
+    };
+    match &stmt.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                f(e);
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            on_lvalue(target, f);
+            f(value);
+        }
+        StmtKind::Reduce { target, value, .. } => {
+            on_lvalue(target, f);
+            f(value);
+        }
+        StmtKind::If { cond, .. } => f(cond),
+        StmtKind::While { cond, .. } => f(cond),
+        StmtKind::For { start, end, .. } => {
+            f(start);
+            f(end);
+        }
+        StmtKind::ExprStmt(e) | StmtKind::Return(e) | StmtKind::Print(e) => f(e),
+        StmtKind::EnqueueVertex { vertex, .. } => f(vertex),
+        StmtKind::UpdatePriority { vertex, value, .. } => {
+            f(vertex);
+            f(value);
+        }
+        StmtKind::ListRetrieve { index, .. } => f(index),
+        StmtKind::Break
+        | StmtKind::EdgeSetIterator(_)
+        | StmtKind::VertexSetIterator { .. }
+        | StmtKind::VertexSetDedup { .. }
+        | StmtKind::ListAppend { .. }
+        | StmtKind::ListPopBack { .. }
+        | StmtKind::Delete { .. } => {}
+    }
+}
+
+/// Calls `f` on `expr` and every sub-expression, pre-order.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match &expr.kind {
+        ExprKind::PropRead { index, .. } => walk_expr(index, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::Unary { operand, .. } => walk_expr(operand, f),
+        ExprKind::Intrinsic { args, .. } | ExprKind::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::CompareAndSwap {
+            index,
+            expected,
+            new,
+            ..
+        } => {
+            walk_expr(index, f);
+            walk_expr(expected, f);
+            walk_expr(new, f);
+        }
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+
+/// Mutable variant of [`stmt_exprs`].
+pub fn stmt_exprs_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    let on_lvalue = |lv: &mut LValue, f: &mut dyn FnMut(&mut Expr)| {
+        if let LValue::Prop { index, .. } = lv {
+            f(index);
+        }
+    };
+    match &mut stmt.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                f(e);
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            on_lvalue(target, f);
+            f(value);
+        }
+        StmtKind::Reduce { target, value, .. } => {
+            on_lvalue(target, f);
+            f(value);
+        }
+        StmtKind::If { cond, .. } => f(cond),
+        StmtKind::While { cond, .. } => f(cond),
+        StmtKind::For { start, end, .. } => {
+            f(start);
+            f(end);
+        }
+        StmtKind::ExprStmt(e) | StmtKind::Return(e) | StmtKind::Print(e) => f(e),
+        StmtKind::EnqueueVertex { vertex, .. } => f(vertex),
+        StmtKind::UpdatePriority { vertex, value, .. } => {
+            f(vertex);
+            f(value);
+        }
+        StmtKind::ListRetrieve { index, .. } => f(index),
+        StmtKind::Break
+        | StmtKind::EdgeSetIterator(_)
+        | StmtKind::VertexSetIterator { .. }
+        | StmtKind::VertexSetDedup { .. }
+        | StmtKind::ListAppend { .. }
+        | StmtKind::ListPopBack { .. }
+        | StmtKind::Delete { .. } => {}
+    }
+}
+
+/// Mutable variant of [`walk_expr`], pre-order.
+pub fn walk_expr_mut(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(expr);
+    match &mut expr.kind {
+        ExprKind::PropRead { index, .. } => walk_expr_mut(index, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr_mut(lhs, f);
+            walk_expr_mut(rhs, f);
+        }
+        ExprKind::Unary { operand, .. } => walk_expr_mut(operand, f),
+        ExprKind::Intrinsic { args, .. } | ExprKind::Call { args, .. } => {
+            for a in args {
+                walk_expr_mut(a, f);
+            }
+        }
+        ExprKind::CompareAndSwap {
+            index,
+            expected,
+            new,
+            ..
+        } => {
+            walk_expr_mut(index, f);
+            walk_expr_mut(expected, f);
+            walk_expr_mut(new, f);
+        }
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+/// Calls `f` on every expression reachable from `stmts`, including those in
+/// nested statements.
+pub fn walk_all_exprs<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    walk_stmts(stmts, &mut |s| {
+        stmt_exprs(s, &mut |e| walk_expr(e, f));
+    });
+}
+
+/// Finds the statement carrying scheduling label `label` anywhere in the
+/// program's `main` body.
+pub fn find_labeled<'a>(prog: &'a Program, label: &str) -> Option<&'a Stmt> {
+    let mut found = None;
+    walk_stmts(&prog.main, &mut |s| {
+        if found.is_none() && s.label.as_deref() == Some(label) {
+            found = Some(s);
+        }
+    });
+    found
+}
+
+/// Applies `f` to the statement carrying `label` (searching `main`),
+/// returning whether it was found.
+pub fn update_labeled(prog: &mut Program, label: &str, f: &mut impl FnMut(&mut Stmt)) -> bool {
+    let mut found = false;
+    walk_stmts_mut(&mut prog.main, &mut |s| {
+        if s.label.as_deref() == Some(label) {
+            found = true;
+            f(s);
+        }
+    });
+    found
+}
+
+/// Applies `f` to every statement in the program: `main` plus every
+/// function body.
+pub fn for_each_stmt_mut(prog: &mut Program, f: &mut impl FnMut(&mut Stmt)) {
+    walk_stmts_mut(&mut prog.main, f);
+    for func in &mut prog.functions {
+        walk_stmts_mut(&mut func.body, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{EdgeSetIteratorData, Expr};
+    use crate::types::BinOp;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.main.push(Stmt::new(StmtKind::While {
+            cond: Expr::bool(true),
+            body: vec![
+                Stmt::labeled(
+                    "s1",
+                    StmtKind::EdgeSetIterator(EdgeSetIteratorData::all_edges("edges", "f")),
+                ),
+                Stmt::new(StmtKind::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(3)),
+                    then_body: vec![Stmt::new(StmtKind::Break)],
+                    else_body: vec![],
+                }),
+            ],
+        }));
+        p
+    }
+
+    #[test]
+    fn walk_visits_nested() {
+        let p = sample();
+        let mut count = 0;
+        walk_stmts(&p.main, &mut |_| count += 1);
+        assert_eq!(count, 4); // while, edge iterator, if, break
+    }
+
+    #[test]
+    fn find_labeled_in_loop() {
+        let p = sample();
+        let s = find_labeled(&p, "s1").unwrap();
+        assert!(matches!(s.kind, StmtKind::EdgeSetIterator(_)));
+        assert!(find_labeled(&p, "nope").is_none());
+    }
+
+    #[test]
+    fn update_labeled_mutates() {
+        let mut p = sample();
+        let ok = update_labeled(&mut p, "s1", &mut |s| s.meta.set("touched", true));
+        assert!(ok);
+        assert!(find_labeled(&p, "s1").unwrap().meta.flag("touched"));
+    }
+
+    #[test]
+    fn walk_exprs_reaches_subexpressions() {
+        let p = sample();
+        let mut vars = Vec::new();
+        walk_all_exprs(&p.main, &mut |e| {
+            if let ExprKind::Var(n) = &e.kind {
+                vars.push(n.clone());
+            }
+        });
+        assert_eq!(vars, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn stmt_exprs_covers_lvalue_index() {
+        let s = Stmt::new(StmtKind::Assign {
+            target: LValue::prop("parent", Expr::var("dst")),
+            value: Expr::var("src"),
+        });
+        let mut n = 0;
+        stmt_exprs(&s, &mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

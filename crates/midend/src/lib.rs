@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! The hardware-independent compiler of UGC (paper §III-A).
+//!
+//! This crate contains everything between the frontend AST and the
+//! GraphVMs:
+//!
+//! 1. [`lower::lower`] — lowering the GraphIt AST to GraphIR,
+//! 2. the target-agnostic analysis/transformation passes of Table III,
+//!    shared by all four backends:
+//!    * [`passes::ordered`] — ordered-processing lowering (∆-stepping
+//!      queues),
+//!    * [`passes::direction`] — traversal-direction lowering, including
+//!      hybrid schedules and [`CompositeSchedule`]s which become runtime
+//!      conditions (Fig. 7),
+//!    * [`passes::tracking`] — `applyModified` lowering: rewriting UDFs to
+//!      produce output frontiers via compare-and-swap / change-tracking
+//!      plus `EnqueueVertex` (Fig. 4),
+//!    * [`passes::atomics`] — dependence analysis inserting atomics into
+//!      UDFs based on direction and parallelization,
+//!    * [`passes::frontier_reuse`] — liveness analysis marking frontier
+//!      storage reuse opportunities.
+//!
+//! The intended flow is [`lower::lower`] → attach schedules with
+//! [`ugc_schedule::apply_schedule`] → [`run_passes`] → hand the program to
+//! a GraphVM.
+//!
+//! [`CompositeSchedule`]: ugc_schedule::CompositeSchedule
+//!
+//! # Example
+//!
+//! ```
+//! use ugc_midend::{lower, run_passes};
+//!
+//! let src = r#"
+//! element Vertex end
+//! element Edge end
+//! const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+//! const parent : vector{Vertex}(int) = -1;
+//! const start_vertex : Vertex;
+//! func updateEdge(src : Vertex, dst : Vertex)
+//!     parent[dst] = src;
+//! end
+//! func main()
+//!     var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+//!     frontier.addVertex(start_vertex);
+//!     #s1# var out : vertexset{Vertex} = edges.from(frontier).applyModified(updateEdge, parent, true);
+//! end
+//! "#;
+//! let ast = ugc_frontend::parse_and_check(src).unwrap();
+//! let mut prog = lower::lower(&ast).unwrap();
+//! run_passes(&mut prog).unwrap();
+//! assert!(prog.function("updateEdge__trk_s1").is_some());
+//! ```
+
+pub mod lower;
+pub mod passes;
+
+use ugc_graphir::ir::Program;
+use ugc_graphir::verify::verify;
+
+/// Pipeline failure: lowering, verification, or a pass invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MidendError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for MidendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "midend error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MidendError {}
+
+impl MidendError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        MidendError {
+            message: message.into(),
+        }
+    }
+}
+
+pub use lower::lower;
+
+/// Runs the full hardware-independent pass pipeline over a lowered program
+/// (schedules should already be attached).
+///
+/// # Errors
+///
+/// Returns [`MidendError`] when a pass invariant fails or the resulting
+/// program does not verify.
+pub fn run_passes(prog: &mut Program) -> Result<(), MidendError> {
+    passes::ordered::run(prog)?;
+    passes::direction::run(prog)?;
+    passes::tracking::run(prog)?;
+    passes::atomics::run(prog)?;
+    passes::frontier_reuse::run(prog)?;
+    verify(prog).map_err(|errs| {
+        MidendError::new(format!(
+            "post-pass verification failed: {}",
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ))
+    })
+}
+
+/// Convenience: parse + typecheck + lower in one call (schedules attach to
+/// the result before [`run_passes`]).
+///
+/// # Errors
+///
+/// Returns the first frontend or lowering error, rendered.
+pub fn frontend_to_ir(src: &str) -> Result<Program, MidendError> {
+    let ast = ugc_frontend::parse_and_check(src).map_err(MidendError::new)?;
+    lower::lower(&ast)
+}

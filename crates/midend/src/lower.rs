@@ -1,0 +1,1099 @@
+//! Lowering from the GraphIt AST to GraphIR.
+//!
+//! The lowering resolves the algorithm language's method-call surface
+//! syntax (`edges.from(frontier).to(filter).applyModified(...)`) into the
+//! domain operators of Table II, tracks edgeset/vertexset aliases
+//! (`edges.transpose()`, `edges.getVertices()`), and maps builtins onto
+//! GraphIR intrinsics.
+
+use std::collections::HashMap;
+
+use ugc_frontend::ast::{
+    AExpr, AExprKind, AStmt, AStmtKind, Decl, SourceProgram, TypeExpr,
+};
+use ugc_graphir::ir::{
+    EdgeSetIteratorData, Expr, Function, LValue, Param, Program, Stmt, StmtKind,
+};
+use ugc_graphir::keys;
+use ugc_graphir::types::{Intrinsic, Type};
+use ugc_graphir::verify::verify;
+
+use crate::MidendError;
+
+/// Lowers a parsed (and ideally type-checked) program to GraphIR.
+///
+/// # Errors
+///
+/// Returns [`MidendError`] for constructs outside the supported subset or
+/// when the result fails GraphIR verification.
+pub fn lower(ast: &SourceProgram) -> Result<Program, MidendError> {
+    let mut cx = Lowerer::default();
+    cx.collect_decls(ast)?;
+    let mut prog = Program::new();
+
+    for d in &ast.decls {
+        match d {
+            Decl::Element { .. } => {}
+            Decl::Const(c) => cx.lower_const(c, &mut prog)?,
+            Decl::Func(_) => {}
+        }
+    }
+    for d in &ast.decls {
+        if let Decl::Func(f) = d {
+            if f.name == "main" {
+                let mut body = Vec::new();
+                cx.lower_stmts(&f.body, &mut body)?;
+                prog.main = body;
+            } else {
+                let params = f
+                    .params
+                    .iter()
+                    .map(|(n, t)| Param::new(n.clone(), scalar_type(t)))
+                    .collect();
+                let ret = f
+                    .ret
+                    .as_ref()
+                    .map(|(n, t)| Param::new(n.clone(), scalar_type(t)));
+                let mut func = Function::new(f.name.clone(), params, ret);
+                let mut body = Vec::new();
+                cx.lower_stmts(&f.body, &mut body)?;
+                func.body = body;
+                prog.add_function(func);
+            }
+        }
+    }
+
+    verify(&prog).map_err(|errs| {
+        MidendError::new(format!(
+            "lowered program failed verification: {}",
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ))
+    })?;
+    Ok(prog)
+}
+
+fn scalar_type(t: &TypeExpr) -> Type {
+    match t {
+        TypeExpr::Int => Type::Int,
+        TypeExpr::Float => Type::Float,
+        TypeExpr::Bool => Type::Bool,
+        TypeExpr::Vertex => Type::Vertex,
+        TypeExpr::VertexSet => Type::VertexSet,
+        TypeExpr::EdgeSet { .. } => Type::EdgeSet,
+        TypeExpr::Vector(inner) => scalar_type(inner),
+        TypeExpr::PriorityQueue => Type::PrioQueue,
+        TypeExpr::List => Type::FrontierList,
+    }
+}
+
+/// How an edge-set chain terminates.
+enum Terminal {
+    Apply(String),
+    ApplyModified {
+        func: String,
+        prop: String,
+        dedup: bool,
+    },
+    ApplyUpdatePriority(String),
+}
+
+struct ChainInfo {
+    graph: String,
+    transposed: bool,
+    input: Option<String>,
+    src_filter: Option<String>,
+    dst_filter: Option<String>,
+    terminal: Terminal,
+}
+
+#[derive(Default)]
+struct Lowerer {
+    /// edgeset var → (canonical graph var, transposed?).
+    graph_vars: HashMap<String, (String, bool)>,
+    /// vertexset consts aliasing "all vertices".
+    all_vertices: Vec<String>,
+    /// Known function names (for from(func) disambiguation).
+    funcs: Vec<String>,
+    /// Known property vector names.
+    props: Vec<String>,
+    /// Known queue names.
+    queues: Vec<String>,
+    /// The canonical (first-declared) graph variable.
+    canonical_graph: Option<String>,
+}
+
+impl Lowerer {
+    fn err<T>(msg: impl std::fmt::Display) -> Result<T, MidendError> {
+        Err(MidendError::new(msg.to_string()))
+    }
+
+    fn collect_decls(&mut self, ast: &SourceProgram) -> Result<(), MidendError> {
+        for d in &ast.decls {
+            match d {
+                Decl::Func(f) => self.funcs.push(f.name.clone()),
+                Decl::Const(c) => match &c.ty {
+                    TypeExpr::EdgeSet { .. } => {
+                        let (base, transposed) = match &c.init {
+                            Some(AExpr {
+                                kind:
+                                    AExprKind::MethodCall {
+                                        receiver, method, ..
+                                    },
+                                ..
+                            }) if method == "transpose" => {
+                                let AExprKind::Ident(base) = &receiver.kind else {
+                                    return Self::err("transpose() receiver must be an edgeset variable");
+                                };
+                                (base.clone(), true)
+                            }
+                            _ => (c.name.clone(), false),
+                        };
+                        if self.canonical_graph.is_none() && !transposed {
+                            self.canonical_graph = Some(c.name.clone());
+                        }
+                        self.graph_vars.insert(c.name.clone(), (base, transposed));
+                    }
+                    TypeExpr::VertexSet => {
+                        // `edges.getVertices()` aliases the full vertex set.
+                        if let Some(AExpr {
+                            kind: AExprKind::MethodCall { method, .. },
+                            ..
+                        }) = &c.init
+                        {
+                            if method == "getVertices" {
+                                self.all_vertices.push(c.name.clone());
+                            }
+                        }
+                    }
+                    TypeExpr::Vector(_) => self.props.push(c.name.clone()),
+                    TypeExpr::PriorityQueue => self.queues.push(c.name.clone()),
+                    _ => {}
+                },
+                Decl::Element { .. } => {}
+            }
+        }
+        // Resolve transpose aliases transitively (one level suffices).
+        let resolved: HashMap<String, (String, bool)> = self
+            .graph_vars
+            .iter()
+            .map(|(k, (base, t))| {
+                let (b2, t2) = self
+                    .graph_vars
+                    .get(base)
+                    .cloned()
+                    .unwrap_or((base.clone(), false));
+                (k.clone(), (b2, *t ^ t2))
+            })
+            .collect();
+        self.graph_vars = resolved;
+        Ok(())
+    }
+
+    fn lower_const(
+        &mut self,
+        c: &ugc_frontend::ast::ConstDecl,
+        prog: &mut Program,
+    ) -> Result<(), MidendError> {
+        match &c.ty {
+            TypeExpr::EdgeSet { .. } | TypeExpr::VertexSet => {
+                // Graphs are bound by the host; vertexset aliases need no IR.
+                Ok(())
+            }
+            TypeExpr::Vector(inner) => {
+                let init = match &c.init {
+                    Some(e) => self.lower_expr(e)?,
+                    None => Expr::int(0),
+                };
+                prog.add_property(c.name.clone(), scalar_type(inner), init);
+                Ok(())
+            }
+            TypeExpr::PriorityQueue => {
+                let Some(AExpr {
+                    kind: AExprKind::New { args, .. },
+                    ..
+                }) = &c.init
+                else {
+                    return Self::err(format!(
+                        "priority queue `{}` must be initialized with `new priority_queue{{...}}(vector, source)`",
+                        c.name
+                    ));
+                };
+                let AExprKind::Ident(tracked) = &args[0].kind else {
+                    return Self::err("priority queue's first argument must be a vector name");
+                };
+                let source = self.lower_expr(&args[1])?;
+                prog.add_queue(c.name.clone(), tracked.clone(), source);
+                Ok(())
+            }
+            scalar => {
+                let ty = scalar_type(scalar);
+                let init = c.init.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                let is_extern = init.is_none();
+                prog.add_global(c.name.clone(), ty, init);
+                if is_extern {
+                    prog.globals
+                        .last_mut()
+                        .expect("just pushed")
+                        .meta
+                        .set("extern", true);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn is_func(&self, name: &str) -> bool {
+        self.funcs.iter().any(|f| f == name)
+    }
+
+    fn is_all_vertices(&self, name: &str) -> bool {
+        self.all_vertices.iter().any(|v| v == name)
+    }
+
+    fn graph_expr_name(&self) -> String {
+        self.canonical_graph.clone().unwrap_or_else(|| "edges".into())
+    }
+
+    /// Tries to interpret an expression as an edge-set operator chain.
+    fn as_chain(&self, e: &AExpr) -> Result<Option<ChainInfo>, MidendError> {
+        let AExprKind::MethodCall {
+            receiver,
+            method,
+            args,
+        } = &e.kind
+        else {
+            return Ok(None);
+        };
+        let terminal = match method.as_str() {
+            "apply" => {
+                let AExprKind::Ident(f) = &args[0].kind else {
+                    return Self::err("apply expects a function name");
+                };
+                // Could be a vertexset apply — check the chain base below.
+                Terminal::Apply(f.clone())
+            }
+            "applyModified" => {
+                let AExprKind::Ident(f) = &args[0].kind else {
+                    return Self::err("applyModified expects a function name");
+                };
+                let AExprKind::Ident(p) = &args[1].kind else {
+                    return Self::err("applyModified expects a vector name");
+                };
+                let dedup = match args.get(2) {
+                    Some(AExpr {
+                        kind: AExprKind::Bool(b),
+                        ..
+                    }) => *b,
+                    None => true,
+                    _ => return Self::err("applyModified third argument must be a bool literal"),
+                };
+                Terminal::ApplyModified {
+                    func: f.clone(),
+                    prop: p.clone(),
+                    dedup,
+                }
+            }
+            "applyUpdatePriority" => {
+                let AExprKind::Ident(f) = &args[0].kind else {
+                    return Self::err("applyUpdatePriority expects a function name");
+                };
+                Terminal::ApplyUpdatePriority(f.clone())
+            }
+            _ => return Ok(None),
+        };
+        // Walk the receiver chain down to the edgeset variable.
+        let mut input = None;
+        let mut src_filter = None;
+        let mut dst_filter = None;
+        let mut cur: &AExpr = receiver;
+        loop {
+            match &cur.kind {
+                AExprKind::Ident(base) => {
+                    let Some((graph, transposed)) = self.graph_vars.get(base).cloned() else {
+                        // Not an edgeset chain after all (e.g. vertexset.apply).
+                        return Ok(None);
+                    };
+                    return Ok(Some(ChainInfo {
+                        graph,
+                        transposed,
+                        input,
+                        src_filter,
+                        dst_filter,
+                        terminal,
+                    }));
+                }
+                AExprKind::MethodCall {
+                    receiver: r,
+                    method: m,
+                    args: a,
+                } => {
+                    match m.as_str() {
+                        "from" => {
+                            let AExprKind::Ident(n) = &a[0].kind else {
+                                return Self::err("from() expects a set or filter name");
+                            };
+                            if self.is_func(n) {
+                                src_filter = Some(n.clone());
+                            } else if self.is_all_vertices(n) {
+                                input = None;
+                            } else {
+                                input = Some(n.clone());
+                            }
+                        }
+                        "to" | "dstFilter" => {
+                            let AExprKind::Ident(n) = &a[0].kind else {
+                                return Self::err(format!("{m}() expects a function name"));
+                            };
+                            dst_filter = Some(n.clone());
+                        }
+                        "srcFilter" => {
+                            let AExprKind::Ident(n) = &a[0].kind else {
+                                return Self::err("srcFilter() expects a function name");
+                            };
+                            src_filter = Some(n.clone());
+                        }
+                        other => {
+                            return Self::err(format!(
+                                "unsupported edgeset chain method `{other}`"
+                            ))
+                        }
+                    }
+                    cur = r;
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    fn chain_to_stmt(
+        &self,
+        info: ChainInfo,
+        output: Option<String>,
+        label: Option<String>,
+    ) -> Stmt {
+        let (apply, tracked_prop, requires_output, dedup, ordered) = match info.terminal {
+            Terminal::Apply(f) => (f, None, output.is_some(), false, false),
+            Terminal::ApplyModified { func, prop, dedup } => {
+                (func, Some(prop), true, dedup, false)
+            }
+            Terminal::ApplyUpdatePriority(f) => (f, None, false, false, true),
+        };
+        let is_all = info.input.is_none() && info.src_filter.is_none();
+        let data = EdgeSetIteratorData {
+            graph: info.graph,
+            input: info.input,
+            output,
+            apply,
+            src_filter: info.src_filter,
+            dst_filter: info.dst_filter,
+            tracked_prop,
+            transposed: info.transposed,
+        };
+        let mut s = Stmt {
+            kind: StmtKind::EdgeSetIterator(data),
+            label,
+            meta: Default::default(),
+        };
+        s.meta.set(keys::REQUIRES_OUTPUT, requires_output);
+        s.meta.set(keys::IS_ALL_EDGES, is_all);
+        if dedup {
+            s.meta.set(keys::APPLY_DEDUPLICATION, true);
+        }
+        if ordered {
+            s.meta.set(keys::IS_ORDERED, true);
+        }
+        s
+    }
+
+    fn lower_stmts(&self, stmts: &[AStmt], out: &mut Vec<Stmt>) -> Result<(), MidendError> {
+        for s in stmts {
+            self.lower_stmt(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&self, s: &AStmt, out: &mut Vec<Stmt>) -> Result<(), MidendError> {
+        let label = s.label.clone();
+        match &s.kind {
+            AStmtKind::VarDecl { name, ty, init } => {
+                match init {
+                    Some(e) => {
+                        if let Some(chain) = self.as_chain(e)? {
+                            out.push(self.chain_to_stmt(chain, Some(name.clone()), label));
+                            return Ok(());
+                        }
+                        match &e.kind {
+                            AExprKind::New { ty: nty, args } => match nty {
+                                TypeExpr::VertexSet => {
+                                    let count = if args.is_empty() {
+                                        Expr::int(0)
+                                    } else {
+                                        self.lower_expr(&args[0])?
+                                    };
+                                    out.push(Stmt {
+                                        kind: StmtKind::VarDecl {
+                                            name: name.clone(),
+                                            ty: Type::VertexSet,
+                                            init: Some(Expr::intrinsic(
+                                                Intrinsic::NewVertexSet,
+                                                vec![count],
+                                            )),
+                                        },
+                                        label,
+                                        meta: Default::default(),
+                                    });
+                                    return Ok(());
+                                }
+                                TypeExpr::List => {
+                                    out.push(Stmt {
+                                        kind: StmtKind::VarDecl {
+                                            name: name.clone(),
+                                            ty: Type::FrontierList,
+                                            init: Some(Expr::intrinsic(
+                                                Intrinsic::NewFrontierList,
+                                                vec![],
+                                            )),
+                                        },
+                                        label,
+                                        meta: Default::default(),
+                                    });
+                                    return Ok(());
+                                }
+                                other => {
+                                    return Self::err(format!(
+                                        "cannot lower `new` of {other:?} in a statement"
+                                    ))
+                                }
+                            },
+                            AExprKind::MethodCall {
+                                receiver, method, args, ..
+                            } => {
+                                if method == "pop" {
+                                    let AExprKind::Ident(l) = &receiver.kind else {
+                                        return Self::err("pop() receiver must be a list variable");
+                                    };
+                                    out.push(Stmt::new(StmtKind::VarDecl {
+                                        name: name.clone(),
+                                        ty: Type::VertexSet,
+                                        init: None,
+                                    }));
+                                    out.push(Stmt {
+                                        kind: StmtKind::ListPopBack {
+                                            list: l.clone(),
+                                            out: name.clone(),
+                                        },
+                                        label,
+                                        meta: Default::default(),
+                                    });
+                                    return Ok(());
+                                }
+                                if method == "retrieve" {
+                                    let AExprKind::Ident(l) = &receiver.kind else {
+                                        return Self::err("retrieve() receiver must be a list variable");
+                                    };
+                                    let idx = self.lower_expr(&args[0])?;
+                                    out.push(Stmt::new(StmtKind::VarDecl {
+                                        name: name.clone(),
+                                        ty: Type::VertexSet,
+                                        init: None,
+                                    }));
+                                    out.push(Stmt {
+                                        kind: StmtKind::ListRetrieve {
+                                            list: l.clone(),
+                                            index: idx,
+                                            out: name.clone(),
+                                        },
+                                        label,
+                                        meta: Default::default(),
+                                    });
+                                    return Ok(());
+                                }
+                                // Fall through: expression-valued method call
+                                // (size, dequeue_ready_set, ...).
+                            }
+                            _ => {}
+                        }
+                        let init = self.lower_expr(e)?;
+                        out.push(Stmt {
+                            kind: StmtKind::VarDecl {
+                                name: name.clone(),
+                                ty: scalar_type(ty),
+                                init: Some(init),
+                            },
+                            label,
+                            meta: Default::default(),
+                        });
+                        Ok(())
+                    }
+                    None => {
+                        out.push(Stmt {
+                            kind: StmtKind::VarDecl {
+                                name: name.clone(),
+                                ty: scalar_type(ty),
+                                init: None,
+                            },
+                            label,
+                            meta: Default::default(),
+                        });
+                        Ok(())
+                    }
+                }
+            }
+            AStmtKind::Assign { target, value } => {
+                // Assignment of an edge-set chain into an existing variable.
+                if let AExprKind::Ident(name) = &target.kind {
+                    if let Some(chain) = self.as_chain(value)? {
+                        out.push(self.chain_to_stmt(chain, Some(name.clone()), label));
+                        return Ok(());
+                    }
+                }
+                let lv = self.lower_lvalue(target)?;
+                let v = self.lower_expr(value)?;
+                out.push(Stmt {
+                    kind: StmtKind::Assign {
+                        target: lv,
+                        value: v,
+                    },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::Reduce { target, op, value } => {
+                let lv = self.lower_lvalue(target)?;
+                let v = self.lower_expr(value)?;
+                out.push(Stmt {
+                    kind: StmtKind::Reduce {
+                        target: lv,
+                        op: *op,
+                        value: v,
+                        tracking: None,
+                    },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.lower_expr(cond)?;
+                let mut tb = Vec::new();
+                self.lower_stmts(then_body, &mut tb)?;
+                let mut eb = Vec::new();
+                self.lower_stmts(else_body, &mut eb)?;
+                out.push(Stmt {
+                    kind: StmtKind::If {
+                        cond: c,
+                        then_body: tb,
+                        else_body: eb,
+                    },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::While { cond, body } => {
+                let c = self.lower_expr(cond)?;
+                let mut b = Vec::new();
+                self.lower_stmts(body, &mut b)?;
+                out.push(Stmt {
+                    kind: StmtKind::While { cond: c, body: b },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let st = self.lower_expr(start)?;
+                let en = self.lower_expr(end)?;
+                let mut b = Vec::new();
+                self.lower_stmts(body, &mut b)?;
+                out.push(Stmt {
+                    kind: StmtKind::For {
+                        var: var.clone(),
+                        start: st,
+                        end: en,
+                        body: b,
+                    },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::ExprStmt(e) => {
+                if let Some(chain) = self.as_chain(e)? {
+                    out.push(self.chain_to_stmt(chain, None, label));
+                    return Ok(());
+                }
+                if let AExprKind::MethodCall {
+                    receiver,
+                    method,
+                    args,
+                } = &e.kind
+                {
+                    if let AExprKind::Ident(recv) = &receiver.kind {
+                        match method.as_str() {
+                            "apply" => {
+                                let AExprKind::Ident(f) = &args[0].kind else {
+                                    return Self::err("apply expects a function name");
+                                };
+                                let set = if self.is_all_vertices(recv) {
+                                    None
+                                } else {
+                                    Some(recv.clone())
+                                };
+                                let mut st = Stmt {
+                                    kind: StmtKind::VertexSetIterator {
+                                        set,
+                                        apply: f.clone(),
+                                    },
+                                    label,
+                                    meta: Default::default(),
+                                };
+                                st.meta.set(keys::IS_ALL_VERTS, self.is_all_vertices(recv));
+                                st.meta.set(keys::IS_PARALLEL, true);
+                                out.push(st);
+                                return Ok(());
+                            }
+                            "addVertex" => {
+                                let v = self.lower_expr(&args[0])?;
+                                out.push(Stmt {
+                                    kind: StmtKind::EnqueueVertex {
+                                        set: Some(recv.clone()),
+                                        vertex: v,
+                                    },
+                                    label,
+                                    meta: Default::default(),
+                                });
+                                return Ok(());
+                            }
+                            "append" => {
+                                let AExprKind::Ident(setname) = &args[0].kind else {
+                                    return Self::err("append expects a set variable");
+                                };
+                                out.push(Stmt {
+                                    kind: StmtKind::ListAppend {
+                                        list: recv.clone(),
+                                        set: setname.clone(),
+                                    },
+                                    label,
+                                    meta: Default::default(),
+                                });
+                                return Ok(());
+                            }
+                            "updatePriorityMin" | "updatePrioritySum" => {
+                                let v = self.lower_expr(&args[0])?;
+                                let p = self.lower_expr(&args[1])?;
+                                let op = if method == "updatePriorityMin" {
+                                    ugc_graphir::types::ReduceOp::Min
+                                } else {
+                                    ugc_graphir::types::ReduceOp::Sum
+                                };
+                                out.push(Stmt {
+                                    kind: StmtKind::UpdatePriority {
+                                        queue: recv.clone(),
+                                        vertex: v,
+                                        op,
+                                        value: p,
+                                    },
+                                    label,
+                                    meta: Default::default(),
+                                });
+                                return Ok(());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let ex = self.lower_expr(e)?;
+                out.push(Stmt {
+                    kind: StmtKind::ExprStmt(ex),
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::Print(e) => {
+                let ex = self.lower_expr(e)?;
+                out.push(Stmt {
+                    kind: StmtKind::Print(ex),
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::Delete(name) => {
+                out.push(Stmt {
+                    kind: StmtKind::Delete { name: name.clone() },
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+            AStmtKind::Break => {
+                out.push(Stmt {
+                    kind: StmtKind::Break,
+                    label,
+                    meta: Default::default(),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_lvalue(&self, e: &AExpr) -> Result<LValue, MidendError> {
+        match &e.kind {
+            AExprKind::Ident(n) => Ok(LValue::Var(n.clone())),
+            AExprKind::Index { base, index } => {
+                let AExprKind::Ident(p) = &base.kind else {
+                    return Self::err("only named vectors can be indexed");
+                };
+                Ok(LValue::prop(p.clone(), self.lower_expr(index)?))
+            }
+            _ => Self::err("invalid assignment target"),
+        }
+    }
+
+    fn lower_expr(&self, e: &AExpr) -> Result<Expr, MidendError> {
+        match &e.kind {
+            AExprKind::Int(v) => Ok(Expr::int(*v)),
+            AExprKind::Float(v) => Ok(Expr::float(*v)),
+            AExprKind::Bool(v) => Ok(Expr::bool(*v)),
+            AExprKind::Str(s) => Self::err(format!("string literal {s:?} outside load()")),
+            AExprKind::Ident(n) => Ok(Expr::var(n.clone())),
+            AExprKind::Index { base, index } => {
+                let AExprKind::Ident(p) = &base.kind else {
+                    return Self::err("only named vectors can be indexed");
+                };
+                Ok(Expr::prop(p.clone(), self.lower_expr(index)?))
+            }
+            AExprKind::Binary { op, lhs, rhs } => Ok(Expr::bin(
+                *op,
+                self.lower_expr(lhs)?,
+                self.lower_expr(rhs)?,
+            )),
+            AExprKind::Unary { op, operand } => {
+                Ok(Expr::un(*op, self.lower_expr(operand)?))
+            }
+            AExprKind::Call { callee, args } => match callee.as_str() {
+                "fabs" => Ok(Expr::intrinsic(
+                    Intrinsic::Abs,
+                    vec![self.lower_expr(&args[0])?],
+                )),
+                "out_degree" => Ok(Expr::intrinsic(
+                    Intrinsic::OutDegree,
+                    vec![
+                        Expr::var(self.graph_expr_name()),
+                        self.lower_expr(&args[0])?,
+                    ],
+                )),
+                "in_degree" => Ok(Expr::intrinsic(
+                    Intrinsic::InDegree,
+                    vec![
+                        Expr::var(self.graph_expr_name()),
+                        self.lower_expr(&args[0])?,
+                    ],
+                )),
+                "to_float" => Ok(Expr::un(
+                    ugc_graphir::types::UnOp::ToFloat,
+                    self.lower_expr(&args[0])?,
+                )),
+                "to_int" => Ok(Expr::un(
+                    ugc_graphir::types::UnOp::ToInt,
+                    self.lower_expr(&args[0])?,
+                )),
+                "load" => Self::err("load() is only valid as an edgeset initializer"),
+                udf => {
+                    let mut lowered = Vec::with_capacity(args.len());
+                    for a in args {
+                        lowered.push(self.lower_expr(a)?);
+                    }
+                    Ok(Expr::call(udf, lowered))
+                }
+            },
+            AExprKind::MethodCall {
+                receiver,
+                method,
+                args: _,
+            } => {
+                let AExprKind::Ident(recv) = &receiver.kind else {
+                    return Self::err(format!(
+                        "method `{method}` not supported in expression position"
+                    ));
+                };
+                match method.as_str() {
+                    "size" | "getVertexSetSize" => {
+                        if self.is_all_vertices(recv) {
+                            Ok(Expr::intrinsic(
+                                Intrinsic::NumVertices,
+                                vec![Expr::var(self.graph_expr_name())],
+                            ))
+                        } else {
+                            Ok(Expr::intrinsic(
+                                Intrinsic::VertexSetSize,
+                                vec![Expr::var(recv.clone())],
+                            ))
+                        }
+                    }
+                    "getSize" => Ok(Expr::intrinsic(
+                        Intrinsic::ListSize,
+                        vec![Expr::var(recv.clone())],
+                    )),
+                    "finished" => Ok(Expr::intrinsic(
+                        Intrinsic::PrioQueueFinished,
+                        vec![Expr::var(recv.clone())],
+                    )),
+                    "dequeue_ready_set" => Ok(Expr::intrinsic(
+                        Intrinsic::DequeueReadySet,
+                        vec![Expr::var(recv.clone())],
+                    )),
+                    other => Self::err(format!(
+                        "method `{other}` not supported in expression position"
+                    )),
+                }
+            }
+            AExprKind::New { .. } => {
+                Self::err("`new` only supported as a variable initializer")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graphir::visit::find_labeled;
+
+    const BFS_SRC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const vertices : vertexset{Vertex} = edges.getVertices();
+const parent : vector{Vertex}(int) = -1;
+const start_vertex : Vertex;
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} = edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+"#;
+
+    fn lower_src(src: &str) -> Program {
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        lower(&ast).unwrap()
+    }
+
+    #[test]
+    fn bfs_lowering_shape() {
+        let p = lower_src(BFS_SRC);
+        assert!(p.property("parent").is_some());
+        assert!(p.global("start_vertex").is_some());
+        assert!(p.global("start_vertex").unwrap().meta.flag("extern"));
+        let s1 = find_labeled(&p, "s1").unwrap();
+        let StmtKind::EdgeSetIterator(d) = &s1.kind else {
+            panic!("expected EdgeSetIterator, got {:?}", s1.kind)
+        };
+        assert_eq!(d.graph, "edges");
+        assert_eq!(d.input.as_deref(), Some("frontier"));
+        assert_eq!(d.output.as_deref(), Some("output"));
+        assert_eq!(d.dst_filter.as_deref(), Some("toFilter"));
+        assert_eq!(d.tracked_prop.as_deref(), Some("parent"));
+        assert!(s1.meta.flag(keys::REQUIRES_OUTPUT));
+        assert!(s1.meta.flag(keys::APPLY_DEDUPLICATION));
+        assert!(!s1.meta.flag(keys::IS_ALL_EDGES));
+    }
+
+    #[test]
+    fn all_edges_apply_lowering() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const rank : vector{Vertex}(float) = 0.0;
+func upd(src : Vertex, dst : Vertex)
+    rank[dst] += 1.0;
+end
+func main()
+    #s1# edges.apply(upd);
+end
+"#;
+        let p = lower_src(src);
+        let s1 = find_labeled(&p, "s1").unwrap();
+        let StmtKind::EdgeSetIterator(d) = &s1.kind else {
+            panic!()
+        };
+        assert!(d.input.is_none());
+        assert!(d.output.is_none());
+        assert!(s1.meta.flag(keys::IS_ALL_EDGES));
+        assert!(!s1.meta.flag(keys::REQUIRES_OUTPUT));
+    }
+
+    #[test]
+    fn transpose_alias_resolved() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const t_edges : edgeset{Edge}(Vertex,Vertex) = edges.transpose();
+const deps : vector{Vertex}(float) = 0.0;
+func upd(src : Vertex, dst : Vertex)
+    deps[dst] += deps[src];
+end
+func main()
+    #s1# t_edges.apply(upd);
+end
+"#;
+        let p = lower_src(src);
+        let s1 = find_labeled(&p, "s1").unwrap();
+        let StmtKind::EdgeSetIterator(d) = &s1.kind else {
+            panic!()
+        };
+        assert_eq!(d.graph, "edges");
+        assert!(d.transposed);
+    }
+
+    #[test]
+    fn vertices_size_becomes_num_vertices() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const vertices : vertexset{Vertex} = edges.getVertices();
+const damp : float = 0.85;
+const beta : float = (1.0 - damp) / to_float(vertices.size());
+func main()
+end
+"#;
+        let p = lower_src(src);
+        let g = p.global("beta").unwrap();
+        let text = ugc_graphir::printer::print_expr(g.init.as_ref().unwrap());
+        assert!(text.contains("NumVertices"), "{text}");
+    }
+
+    #[test]
+    fn vertexset_apply_lowering() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const vertices : vertexset{Vertex} = edges.getVertices();
+const r : vector{Vertex}(float) = 0.0;
+func reset(v : Vertex)
+    r[v] = 0.0;
+end
+func main()
+    vertices.apply(reset);
+    var f : vertexset{Vertex} = new vertexset{Vertex}(0);
+    f.apply(reset);
+end
+"#;
+        let p = lower_src(src);
+        let StmtKind::VertexSetIterator { set, .. } = &p.main[0].kind else {
+            panic!()
+        };
+        assert!(set.is_none());
+        assert!(p.main[0].meta.flag(keys::IS_ALL_VERTS));
+        let StmtKind::VertexSetIterator { set, .. } = &p.main[2].kind else {
+            panic!()
+        };
+        assert_eq!(set.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn priority_queue_lowering() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex,int) = load("g");
+const dist : vector{Vertex}(int) = 2147483647;
+const start_vertex : Vertex;
+const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(dist, start_vertex);
+func relax(src : Vertex, dst : Vertex, weight : int)
+    var nd : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, nd);
+end
+func main()
+    dist[start_vertex] = 0;
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(relax);
+        delete frontier;
+    end
+end
+"#;
+        let p = lower_src(src);
+        assert_eq!(p.queues.len(), 1);
+        assert_eq!(p.queues[0].tracked_property, "dist");
+        let s1 = find_labeled(&p, "s1").unwrap();
+        assert!(s1.meta.flag(keys::IS_ORDERED));
+        let relax = p.function("relax").unwrap();
+        assert!(relax
+            .body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::UpdatePriority { .. })));
+    }
+
+    #[test]
+    fn list_operations_lowering() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+func main()
+    var l : list{vertexset{Vertex}} = new list{vertexset{Vertex}}();
+    var f : vertexset{Vertex} = new vertexset{Vertex}(4);
+    l.append(f);
+    var n : int = l.getSize();
+    var g : vertexset{Vertex} = l.pop();
+    delete g;
+end
+"#;
+        let p = lower_src(src);
+        assert!(p
+            .main
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::ListAppend { .. })));
+        assert!(p
+            .main
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::ListPopBack { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_chain_method() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+func f(src : Vertex, dst : Vertex)
+end
+func main()
+    edges.explode(f).apply(f);
+end
+"#;
+        let ast = ugc_frontend::parse(src).unwrap();
+        assert!(lower(&ast).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Dependence analysis and atomics insertion (paper §III-A, Table III
+//! "Property Analysis/Atomic Insertion").
+//!
+//! Whether a UDF's update needs hardware synchronization depends on the
+//! schedule: in push direction the parallel loop owns the *source* vertex,
+//! so writes indexed by `dst` race and need atomics, while writes indexed
+//! by `src` do not; pull direction is the mirror image; edge-based
+//! parallelism owns nothing, so every property update is atomic. This is
+//! exactly why the paper runs this pass *after* direction lowering.
+//!
+//! The pass sets [`keys::IS_ATOMIC`] on `Reduce` statements,
+//! `CompareAndSwap` expressions and `UpdatePriority` statements inside each
+//! iterator's UDF, cloning the UDF when it is shared by several iterators
+//! with potentially different requirements.
+
+use std::collections::HashMap;
+
+use ugc_graphir::ir::{ExprKind, LValue, Program, StmtKind};
+use ugc_graphir::keys;
+use ugc_graphir::types::Direction;
+use ugc_graphir::visit::{stmt_exprs_mut, walk_expr_mut, walk_stmts, walk_stmts_mut};
+
+use crate::MidendError;
+
+/// Runs the pass. See the module docs.
+///
+/// # Errors
+///
+/// Returns an error when an iterator references an unknown UDF.
+pub fn run(prog: &mut Program) -> Result<(), MidendError> {
+    // Who applies what (edge iterators and vertex iterators).
+    #[derive(Clone)]
+    struct Use {
+        func: String,
+        /// Parameter index owned by the parallel loop (None = nothing owned).
+        owned: Option<usize>,
+    }
+    let mut uses: Vec<Use> = Vec::new();
+    walk_stmts(&prog.main, &mut |s| match &s.kind {
+        StmtKind::EdgeSetIterator(d) => {
+            let owned = if s.meta.flag(keys::IS_EDGE_PARALLEL) {
+                None
+            } else {
+                match s.meta.get_direction(keys::DIRECTION) {
+                    Some(Direction::Pull) => Some(1),
+                    _ => Some(0),
+                }
+            };
+            uses.push(Use {
+                func: d.apply.clone(),
+                owned,
+            });
+        }
+        StmtKind::VertexSetIterator { apply, .. } => {
+            uses.push(Use {
+                func: apply.clone(),
+                owned: Some(0),
+            });
+        }
+        _ => {}
+    });
+
+    let mut use_count: HashMap<String, usize> = HashMap::new();
+    for u in &uses {
+        *use_count.entry(u.func.clone()).or_insert(0) += 1;
+    }
+
+    let mut clone_counter = 0usize;
+    for u in &uses {
+        let func = prog.function(&u.func).ok_or_else(|| {
+            MidendError::new(format!("iterator applies unknown UDF `{}`", u.func))
+        })?;
+        let owned_param: Option<String> = u
+            .owned
+            .and_then(|i| func.params.get(i).map(|p| p.name.clone()));
+
+        if use_count[&u.func] > 1 {
+            // Shared: specialize a clone for this use.
+            let new_name = format!("{}__at{clone_counter}", u.func);
+            clone_counter += 1;
+            let mut clone = func.clone();
+            clone.name = new_name.clone();
+            mark_body(&mut clone.body, owned_param.as_deref());
+            prog.add_function(clone);
+            // Repoint exactly one not-yet-specialized use.
+            let old = u.func.clone();
+            let mut done = false;
+            walk_stmts_mut(&mut prog.main, &mut |s| {
+                if done {
+                    return;
+                }
+                match &mut s.kind {
+                    StmtKind::EdgeSetIterator(d) if d.apply == old => {
+                        d.apply = new_name.clone();
+                        done = true;
+                    }
+                    StmtKind::VertexSetIterator { apply, .. } if *apply == old => {
+                        *apply = new_name.clone();
+                        done = true;
+                    }
+                    _ => {}
+                }
+            });
+        } else {
+            let name = u.func.clone();
+            let owned = owned_param;
+            let f = prog.function_mut(&name).expect("checked above");
+            mark_body(&mut f.body, owned.as_deref());
+        }
+    }
+    Ok(())
+}
+
+fn index_is_owned(index: &ugc_graphir::ir::Expr, owned: Option<&str>) -> bool {
+    match (&index.kind, owned) {
+        (ExprKind::Var(v), Some(o)) => v == o,
+        _ => false,
+    }
+}
+
+fn mark_body(body: &mut [ugc_graphir::ir::Stmt], owned: Option<&str>) {
+    walk_stmts_mut(body, &mut |s| {
+        let meta_atomic = match &s.kind {
+            StmtKind::Reduce {
+                target: LValue::Prop { index, .. },
+                ..
+            } => Some(!index_is_owned(index, owned)),
+            StmtKind::UpdatePriority { vertex, .. } => Some(!index_is_owned(vertex, owned)),
+            _ => None,
+        };
+        if let Some(a) = meta_atomic {
+            s.meta.set(keys::IS_ATOMIC, a);
+        }
+        stmt_exprs_mut(s, &mut |e| {
+            walk_expr_mut(e, &mut |e| {
+                if let ExprKind::CompareAndSwap { index, .. } = &e.kind {
+                    let a = !index_is_owned(index, owned);
+                    e.meta.set(keys::IS_ATOMIC, a);
+                }
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::passes::{direction, tracking};
+    use ugc_graphir::printer::print_function;
+    use ugc_schedule::{apply_schedule, ScheduleRef, SchedDirection, SimpleSchedule};
+
+    #[derive(Debug)]
+    struct Sched(SchedDirection);
+    impl SimpleSchedule for Sched {
+        fn direction(&self) -> SchedDirection {
+            self.0
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    const CC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const IDs : vector{Vertex}(int) = 0;
+func upd(src : Vertex, dst : Vertex)
+    IDs[dst] min= IDs[src];
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(8);
+    #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(upd, IDs);
+end
+"#;
+
+    fn pipeline(src: &str, dir: SchedDirection) -> Program {
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        apply_schedule(&mut p, "s1", ScheduleRef::simple(Sched(dir))).unwrap();
+        direction::run(&mut p).unwrap();
+        tracking::run(&mut p).unwrap();
+        run(&mut p).unwrap();
+        p
+    }
+
+    #[test]
+    fn push_marks_dst_write_atomic() {
+        let p = pipeline(CC, SchedDirection::Push);
+        let f = p
+            .functions
+            .iter()
+            .find(|f| f.name.starts_with("upd__trk"))
+            .unwrap();
+        let text = print_function(f);
+        assert!(text.contains("is_atomic=true"), "{text}");
+    }
+
+    #[test]
+    fn pull_leaves_dst_write_plain() {
+        let p = pipeline(CC, SchedDirection::Pull);
+        let f = p
+            .functions
+            .iter()
+            .find(|f| f.name.starts_with("upd__trk"))
+            .unwrap();
+        let text = print_function(f);
+        assert!(text.contains("is_atomic=false"), "{text}");
+    }
+
+    #[test]
+    fn vertex_iterator_owned_writes_plain() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const vertices : vertexset{Vertex} = edges.getVertices();
+const r : vector{Vertex}(float) = 0.0;
+func reset(v : Vertex)
+    r[v] += 1.0;
+end
+func main()
+    vertices.apply(reset);
+end
+"#;
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        direction::run(&mut p).unwrap();
+        run(&mut p).unwrap();
+        let text = print_function(p.function("reset").unwrap());
+        assert!(text.contains("is_atomic=false"), "{text}");
+    }
+
+    #[test]
+    fn shared_udf_cloned_per_use() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const r : vector{Vertex}(float) = 0.0;
+func f(src : Vertex, dst : Vertex)
+    r[dst] += 1.0;
+end
+func main()
+    #s1# edges.apply(f);
+    #s2# edges.apply(f);
+end
+"#;
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        direction::run(&mut p).unwrap();
+        run(&mut p).unwrap();
+        assert!(p.function("f__at0").is_some());
+        assert!(p.function("f__at1").is_some());
+        // All iterator uses repointed away from the shared original.
+        walk_stmts(&p.main, &mut |s| {
+            if let StmtKind::EdgeSetIterator(d) = &s.kind {
+                assert_ne!(d.apply, "f");
+            }
+        });
+    }
+
+    #[test]
+    fn update_priority_marked_in_push() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex,int) = load("g");
+const dist : vector{Vertex}(int) = 2147483647;
+const start_vertex : Vertex;
+const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(dist, start_vertex);
+func relax(src : Vertex, dst : Vertex, weight : int)
+    var nd : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, nd);
+end
+func main()
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(relax);
+        delete frontier;
+    end
+end
+"#;
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        direction::run(&mut p).unwrap();
+        run(&mut p).unwrap();
+        let text = print_function(p.function("relax").unwrap());
+        assert!(text.contains("UpdatePriorityMin<is_atomic=true>"), "{text}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Frontier-reuse (liveness) analysis.
+//!
+//! When the input frontier of an `EdgeSetIterator` is deleted right after
+//! the operator runs (the dominant pattern in round-based algorithms:
+//! `output = edges.from(frontier)…; delete frontier; frontier = output`),
+//! the output frontier can reuse the input's storage. The result is
+//! recorded as [`keys::CAN_REUSE_FRONTIER`]; per Table III it is consumed
+//! by the GPU, Swarm and HammerBlade GraphVMs and ignored by the CPU one.
+
+use ugc_graphir::ir::{Stmt, StmtKind};
+use ugc_graphir::keys;
+use ugc_graphir::visit::{stmt_exprs, walk_expr};
+
+use crate::MidendError;
+
+/// Runs the analysis. See the module docs.
+///
+/// # Errors
+///
+/// Infallible in practice; `Result` for pipeline uniformity.
+pub fn run(prog: &mut ugc_graphir::ir::Program) -> Result<(), MidendError> {
+    analyze_block(&mut prog.main);
+    Ok(())
+}
+
+fn analyze_block(stmts: &mut [Stmt]) {
+    // Recurse into nested bodies.
+    for s in stmts.iter_mut() {
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                analyze_block(then_body);
+                analyze_block(else_body);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => analyze_block(body),
+            _ => {}
+        }
+    }
+    for i in 0..stmts.len() {
+        let input = match &stmts[i].kind {
+            StmtKind::EdgeSetIterator(d) => match (&d.input, &d.output) {
+                (Some(inp), Some(_)) => inp.clone(),
+                _ => continue,
+            },
+            _ => continue,
+        };
+        // The input is reusable if it is deleted before its next use.
+        let mut reusable = false;
+        for later in &stmts[i + 1..] {
+            if let StmtKind::Delete { name } = &later.kind {
+                if *name == input {
+                    reusable = true;
+                    break;
+                }
+            }
+            if uses_var(later, &input) {
+                break;
+            }
+        }
+        if reusable {
+            stmts[i].meta.set(keys::CAN_REUSE_FRONTIER, true);
+        }
+    }
+}
+
+/// Whether `stmt` (shallowly) reads or writes variable `name`.
+fn uses_var(stmt: &Stmt, name: &str) -> bool {
+    let mut used = false;
+    stmt_exprs(stmt, &mut |e| {
+        walk_expr(e, &mut |e| {
+            if let ugc_graphir::ir::ExprKind::Var(v) = &e.kind {
+                if v == name {
+                    used = true;
+                }
+            }
+        });
+    });
+    if used {
+        return true;
+    }
+    match &stmt.kind {
+        StmtKind::EdgeSetIterator(d) => {
+            d.input.as_deref() == Some(name) || d.output.as_deref() == Some(name)
+        }
+        StmtKind::VertexSetIterator { set, .. } => set.as_deref() == Some(name),
+        StmtKind::EnqueueVertex { set, .. } => set.as_deref() == Some(name),
+        StmtKind::ListAppend { set, .. } => set == name,
+        StmtKind::Assign {
+            target: ugc_graphir::ir::LValue::Var(v),
+            ..
+        } => v == name,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use ugc_graphir::visit::find_labeled;
+
+    fn run_on(src: &str) -> ugc_graphir::ir::Program {
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        run(&mut p).unwrap();
+        p
+    }
+
+    #[test]
+    fn delete_after_iterator_marks_reusable() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const parent : vector{Vertex}(int) = -1;
+func upd(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(upd, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+"#;
+        let p = run_on(src);
+        assert!(find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+    }
+
+    #[test]
+    fn use_before_delete_blocks_reuse() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const parent : vector{Vertex}(int) = -1;
+func upd(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func mark(v : Vertex)
+    parent[v] = 0;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(upd, parent, true);
+    frontier.apply(mark);
+    delete frontier;
+end
+"#;
+        let p = run_on(src);
+        assert!(!find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+    }
+
+    #[test]
+    fn no_output_no_marking() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const r : vector{Vertex}(float) = 0.0;
+func upd(src : Vertex, dst : Vertex)
+    r[dst] += 1.0;
+end
+func main()
+    #s1# edges.apply(upd);
+end
+"#;
+        let p = run_on(src);
+        assert!(!find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+    }
+}

@@ -1,0 +1,13 @@
+//! The hardware-independent pass library (paper Table III).
+//!
+//! Passes run in the order fixed by [`crate::run_passes`]:
+//! ordered-processing lowering → direction lowering → `applyModified`
+//! tracking → atomics insertion → frontier-reuse analysis. Each pass is
+//! also usable on its own (the GraphVMs re-run or specialize some of them,
+//! mirroring the per-backend columns of Table III).
+
+pub mod atomics;
+pub mod direction;
+pub mod frontier_reuse;
+pub mod ordered;
+pub mod tracking;

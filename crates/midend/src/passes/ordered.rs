@@ -1,0 +1,179 @@
+//! Ordered-processing lowering (∆-stepping support).
+//!
+//! For every `EdgeSetIterator` marked [`keys::IS_ORDERED`] (produced by
+//! `applyUpdatePriority`), this pass:
+//!
+//! * discovers which priority queue the apply UDF updates and records it in
+//!   [`keys::QUEUE_UPDATED`] (Table II's `queue_updated` argument),
+//! * copies the schedule's ∆ onto the queue declaration ("delta" metadata),
+//! * marks the enclosing `while (pq.finished() == false)` loop with
+//!   `is_ordered_loop` so backends can specialize it (e.g. Swarm converts
+//!   the whole loop into timestamped tasks).
+
+use ugc_graphir::ir::{ExprKind, Program, StmtKind};
+use ugc_graphir::keys;
+use ugc_graphir::types::Intrinsic;
+use ugc_graphir::visit::{walk_all_exprs, walk_stmts, walk_stmts_mut};
+use ugc_schedule::schedule_of;
+
+use crate::MidendError;
+
+/// Runs the pass. See the module docs.
+///
+/// # Errors
+///
+/// Returns an error when an ordered operator's UDF updates no queue.
+pub fn run(prog: &mut Program) -> Result<(), MidendError> {
+    // Collect (apply fn, schedule delta) per ordered iterator.
+    let mut ordered_ops: Vec<(String, Option<i64>)> = Vec::new();
+    walk_stmts(&prog.main, &mut |s| {
+        if let StmtKind::EdgeSetIterator(d) = &s.kind {
+            if s.meta.flag(keys::IS_ORDERED) {
+                let delta = schedule_of(s).map(|r| r.representative().delta());
+                ordered_ops.push((d.apply.clone(), delta));
+            }
+        }
+    });
+
+    for (apply, delta) in &ordered_ops {
+        let queue = {
+            let Some(f) = prog.function(apply) else {
+                return Err(MidendError::new(format!(
+                    "ordered operator applies unknown function `{apply}`"
+                )));
+            };
+            let mut found: Option<String> = None;
+            walk_stmts(&f.body, &mut |s| {
+                if let StmtKind::UpdatePriority { queue, .. } = &s.kind {
+                    found = Some(queue.clone());
+                }
+            });
+            found.ok_or_else(|| {
+                MidendError::new(format!(
+                    "ordered operator's UDF `{apply}` never updates a priority queue"
+                ))
+            })?
+        };
+        // Attach QUEUE_UPDATED to the iterators applying this UDF.
+        walk_stmts_mut(&mut prog.main, &mut |s| {
+            if let StmtKind::EdgeSetIterator(d) = &s.kind {
+                if s.meta.flag(keys::IS_ORDERED) && d.apply == *apply {
+                    s.meta.set(keys::QUEUE_UPDATED, queue.clone());
+                }
+            }
+        });
+        // Record the schedule delta on the queue declaration.
+        if let Some(q) = prog.queues.iter_mut().find(|q| q.name == queue) {
+            q.meta.set("delta", delta.unwrap_or(1));
+        }
+    }
+
+    // Mark ordered while-loops.
+    walk_stmts_mut(&mut prog.main, &mut |s| {
+        if let StmtKind::While { cond, .. } = &s.kind {
+            let mut ordered = false;
+            walk_all_exprs(std::slice::from_ref(&ugc_graphir::ir::Stmt::new(
+                StmtKind::ExprStmt(cond.clone()),
+            )), &mut |e| {
+                if let ExprKind::Intrinsic {
+                    kind: Intrinsic::PrioQueueFinished,
+                    ..
+                } = &e.kind
+                {
+                    ordered = true;
+                }
+            });
+            if ordered {
+                s.meta.set("is_ordered_loop", true);
+            }
+        }
+    });
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use ugc_graphir::visit::find_labeled;
+    use ugc_schedule::{apply_schedule, DefaultSchedule, ScheduleRef, SimpleSchedule};
+
+    const SSSP: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex,int) = load("g");
+const dist : vector{Vertex}(int) = 2147483647;
+const start_vertex : Vertex;
+const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(dist, start_vertex);
+func relax(src : Vertex, dst : Vertex, weight : int)
+    var nd : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, nd);
+end
+func main()
+    dist[start_vertex] = 0;
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(relax);
+        delete frontier;
+    end
+end
+"#;
+
+    fn lowered() -> Program {
+        let ast = ugc_frontend::parse_and_check(SSSP).unwrap();
+        lower(&ast).unwrap()
+    }
+
+    #[test]
+    fn discovers_queue_and_marks_loop() {
+        let mut p = lowered();
+        run(&mut p).unwrap();
+        let s1 = find_labeled(&p, "s1").unwrap();
+        assert_eq!(s1.meta.get_str(keys::QUEUE_UPDATED), Some("pq"));
+        let s0 = find_labeled(&p, "s0").unwrap();
+        assert!(s0.meta.flag("is_ordered_loop"));
+        assert_eq!(p.queue("pq").unwrap().meta.get_int("delta"), Some(1));
+    }
+
+    #[test]
+    fn schedule_delta_copied_to_queue() {
+        #[derive(Debug)]
+        struct DeltaSched;
+        impl SimpleSchedule for DeltaSched {
+            fn delta(&self) -> i64 {
+                8
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut p = lowered();
+        apply_schedule(&mut p, "s0:s1", ScheduleRef::simple(DeltaSched)).unwrap();
+        run(&mut p).unwrap();
+        assert_eq!(p.queue("pq").unwrap().meta.get_int("delta"), Some(8));
+    }
+
+    #[test]
+    fn unordered_program_untouched() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const r : vector{Vertex}(float) = 0.0;
+func f(src : Vertex, dst : Vertex)
+    r[dst] += 1.0;
+end
+func main()
+    #s1# edges.apply(f);
+end
+"#;
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        let mut p = lower(&ast).unwrap();
+        run(&mut p).unwrap();
+        let s1 = find_labeled(&p, "s1").unwrap();
+        assert!(!s1.meta.contains(keys::QUEUE_UPDATED));
+        // Default schedule attach still works after the pass.
+        apply_schedule(&mut p, "s1", ScheduleRef::simple(DefaultSchedule)).unwrap();
+    }
+}

@@ -1,0 +1,322 @@
+//! `applyModified` lowering: output-frontier tracking (paper Fig. 4).
+//!
+//! For every `EdgeSetIterator` that must produce an output frontier
+//! (`requires_output` with a tracked property), the apply UDF is cloned and
+//! rewritten so that updates to the tracked property report modified
+//! vertices via `EnqueueVertex`:
+//!
+//! * a plain store `prop[i] = v` becomes
+//!   `enq = CompareAndSwap(prop[i], <init>, v); if (enq) EnqueueVertex(i)`
+//!   — claim-once semantics against the property's initial value (this is
+//!   exactly the generated BFS code in the paper's Fig. 4),
+//! * a reduction `prop[i] op= v` gains a change-tracking flag:
+//!   `changed = (op= changed prop[i], v); if (changed) EnqueueVertex(i)`.
+//!
+//! Each iterator gets its own clone (named `<udf>__trk_<label>`), so later
+//! per-iterator specialization (direction, atomics) never conflicts.
+
+use ugc_graphir::ir::{Expr, ExprKind, Program, Stmt, StmtKind};
+use ugc_graphir::keys;
+use ugc_graphir::visit::{walk_stmts, walk_stmts_mut};
+
+use crate::MidendError;
+
+/// Runs the pass. See the module docs.
+///
+/// # Errors
+///
+/// Returns an error when the apply UDF never writes the tracked property or
+/// a plain store tracks a property without a literal initializer.
+pub fn run(prog: &mut Program) -> Result<(), MidendError> {
+    // Collect iterators needing specialization first (borrow discipline).
+    struct Work {
+        apply: String,
+        tracked: String,
+        label: Option<String>,
+    }
+    let mut work = Vec::new();
+    walk_stmts(&prog.main, &mut |s| {
+        if let StmtKind::EdgeSetIterator(d) = &s.kind {
+            if s.meta.flag(keys::REQUIRES_OUTPUT) && !s.meta.flag("tracking_done") {
+                if let Some(tp) = &d.tracked_prop {
+                    work.push(Work {
+                        apply: d.apply.clone(),
+                        tracked: tp.clone(),
+                        label: s.label.clone(),
+                    });
+                }
+            }
+        }
+    });
+
+    for (counter, w) in work.into_iter().enumerate() {
+        let suffix = w
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("{counter}"));
+        let new_name = format!("{}__trk_{suffix}", w.apply);
+        if prog.function(&new_name).is_some() {
+            continue; // already specialized (idempotent pass)
+        }
+        let init = prog
+            .property(&w.tracked)
+            .map(|p| p.init.clone())
+            .ok_or_else(|| {
+                MidendError::new(format!("tracked property `{}` is not declared", w.tracked))
+            })?;
+        let base = prog.function(&w.apply).ok_or_else(|| {
+            MidendError::new(format!("applyModified references unknown UDF `{}`", w.apply))
+        })?;
+        let mut clone = base.clone();
+        clone.name = new_name.clone();
+        let rewrites = rewrite_body(&mut clone.body, &w.tracked, &init)?;
+        if rewrites == 0 {
+            return Err(MidendError::new(format!(
+                "UDF `{}` never writes tracked property `{}`",
+                w.apply, w.tracked
+            )));
+        }
+        prog.add_function(clone);
+        // Repoint the matching iterator(s) to the specialized clone.
+        let target_label = w.label.clone();
+        let apply = w.apply.clone();
+        let mut first = true;
+        walk_stmts_mut(&mut prog.main, &mut |s| {
+            if let StmtKind::EdgeSetIterator(d) = &mut s.kind {
+                let label_matches = match &target_label {
+                    Some(l) => s.label.as_deref() == Some(l.as_str()),
+                    None => first && d.apply == apply && s.meta.flag(keys::REQUIRES_OUTPUT),
+                };
+                if label_matches && d.apply == apply {
+                    d.apply = new_name.clone();
+                    s.meta.set("tracking_done", true);
+                    first = false;
+                }
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Rewrites writes to `tracked` in `body`; returns how many were rewritten.
+fn rewrite_body(
+    body: &mut Vec<Stmt>,
+    tracked: &str,
+    init: &Expr,
+) -> Result<usize, MidendError> {
+    let mut count = 0usize;
+    let mut fresh = 0usize;
+    rewrite_block(body, tracked, init, &mut count, &mut fresh)?;
+    Ok(count)
+}
+
+fn rewrite_block(
+    body: &mut Vec<Stmt>,
+    tracked: &str,
+    init: &Expr,
+    count: &mut usize,
+    fresh: &mut usize,
+) -> Result<(), MidendError> {
+    let mut i = 0;
+    while i < body.len() {
+        // Recurse into nested bodies first.
+        match &mut body[i].kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                rewrite_block(then_body, tracked, init, count, fresh)?;
+                rewrite_block(else_body, tracked, init, count, fresh)?;
+            }
+            StmtKind::While { body: b, .. } | StmtKind::For { body: b, .. } => {
+                rewrite_block(b, tracked, init, count, fresh)?;
+            }
+            _ => {}
+        }
+
+        let replacement: Option<Vec<Stmt>> = match &body[i].kind {
+            StmtKind::Assign {
+                target: ugc_graphir::ir::LValue::Prop { prop, index },
+                value,
+            } if prop == tracked => {
+                if !matches!(
+                    init.kind,
+                    ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_)
+                ) {
+                    return Err(MidendError::new(format!(
+                        "tracked property `{tracked}` needs a literal initializer for \
+                         compare-and-swap tracking"
+                    )));
+                }
+                *count += 1;
+                let flag = format!("__enq{fresh}");
+                *fresh += 1;
+                let cas = Expr::cas(
+                    prop.clone(),
+                    (**index).clone(),
+                    init.clone(),
+                    value.clone(),
+                );
+                Some(vec![
+                    Stmt::new(StmtKind::VarDecl {
+                        name: flag.clone(),
+                        ty: ugc_graphir::types::Type::Bool,
+                        init: Some(cas),
+                    }),
+                    Stmt::new(StmtKind::If {
+                        cond: Expr::var(flag),
+                        then_body: vec![Stmt::new(StmtKind::EnqueueVertex {
+                            set: None,
+                            vertex: (**index).clone(),
+                        })],
+                        else_body: vec![],
+                    }),
+                ])
+            }
+            StmtKind::Reduce {
+                target: ugc_graphir::ir::LValue::Prop { prop, index },
+                op,
+                value,
+                tracking,
+            } if prop == tracked && tracking.is_none() => {
+                *count += 1;
+                let flag = format!("__chg{fresh}");
+                *fresh += 1;
+                let mut red = Stmt::new(StmtKind::Reduce {
+                    target: ugc_graphir::ir::LValue::Prop {
+                        prop: prop.clone(),
+                        index: index.clone(),
+                    },
+                    op: *op,
+                    value: value.clone(),
+                    tracking: Some(flag.clone()),
+                });
+                red.meta = body[i].meta.clone();
+                Some(vec![
+                    red,
+                    Stmt::new(StmtKind::If {
+                        cond: Expr::var(flag),
+                        then_body: vec![Stmt::new(StmtKind::EnqueueVertex {
+                            set: None,
+                            vertex: (**index).clone(),
+                        })],
+                        else_body: vec![],
+                    }),
+                ])
+            }
+            _ => None,
+        };
+
+        match replacement {
+            Some(stmts) => {
+                let n = stmts.len();
+                body.splice(i..=i, stmts);
+                i += n;
+            }
+            None => i += 1,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use ugc_graphir::printer::print_function;
+    use ugc_graphir::visit::find_labeled;
+
+    fn lower_src(src: &str) -> Program {
+        let ast = ugc_frontend::parse_and_check(src).unwrap();
+        lower(&ast).unwrap()
+    }
+
+    const BFS: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const parent : vector{Vertex}(int) = -1;
+const start_vertex : Vertex;
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(start_vertex);
+    #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(updateEdge, parent, true);
+end
+"#;
+
+    #[test]
+    fn assign_becomes_cas_plus_enqueue() {
+        let mut p = lower_src(BFS);
+        run(&mut p).unwrap();
+        let f = p.function("updateEdge__trk_s1").expect("specialized clone");
+        let text = print_function(f);
+        assert!(text.contains("CompareAndSwap"), "{text}");
+        assert!(text.contains("EnqueueVertex"), "{text}");
+        // Iterator repointed.
+        let s1 = find_labeled(&p, "s1").unwrap();
+        let StmtKind::EdgeSetIterator(d) = &s1.kind else {
+            panic!()
+        };
+        assert_eq!(d.apply, "updateEdge__trk_s1");
+        // Original untouched.
+        let orig = print_function(p.function("updateEdge").unwrap());
+        assert!(!orig.contains("CompareAndSwap"), "{orig}");
+    }
+
+    #[test]
+    fn reduce_gains_tracking_flag() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const IDs : vector{Vertex}(int) = 0;
+func upd(src : Vertex, dst : Vertex)
+    IDs[dst] min= IDs[src];
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(8);
+    #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(upd, IDs);
+end
+"#;
+        let mut p = lower_src(src);
+        run(&mut p).unwrap();
+        let f = p.function("upd__trk_s1").unwrap();
+        let text = print_function(f);
+        assert!(text.contains("tracking=__chg0"), "{text}");
+        assert!(text.contains("EnqueueVertex"), "{text}");
+    }
+
+    #[test]
+    fn missing_write_is_an_error() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const a : vector{Vertex}(int) = 0;
+const b : vector{Vertex}(int) = 0;
+func upd(src : Vertex, dst : Vertex)
+    a[dst] += 1;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(8);
+    #s1# var output : vertexset{Vertex} = edges.from(frontier).applyModified(upd, b);
+end
+"#;
+        let mut p = lower_src(src);
+        let err = run(&mut p).unwrap_err();
+        assert!(err.to_string().contains("never writes"));
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let mut p = lower_src(BFS);
+        run(&mut p).unwrap();
+        let n = p.functions.len();
+        run(&mut p).unwrap();
+        assert_eq!(p.functions.len(), n);
+    }
+}

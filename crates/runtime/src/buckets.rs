@@ -1,0 +1,221 @@
+//! Bucketed priority queue for ordered algorithms (∆-stepping SSSP).
+//!
+//! Implements GraphIt's lazy-bucketing design: `update_min` pushes the
+//! vertex into the bucket of its *new* priority without removing stale
+//! entries; `pop_ready` filters stale entries by re-checking the tracked
+//! priority at dequeue time.
+
+use crate::vertexset::VertexSet;
+
+/// A bucketed priority queue over vertices with integer priorities.
+///
+/// The queue does not own the priorities — they live in a property vector —
+/// so the staleness checks take the current priority as a closure. This is
+/// exactly the shape backends need: the CPU backend passes a closure over
+/// `PropertyStorage`, simulators pass closures over their memory models.
+///
+/// # Example
+///
+/// ```
+/// use ugc_runtime::BucketQueue;
+///
+/// let mut q = BucketQueue::new(8, 2, 0); // universe 8, delta 2, source 0
+/// let prio = |v: u32| if v == 0 { 0 } else { i64::MAX };
+/// assert!(!q.finished());
+/// let ready = q.pop_ready(prio);
+/// assert_eq!(ready.iter(), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    universe: usize,
+    delta: i64,
+    /// buckets[i] holds vertices whose priority (at push time) fell in
+    /// bucket `first_bucket + i`.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket index of `buckets[0]`.
+    first_bucket: i64,
+    /// Total pushes not yet popped (upper bound; stale entries included).
+    pending: usize,
+}
+
+impl BucketQueue {
+    /// Creates a queue seeded with `source` at priority 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta < 1`.
+    pub fn new(universe: usize, delta: i64, source: u32) -> Self {
+        assert!(delta >= 1, "delta must be >= 1");
+        let mut q = BucketQueue {
+            universe,
+            delta,
+            buckets: Vec::new(),
+            first_bucket: 0,
+            pending: 0,
+        };
+        q.push(source, 0);
+        q
+    }
+
+    /// The ∆ bucket width.
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    fn bucket_of(&self, prio: i64) -> i64 {
+        prio.div_euclid(self.delta)
+    }
+
+    /// Schedules `v` at `prio` (lazy: stale earlier entries stay behind).
+    pub fn push(&mut self, v: u32, prio: i64) {
+        let b = self.bucket_of(prio);
+        if b < self.first_bucket {
+            // Re-base: prepend empty buckets (rare; happens only if a
+            // priority drops below the current window).
+            let shift = (self.first_bucket - b) as usize;
+            let mut newbuckets = vec![Vec::new(); shift];
+            newbuckets.append(&mut self.buckets);
+            self.buckets = newbuckets;
+            self.first_bucket = b;
+        }
+        let idx = (b - self.first_bucket) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, Vec::new());
+        }
+        self.buckets[idx].push(v);
+        self.pending += 1;
+    }
+
+    /// Whether no pending entries remain.
+    pub fn finished(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Pops the lowest non-empty bucket, filtering stale entries (whose
+    /// current priority no longer falls in that bucket) and duplicates.
+    /// Returns an empty set when the queue is drained.
+    pub fn pop_ready(&mut self, current_prio: impl Fn(u32) -> i64) -> VertexSet {
+        while let Some(pos) = self.buckets.iter().position(|b| !b.is_empty()) {
+            let bucket_idx = self.first_bucket + pos as i64;
+            let entries = std::mem::take(&mut self.buckets[pos]);
+            self.pending -= entries.len();
+            let mut out = VertexSet::empty_sparse(self.universe);
+            for v in entries {
+                if self.bucket_of(current_prio(v)) == bucket_idx {
+                    out.add(v);
+                }
+            }
+            out.dedup();
+            if !out.is_empty() {
+                return out;
+            }
+            // Entire bucket was stale; try the next one.
+        }
+        VertexSet::empty_sparse(self.universe)
+    }
+
+    /// Upper bound on entries still queued (stale included).
+    pub fn pending_upper_bound(&self) -> usize {
+        self.pending
+    }
+
+    /// Drops every pending entry (used by backends that drain the queue
+    /// through their own task machinery, e.g. Swarm's vertex-set→tasks).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.pending = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut q = BucketQueue::new(10, 1, 0);
+        let mut prio: HashMap<u32, i64> = HashMap::new();
+        prio.insert(0, 0);
+        prio.insert(5, 2);
+        prio.insert(7, 1);
+        q.push(5, 2);
+        q.push(7, 1);
+        let p = |v: u32| prio[&v];
+        assert_eq!(q.pop_ready(p).iter(), vec![0]);
+        assert_eq!(q.pop_ready(p).iter(), vec![7]);
+        assert_eq!(q.pop_ready(p).iter(), vec![5]);
+        assert!(q.finished());
+    }
+
+    #[test]
+    fn delta_groups_buckets() {
+        let mut q = BucketQueue::new(10, 4, 0);
+        let prio = |v: u32| v as i64; // vertex id = priority
+        q.push(1, 1);
+        q.push(3, 3);
+        q.push(5, 5);
+        let first = q.pop_ready(prio);
+        assert_eq!(first.iter(), vec![0, 1, 3]); // bucket [0,4)
+        let second = q.pop_ready(prio);
+        assert_eq!(second.iter(), vec![5]);
+    }
+
+    #[test]
+    fn stale_entries_filtered() {
+        let mut q = BucketQueue::new(10, 1, 0);
+        // Vertex 3 first scheduled at prio 5, then improved to 2.
+        q.push(3, 5);
+        q.push(3, 2);
+        let prio = |v: u32| match v {
+            0 => 0,
+            3 => 2,
+            _ => i64::MAX,
+        };
+        assert_eq!(q.pop_ready(prio).iter(), vec![0]);
+        assert_eq!(q.pop_ready(prio).iter(), vec![3]); // from bucket 2
+        // The stale bucket-5 entry is dropped.
+        assert_eq!(q.pop_ready(prio).iter(), Vec::<u32>::new());
+        assert!(q.finished());
+    }
+
+    #[test]
+    fn duplicates_within_bucket_collapse() {
+        let mut q = BucketQueue::new(10, 1, 0);
+        q.push(2, 1);
+        q.push(2, 1);
+        let prio = |v: u32| if v == 0 { 0 } else { 1 };
+        q.pop_ready(prio);
+        let s = q.pop_ready(prio);
+        assert_eq!(s.iter(), vec![2]);
+    }
+
+    #[test]
+    fn empty_queue_returns_empty_set() {
+        let mut q = BucketQueue::new(4, 1, 0);
+        let prio = |_| 0;
+        q.pop_ready(prio);
+        assert!(q.finished());
+        assert!(q.pop_ready(prio).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be")]
+    fn zero_delta_rejected() {
+        let _ = BucketQueue::new(4, 0, 0);
+    }
+
+    #[test]
+    fn negative_priorities_rebase() {
+        let mut q = BucketQueue::new(4, 2, 0);
+        q.push(1, -4);
+        let prio = |v: u32| if v == 1 { -4 } else { 0 };
+        assert_eq!(q.pop_ready(prio).iter(), vec![1]);
+        assert_eq!(q.pop_ready(prio).iter(), vec![0]);
+    }
+}

@@ -1,0 +1,829 @@
+//! Compilation of GraphIR user-defined functions to a register bytecode.
+//!
+//! Backends do not interpret GraphIR statement trees on the hot path.
+//! Instead, every UDF is compiled once into a compact register program
+//! ([`UdfProgram`]) executed by [`crate::eval`]. The evaluator takes a
+//! pluggable [`crate::eval::MemoryModel`], which is how the GPU/Swarm/
+//! HammerBlade simulators observe every memory access with its address.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ugc_graphir::ir::{Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind};
+use ugc_graphir::keys;
+use ugc_graphir::types::{BinOp, Intrinsic, ReduceOp, UnOp};
+
+use crate::properties::PropId;
+use crate::value::Value;
+
+/// Register index within a UDF frame.
+pub type Reg = u16;
+
+/// Identifier of a compiled UDF within a [`UdfSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdfId(pub usize);
+
+/// One bytecode instruction. Field names follow the assembly mnemonics in
+/// each variant's doc line (`dst`/`src` registers, `prop` arrays, `idx`
+/// element indices).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    /// `dst = v`
+    Const { dst: Reg, v: Value },
+    /// `dst = src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a op b`
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst = op a`
+    Un { op: UnOp, dst: Reg, a: Reg },
+    /// `dst = |a|` as float
+    Abs { dst: Reg, a: Reg },
+    /// `dst = prop[idx]`
+    LoadProp { dst: Reg, prop: PropId, idx: Reg },
+    /// `prop[idx] = val`
+    StoreProp { prop: PropId, idx: Reg, val: Reg },
+    /// `dst = CAS(prop[idx], expected, new)`
+    Cas {
+        dst: Reg,
+        prop: PropId,
+        idx: Reg,
+        expected: Reg,
+        new: Reg,
+        atomic: bool,
+    },
+    /// `prop[idx] op= val`, optionally recording whether it changed
+    ReduceProp {
+        prop: PropId,
+        idx: Reg,
+        op: ReduceOp,
+        val: Reg,
+        atomic: bool,
+        changed: Option<Reg>,
+    },
+    /// `dst = global[id]`
+    LoadGlobal { dst: Reg, id: usize },
+    /// `global[id] = val`
+    StoreGlobal { id: usize, val: Reg },
+    /// `global[id] op= val`
+    ReduceGlobal {
+        id: usize,
+        op: ReduceOp,
+        val: Reg,
+        changed: Option<Reg>,
+    },
+    /// Append `vertex` to the operator's output frontier.
+    Enqueue { vertex: Reg },
+    /// Fold a new priority into `queue`'s tracked property and reschedule.
+    UpdatePrio {
+        queue: usize,
+        vertex: Reg,
+        op: ReduceOp,
+        val: Reg,
+        atomic: bool,
+    },
+    /// `dst = out_degree(v)`
+    OutDegree { dst: Reg, v: Reg },
+    /// `dst = in_degree(v)`
+    InDegree { dst: Reg, v: Reg },
+    /// `dst = weight of the edge being applied`
+    EdgeWeight { dst: Reg },
+    /// Call another UDF.
+    Call {
+        dst: Option<Reg>,
+        udf: UdfId,
+        args: Vec<Reg>,
+    },
+    /// Unconditional jump to instruction index.
+    Jump { target: usize },
+    /// Jump when `cond` is false.
+    JumpIfNot { cond: Reg, target: usize },
+    /// Return from the UDF.
+    Ret,
+}
+
+/// A compiled UDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfProgram {
+    /// Source function name.
+    pub name: String,
+    /// Total registers used.
+    pub num_regs: usize,
+    /// Arguments fill registers `0..num_params`.
+    pub num_params: usize,
+    /// Register holding the named return value, if any.
+    pub ret_reg: Option<Reg>,
+    /// Instruction stream.
+    pub instrs: Vec<Instr>,
+}
+
+/// All compiled UDFs of a program plus queue bindings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UdfSet {
+    /// Compiled programs, indexable by [`UdfId`].
+    pub udfs: Vec<UdfProgram>,
+    /// Tracked property of each priority queue (index = queue id).
+    pub queue_props: Vec<PropId>,
+}
+
+impl UdfSet {
+    /// Resolves a UDF by source name.
+    pub fn id_of(&self, name: &str) -> Option<UdfId> {
+        self.udfs.iter().position(|u| u.name == name).map(UdfId)
+    }
+
+    /// The compiled program for `id`.
+    pub fn get(&self, id: UdfId) -> &UdfProgram {
+        &self.udfs[id.0]
+    }
+}
+
+/// Name-to-id bindings shared by compilation and execution.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    /// Property name → id.
+    pub props: HashMap<String, PropId>,
+    /// Global name → id.
+    pub globals: HashMap<String, usize>,
+    /// Queue name → id.
+    pub queues: HashMap<String, usize>,
+}
+
+/// Bytecode compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description, naming the function and construct.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytecode compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles every function of `prog` into bytecode.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a function uses a construct not valid inside
+/// UDFs (e.g. a nested `EdgeSetIterator`) or references an unbound name.
+pub fn compile_udfs(prog: &Program, binding: &Binding) -> Result<UdfSet, CompileError> {
+    let ids: HashMap<&str, UdfId> = prog
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), UdfId(i)))
+        .collect();
+    let mut udfs = Vec::with_capacity(prog.functions.len());
+    for f in &prog.functions {
+        udfs.push(compile_function(f, binding, &ids, prog)?);
+    }
+    let mut queue_props = Vec::new();
+    for q in &prog.queues {
+        let pid = *binding.props.get(&q.tracked_property).ok_or_else(|| CompileError {
+            message: format!("queue `{}` tracks unbound property `{}`", q.name, q.tracked_property),
+        })?;
+        queue_props.push(pid);
+    }
+    Ok(UdfSet { udfs, queue_props })
+}
+
+struct FnCompiler<'a> {
+    binding: &'a Binding,
+    ids: &'a HashMap<&'a str, UdfId>,
+    prog: &'a Program,
+    fname: &'a str,
+    locals: HashMap<String, Reg>,
+    next_reg: usize,
+    instrs: Vec<Instr>,
+    /// Patch lists of `Jump` indices for enclosing loops (`break`).
+    break_patches: Vec<Vec<usize>>,
+    ret_reg: Option<Reg>,
+}
+
+fn compile_function(
+    f: &Function,
+    binding: &Binding,
+    ids: &HashMap<&str, UdfId>,
+    prog: &Program,
+) -> Result<UdfProgram, CompileError> {
+    let mut c = FnCompiler {
+        binding,
+        ids,
+        prog,
+        fname: &f.name,
+        locals: HashMap::new(),
+        next_reg: 0,
+        instrs: Vec::new(),
+        break_patches: Vec::new(),
+        ret_reg: None,
+    };
+    for p in &f.params {
+        let r = c.alloc();
+        c.locals.insert(p.name.clone(), r);
+    }
+    let num_params = f.params.len();
+    let ret_reg = if let Some(r) = &f.ret {
+        let reg = c.alloc();
+        c.locals.insert(r.name.clone(), reg);
+        // Initialize the named return to the type's zero value.
+        c.instrs.push(Instr::Const {
+            dst: reg,
+            v: Value::zero_of(r.ty),
+        });
+        Some(reg)
+    } else {
+        None
+    };
+    c.ret_reg = ret_reg;
+    c.block(&f.body)?;
+    c.instrs.push(Instr::Ret);
+    Ok(UdfProgram {
+        name: f.name.clone(),
+        num_regs: c.next_reg,
+        num_params,
+        ret_reg,
+        instrs: c.instrs,
+    })
+}
+
+impl FnCompiler<'_> {
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r as Reg
+    }
+
+    fn err<T>(&self, msg: impl fmt::Display) -> Result<T, CompileError> {
+        Err(CompileError {
+            message: format!("in function `{}`: {msg}", self.fname),
+        })
+    }
+
+    fn prop_id(&self, name: &str) -> Result<PropId, CompileError> {
+        self.binding.props.get(name).copied().ok_or_else(|| CompileError {
+            message: format!("in function `{}`: unbound property `{name}`", self.fname),
+        })
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::VarDecl { name, init, ty } => {
+                let r = self.alloc();
+                self.locals.insert(name.clone(), r);
+                match init {
+                    Some(e) => {
+                        let v = self.expr(e)?;
+                        if v != r {
+                            self.instrs.push(Instr::Mov { dst: r, src: v });
+                        }
+                    }
+                    None => self.instrs.push(Instr::Const {
+                        dst: r,
+                        v: Value::zero_of(*ty),
+                    }),
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.expr(value)?;
+                match target {
+                    LValue::Var(name) => {
+                        if let Some(&r) = self.locals.get(name) {
+                            if v != r {
+                                self.instrs.push(Instr::Mov { dst: r, src: v });
+                            }
+                            Ok(())
+                        } else if let Some(&g) = self.binding.globals.get(name) {
+                            self.instrs.push(Instr::StoreGlobal { id: g, val: v });
+                            Ok(())
+                        } else {
+                            self.err(format!("assignment to unbound variable `{name}`"))
+                        }
+                    }
+                    LValue::Prop { prop, index } => {
+                        let p = self.prop_id(prop)?;
+                        let i = self.expr(index)?;
+                        self.instrs.push(Instr::StoreProp { prop: p, idx: i, val: v });
+                        Ok(())
+                    }
+                }
+            }
+            StmtKind::Reduce {
+                target,
+                op,
+                value,
+                tracking,
+            } => {
+                let v = self.expr(value)?;
+                let atomic = s.meta.flag(keys::IS_ATOMIC);
+                let changed = match tracking {
+                    Some(t) => Some(match self.locals.get(t) {
+                        Some(&r) => r,
+                        None => {
+                            let r = self.alloc();
+                            self.locals.insert(t.clone(), r);
+                            r
+                        }
+                    }),
+                    None => None,
+                };
+                match target {
+                    LValue::Prop { prop, index } => {
+                        let p = self.prop_id(prop)?;
+                        let i = self.expr(index)?;
+                        self.instrs.push(Instr::ReduceProp {
+                            prop: p,
+                            idx: i,
+                            op: *op,
+                            val: v,
+                            atomic,
+                            changed,
+                        });
+                        Ok(())
+                    }
+                    LValue::Var(name) => {
+                        if let Some(&r) = self.locals.get(name) {
+                            // Local reduction: plain read-modify-write.
+                            let tmp = self.alloc();
+                            let binop = match op {
+                                ReduceOp::Sum => BinOp::Add,
+                                ReduceOp::Or => BinOp::Or,
+                                ReduceOp::Min | ReduceOp::Max => {
+                                    // r = min(r, v) via compare + conditional move
+                                    let cond = self.alloc();
+                                    let cmp = if *op == ReduceOp::Min { BinOp::Lt } else { BinOp::Gt };
+                                    self.instrs.push(Instr::Bin {
+                                        op: cmp,
+                                        dst: cond,
+                                        a: v,
+                                        b: r,
+                                    });
+                                    let skip = self.instrs.len();
+                                    self.instrs.push(Instr::JumpIfNot { cond, target: 0 });
+                                    self.instrs.push(Instr::Mov { dst: r, src: v });
+                                    let after = self.instrs.len();
+                                    self.patch_jump(skip, after);
+                                    if let Some(ch) = changed {
+                                        self.instrs.push(Instr::Mov { dst: ch, src: cond });
+                                    }
+                                    return Ok(());
+                                }
+                            };
+                            self.instrs.push(Instr::Bin {
+                                op: binop,
+                                dst: tmp,
+                                a: r,
+                                b: v,
+                            });
+                            self.instrs.push(Instr::Mov { dst: r, src: tmp });
+                            if let Some(ch) = changed {
+                                self.instrs.push(Instr::Const {
+                                    dst: ch,
+                                    v: Value::Bool(true),
+                                });
+                            }
+                            Ok(())
+                        } else if let Some(&g) = self.binding.globals.get(name) {
+                            self.instrs.push(Instr::ReduceGlobal {
+                                id: g,
+                                op: *op,
+                                val: v,
+                                changed,
+                            });
+                            Ok(())
+                        } else {
+                            self.err(format!("reduction on unbound variable `{name}`"))
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr(cond)?;
+                let jump_else = self.instrs.len();
+                self.instrs.push(Instr::JumpIfNot { cond: c, target: 0 });
+                self.block(then_body)?;
+                if else_body.is_empty() {
+                    let after = self.instrs.len();
+                    self.patch_jump(jump_else, after);
+                } else {
+                    let jump_end = self.instrs.len();
+                    self.instrs.push(Instr::Jump { target: 0 });
+                    let else_start = self.instrs.len();
+                    self.patch_jump(jump_else, else_start);
+                    self.block(else_body)?;
+                    let after = self.instrs.len();
+                    self.patch_jump(jump_end, after);
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let head = self.instrs.len();
+                let c = self.expr(cond)?;
+                let exit_jump = self.instrs.len();
+                self.instrs.push(Instr::JumpIfNot { cond: c, target: 0 });
+                self.break_patches.push(Vec::new());
+                self.block(body)?;
+                self.instrs.push(Instr::Jump { target: head });
+                let after = self.instrs.len();
+                self.patch_jump(exit_jump, after);
+                for b in self.break_patches.pop().expect("pushed above") {
+                    self.patch_jump(b, after);
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let i = self.alloc();
+                self.locals.insert(var.clone(), i);
+                let sv = self.expr(start)?;
+                if sv != i {
+                    self.instrs.push(Instr::Mov { dst: i, src: sv });
+                }
+                let ev = self.expr(end)?;
+                let head = self.instrs.len();
+                let cond = self.alloc();
+                self.instrs.push(Instr::Bin {
+                    op: BinOp::Lt,
+                    dst: cond,
+                    a: i,
+                    b: ev,
+                });
+                let exit_jump = self.instrs.len();
+                self.instrs.push(Instr::JumpIfNot { cond, target: 0 });
+                self.break_patches.push(Vec::new());
+                self.block(body)?;
+                let one = self.alloc();
+                self.instrs.push(Instr::Const {
+                    dst: one,
+                    v: Value::Int(1),
+                });
+                self.instrs.push(Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    a: i,
+                    b: one,
+                });
+                self.instrs.push(Instr::Jump { target: head });
+                let after = self.instrs.len();
+                self.patch_jump(exit_jump, after);
+                for b in self.break_patches.pop().expect("pushed above") {
+                    self.patch_jump(b, after);
+                }
+                Ok(())
+            }
+            StmtKind::Break => {
+                let j = self.instrs.len();
+                self.instrs.push(Instr::Jump { target: 0 });
+                match self.break_patches.last_mut() {
+                    Some(p) => {
+                        p.push(j);
+                        Ok(())
+                    }
+                    None => self.err("`break` outside a loop"),
+                }
+            }
+            StmtKind::ExprStmt(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                let v = self.expr(e)?;
+                if let Some(r) = self.ret_reg {
+                    if v != r {
+                        self.instrs.push(Instr::Mov { dst: r, src: v });
+                    }
+                }
+                self.instrs.push(Instr::Ret);
+                Ok(())
+            }
+            StmtKind::EnqueueVertex { set, vertex } => {
+                if set.is_some() {
+                    return self.err("EnqueueVertex with an explicit set inside a UDF");
+                }
+                let v = self.expr(vertex)?;
+                self.instrs.push(Instr::Enqueue { vertex: v });
+                Ok(())
+            }
+            StmtKind::UpdatePriority {
+                queue,
+                vertex,
+                op,
+                value,
+            } => {
+                let q = *self.binding.queues.get(queue).ok_or_else(|| CompileError {
+                    message: format!("in function `{}`: unbound queue `{queue}`", self.fname),
+                })?;
+                let v = self.expr(vertex)?;
+                let val = self.expr(value)?;
+                let atomic = s.meta.flag(keys::IS_ATOMIC);
+                self.instrs.push(Instr::UpdatePrio {
+                    queue: q,
+                    vertex: v,
+                    op: *op,
+                    val,
+                    atomic,
+                });
+                Ok(())
+            }
+            other => self.err(format!("statement not valid inside a UDF: {other:?}")),
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.instrs[at] {
+            Instr::Jump { target: t } | Instr::JumpIfNot { target: t, .. } => *t = target,
+            _ => unreachable!("patching a non-jump"),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let r = self.alloc();
+                self.instrs.push(Instr::Const {
+                    dst: r,
+                    v: Value::Int(*v),
+                });
+                Ok(r)
+            }
+            ExprKind::Float(v) => {
+                let r = self.alloc();
+                self.instrs.push(Instr::Const {
+                    dst: r,
+                    v: Value::Float(*v),
+                });
+                Ok(r)
+            }
+            ExprKind::Bool(v) => {
+                let r = self.alloc();
+                self.instrs.push(Instr::Const {
+                    dst: r,
+                    v: Value::Bool(*v),
+                });
+                Ok(r)
+            }
+            ExprKind::Var(name) => {
+                if let Some(&r) = self.locals.get(name) {
+                    Ok(r)
+                } else if let Some(&g) = self.binding.globals.get(name) {
+                    let r = self.alloc();
+                    self.instrs.push(Instr::LoadGlobal { dst: r, id: g });
+                    Ok(r)
+                } else {
+                    self.err(format!("unbound variable `{name}`"))
+                }
+            }
+            ExprKind::PropRead { prop, index } => {
+                let p = self.prop_id(prop)?;
+                let i = self.expr(index)?;
+                let r = self.alloc();
+                self.instrs.push(Instr::LoadProp {
+                    dst: r,
+                    prop: p,
+                    idx: i,
+                });
+                Ok(r)
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                let r = self.alloc();
+                self.instrs.push(Instr::Bin {
+                    op: *op,
+                    dst: r,
+                    a,
+                    b,
+                });
+                Ok(r)
+            }
+            ExprKind::Unary { op, operand } => {
+                let a = self.expr(operand)?;
+                let r = self.alloc();
+                self.instrs.push(Instr::Un { op: *op, dst: r, a });
+                Ok(r)
+            }
+            ExprKind::Intrinsic { kind, args } => match kind {
+                Intrinsic::OutDegree | Intrinsic::InDegree => {
+                    let v = self.expr(args.last().ok_or_else(|| CompileError {
+                        message: format!("in function `{}`: degree intrinsic needs a vertex", self.fname),
+                    })?)?;
+                    let r = self.alloc();
+                    self.instrs.push(if *kind == Intrinsic::OutDegree {
+                        Instr::OutDegree { dst: r, v }
+                    } else {
+                        Instr::InDegree { dst: r, v }
+                    });
+                    Ok(r)
+                }
+                Intrinsic::EdgeWeight => {
+                    let r = self.alloc();
+                    self.instrs.push(Instr::EdgeWeight { dst: r });
+                    Ok(r)
+                }
+                Intrinsic::Abs => {
+                    let a = self.expr(&args[0])?;
+                    let r = self.alloc();
+                    self.instrs.push(Instr::Abs { dst: r, a });
+                    Ok(r)
+                }
+                other => self.err(format!("intrinsic {other} not valid inside a UDF")),
+            },
+            ExprKind::Call { func, args } => {
+                let udf = *self.ids.get(func.as_str()).ok_or_else(|| CompileError {
+                    message: format!("in function `{}`: call to unknown UDF `{func}`", self.fname),
+                })?;
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.expr(a)?);
+                }
+                let has_ret = self.prog.functions[udf.0].ret.is_some();
+                let dst = if has_ret { Some(self.alloc()) } else { None };
+                self.instrs.push(Instr::Call {
+                    dst,
+                    udf,
+                    args: regs,
+                });
+                Ok(dst.unwrap_or(0))
+            }
+            ExprKind::CompareAndSwap {
+                prop,
+                index,
+                expected,
+                new,
+            } => {
+                let p = self.prop_id(prop)?;
+                let i = self.expr(index)?;
+                let ex = self.expr(expected)?;
+                let nw = self.expr(new)?;
+                let r = self.alloc();
+                self.instrs.push(Instr::Cas {
+                    dst: r,
+                    prop: p,
+                    idx: i,
+                    expected: ex,
+                    new: nw,
+                    atomic: e.meta.flag(keys::IS_ATOMIC),
+                });
+                Ok(r)
+            }
+        }
+    }
+}
+
+/// Builds a [`Binding`] straight from a program's declarations, assigning
+/// ids in declaration order (matching how backends construct their
+/// [`crate::PropertyStorage`] / [`crate::GlobalTable`]).
+pub fn binding_of(prog: &Program) -> Binding {
+    let mut b = Binding::default();
+    for (i, p) in prog.properties.iter().enumerate() {
+        b.props.insert(p.name.clone(), PropId(i));
+    }
+    for (i, g) in prog.globals.iter().enumerate() {
+        b.globals.insert(g.name.clone(), i);
+    }
+    for (i, q) in prog.queues.iter().enumerate() {
+        b.queues.insert(q.name.clone(), i);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graphir::ir::{Param, Program};
+    use ugc_graphir::types::Type;
+
+    fn bfs_like_program() -> Program {
+        let mut p = Program::new();
+        p.add_property("parent", Type::Vertex, Expr::int(-1));
+        let mut f = Function::new(
+            "updateEdge",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut cas = Expr::cas("parent", Expr::var("dst"), Expr::int(-1), Expr::var("src"));
+        cas.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(Stmt::new(StmtKind::VarDecl {
+            name: "enqueue".into(),
+            ty: Type::Bool,
+            init: Some(cas),
+        }));
+        f.body.push(Stmt::new(StmtKind::If {
+            cond: Expr::var("enqueue"),
+            then_body: vec![Stmt::new(StmtKind::EnqueueVertex {
+                set: None,
+                vertex: Expr::var("dst"),
+            })],
+            else_body: vec![],
+        }));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn compiles_bfs_update_edge() {
+        let p = bfs_like_program();
+        let b = binding_of(&p);
+        let set = compile_udfs(&p, &b).unwrap();
+        let u = set.get(set.id_of("updateEdge").unwrap());
+        assert_eq!(u.num_params, 2);
+        assert!(u.instrs.iter().any(|i| matches!(i, Instr::Cas { atomic: true, .. })));
+        assert!(u.instrs.iter().any(|i| matches!(i, Instr::Enqueue { .. })));
+        assert!(matches!(u.instrs.last(), Some(Instr::Ret)));
+    }
+
+    #[test]
+    fn named_return_is_initialized() {
+        let mut p = Program::new();
+        p.add_property("parent", Type::Vertex, Expr::int(-1));
+        let mut f = Function::new(
+            "toFilter",
+            vec![Param::new("v", Type::Vertex)],
+            Some(Param::new("output", Type::Bool)),
+        );
+        f.body.push(Stmt::new(StmtKind::Assign {
+            target: LValue::Var("output".into()),
+            value: Expr::bin(
+                BinOp::Eq,
+                Expr::prop("parent", Expr::var("v")),
+                Expr::int(-1),
+            ),
+        }));
+        p.add_function(f);
+        let set = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let u = set.get(UdfId(0));
+        assert_eq!(u.ret_reg, Some(1));
+        assert!(matches!(u.instrs[0], Instr::Const { dst: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_property_errors() {
+        let mut p = Program::new();
+        let mut f = Function::new("f", vec![Param::new("v", Type::Vertex)], None);
+        f.body.push(Stmt::new(StmtKind::ExprStmt(Expr::prop(
+            "ghost",
+            Expr::var("v"),
+        ))));
+        p.add_function(f);
+        let err = compile_udfs(&p, &binding_of(&p)).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn break_outside_loop_errors() {
+        let mut p = Program::new();
+        let mut f = Function::new("f", vec![], None);
+        f.body.push(Stmt::new(StmtKind::Break));
+        p.add_function(f);
+        assert!(compile_udfs(&p, &binding_of(&p)).is_err());
+    }
+
+    #[test]
+    fn while_loop_compiles_with_back_edge() {
+        let mut p = Program::new();
+        let mut f = Function::new("f", vec![Param::new("n", Type::Int)], None);
+        f.body.push(Stmt::new(StmtKind::While {
+            cond: Expr::bin(BinOp::Gt, Expr::var("n"), Expr::int(0)),
+            body: vec![Stmt::new(StmtKind::Assign {
+                target: LValue::Var("n".into()),
+                value: Expr::bin(BinOp::Sub, Expr::var("n"), Expr::int(1)),
+            })],
+        }));
+        p.add_function(f);
+        let set = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let u = set.get(UdfId(0));
+        assert!(u.instrs.iter().any(|i| matches!(i, Instr::Jump { target } if *target == 0)));
+    }
+
+    #[test]
+    fn queue_binding_resolved() {
+        let mut p = bfs_like_program();
+        p.add_property("dist", Type::Int, Expr::int(i32::MAX as i64));
+        p.add_queue("pq", "dist", Expr::int(0));
+        let b = binding_of(&p);
+        let set = compile_udfs(&p, &b).unwrap();
+        assert_eq!(set.queue_props, vec![PropId(1)]);
+    }
+}

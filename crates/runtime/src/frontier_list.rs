@@ -1,0 +1,85 @@
+//! The list-of-frontiers used by betweenness centrality (`FrontierList` in
+//! Table II).
+
+use crate::vertexset::VertexSet;
+
+/// An append-only list of frontiers recorded across rounds, walked
+/// backwards by BC's dependency-accumulation pass.
+///
+/// # Example
+///
+/// ```
+/// use ugc_runtime::{FrontierList, VertexSet};
+///
+/// let mut l = FrontierList::new();
+/// l.append(VertexSet::from_members(4, vec![0]));
+/// l.append(VertexSet::from_members(4, vec![1, 2]));
+/// assert_eq!(l.len(), 2);
+/// assert_eq!(l.pop_back().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrontierList {
+    sets: Vec<VertexSet>,
+}
+
+impl FrontierList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a frontier.
+    pub fn append(&mut self, set: VertexSet) {
+        self.sets.push(set);
+    }
+
+    /// Number of recorded frontiers.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no frontiers are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Removes and returns the most recently appended frontier.
+    pub fn pop_back(&mut self) -> Option<VertexSet> {
+        self.sets.pop()
+    }
+
+    /// A copy of the frontier at `index` (0 = first appended).
+    pub fn retrieve(&self, index: usize) -> Option<VertexSet> {
+        self.sets.get(index).cloned()
+    }
+}
+
+impl Extend<VertexSet> for FrontierList {
+    fn extend<T: IntoIterator<Item = VertexSet>>(&mut self, iter: T) {
+        self.sets.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_retrieve_pop() {
+        let mut l = FrontierList::new();
+        assert!(l.is_empty());
+        l.append(VertexSet::from_members(4, vec![0]));
+        l.append(VertexSet::from_members(4, vec![1]));
+        assert_eq!(l.retrieve(0).unwrap().iter(), vec![0]);
+        assert_eq!(l.retrieve(2), None);
+        assert_eq!(l.pop_back().unwrap().iter(), vec![1]);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut l = FrontierList::new();
+        l.extend(vec![VertexSet::all(2), VertexSet::all(2)]);
+        assert_eq!(l.len(), 2);
+    }
+}

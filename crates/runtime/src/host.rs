@@ -1,0 +1,195 @@
+//! Host-side variable environment shared by backend interpreters.
+//!
+//! Every GraphVM walks the program's `main` body on the "host" (sequential
+//! coordination code in the paper's generated C++); this module provides the
+//! variable store those walkers share: scalars, vertex sets, frontier
+//! lists.
+
+use std::collections::HashMap;
+
+use crate::frontier_list::FrontierList;
+use crate::value::Value;
+use crate::vertexset::VertexSet;
+
+/// A host-level variable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostValue {
+    /// A scalar.
+    Scalar(Value),
+    /// A vertex set (frontier).
+    Set(VertexSet),
+    /// A list of frontiers.
+    List(FrontierList),
+    /// A deleted/moved-out set (GraphIt's `delete` leaves the name bound).
+    Deleted,
+}
+
+/// Host variable environment with lexical shadowing.
+///
+/// # Example
+///
+/// ```
+/// use ugc_runtime::host::{HostEnv, HostValue};
+/// use ugc_runtime::Value;
+///
+/// let mut env = HostEnv::new();
+/// env.declare("round", HostValue::Scalar(Value::Int(0)));
+/// env.assign("round", HostValue::Scalar(Value::Int(1))).unwrap();
+/// assert_eq!(env.scalar("round").unwrap(), Value::Int(1));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct HostEnv {
+    scopes: Vec<HashMap<String, HostValue>>,
+}
+
+impl HostEnv {
+    /// Creates an environment with one root scope.
+    pub fn new() -> Self {
+        HostEnv {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Enters a nested scope (loop/branch bodies).
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leaves the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than [`HostEnv::push_scope`].
+    pub fn pop_scope(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop the root scope");
+        self.scopes.pop();
+    }
+
+    /// Declares a variable in the innermost scope.
+    pub fn declare(&mut self, name: impl Into<String>, v: HostValue) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.into(), v);
+    }
+
+    /// Assigns to the nearest declaration of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the name when it is not declared anywhere.
+    pub fn assign(&mut self, name: &str, v: HostValue) -> Result<(), String> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        Err(name.to_string())
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&HostValue> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut HostValue> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+
+    /// Reads a scalar variable.
+    pub fn scalar(&self, name: &str) -> Option<Value> {
+        match self.get(name) {
+            Some(HostValue::Scalar(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a set variable (shared view).
+    pub fn set(&self, name: &str) -> Option<&VertexSet> {
+        match self.get(name) {
+            Some(HostValue::Set(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Takes a set out of the environment, leaving `Deleted` behind
+    /// (GraphIt `delete` / move-on-assign semantics).
+    pub fn take_set(&mut self, name: &str) -> Option<VertexSet> {
+        match self.get_mut(name) {
+            Some(slot @ HostValue::Set(_)) => {
+                let HostValue::Set(s) = std::mem::replace(slot, HostValue::Deleted) else {
+                    unreachable!()
+                };
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a list variable.
+    pub fn list_mut(&mut self, name: &str) -> Option<&mut FrontierList> {
+        match self.get_mut(name) {
+            Some(HostValue::List(l)) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_shadowing() {
+        let mut env = HostEnv::new();
+        env.declare("x", HostValue::Scalar(Value::Int(1)));
+        env.push_scope();
+        env.declare("x", HostValue::Scalar(Value::Int(2)));
+        assert_eq!(env.scalar("x").unwrap(), Value::Int(2));
+        env.pop_scope();
+        assert_eq!(env.scalar("x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn assign_reaches_outer_scope() {
+        let mut env = HostEnv::new();
+        env.declare("x", HostValue::Scalar(Value::Int(1)));
+        env.push_scope();
+        env.assign("x", HostValue::Scalar(Value::Int(9))).unwrap();
+        env.pop_scope();
+        assert_eq!(env.scalar("x").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn assign_unknown_errors() {
+        let mut env = HostEnv::new();
+        assert!(env.assign("ghost", HostValue::Scalar(Value::Int(0))).is_err());
+    }
+
+    #[test]
+    fn take_set_leaves_deleted() {
+        let mut env = HostEnv::new();
+        env.declare("f", HostValue::Set(VertexSet::all(3)));
+        let s = env.take_set("f").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(env.get("f"), Some(&HostValue::Deleted));
+        assert!(env.take_set("f").is_none());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let mut env = HostEnv::new();
+        env.declare("l", HostValue::List(FrontierList::new()));
+        env.list_mut("l").unwrap().append(VertexSet::all(2));
+        assert_eq!(env.list_mut("l").unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the root scope")]
+    fn popping_root_panics() {
+        let mut env = HostEnv::new();
+        env.pop_scope();
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal work-distribution primitives for the CPU backend.
+//!
+//! Built on crossbeam scoped threads with an atomic chunk cursor — the
+//! dynamic scheduling shape of an OpenMP `schedule(dynamic)` loop, which is
+//! what GraphIt's CPU runtime uses for irregular graph work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by default: the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(thread_id, start..end)` over chunks of `0..total` on
+/// `num_threads` workers, chunks handed out dynamically.
+///
+/// `f` must be safe to call concurrently. Chunk size is
+/// `max(chunk_hint, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use ugc_runtime::parallel::parallel_for;
+///
+/// let sum = AtomicUsize::new(0);
+/// parallel_for(4, 1000, 64, |_tid, range| {
+///     sum.fetch_add(range.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 1000);
+/// ```
+pub fn parallel_for<F>(num_threads: usize, total: usize, chunk_hint: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    if total == 0 {
+        return;
+    }
+    let chunk = chunk_hint.max(1);
+    let threads = num_threads.max(1).min(total.div_ceil(chunk));
+    if threads <= 1 {
+        f(0, 0..total);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for tid in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            s.spawn(move |_| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= total {
+                    break;
+                }
+                let end = (start + chunk).min(total);
+                f(tid, start..end);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(thread_id, start..end, &mut local)` like [`parallel_for`] but
+/// gives each worker a `T::default()` accumulator, returning all
+/// accumulators (useful for building output frontiers without contention).
+pub fn parallel_for_with_local<T, F>(
+    num_threads: usize,
+    total: usize,
+    chunk_hint: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Default + Send,
+    F: Fn(usize, std::ops::Range<usize>, &mut T) + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_hint.max(1);
+    let threads = num_threads.max(1).min(total.div_ceil(chunk));
+    if threads <= 1 {
+        let mut local = T::default();
+        f(0, 0..total, &mut local);
+        return vec![local];
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            handles.push(s.spawn(move |_| {
+                let mut local = T::default();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    let end = (start + chunk).min(total);
+                    f(tid, start..end, &mut local);
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(8, 500, 7, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_total_is_noop() {
+        parallel_for(4, 0, 16, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn local_accumulators_merge() {
+        let locals = parallel_for_with_local::<Vec<usize>, _>(4, 100, 3, |_tid, range, local| {
+            local.extend(range);
+        });
+        let mut all: Vec<usize> = locals.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let locals = parallel_for_with_local::<usize, _>(1, 10, 100, |tid, range, local| {
+            assert_eq!(tid, 0);
+            *local += range.len();
+        });
+        assert_eq!(locals, vec![10]);
+    }
+}

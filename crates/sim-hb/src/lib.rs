@@ -1,0 +1,484 @@
+//! A timing simulator of the HammerBlade manycore (paper §II-B4, Fig. 3b,
+//! Table VII).
+//!
+//! HammerBlade is a grid of simple RISC-V cores with software-managed
+//! scratchpads, a banked last-level cache, and HBM channels. The paper's
+//! HammerBlade GraphVM optimizations are entirely about the memory system,
+//! so that is what this model captures:
+//!
+//! * **non-blocking memory operations**: a core overlaps independent
+//!   requests; *bulk* (prefetch) requests pipeline deeply while *demand*
+//!   requests overlap only a little — the mechanism behind the
+//!   blocked-access optimization,
+//! * a **banked LLC** (line-granular, set-associative): alignment-based
+//!   partitioning pays off as line reuse and reduced bank contention,
+//! * **HBM bandwidth** as a throughput roof,
+//! * a **barrier** per kernel phase (SPMD execution).
+//!
+//! The simulator reports the Table IX metrics natively: DRAM stall cycles
+//! and achieved memory bandwidth.
+
+use std::collections::HashMap;
+
+/// Configuration of the simulated manycore (Table VII flavored).
+#[derive(Debug, Clone)]
+pub struct HbConfig {
+    /// Grid columns (fixed at 16 in the paper's scaling study).
+    pub cols: usize,
+    /// Grid rows (2/4/8/16 in the scaling study).
+    pub rows: usize,
+    /// LLC banks.
+    pub llc_banks: usize,
+    /// LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// Bytes per cache line.
+    pub line_bytes: u64,
+    /// LLC hit latency (cycles).
+    pub llc_hit_cycles: u64,
+    /// Additional DRAM latency on a miss (cycles).
+    pub dram_cycles: u64,
+    /// Bank occupancy per access (cycles).
+    pub bank_cycles: u64,
+    /// HBM channels.
+    pub hbm_channels: usize,
+    /// Bytes per cycle per channel.
+    pub channel_bytes_per_cycle: u64,
+    /// Outstanding non-blocking requests a core can overlap on demand
+    /// accesses.
+    pub demand_overlap: u64,
+    /// Outstanding requests during bulk (prefetch) transfers.
+    pub bulk_overlap: u64,
+    /// Extra bank occupancy when multiple cores touch the same line in one
+    /// phase (NoC/merge contention).
+    pub line_contention_cycles: u64,
+    /// Host dispatch + barrier cost per kernel phase.
+    pub barrier_cycles: u64,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl Default for HbConfig {
+    fn default() -> Self {
+        HbConfig {
+            cols: 16,
+            rows: 8,
+            llc_banks: 32,
+            llc_bytes: 128 << 10,
+            llc_ways: 8,
+            line_bytes: 32,
+            llc_hit_cycles: 20,
+            dram_cycles: 100,
+            bank_cycles: 1,
+            hbm_channels: 2,
+            channel_bytes_per_cycle: 32,
+            demand_overlap: 2,
+            bulk_overlap: 8,
+            line_contention_cycles: 6,
+            barrier_cycles: 1500,
+            clock_ghz: 1.0,
+        }
+    }
+}
+
+impl HbConfig {
+    /// Number of cores in the grid.
+    pub fn num_cores(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// A configuration with the given number of rows (16 columns fixed, as
+    /// in the paper's Fig. 10a sweep).
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+}
+
+/// One memory access (or bulk transfer) issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbAccess {
+    /// A dependent (pointer-chasing style) access to one element.
+    Demand {
+        /// Array id.
+        prop: u32,
+        /// Element index.
+        idx: u32,
+        /// Whether it writes.
+        write: bool,
+    },
+    /// A pipelined sequential transfer of `count` elements starting at
+    /// `start` (scratchpad prefetch, neighbor-list scan).
+    Bulk {
+        /// Array id.
+        prop: u32,
+        /// First element index.
+        start: u32,
+        /// Elements transferred.
+        count: u32,
+        /// Whether it writes.
+        write: bool,
+    },
+}
+
+/// Execution trace of one core within a phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreTrace {
+    /// Scalar instructions (including scratchpad accesses).
+    pub computes: u64,
+    /// Memory operations in order.
+    pub accesses: Vec<HbAccess>,
+}
+
+/// Aggregate statistics (Table IX's inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HbStats {
+    /// Kernel phases executed.
+    pub phases: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// Bytes moved from HBM.
+    pub dram_bytes: u64,
+    /// Core-cycles stalled waiting on DRAM.
+    pub dram_stall_cycles: u64,
+    /// Core-cycles of compute.
+    pub compute_cycles: u64,
+}
+
+#[derive(Debug)]
+struct Llc {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    num_sets: u64,
+}
+
+impl Llc {
+    fn new(capacity: u64, line: u64, ways: usize) -> Self {
+        let lines = (capacity / line).max(1);
+        let num_sets = (lines / ways as u64).max(1);
+        Llc {
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            ways,
+            num_sets,
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[(line % self.num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+}
+
+/// The HammerBlade timing simulator.
+#[derive(Debug)]
+pub struct HbSim {
+    /// Machine configuration.
+    pub cfg: HbConfig,
+    /// Aggregate statistics.
+    pub stats: HbStats,
+    llc: Llc,
+    time: u64,
+}
+
+impl HbSim {
+    /// Creates a simulator.
+    pub fn new(cfg: HbConfig) -> Self {
+        let llc = Llc::new(cfg.llc_bytes, cfg.line_bytes, cfg.llc_ways);
+        HbSim {
+            cfg,
+            stats: HbStats::default(),
+            llc,
+            time: 0,
+        }
+    }
+
+    /// Total simulated cycles.
+    pub fn time_cycles(&self) -> u64 {
+        self.time
+    }
+
+    /// Simulated milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.time as f64 / (self.cfg.clock_ghz * 1e6)
+    }
+
+    /// Achieved DRAM bandwidth as a fraction of peak, so far.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        if self.time == 0 {
+            return 0.0;
+        }
+        let peak = (self.cfg.hbm_channels as u64 * self.cfg.channel_bytes_per_cycle) as f64;
+        (self.stats.dram_bytes as f64 / self.time as f64) / peak
+    }
+
+    /// Charges sequential host cycles.
+    pub fn host_cycles(&mut self, cycles: u64) {
+        self.time += cycles;
+    }
+
+    fn line_of(&self, prop: u32, idx: u32) -> u64 {
+        (((prop as u64) << 28) + (idx as u64) * 4) / self.cfg.line_bytes
+    }
+
+    /// Runs one SPMD kernel phase from per-core traces; returns the cycles
+    /// charged (including the end-of-phase barrier).
+    pub fn run_phase(&mut self, _name: &str, cores: Vec<CoreTrace>) -> u64 {
+        self.stats.phases += 1;
+        let mut max_core: u64 = 0;
+        let mut bank_load: HashMap<usize, u64> = HashMap::new();
+        let mut phase_dram_bytes: u64 = 0;
+        // (line -> (first core id, shared?)) for contention accounting.
+        let mut line_users: HashMap<u64, (usize, bool)> = HashMap::new();
+
+        for (core_id, trace) in cores.iter().enumerate() {
+            let mut core_time = trace.computes;
+            // Per-array stream buffers (MSHR-like): repeated accesses to the
+            // line most recently fetched from each array are free — the
+            // locality that alignment-based partitioning creates.
+            let mut stream: HashMap<u32, u64> = HashMap::new();
+            self.stats.compute_cycles += trace.computes;
+            for a in &trace.accesses {
+                match *a {
+                    HbAccess::Demand { prop, idx, write } => {
+                        let line = self.line_of(prop, idx);
+                        if !write && stream.get(&prop) == Some(&line) {
+                            core_time += 1;
+                            continue;
+                        }
+                        stream.insert(prop, line);
+                        match line_users.entry(line) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let (first, shared) = *e.get();
+                                if first != core_id && !shared {
+                                    e.insert((first, true));
+                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert((core_id, false));
+                            }
+                        }
+                        let hit = self.llc.access(line);
+                        *bank_load.entry((line % self.cfg.llc_banks as u64) as usize).or_insert(0) +=
+                            self.cfg.bank_cycles;
+                        let lat = if hit {
+                            self.stats.llc_hits += 1;
+                            self.cfg.llc_hit_cycles
+                        } else {
+                            self.stats.llc_misses += 1;
+                            phase_dram_bytes += self.cfg.line_bytes;
+                            let stall = self.cfg.dram_cycles;
+                            self.stats.dram_stall_cycles += stall / self.cfg.demand_overlap;
+                            self.cfg.llc_hit_cycles + stall
+                        };
+                        // Non-blocking loads overlap a little; writes post.
+                        core_time += if write {
+                            2
+                        } else {
+                            lat / self.cfg.demand_overlap
+                        };
+                    }
+                    HbAccess::Bulk {
+                        prop,
+                        start,
+                        count,
+                        write,
+                    } => {
+                        if count == 0 {
+                            continue;
+                        }
+                        let first = self.line_of(prop, start);
+                        let last = self.line_of(prop, start + count - 1);
+                        let mut lines = 0u64;
+                        let mut misses = 0u64;
+                        for line in first..=last {
+                            lines += 1;
+                            let hit = self.llc.access(line);
+                            // Burst transfers occupy banks at half rate.
+                            *bank_load
+                                .entry((line % self.cfg.llc_banks as u64) as usize)
+                                .or_insert(0) += self.cfg.bank_cycles.div_ceil(2);
+                            if hit {
+                                self.stats.llc_hits += 1;
+                            } else {
+                                self.stats.llc_misses += 1;
+                                phase_dram_bytes += self.cfg.line_bytes;
+                                misses += 1;
+                            }
+                        }
+                        // Deeply pipelined: latency amortized over the
+                        // outstanding-request window.
+                        let lat = lines * self.cfg.llc_hit_cycles + misses * self.cfg.dram_cycles;
+                        let stall = lat / self.cfg.bulk_overlap;
+                        self.stats.dram_stall_cycles += misses * self.cfg.dram_cycles / self.cfg.bulk_overlap;
+                        core_time += if write { lines * 2 } else { stall.max(lines) };
+                    }
+                }
+            }
+            max_core = max_core.max(core_time);
+        }
+
+        // Lines shared across cores in one phase serialize at their bank.
+        for (line, (_, shared)) in &line_users {
+            if *shared {
+                *bank_load
+                    .entry((line % self.cfg.llc_banks as u64) as usize)
+                    .or_insert(0) += self.cfg.line_contention_cycles;
+            }
+        }
+        let bank_bound = bank_load.values().copied().max().unwrap_or(0);
+        let bw_bound = phase_dram_bytes
+            / (self.cfg.hbm_channels as u64 * self.cfg.channel_bytes_per_cycle).max(1);
+        self.stats.dram_bytes += phase_dram_bytes;
+        let cycles = max_core.max(bank_bound).max(bw_bound) + self.cfg.barrier_cycles;
+        self.time += cycles;
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(prop: u32, idx: u32) -> HbAccess {
+        HbAccess::Demand {
+            prop,
+            idx,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn bulk_prefetch_beats_demand_chain() {
+        // Fetching 256 scattered elements on demand vs one bulk range.
+        let demand_trace = CoreTrace {
+            computes: 0,
+            accesses: (0..256).map(|i| demand(1, i * 97 % 4096)).collect(),
+        };
+        let bulk_trace = CoreTrace {
+            computes: 0,
+            accesses: vec![HbAccess::Bulk {
+                prop: 1,
+                start: 0,
+                count: 256,
+                write: false,
+            }],
+        };
+        let mut s1 = HbSim::new(HbConfig::default());
+        let c1 = s1.run_phase("demand", vec![demand_trace]);
+        let mut s2 = HbSim::new(HbConfig::default());
+        let c2 = s2.run_phase("bulk", vec![bulk_trace]);
+        assert!(c2 < c1, "bulk {c2} must beat demand {c1}");
+        assert!(s2.stats.dram_stall_cycles < s1.stats.dram_stall_cycles);
+    }
+
+    #[test]
+    fn phase_time_is_slowest_core_plus_barrier() {
+        let light = CoreTrace {
+            computes: 10,
+            accesses: vec![],
+        };
+        let heavy = CoreTrace {
+            computes: 10_000,
+            accesses: vec![],
+        };
+        let mut sim = HbSim::new(HbConfig::default());
+        let c = sim.run_phase("p", vec![light, heavy]);
+        assert_eq!(c, 10_000 + HbConfig::default().barrier_cycles);
+    }
+
+    #[test]
+    fn llc_reuse_hits() {
+        // Stride by a full line so the core's line buffer cannot coalesce.
+        let t = || CoreTrace {
+            computes: 0,
+            accesses: (0..64).map(|i| demand(2, i * 8)).collect(),
+        };
+        let mut sim = HbSim::new(HbConfig::default());
+        sim.run_phase("cold", vec![t()]);
+        let misses_cold = sim.stats.llc_misses;
+        assert_eq!(misses_cold, 64);
+        sim.run_phase("warm", vec![t()]);
+        assert_eq!(sim.stats.llc_misses, misses_cold, "warm pass must hit");
+        assert!(sim.stats.llc_hits >= 64);
+    }
+
+    #[test]
+    fn line_buffer_coalesces_consecutive_same_line_loads() {
+        let t = CoreTrace {
+            computes: 0,
+            accesses: (0..64).map(|i| demand(2, i)).collect(), // 8 lines
+        };
+        let mut sim = HbSim::new(HbConfig::default());
+        sim.run_phase("seq", vec![t]);
+        assert_eq!(sim.stats.llc_hits + sim.stats.llc_misses, 8);
+    }
+
+    #[test]
+    fn bandwidth_utilization_reported() {
+        let t = CoreTrace {
+            computes: 0,
+            accesses: (0..1000).map(|i| demand(3, i * 8)).collect(),
+        };
+        let mut sim = HbSim::new(HbConfig::default());
+        sim.run_phase("bw", vec![t]);
+        let u = sim.bandwidth_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+        assert!(sim.stats.dram_bytes > 0);
+        assert!(sim.time_ms() > 0.0);
+    }
+
+    #[test]
+    fn more_rows_means_more_cores() {
+        assert_eq!(HbConfig::default().with_rows(2).num_cores(), 32);
+        assert_eq!(HbConfig::default().with_rows(16).num_cores(), 256);
+    }
+
+    #[test]
+    fn bank_contention_bounds_phase() {
+        // Many cores hammering two alternating lines in the same bank →
+        // that bank serializes.
+        let cores: Vec<CoreTrace> = (0..128)
+            .map(|_| CoreTrace {
+                computes: 1,
+                accesses: (0..64)
+                    .map(|i| demand(1, if i % 2 == 0 { 0 } else { 256 * 8 }))
+                    .collect(),
+            })
+            .collect();
+        let mut sim = HbSim::new(HbConfig::default());
+        let c = sim.run_phase("contended", cores);
+        // Both lines map to bank 0: 128 cores × 64 accesses × bank_cycles.
+        let bank_cycles = 128 * 64 * HbConfig::default().bank_cycles;
+        assert!(c >= bank_cycles, "{c} vs {bank_cycles}");
+    }
+
+    #[test]
+    fn shared_lines_cost_contention() {
+        let mk = |idx: u32| CoreTrace {
+            computes: 0,
+            accesses: vec![demand(1, idx)],
+        };
+        // 64 cores all touching one line vs 64 cores touching 64 lines
+        // spread across banks.
+        let shared: Vec<CoreTrace> = (0..64).map(|_| mk(0)).collect();
+        let spread: Vec<CoreTrace> = (0..64).map(|i| mk(i * 8)).collect();
+        let mut s1 = HbSim::new(HbConfig::default());
+        let c1 = s1.run_phase("shared", shared);
+        let mut s2 = HbSim::new(HbConfig::default());
+        let c2 = s2.run_phase("spread", spread);
+        assert!(c1 > c2, "shared {c1} must exceed spread {c2}");
+    }
+}

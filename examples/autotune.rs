@@ -1,0 +1,43 @@
+//! Schedule autotuning: exhaustively measure a candidate schedule space
+//! per architecture and report the winner — the workflow the paper
+//! delegates to OpenTuner (§IV-A).
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use ugc::{Algorithm, Target};
+use ugc_bench::{autotune, baseline_schedule, candidate_schedules, measure};
+use ugc_graph::{Dataset, Scale};
+
+fn main() {
+    for dataset in [Dataset::RoadNetCa, Dataset::Pokec] {
+        let graph = dataset.generate(Scale::Tiny);
+        println!(
+            "\n=== {} stand-in ({} vertices, {} edges) ===",
+            dataset.abbrev(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        for target in Target::ALL {
+            for algo in [Algorithm::Bfs, Algorithm::Sssp] {
+                let base = measure(
+                    target,
+                    algo,
+                    &graph,
+                    baseline_schedule(target, algo),
+                    3,
+                );
+                let (winner, _, best) = autotune(target, algo, &graph);
+                println!(
+                    "{:>12} {:>5}: best = {winner:<14} ({:.3} ms, {:.2}x over baseline, {} candidates)",
+                    target.name(),
+                    algo.name(),
+                    best.time_ms,
+                    base.time_ms / best.time_ms,
+                    candidate_schedules(target, algo).len(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! A tour of the code each GraphVM generates for the same BFS source:
+//! OpenMP-flavored C++, CUDA, T4 C++ (Swarm), and HammerBlade kernel C++.
+//!
+//! ```sh
+//! cargo run --release --example codegen_tour
+//! ```
+
+use ugc::{Algorithm, Compiler, Target};
+use ugc_backend_gpu::GpuSchedule;
+use ugc_backend_swarm::{Frontiers, SwarmSchedule, TaskGranularity};
+use ugc_schedule::ScheduleRef;
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("== {title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    banner("CPU GraphVM (OpenMP C++)");
+    let cpp = Compiler::new(Algorithm::Bfs).emit(Target::Cpu).unwrap();
+    println!("{cpp}");
+
+    banner("GPU GraphVM (CUDA, kernel fusion requested)");
+    let cuda = {
+        let mut c = Compiler::new(Algorithm::Bfs);
+        c.schedule(
+            Algorithm::Bfs.schedule_path(),
+            ScheduleRef::simple(GpuSchedule::new().with_kernel_fusion(true)),
+        );
+        c.emit(Target::Gpu).unwrap()
+    };
+    println!("{cuda}");
+
+    banner("Swarm GraphVM (T4 C++, vertex-set-to-tasks + hints)");
+    let t4 = {
+        let mut c = Compiler::new(Algorithm::Bfs);
+        c.schedule(
+            Algorithm::Bfs.schedule_path(),
+            ScheduleRef::simple(
+                SwarmSchedule::new()
+                    .with_frontiers(Frontiers::VertexsetToTasks)
+                    .with_task_granularity(TaskGranularity::FineGrained),
+            ),
+        );
+        c.emit(Target::Swarm).unwrap()
+    };
+    println!("{t4}");
+
+    banner("HammerBlade GraphVM (manycore kernel C++)");
+    let hb = Compiler::new(Algorithm::Bfs).emit(Target::HammerBlade).unwrap();
+    println!("{hb}");
+}

@@ -1,0 +1,76 @@
+//! Writing your own algorithm in the GraphIt DSL: k-hop reach counting.
+//!
+//! The algorithm marks every vertex within `k` hops of a seed and counts
+//! them — the kind of ad-hoc analytic UGC lets you write once and run on
+//! any architecture.
+//!
+//! ```sh
+//! cargo run --release --example custom_algorithm
+//! ```
+
+use ugc::{Compiler, Target};
+use ugc_runtime::value::Value;
+
+const K_HOP: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(input);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const hops : vector{Vertex}(int) = -1;
+const start_vertex : Vertex;
+const max_hops : int;
+
+func unvisited(v : Vertex) -> output : bool
+    output = (hops[v] == -1);
+end
+
+func visit(src : Vertex, dst : Vertex)
+    hops[dst] = hops[src] + 1;
+end
+
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(start_vertex);
+    hops[start_vertex] = 0;
+    var round : int = 0;
+    #s0# while ((frontier.getVertexSetSize() != 0) and (round < max_hops))
+        #s1# var next : vertexset{Vertex} =
+            edges.from(frontier).to(unvisited).applyModified(visit, hops, true);
+        delete frontier;
+        frontier = next;
+        round = round + 1;
+    end
+    delete frontier;
+end
+"#;
+
+fn main() {
+    let graph = ugc_graph::generators::rmat(11, 8, 21, false);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    for k in [1i64, 2, 3] {
+        let r = Compiler::from_source(K_HOP)
+            .start_vertex(0)
+            .bind("max_hops", Value::Int(k))
+            .run(Target::Cpu, &graph)
+            .expect("k-hop runs");
+        let within: usize = r.property_ints("hops").iter().filter(|&&h| h != -1).count();
+        println!("within {k} hop(s) of v0: {within} vertices");
+    }
+
+    // The same source runs unchanged on the simulated architectures:
+    let gpu = Compiler::from_source(K_HOP)
+        .start_vertex(0)
+        .bind("max_hops", Value::Int(2))
+        .run(Target::Gpu, &graph)
+        .expect("k-hop runs on the GPU simulator");
+    println!(
+        "\nGPU simulator agrees: {} vertices within 2 hops ({} cycles)",
+        gpu.property_ints("hops").iter().filter(|&&h| h != -1).count(),
+        gpu.cycles
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: compile one algorithm, run it on all four architectures.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ugc::{Algorithm, Compiler, Target};
+
+fn main() {
+    // A small road-network-like graph (weighted, symmetric).
+    let graph = ugc_graph::generators::road_grid(32, 32, 0.05, 7, true);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // One BFS source file (the paper's Fig. 2), four architectures.
+    for target in Target::ALL {
+        let result = Compiler::new(Algorithm::Bfs)
+            .start_vertex(0)
+            .run(target, &graph)
+            .expect("bfs runs");
+        let reached = result
+            .property_ints("parent")
+            .iter()
+            .filter(|&&p| p != -1)
+            .count();
+        match target {
+            Target::Cpu => println!(
+                "{:>12}: reached {reached} vertices in {:.3} ms (wall clock)",
+                target.name(),
+                result.time_ms
+            ),
+            _ => println!(
+                "{:>12}: reached {reached} vertices in {} simulated cycles",
+                target.name(),
+                result.cycles
+            ),
+        }
+    }
+}

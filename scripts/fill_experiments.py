@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Inlines the latest `repro_small.txt` into EXPERIMENTS.md's measured
+block. Run after `cargo run --release -p ugc-bench --bin repro -- --scale
+small all > repro_small.txt`."""
+
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+experiments = root / "EXPERIMENTS.md"
+measured = (root / "repro_small.txt").read_text().strip()
+
+text = experiments.read_text()
+new = re.sub(
+    r"```text\nMEASURED_ALL\n```",
+    "```text\n" + measured + "\n```",
+    text,
+)
+if new == text:
+    # Replace an existing inlined block (idempotent re-runs).
+    new = re.sub(
+        r"## Measured output\n\n.*\Z",
+        "## Measured output\n\nVerbatim `repro --scale small all` output follows.\n\n```text\n"
+        + measured
+        + "\n```\n",
+        text,
+        flags=re.S,
+    )
+experiments.write_text(new)
+print(f"inlined {len(measured)} bytes into EXPERIMENTS.md")

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Priority-ordered final artifact generation (single-core machine).
+cd /root/repo
+R=target/release/repro
+{
+  $R --scale small configs table8 table3
+  $R --scale small fig10b fig11 fig12 table9 table10 fig10a
+} > repro_small.txt 2>&1
+python3 scripts/fill_experiments.py
+cargo bench --workspace > bench_output.txt 2>&1
+$R --scale small fig8 >> repro_small.txt 2>&1
+python3 scripts/fill_experiments.py
+$R --scale small fig9 >> repro_small.txt 2>&1
+python3 scripts/fill_experiments.py
+echo SEQUENCE_COMPLETE >> repro_small.txt

@@ -1,0 +1,96 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::collections::HashMap;
+
+use ugc_algorithms::Algorithm;
+use ugc_graph::Graph;
+use ugc_graphir::ir::Program;
+use ugc_runtime::value::Value;
+use ugc_schedule::ScheduleRef;
+
+/// Compiles an algorithm through the full hardware-independent pipeline,
+/// attaching `sched` at the algorithm's canonical schedule path when given.
+///
+/// # Panics
+///
+/// Panics on frontend/midend failures (test programs must compile).
+pub fn compile(algo: Algorithm, sched: Option<ScheduleRef>) -> Program {
+    compile_with(
+        algo,
+        &match sched {
+            Some(s) => vec![(algo.schedule_path().to_string(), s)],
+            None => vec![],
+        },
+    )
+}
+
+/// Compiles with explicit `(label path, schedule)` pairs.
+///
+/// # Panics
+///
+/// Panics on frontend/midend failures.
+pub fn compile_with(algo: Algorithm, scheds: &[(String, ScheduleRef)]) -> Program {
+    let mut prog = ugc_midend::frontend_to_ir(algo.source())
+        .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+    for (path, s) in scheds {
+        ugc_schedule::apply_schedule(&mut prog, path, s.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+    }
+    ugc_midend::run_passes(&mut prog).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+    prog
+}
+
+/// The extern bindings an algorithm needs (`start_vertex`).
+pub fn externs_for(algo: Algorithm, start: u32) -> HashMap<String, Value> {
+    let mut m = HashMap::new();
+    if algo.needs_start_vertex() {
+        m.insert("start_vertex".to_string(), Value::Int(start as i64));
+    }
+    m
+}
+
+/// The small graph menagerie used across backend correctness tests.
+/// All are symmetric (CC-safe) and weighted where relevant.
+pub fn test_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("two_communities", ugc_graph::generators::two_communities()),
+        (
+            "road_16x16",
+            ugc_graph::generators::road_grid(16, 16, 0.05, 3, true),
+        ),
+        ("rmat_8", ugc_graph::generators::rmat(8, 4, 7, true)),
+        (
+            "uniform_200",
+            ugc_graph::generators::uniform_random(200, 600, 5, true),
+        ),
+    ]
+}
+
+/// Validates an algorithm's result properties read from snapshots.
+///
+/// # Panics
+///
+/// Panics with the validator's explanation on mismatch.
+pub fn validate(
+    algo: Algorithm,
+    graph: &Graph,
+    start: u32,
+    ints: &dyn Fn(&str) -> Vec<i64>,
+    floats: &dyn Fn(&str) -> Vec<f64>,
+) {
+    match algo {
+        Algorithm::Bfs => {
+            ugc_algorithms::validate::check_bfs_parents(graph, start, &ints("parent")).unwrap()
+        }
+        Algorithm::Sssp => {
+            ugc_algorithms::validate::check_sssp_distances(graph, start, &ints("dist")).unwrap()
+        }
+        Algorithm::Cc => ugc_algorithms::validate::check_cc_labels(graph, &ints("IDs")).unwrap(),
+        Algorithm::PageRank => {
+            ugc_algorithms::validate::check_pagerank(graph, &floats("old_rank"), 1e-7).unwrap()
+        }
+        Algorithm::Bc => {
+            ugc_algorithms::validate::check_bc(graph, start, &floats("centrality"), 1e-6).unwrap()
+        }
+    }
+}

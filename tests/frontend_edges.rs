@@ -1,0 +1,207 @@
+//! Frontend and pipeline edge cases: error reporting quality, grammar
+//! corners, and host-interpreter features exercised end-to-end.
+
+use ugc::{Compiler, Target};
+use ugc_runtime::value::Value;
+
+fn run_cpu(src: &str) -> Result<ugc::RunResult, ugc::UgcError> {
+    Compiler::from_source(src).run(Target::Cpu, &ugc_graph::generators::path(4))
+}
+
+#[test]
+fn parse_error_names_position_and_token() {
+    let err = Compiler::from_source("func main()\nx = = 3;\nend")
+        .compile()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("2:"), "{msg}");
+    assert!(msg.contains("expected expression"), "{msg}");
+}
+
+#[test]
+fn type_error_explains_mismatch() {
+    let err = Compiler::from_source("func main()\nvar x : int = 1.5;\nend")
+        .compile()
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot initialize"), "{err}");
+}
+
+#[test]
+fn unknown_schedule_label_is_reported() {
+    let mut c = Compiler::from_source("func main()\nend");
+    c.schedule(
+        "sX",
+        ugc_schedule::ScheduleRef::simple(ugc_schedule::DefaultSchedule),
+    );
+    let err = c.compile().unwrap_err();
+    assert!(err.to_string().contains("sX"), "{err}");
+}
+
+#[test]
+fn missing_extern_reported_at_run_time() {
+    let src = "element Vertex end\nconst start_vertex : Vertex;\nfunc main()\nprint start_vertex;\nend";
+    let err = run_cpu(src).unwrap_err();
+    assert!(err.to_string().contains("start_vertex"), "{err}");
+}
+
+#[test]
+fn nested_loops_and_arithmetic() {
+    let src = r#"
+func main()
+    var total : int = 0;
+    for i in 0:5
+        for j in 0:5
+            if (i + j) %% 2 == 0
+                total = total + i * j;
+            end
+        end
+    end
+    print total;
+end
+"#;
+    let r = run_cpu(src).unwrap();
+    // Sum of i*j over i,j in 0..5 with (i+j) even: pairs (0,0),(0,2),(0,4),
+    // (1,1),(1,3),(2,0),(2,2),(2,4),(3,1),(3,3),(4,0),(4,2),(4,4)
+    // = 0+0+0+1+3+0+4+8+3+9+0+8+16 = 52
+    assert_eq!(r.prints, vec!["52"]);
+}
+
+#[test]
+fn while_with_break_and_logical_ops() {
+    let src = r#"
+func main()
+    var n : int = 0;
+    while true
+        n = n + 1;
+        if (n >= 7) or (n < 0)
+            break;
+        end
+    end
+    print n;
+end
+"#;
+    assert_eq!(run_cpu(src).unwrap().prints, vec!["7"]);
+}
+
+#[test]
+fn float_arithmetic_and_casts() {
+    let src = r#"
+func main()
+    var x : float = 7.0 / 2.0;
+    var y : int = to_int(x);
+    print y;
+    print to_int(fabs(0.0 - 3.0));
+end
+"#;
+    assert_eq!(run_cpu(src).unwrap().prints, vec!["3", "3"]);
+}
+
+#[test]
+fn extern_ints_and_host_reductions() {
+    let src = r#"
+const bias : int;
+func main()
+    var acc : int = bias;
+    acc += 5;
+    acc min= 100;
+    acc max= 7;
+    print acc;
+end
+"#;
+    let mut c = Compiler::from_source(src);
+    c.bind("bias", Value::Int(10));
+    let r = c
+        .run(Target::Cpu, &ugc_graph::generators::path(2))
+        .unwrap();
+    assert_eq!(r.prints, vec!["15"]);
+}
+
+#[test]
+fn comments_are_ignored_everywhere() {
+    let src = r#"
+% header comment
+func main()  % trailing
+    % body comment
+    print 1; % after statement
+end
+"#;
+    assert_eq!(run_cpu(src).unwrap().prints, vec!["1"]);
+}
+
+#[test]
+fn vertex_property_read_on_host() {
+    let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(x);
+const depth : vector{Vertex}(int) = 9;
+func main()
+    depth[2] = 4;
+    print depth[2];
+    print depth[0];
+end
+"#;
+    assert_eq!(run_cpu(src).unwrap().prints, vec!["4", "9"]);
+}
+
+#[test]
+fn same_program_same_results_on_all_targets() {
+    let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(x);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const touched : vector{Vertex}(int) = 0;
+func bump(src : Vertex, dst : Vertex)
+    touched[dst] += 1;
+end
+func main()
+    #s1# edges.apply(bump);
+end
+"#;
+    let graph = ugc_graph::generators::two_communities();
+    let mut expected: Option<Vec<i64>> = None;
+    for target in Target::ALL {
+        let r = Compiler::from_source(src).run(target, &graph).unwrap();
+        let got = r.property_ints("touched").to_vec();
+        match &expected {
+            None => expected = Some(got),
+            Some(e) => assert_eq!(&got, e, "{} differs", target.name()),
+        }
+    }
+    // touched[v] == in-degree(v)
+    let e = expected.unwrap();
+    for v in 0..graph.num_vertices() as u32 {
+        assert_eq!(e[v as usize] as usize, graph.in_degree(v));
+    }
+}
+
+#[test]
+fn src_filter_limits_traversal_sources() {
+    // from(filter) — a function-valued `from` becomes a source filter.
+    let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(x);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const out_count : vector{Vertex}(int) = 0;
+func even(v : Vertex) -> output : bool
+    output = (v %% 2 == 0);
+end
+func bump(src : Vertex, dst : Vertex)
+    out_count[src] += 1;
+end
+func main()
+    #s1# edges.from(even).apply(bump);
+end
+"#;
+    let graph = ugc_graph::generators::two_communities();
+    for target in Target::ALL {
+        let r = Compiler::from_source(src).run(target, &graph).unwrap();
+        let counts = r.property_ints("out_count");
+        for v in 0..graph.num_vertices() as u32 {
+            let expect = if v % 2 == 0 { graph.out_degree(v) as i64 } else { 0 };
+            assert_eq!(counts[v as usize], expect, "{} vertex {v}", target.name());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based end-to-end tests: on random graphs, every backend's
+//! result matches the sequential reference implementations.
+
+use proptest::prelude::*;
+use ugc::{Algorithm, Compiler, Target};
+use ugc_graph::{EdgeList, Graph};
+
+/// Random symmetric weighted graph (the shape every paper dataset has).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (4usize..48).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1i32..32);
+        proptest::collection::vec(edge, 1..128).prop_map(move |edges| {
+            let mut el = EdgeList::new(n);
+            for (s, d, w) in edges {
+                el.push_weighted(s, d, w);
+            }
+            el.symmetrize();
+            el.dedup_and_strip_loops();
+            el.into_graph()
+        })
+    })
+}
+
+fn run(algo: Algorithm, target: Target, graph: &Graph, start: u32) -> ugc::RunResult {
+    let mut c = Compiler::new(algo);
+    if algo.needs_start_vertex() {
+        c.start_vertex(start);
+    }
+    c.run(target, graph).expect("run succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bfs_valid_on_every_backend(graph in graph_strategy()) {
+        for target in Target::ALL {
+            let r = run(Algorithm::Bfs, target, &graph, 0);
+            ugc_algorithms::validate::check_bfs_parents(&graph, 0, r.property_ints("parent"))
+                .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        }
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_on_every_backend(graph in graph_strategy()) {
+        for target in Target::ALL {
+            let r = run(Algorithm::Sssp, target, &graph, 0);
+            ugc_algorithms::validate::check_sssp_distances(&graph, 0, r.property_ints("dist"))
+                .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        }
+    }
+
+    #[test]
+    fn cc_matches_union_find_on_every_backend(graph in graph_strategy()) {
+        for target in Target::ALL {
+            let r = run(Algorithm::Cc, target, &graph, 0);
+            ugc_algorithms::validate::check_cc_labels(&graph, r.property_ints("IDs"))
+                .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_reference_on_every_backend(graph in graph_strategy()) {
+        for target in Target::ALL {
+            let r = run(Algorithm::PageRank, target, &graph, 0);
+            ugc_algorithms::validate::check_pagerank(&graph, r.property_floats("old_rank"), 1e-7)
+                .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        }
+    }
+
+    #[test]
+    fn bc_matches_brandes_on_every_backend(graph in graph_strategy()) {
+        for target in Target::ALL {
+            let r = run(Algorithm::Bc, target, &graph, 0);
+            ugc_algorithms::validate::check_bc(&graph, 0, r.property_floats("centrality"), 1e-6)
+                .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        }
+    }
+
+    /// All four backends compute bit-identical integer results.
+    #[test]
+    fn backends_agree_exactly(graph in graph_strategy()) {
+        let cpu = run(Algorithm::Sssp, Target::Cpu, &graph, 0);
+        for target in [Target::Gpu, Target::Swarm, Target::HammerBlade] {
+            let other = run(Algorithm::Sssp, target, &graph, 0);
+            prop_assert_eq!(
+                cpu.property_ints("dist"),
+                other.property_ints("dist"),
+                "{} disagrees with CPU", target.name()
+            );
+        }
+    }
+}
