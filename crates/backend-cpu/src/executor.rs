@@ -44,7 +44,11 @@ struct OpPlan {
 }
 
 impl CpuExecutor {
-    fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Result<OpPlan, ExecError> {
+    fn plan(
+        state: &ProgramState<'_>,
+        stmt: &Stmt,
+        data: &EdgeSetIteratorData,
+    ) -> Result<OpPlan, ExecError> {
         let udf = state
             .udfs
             .id_of(&data.apply)
@@ -64,7 +68,11 @@ impl CpuExecutor {
             .as_ref()
             .and_then(|r| r.as_simple().cloned())
             .and_then(|s| s.as_any().downcast_ref::<CpuSchedule>().cloned());
-        let parallelization = stmt.meta.get_str("parallelization").unwrap_or("VERTEX_BASED").to_string();
+        let parallelization = stmt
+            .meta
+            .get_str("parallelization")
+            .unwrap_or("VERTEX_BASED")
+            .to_string();
         Ok(OpPlan {
             udf,
             takes_weight: state.udfs.get(udf).num_params == 3,
@@ -401,7 +409,13 @@ fn cache_blocked_push(
                         if plan.takes_weight {
                             args.push(Value::Int(w));
                         }
-                        ev.call(plan.udf, &args, EdgeCtx { weight: w }, local, &mut NullMemory);
+                        ev.call(
+                            plan.udf,
+                            &args,
+                            EdgeCtx { weight: w },
+                            local,
+                            &mut NullMemory,
+                        );
                     }
                 }
             },

@@ -112,7 +112,11 @@ struct GpuPlan {
     pull_bitmap: bool,
 }
 
-fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Result<GpuPlan, ExecError> {
+fn plan(
+    state: &ProgramState<'_>,
+    stmt: &Stmt,
+    data: &EdgeSetIteratorData,
+) -> Result<GpuPlan, ExecError> {
     let udf = state
         .udfs
         .id_of(&data.apply)
@@ -146,8 +150,7 @@ fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Re
         load_balance: gpu_sched.load_balance(),
         frontier_creation: gpu_sched.frontier_creation(),
         edge_blocking: gpu_sched.edge_blocking(),
-        pull_bitmap: stmt.meta.get_repr(keys::PULL_INPUT_FRONTIER)
-            == Some(VertexSetRepr::Bitmap),
+        pull_bitmap: stmt.meta.get_repr(keys::PULL_INPUT_FRONTIER) == Some(VertexSetRepr::Bitmap),
     })
 }
 
@@ -588,12 +591,8 @@ end
 
     fn run_with(sched: crate::schedule::GpuSchedule) -> (Vec<i64>, u64) {
         let mut prog = ugc_midend::frontend_to_ir(BFS).unwrap();
-        ugc_schedule::apply_schedule(
-            &mut prog,
-            "s0:s1",
-            ugc_schedule::ScheduleRef::simple(sched),
-        )
-        .unwrap();
+        ugc_schedule::apply_schedule(&mut prog, "s0:s1", ugc_schedule::ScheduleRef::simple(sched))
+            .unwrap();
         ugc_midend::run_passes(&mut prog).unwrap();
         crate::passes::run(&mut prog);
         let graph = ugc_graph::generators::two_communities();
@@ -604,7 +603,12 @@ end
         run_main(&mut state, &mut exec).unwrap();
         let id = state.props.id_of("parent").unwrap();
         (
-            state.props.snapshot(id).iter().map(|v| v.as_int()).collect(),
+            state
+                .props
+                .snapshot(id)
+                .iter()
+                .map(|v| v.as_int())
+                .collect(),
             exec.sim.time_cycles(),
         )
     }
@@ -634,9 +638,8 @@ end
         // async_execution on a data-driven loop degenerates to plain
         // fusion minus syncs; BFS's claim-once writes are monotone so the
         // result is still exact in this functional model.
-        let (parents, cycles) = run_with(
-            crate::schedule::GpuSchedule::new().with_async_execution(true),
-        );
+        let (parents, cycles) =
+            run_with(crate::schedule::GpuSchedule::new().with_async_execution(true));
         assert!(parents.iter().all(|&p| p != -1));
         assert!(cycles > 0);
     }

@@ -130,12 +130,7 @@ fn cooperative(csr: &Csr, members: &[u32], group: usize) -> Vec<WarpAssignment> 
 
 /// One chunk of at most `chunk` edges per lane, dealt in edge order;
 /// `overhead` models the per-lane cost of locating the source vertex.
-fn chunked_edges(
-    csr: &Csr,
-    members: &[u32],
-    chunk: usize,
-    overhead: u32,
-) -> Vec<WarpAssignment> {
+fn chunked_edges(csr: &Csr, members: &[u32], chunk: usize, overhead: u32) -> Vec<WarpAssignment> {
     let mut works = Vec::new();
     for &v in members {
         let lo = csr.edge_offset(v);

@@ -115,7 +115,11 @@ struct HbPlan {
     owned_props: HashSet<PropId>,
 }
 
-fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Result<HbPlan, ExecError> {
+fn plan(
+    state: &ProgramState<'_>,
+    stmt: &Stmt,
+    data: &EdgeSetIteratorData,
+) -> Result<HbPlan, ExecError> {
     let udf = state
         .udfs
         .id_of(&data.apply)
@@ -378,7 +382,13 @@ impl HbExecutor {
                         if plan.takes_weight {
                             args.push(Value::Int(w));
                         }
-                        ev.call(plan.udf, &args, EdgeCtx { weight: w }, &mut merged, &mut rec);
+                        ev.call(
+                            plan.udf,
+                            &args,
+                            EdgeCtx { weight: w },
+                            &mut merged,
+                            &mut rec,
+                        );
                     }
                 }
             }

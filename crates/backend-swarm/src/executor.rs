@@ -114,7 +114,11 @@ struct OpPlan {
     hint_prop: Option<PropId>,
 }
 
-fn plan(state: &ProgramState<'_>, stmt: &Stmt, data: &EdgeSetIteratorData) -> Result<OpPlan, ExecError> {
+fn plan(
+    state: &ProgramState<'_>,
+    stmt: &Stmt,
+    data: &EdgeSetIteratorData,
+) -> Result<OpPlan, ExecError> {
     let udf = state
         .udfs
         .id_of(&data.apply)
@@ -165,12 +169,7 @@ fn evaluator<'a>(state: &'a ProgramState<'_>) -> Evaluator<'a> {
     }
 }
 
-fn passes_filter(
-    ev: &Evaluator<'_>,
-    f: Option<UdfId>,
-    v: u32,
-    rec: &mut TaskRecorder,
-) -> bool {
+fn passes_filter(ev: &Evaluator<'_>, f: Option<UdfId>, v: u32, rec: &mut TaskRecorder) -> bool {
     match f {
         None => true,
         Some(id) => ev
@@ -230,10 +229,8 @@ impl SwarmExecutor {
             // Deterministic shuffle (splitmix-style indexing).
             let n = members.len();
             for i in (1..n).rev() {
-                let j = (i as u64)
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .rotate_left(17) as usize
-                    % (i + 1);
+                let j =
+                    (i as u64).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) as usize % (i + 1);
                 members.swap(i, j);
             }
         }
@@ -547,8 +544,7 @@ impl SwarmExecutor {
                 // Fine-grained splitting (Fig. 5): the vertex task only
                 // scans its offsets; each edge relaxes in its own subtask
                 // hinted by the destination's priority element.
-                let src_ok = fresh
-                    && passes_filter(&ev, plan.src_filter, v, &mut rec);
+                let src_ok = fresh && passes_filter(&ev, plan.src_filter, v, &mut rec);
                 let (reads, writes, _) = rec.into_parts();
                 tasks[id].duration = TASK_BASE_CYCLES
                     + MEM_CYCLES

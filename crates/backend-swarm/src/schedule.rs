@@ -182,10 +182,7 @@ mod tests {
     fn fine_granularity_implies_hints() {
         let s = SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained);
         assert!(s.spatial_hints());
-        assert_eq!(
-            s.parallelization(),
-            Parallelization::EdgeAwareVertexBased
-        );
+        assert_eq!(s.parallelization(), Parallelization::EdgeAwareVertexBased);
     }
 
     #[test]

@@ -352,16 +352,23 @@ fn bfs(sim: &mut GpuSim, g: &Graph, start: u32, pol: &Policy) -> Vec<i64> {
                 },
             )
         } else {
-            push_kernel(sim, g.out_csr(), &frontier, pol, fused, |src, dst, _w, lane| {
-                if parent[dst as usize] == -1 {
-                    lane.atomic(arrays::DATA, dst);
-                    parent[dst as usize] = src as i64;
-                    Some(dst)
-                } else {
-                    lane.load(arrays::DATA, dst);
-                    None
-                }
-            })
+            push_kernel(
+                sim,
+                g.out_csr(),
+                &frontier,
+                pol,
+                fused,
+                |src, dst, _w, lane| {
+                    if parent[dst as usize] == -1 {
+                        lane.atomic(arrays::DATA, dst);
+                        parent[dst as usize] = src as i64;
+                        Some(dst)
+                    } else {
+                        lane.load(arrays::DATA, dst);
+                        None
+                    }
+                },
+            )
         };
         if fused {
             sim.grid_sync();
@@ -386,18 +393,25 @@ fn sssp(sim: &mut GpuSim, g: &Graph, start: u32, pol: &Policy) -> Vec<i64> {
     let mut frontier = vec![start];
     let fused = pol.async_rounds;
     while !frontier.is_empty() {
-        let next = push_kernel(sim, g.out_csr(), &frontier, pol, fused, |src, dst, w, lane| {
-            lane.load(arrays::DATA, src);
-            let nd = dist[src as usize] + w;
-            if nd < dist[dst as usize] {
-                lane.atomic(arrays::DATA, dst);
-                dist[dst as usize] = nd;
-                Some(dst)
-            } else {
-                lane.load(arrays::DATA, dst);
-                None
-            }
-        });
+        let next = push_kernel(
+            sim,
+            g.out_csr(),
+            &frontier,
+            pol,
+            fused,
+            |src, dst, w, lane| {
+                lane.load(arrays::DATA, src);
+                let nd = dist[src as usize] + w;
+                if nd < dist[dst as usize] {
+                    lane.atomic(arrays::DATA, dst);
+                    dist[dst as usize] = nd;
+                    Some(dst)
+                } else {
+                    lane.load(arrays::DATA, dst);
+                    None
+                }
+            },
+        );
         frontier = dedup(next);
     }
     dist
@@ -428,19 +442,26 @@ fn sssp_async_buckets(
             continue;
         }
         let mut newly = Vec::new();
-        push_kernel(sim, g.out_csr(), &members, pol, true, |src, dst, w, lane| {
-            lane.load(arrays::DATA, src);
-            let nd = dist[src as usize] + w;
-            if nd < dist[dst as usize] {
-                lane.atomic(arrays::DATA, dst);
-                dist[dst as usize] = nd;
-                newly.push((nd / delta, dst));
-                None // frontier management is bucket-local, no global enq
-            } else {
-                lane.load(arrays::DATA, dst);
-                None
-            }
-        });
+        push_kernel(
+            sim,
+            g.out_csr(),
+            &members,
+            pol,
+            true,
+            |src, dst, w, lane| {
+                lane.load(arrays::DATA, src);
+                let nd = dist[src as usize] + w;
+                if nd < dist[dst as usize] {
+                    lane.atomic(arrays::DATA, dst);
+                    dist[dst as usize] = nd;
+                    newly.push((nd / delta, dst));
+                    None // frontier management is bucket-local, no global enq
+                } else {
+                    lane.load(arrays::DATA, dst);
+                    None
+                }
+            },
+        );
         for (bb, v) in newly {
             buckets.entry(bb).or_default().push(v);
         }
@@ -485,17 +506,24 @@ fn cc(sim: &mut GpuSim, g: &Graph, pol: &Policy) -> Vec<i64> {
     let mut label: Vec<i64> = (0..n as i64).collect();
     let mut frontier: Vec<u32> = (0..n as u32).collect();
     while !frontier.is_empty() {
-        let next = push_kernel(sim, g.out_csr(), &frontier, pol, false, |src, dst, _w, lane| {
-            lane.load(arrays::DATA, src);
-            if label[src as usize] < label[dst as usize] {
-                lane.atomic(arrays::DATA, dst);
-                label[dst as usize] = label[src as usize];
-                Some(dst)
-            } else {
-                lane.load(arrays::DATA, dst);
-                None
-            }
-        });
+        let next = push_kernel(
+            sim,
+            g.out_csr(),
+            &frontier,
+            pol,
+            false,
+            |src, dst, _w, lane| {
+                lane.load(arrays::DATA, src);
+                if label[src as usize] < label[dst as usize] {
+                    lane.atomic(arrays::DATA, dst);
+                    label[dst as usize] = label[src as usize];
+                    Some(dst)
+                } else {
+                    lane.load(arrays::DATA, dst);
+                    None
+                }
+            },
+        );
         frontier = dedup(next);
     }
     label
@@ -511,20 +539,27 @@ fn bc(sim: &mut GpuSim, g: &Graph, start: u32, pol: &Policy) -> Vec<i64> {
     let mut levels = vec![frontier.clone()];
     let mut d = 0i64;
     while !frontier.is_empty() {
-        let next = push_kernel(sim, g.out_csr(), &frontier, pol, false, |src, dst, _w, lane| {
-            lane.load(arrays::DATA, dst);
-            if level[dst as usize] == -1 {
-                lane.store(arrays::DATA, dst);
-                level[dst as usize] = d + 1;
-            }
-            if level[dst as usize] == d + 1 {
-                lane.atomic(arrays::AUX, dst);
-                sigma[dst as usize] += sigma[src as usize];
-                Some(dst)
-            } else {
-                None
-            }
-        });
+        let next = push_kernel(
+            sim,
+            g.out_csr(),
+            &frontier,
+            pol,
+            false,
+            |src, dst, _w, lane| {
+                lane.load(arrays::DATA, dst);
+                if level[dst as usize] == -1 {
+                    lane.store(arrays::DATA, dst);
+                    level[dst as usize] = d + 1;
+                }
+                if level[dst as usize] == d + 1 {
+                    lane.atomic(arrays::AUX, dst);
+                    sigma[dst as usize] += sigma[src as usize];
+                    Some(dst)
+                } else {
+                    None
+                }
+            },
+        );
         frontier = dedup(next);
         if !frontier.is_empty() {
             levels.push(frontier.clone());
@@ -612,7 +647,11 @@ mod tests {
         let run = run_framework(Framework::SepGraph, "bc", &g, 0, GpuConfig::default());
         for v in 0..expect.len() {
             let got = run.result[v] as f64 / 1e6;
-            assert!((got - expect[v]).abs() < 1e-3, "vertex {v}: {got} vs {}", expect[v]);
+            assert!(
+                (got - expect[v]).abs() < 1e-3,
+                "vertex {v}: {got} vs {}",
+                expect[v]
+            );
         }
     }
 

@@ -7,21 +7,23 @@
 //! * HammerBlade blocked access vs plain demand access,
 //! * CPU hybrid direction vs push-only,
 //! * Table IX's blocked-access experiment as a bench.
+//!
+//! Runs on the in-tree timing harness (warmup + median-of-N + one JSON
+//! line per variant on stdout).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ugc::{Algorithm, Target};
 use ugc_backend_cpu::CpuSchedule;
 use ugc_backend_gpu::{GpuSchedule, LoadBalance};
 use ugc_backend_hb::HbSchedule;
 use ugc_backend_swarm::{Frontiers, SwarmSchedule, TaskGranularity};
-use ugc_bench::measure;
+use ugc_bench::{measure, Harness};
 use ugc_graph::{Dataset, Scale};
 use ugc_schedule::{SchedDirection, ScheduleRef};
 
 fn sim_bench(
-    c: &mut Criterion,
+    h: &Harness,
     group_name: &str,
     target: Target,
     algo: Algorithm,
@@ -29,31 +31,21 @@ fn sim_bench(
     variants: Vec<(&'static str, ScheduleRef)>,
 ) {
     let graph = dataset.generate(Scale::Tiny);
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
     for (label, sched) in variants {
-        let sched = sched.clone();
-        group.bench_function(label, |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let m = measure(target, algo, &graph, sched.clone(), 1);
-                    total += Duration::from_secs_f64(m.time_ms / 1e3);
-                }
-                total
-            })
+        h.bench(group_name, label, || {
+            let m = measure(target, algo, &graph, sched.clone(), 1);
+            Duration::from_secs_f64(m.time_ms / 1e3)
         });
     }
-    group.finish();
 }
 
-fn gpu_kernel_fusion(c: &mut Criterion) {
+fn gpu_kernel_fusion(h: &Harness) {
     for (ds, name) in [
         (Dataset::RoadNetCa, "ablation/gpu_fusion/road"),
         (Dataset::Pokec, "ablation/gpu_fusion/social"),
     ] {
         sim_bench(
-            c,
+            h,
             name,
             Target::Gpu,
             Algorithm::Bfs,
@@ -69,7 +61,7 @@ fn gpu_kernel_fusion(c: &mut Criterion) {
     }
 }
 
-fn gpu_load_balance(c: &mut Criterion) {
+fn gpu_load_balance(h: &Harness) {
     let variants = LoadBalance::ALL
         .iter()
         .map(|&lb| {
@@ -89,7 +81,7 @@ fn gpu_load_balance(c: &mut Criterion) {
         })
         .collect();
     sim_bench(
-        c,
+        h,
         "ablation/gpu_load_balance/bfs_social",
         Target::Gpu,
         Algorithm::Bfs,
@@ -98,9 +90,9 @@ fn gpu_load_balance(c: &mut Criterion) {
     );
 }
 
-fn swarm_task_conversion(c: &mut Criterion) {
+fn swarm_task_conversion(h: &Harness) {
     sim_bench(
-        c,
+        h,
         "ablation/swarm_frontiers/bfs_road",
         Target::Swarm,
         Algorithm::Bfs,
@@ -125,9 +117,9 @@ fn swarm_task_conversion(c: &mut Criterion) {
     );
 }
 
-fn swarm_privatization(c: &mut Criterion) {
+fn swarm_privatization(h: &Harness) {
     sim_bench(
-        c,
+        h,
         "ablation/swarm_privatization/bfs_road",
         Target::Swarm,
         Algorithm::Bfs,
@@ -151,9 +143,9 @@ fn swarm_privatization(c: &mut Criterion) {
     );
 }
 
-fn hb_blocked_access(c: &mut Criterion) {
+fn hb_blocked_access(h: &Harness) {
     sim_bench(
-        c,
+        h,
         "ablation/hb_blocked_access/pr_social",
         Target::HammerBlade,
         Algorithm::PageRank,
@@ -168,9 +160,9 @@ fn hb_blocked_access(c: &mut Criterion) {
     );
 }
 
-fn cpu_hybrid_direction(c: &mut Criterion) {
+fn cpu_hybrid_direction(h: &Harness) {
     sim_bench(
-        c,
+        h,
         "ablation/cpu_direction/bfs_social",
         Target::Cpu,
         Algorithm::Bfs,
@@ -189,20 +181,12 @@ fn cpu_hybrid_direction(c: &mut Criterion) {
     );
 }
 
-fn config() -> Criterion {
-    // Deterministic simulated timings have zero variance, which the
-    // plotting backend cannot render.
-    Criterion::default().without_plots()
+fn main() {
+    let h = Harness::from_args();
+    gpu_kernel_fusion(&h);
+    gpu_load_balance(&h);
+    swarm_task_conversion(&h);
+    swarm_privatization(&h);
+    hb_blocked_access(&h);
+    cpu_hybrid_direction(&h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = gpu_kernel_fusion,
-    gpu_load_balance,
-    swarm_task_conversion,
-    swarm_privatization,
-    hb_blocked_access,
-    cpu_hybrid_direction
-}
-criterion_main!(benches);

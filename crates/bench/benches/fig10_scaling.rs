@@ -1,13 +1,15 @@
-//! Criterion bench regenerating Fig. 10: BFS strong scaling on the
-//! HammerBlade manycore (32→256 cores) and on Swarm (1→64 cores).
+//! Regenerates Fig. 10: BFS strong scaling on the HammerBlade manycore
+//! (32→256 cores) and on Swarm (1→64 cores).
+//!
+//! Runs on the in-tree timing harness (warmup + median-of-N + one JSON
+//! line per core count on stdout).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ugc::{Algorithm, Compiler, Target};
 use ugc_backend_hb::HbGraphVm;
 use ugc_backend_swarm::SwarmGraphVm;
-use ugc_bench::tuned_schedule_for;
+use ugc_bench::{tuned_schedule_for, Harness};
 use ugc_graph::{Dataset, Scale};
 
 fn externs() -> std::collections::HashMap<String, ugc_runtime::value::Value> {
@@ -19,71 +21,50 @@ fn externs() -> std::collections::HashMap<String, ugc_runtime::value::Value> {
     m
 }
 
-fn fig10a(c: &mut Criterion) {
+fn fig10a(h: &Harness) {
     let dataset = Dataset::RoadCentral;
     let graph = dataset.generate(Scale::Tiny);
-    let mut group = c.benchmark_group("fig10a/hammerblade_bfs");
-    group.sample_size(10);
     for rows in [2usize, 4, 8, 16] {
-        group.bench_function(format!("{}cores", rows * 16), |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let mut comp = Compiler::new(Algorithm::Bfs);
-                    comp.start_vertex(0).schedule(
-                        Algorithm::Bfs.schedule_path(),
-                        tuned_schedule_for(Target::HammerBlade, Algorithm::Bfs, &graph),
-                    );
-                    let prog = comp.compile().expect("compiles");
-                    let run = HbGraphVm::with_rows(rows)
-                        .execute(prog, &graph, &externs())
-                        .expect("runs");
-                    total += Duration::from_nanos(run.cycles);
-                }
-                total
-            })
-        });
+        h.bench(
+            "fig10a/hammerblade_bfs",
+            &format!("{}cores", rows * 16),
+            || {
+                let mut comp = Compiler::new(Algorithm::Bfs);
+                comp.start_vertex(0).schedule(
+                    Algorithm::Bfs.schedule_path(),
+                    tuned_schedule_for(Target::HammerBlade, Algorithm::Bfs, &graph),
+                );
+                let prog = comp.compile().expect("compiles");
+                let run = HbGraphVm::with_rows(rows)
+                    .execute(prog, &graph, &externs())
+                    .expect("runs");
+                Duration::from_nanos(run.cycles)
+            },
+        );
     }
-    group.finish();
 }
 
-fn fig10b(c: &mut Criterion) {
+fn fig10b(h: &Harness) {
     let dataset = Dataset::RoadCentral;
     let graph = dataset.generate(Scale::Tiny);
-    let mut group = c.benchmark_group("fig10b/swarm_bfs");
-    group.sample_size(10);
     for cores in [1usize, 4, 16, 64] {
-        group.bench_function(format!("{cores}cores"), |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let mut comp = Compiler::new(Algorithm::Bfs);
-                    comp.start_vertex(0).schedule(
-                        Algorithm::Bfs.schedule_path(),
-                        tuned_schedule_for(Target::Swarm, Algorithm::Bfs, &graph),
-                    );
-                    let prog = comp.compile().expect("compiles");
-                    let run = SwarmGraphVm::with_cores(cores)
-                        .execute(prog, &graph, &externs())
-                        .expect("runs");
-                    total += Duration::from_nanos(run.cycles);
-                }
-                total
-            })
+        h.bench("fig10b/swarm_bfs", &format!("{cores}cores"), || {
+            let mut comp = Compiler::new(Algorithm::Bfs);
+            comp.start_vertex(0).schedule(
+                Algorithm::Bfs.schedule_path(),
+                tuned_schedule_for(Target::Swarm, Algorithm::Bfs, &graph),
+            );
+            let prog = comp.compile().expect("compiles");
+            let run = SwarmGraphVm::with_cores(cores)
+                .execute(prog, &graph, &externs())
+                .expect("runs");
+            Duration::from_nanos(run.cycles)
         });
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    // Deterministic simulated timings have zero variance, which the
-    // plotting backend cannot render.
-    Criterion::default().without_plots()
+fn main() {
+    let h = Harness::from_args();
+    fig10a(&h);
+    fig10b(&h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig10a, fig10b
-}
-criterion_main!(benches);

@@ -1,65 +1,44 @@
-//! Criterion bench regenerating representative cells of the paper's Fig. 8
-//! heatmap: baseline vs tuned schedule per architecture.
+//! Regenerates representative cells of the paper's Fig. 8 heatmap:
+//! baseline vs tuned schedule per architecture.
 //!
-//! Simulated targets report simulated time (1 cycle = 1 ns) through
-//! `iter_custom`; the CPU target reports wall-clock time.
+//! Simulated targets report simulated time (1 cycle = 1 ns); the CPU
+//! target reports wall-clock time. Runs on the in-tree timing harness
+//! (warmup + median-of-N + one JSON line per cell on stdout).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ugc::{Algorithm, Target};
-use ugc_bench::{baseline_schedule, measure, tuned_schedule_for};
+use ugc_bench::{baseline_schedule, measure, tuned_schedule_for, Harness};
 use ugc_graph::{Dataset, Scale};
 
-fn bench_cell(c: &mut Criterion, target: Target, algo: Algorithm, dataset: Dataset) {
+fn bench_cell(h: &Harness, target: Target, algo: Algorithm, dataset: Dataset) {
     let graph = dataset.generate(Scale::Tiny);
-    let mut group = c.benchmark_group(format!(
+    let group = format!(
         "fig8/{}/{}/{}",
         target.name(),
         algo.name(),
         dataset.abbrev()
-    ));
-    group.sample_size(10);
+    );
     for (label, sched) in [
         ("baseline", baseline_schedule(target, algo)),
         ("tuned", tuned_schedule_for(target, algo, &graph)),
     ] {
-        let sched = sched.clone();
-        group.bench_function(label, |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let m = measure(target, algo, &graph, sched.clone(), 1);
-                    total += Duration::from_secs_f64(m.time_ms / 1e3);
-                }
-                total
-            })
+        h.bench(&group, label, || {
+            let m = measure(target, algo, &graph, sched.clone(), 1);
+            Duration::from_secs_f64(m.time_ms / 1e3)
         });
     }
-    group.finish();
 }
 
-fn fig8(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
     // One road and one social representative per architecture.
     for target in Target::ALL {
-        bench_cell(c, target, Algorithm::Bfs, Dataset::RoadNetCa);
-        bench_cell(c, target, Algorithm::Bfs, Dataset::Pokec);
-        bench_cell(c, target, Algorithm::Sssp, Dataset::RoadNetCa);
-        bench_cell(c, target, Algorithm::PageRank, Dataset::Pokec);
-        bench_cell(c, target, Algorithm::Cc, Dataset::Pokec);
-        bench_cell(c, target, Algorithm::Bc, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::Bfs, Dataset::RoadNetCa);
+        bench_cell(&h, target, Algorithm::Bfs, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::Sssp, Dataset::RoadNetCa);
+        bench_cell(&h, target, Algorithm::PageRank, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::Cc, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::Bc, Dataset::Pokec);
     }
 }
-
-fn config() -> Criterion {
-    // Deterministic simulated timings have zero variance, which the
-    // plotting backend cannot render.
-    Criterion::default().without_plots()
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig8
-}
-criterion_main!(benches);

@@ -1,63 +1,39 @@
-//! Criterion bench regenerating Fig. 9: the UGC GPU GraphVM against the
+//! Regenerates Fig. 9: the UGC GPU GraphVM against the
 //! Gunrock/GSwitch/SEP-Graph mini-frameworks on the same simulator.
+//!
+//! Runs on the in-tree timing harness (warmup + median-of-N + one JSON
+//! line per framework on stdout).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ugc::{Algorithm, Target};
 use ugc_baselines::gpu_frameworks::{run_framework, Framework};
-use ugc_bench::{measure, tuned_schedule_for};
+use ugc_bench::{measure, tuned_schedule_for, Harness};
 use ugc_graph::{Dataset, Scale};
 use ugc_sim_gpu::GpuConfig;
 
-fn bench_pair(c: &mut Criterion, algo: Algorithm, key: &'static str, dataset: Dataset) {
+fn bench_pair(h: &Harness, algo: Algorithm, key: &'static str, dataset: Dataset) {
     let graph = dataset.generate(Scale::Tiny);
-    let mut group = c.benchmark_group(format!("fig9/{}/{}", algo.name(), dataset.abbrev()));
-    group.sample_size(10);
+    let group = format!("fig9/{}/{}", algo.name(), dataset.abbrev());
     let sched = tuned_schedule_for(Target::Gpu, algo, &graph);
-    group.bench_function("UGC", |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let m = measure(Target::Gpu, algo, &graph, sched.clone(), 1);
-                total += Duration::from_secs_f64(m.time_ms / 1e3);
-            }
-            total
-        })
+    h.bench(&group, "UGC", || {
+        let m = measure(Target::Gpu, algo, &graph, sched.clone(), 1);
+        Duration::from_secs_f64(m.time_ms / 1e3)
     });
     for f in Framework::ALL {
-        group.bench_function(f.name(), |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let r = run_framework(f, key, &graph, 0, GpuConfig::default());
-                    total += Duration::from_nanos(r.cycles);
-                }
-                total
-            })
+        h.bench(&group, f.name(), || {
+            let r = run_framework(f, key, &graph, 0, GpuConfig::default());
+            Duration::from_nanos(r.cycles)
         });
     }
-    group.finish();
 }
 
-fn fig9(c: &mut Criterion) {
-    bench_pair(c, Algorithm::Bfs, "bfs", Dataset::Twitter);
-    bench_pair(c, Algorithm::Bfs, "bfs", Dataset::RoadNetCa);
-    bench_pair(c, Algorithm::Sssp, "sssp", Dataset::RoadNetCa);
-    bench_pair(c, Algorithm::PageRank, "pr", Dataset::Twitter);
-    bench_pair(c, Algorithm::Cc, "cc", Dataset::Twitter);
-    bench_pair(c, Algorithm::Bc, "bc", Dataset::Twitter);
+fn main() {
+    let h = Harness::from_args();
+    bench_pair(&h, Algorithm::Bfs, "bfs", Dataset::Twitter);
+    bench_pair(&h, Algorithm::Bfs, "bfs", Dataset::RoadNetCa);
+    bench_pair(&h, Algorithm::Sssp, "sssp", Dataset::RoadNetCa);
+    bench_pair(&h, Algorithm::PageRank, "pr", Dataset::Twitter);
+    bench_pair(&h, Algorithm::Cc, "cc", Dataset::Twitter);
+    bench_pair(&h, Algorithm::Bc, "bc", Dataset::Twitter);
 }
-
-fn config() -> Criterion {
-    // Deterministic simulated timings have zero variance, which the
-    // plotting backend cannot render.
-    Criterion::default().without_plots()
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig9
-}
-criterion_main!(benches);

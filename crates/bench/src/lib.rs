@@ -1,11 +1,17 @@
-//! The benchmark harness shared by the Criterion benches and the `repro`
-//! binary that regenerates every table and figure of the paper.
+//! The benchmark harness shared by the `harness = false` benches and the
+//! `repro` binary that regenerates every table and figure of the paper.
+//! Timing/reporting lives in [`harness`] — the in-tree, offline
+//! replacement for Criterion (warmup + median-of-N + JSON lines).
 //!
 //! The key ingredient is [`tuned_schedule`]: the per-(architecture,
 //! algorithm, graph-class) schedules of the paper's §IV-A ("we tune the
 //! schedules for each application and graph pair, but always compile from
 //! exactly the same algorithm specification"). [`baseline_schedule`] is
 //! each GraphVM's default.
+
+pub mod harness;
+
+pub use harness::{Harness, Stats};
 
 use ugc::{Algorithm, Compiler, Target};
 use ugc_backend_cpu::CpuSchedule;
@@ -83,8 +89,9 @@ fn tuned_schedule_sized(
                 Algorithm::PageRank => CpuSchedule::new()
                     .with_cache_blocking(true)
                     .with_parallelization(Parallelization::EdgeAwareVertexBased),
-                Algorithm::Cc => CpuSchedule::new()
-                    .with_parallelization(Parallelization::EdgeAwareVertexBased),
+                Algorithm::Cc => {
+                    CpuSchedule::new().with_parallelization(Parallelization::EdgeAwareVertexBased)
+                }
                 Algorithm::Sssp => {
                     if social {
                         // Low-diameter graphs want fine buckets (measured:
@@ -93,7 +100,9 @@ fn tuned_schedule_sized(
                             .with_delta(1)
                             .with_parallelization(Parallelization::EdgeAwareVertexBased)
                     } else {
-                        CpuSchedule::new().with_delta(64).with_serial_threshold(4096)
+                        CpuSchedule::new()
+                            .with_delta(64)
+                            .with_serial_threshold(4096)
                     }
                 }
             };
@@ -155,8 +164,7 @@ fn tuned_schedule_sized(
                     // Fine splitting pays off on high-in-degree (social)
                     // graphs (§IV-E); road graphs keep coarse tasks.
                     if social {
-                        SwarmSchedule::new()
-                            .with_task_granularity(TaskGranularity::FineGrained)
+                        SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained)
                     } else {
                         SwarmSchedule::new()
                     }
@@ -166,8 +174,9 @@ fn tuned_schedule_sized(
                 // default (measured — a deviation from the paper's CC
                 // gains, noted in EXPERIMENTS.md).
                 Algorithm::Cc => SwarmSchedule::new(),
-                Algorithm::Bc => SwarmSchedule::new()
-                    .with_task_granularity(TaskGranularity::FineGrained),
+                Algorithm::Bc => {
+                    SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained)
+                }
             };
             ScheduleRef::simple(s)
         }
@@ -246,14 +255,14 @@ pub fn measure(
 /// of the Fig. 8 heatmap.
 pub fn fig8_cell(target: Target, algo: Algorithm, dataset: Dataset, scale: Scale) -> f64 {
     let graph = dataset.generate(scale);
-    let base = measure(
+    let base = measure(target, algo, &graph, baseline_schedule(target, algo), 3);
+    let tuned = measure(
         target,
         algo,
         &graph,
-        baseline_schedule(target, algo),
+        tuned_schedule_for(target, algo, &graph),
         3,
     );
-    let tuned = measure(target, algo, &graph, tuned_schedule_for(target, algo, &graph), 3);
     base.time_ms / tuned.time_ms
 }
 

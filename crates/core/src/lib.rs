@@ -196,10 +196,9 @@ impl Compiler {
         let mut prog = ugc_midend::frontend_to_ir(&self.source)
             .map_err(|e| UgcError { message: e.message })?;
         for (path, sched) in &self.schedules {
-            ugc_schedule::apply_schedule(&mut prog, path, sched.clone())
-                .map_err(|e| UgcError {
-                    message: e.to_string(),
-                })?;
+            ugc_schedule::apply_schedule(&mut prog, path, sched.clone()).map_err(|e| UgcError {
+                message: e.to_string(),
+            })?;
         }
         ugc_midend::run_passes(&mut prog).map_err(|e| UgcError { message: e.message })?;
         Ok(prog)

@@ -289,14 +289,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &src[start..i];
                 // `min=` / `max=` reduction tokens.
-                let kind = if (word == "min" || word == "max") && i < bytes.len() && bytes[i] == b'='
+                let kind = if (word == "min" || word == "max")
+                    && i < bytes.len()
+                    && bytes[i] == b'='
                     && !(i + 1 < bytes.len() && bytes[i + 1] == b'=')
                 {
                     bump!();

@@ -462,7 +462,10 @@ impl Parser {
                     AExprKind::Float(v) => AExprKind::Float(-v),
                     other => AExprKind::Unary {
                         op: UnOp::Neg,
-                        operand: Box::new(AExpr { kind: other, span: operand.span }),
+                        operand: Box::new(AExpr {
+                            kind: other,
+                            span: operand.span,
+                        }),
                     },
                 };
                 Ok(AExpr { kind, span })
@@ -635,10 +638,7 @@ mod tests {
         let p = parse("const parent : vector{Vertex}(int) = -1;").unwrap();
         let c = p.constant("parent").unwrap();
         assert_eq!(c.ty, TypeExpr::Vector(Box::new(TypeExpr::Int)));
-        assert!(matches!(
-            c.init.as_ref().unwrap().kind,
-            AExprKind::Int(-1)
-        ));
+        assert!(matches!(c.init.as_ref().unwrap().kind, AExprKind::Int(-1)));
     }
 
     #[test]
@@ -671,11 +671,19 @@ end
         };
         assert_eq!(main.body[1].label.as_deref(), Some("s0"));
         assert_eq!(body[0].label.as_deref(), Some("s1"));
-        let AStmtKind::VarDecl { init: Some(init), .. } = &body[0].kind else {
+        let AStmtKind::VarDecl {
+            init: Some(init), ..
+        } = &body[0].kind
+        else {
             panic!("expected var decl");
         };
         // Outermost is applyModified(...)
-        let AExprKind::MethodCall { method, args, receiver } = &init.kind else {
+        let AExprKind::MethodCall {
+            method,
+            args,
+            receiver,
+        } = &init.kind
+        else {
             panic!("expected method call");
         };
         assert_eq!(method, "applyModified");
@@ -688,16 +696,23 @@ end
 
     #[test]
     fn parse_reduce_statements() {
-        let src = "func f(src : Vertex, dst : Vertex)\nIDs[dst] min= IDs[src];\nranks[dst] += 0.5;\nend";
+        let src =
+            "func f(src : Vertex, dst : Vertex)\nIDs[dst] min= IDs[src];\nranks[dst] += 0.5;\nend";
         let p = parse(src).unwrap();
         let f = p.func("f").unwrap();
         assert!(matches!(
             f.body[0].kind,
-            AStmtKind::Reduce { op: ReduceOp::Min, .. }
+            AStmtKind::Reduce {
+                op: ReduceOp::Min,
+                ..
+            }
         ));
         assert!(matches!(
             f.body[1].kind,
-            AStmtKind::Reduce { op: ReduceOp::Sum, .. }
+            AStmtKind::Reduce {
+                op: ReduceOp::Sum,
+                ..
+            }
         ));
     }
 
@@ -706,7 +721,12 @@ end
         let src = "func f(v : Vertex)\nif num_paths[v] != 0\nx = 1;\nelse\nx = 0;\nend\nend";
         let p = parse(src).unwrap();
         let f = p.func("f").unwrap();
-        let AStmtKind::If { then_body, else_body, .. } = &f.body[0].kind else {
+        let AStmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &f.body[0].kind
+        else {
             panic!("expected if");
         };
         assert_eq!(then_body.len(), 1);
@@ -737,8 +757,11 @@ end
     fn parse_operator_precedence() {
         let src = "const x : float = 1.0 + 2.0 * 3.0;";
         let p = parse(src).unwrap();
-        let AExprKind::Binary { op: BinOp::Add, rhs, .. } =
-            &p.constant("x").unwrap().init.as_ref().unwrap().kind
+        let AExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &p.constant("x").unwrap().init.as_ref().unwrap().kind
         else {
             panic!("expected add at top");
         };

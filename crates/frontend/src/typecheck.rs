@@ -9,9 +9,7 @@ use std::fmt;
 
 use ugc_graphir::types::{BinOp, ReduceOp, UnOp};
 
-use crate::ast::{
-    AExpr, AExprKind, AStmt, AStmtKind, Decl, FuncDecl, SourceProgram, TypeExpr,
-};
+use crate::ast::{AExpr, AExprKind, AStmt, AStmtKind, Decl, FuncDecl, SourceProgram, TypeExpr};
 use crate::lexer::Span;
 
 /// The checker's internal type lattice.
@@ -81,9 +79,7 @@ fn numeric(t: Ty) -> bool {
 
 /// `from` is acceptable where `to` is expected.
 fn coerces(from: Ty, to: Ty) -> bool {
-    from == to
-        || (int_like(from) && int_like(to))
-        || (int_like(from) && to == Ty::Float)
+    from == to || (int_like(from) && int_like(to)) || (int_like(from) && to == Ty::Float)
 }
 
 /// A type error with source position.
@@ -182,13 +178,14 @@ impl<'a> Checker<'a> {
                 let vt = self.check_expr(value);
                 if let Some(tt) = tt {
                     let ok = match op {
-                        ReduceOp::Sum | ReduceOp::Min | ReduceOp::Max => {
-                            numeric(tt) && numeric(vt)
-                        }
+                        ReduceOp::Sum | ReduceOp::Min | ReduceOp::Max => numeric(tt) && numeric(vt),
                         ReduceOp::Or => tt == Ty::Bool && vt == Ty::Bool,
                     };
                     if !ok {
-                        self.err(s.span, format!("reduction `{op}` not valid on {tt} and {vt}"));
+                        self.err(
+                            s.span,
+                            format!("reduction `{op}` not valid on {tt} and {vt}"),
+                        );
                     }
                 }
             }
@@ -232,13 +229,11 @@ impl<'a> Checker<'a> {
             AStmtKind::ExprStmt(e) | AStmtKind::Print(e) => {
                 self.check_expr(e);
             }
-            AStmtKind::Delete(name) => {
-                match self.lookup(name) {
-                    None => self.err(s.span, format!("delete of unknown variable `{name}`")),
-                    Some(Ty::VertexSet) | Some(Ty::List) => {}
-                    Some(t) => self.err(s.span, format!("cannot delete a value of type {t}")),
-                }
-            }
+            AStmtKind::Delete(name) => match self.lookup(name) {
+                None => self.err(s.span, format!("delete of unknown variable `{name}`")),
+                Some(Ty::VertexSet) | Some(Ty::List) => {}
+                Some(t) => self.err(s.span, format!("cannot delete a value of type {t}")),
+            },
             AStmtKind::Break => {}
         }
     }
@@ -248,14 +243,20 @@ impl<'a> Checker<'a> {
             AExprKind::Ident(name) => match self.lookup(name) {
                 Some(t) => Some(t),
                 None => {
-                    self.err(e.span, format!("assignment to undeclared variable `{name}`"));
+                    self.err(
+                        e.span,
+                        format!("assignment to undeclared variable `{name}`"),
+                    );
                     None
                 }
             },
             AExprKind::Index { base, index } => {
                 let it = self.check_expr(index);
                 if !int_like(it) {
-                    self.err(e.span, format!("vector index must be a vertex/int, found {it}"));
+                    self.err(
+                        e.span,
+                        format!("vector index must be a vertex/int, found {it}"),
+                    );
                 }
                 let AExprKind::Ident(vec_name) = &base.kind else {
                     self.err(e.span, "only named vectors can be indexed".to_string());
@@ -307,7 +308,10 @@ impl<'a> Checker<'a> {
             AExprKind::Index { base, index } => {
                 let it = self.check_expr(index);
                 if !int_like(it) {
-                    self.err(e.span, format!("vector index must be a vertex/int, found {it}"));
+                    self.err(
+                        e.span,
+                        format!("vector index must be a vertex/int, found {it}"),
+                    );
                 }
                 let AExprKind::Ident(vec_name) = &base.kind else {
                     self.err(e.span, "only named vectors can be indexed".to_string());
@@ -321,13 +325,16 @@ impl<'a> Checker<'a> {
                 match op {
                     BinOp::And | BinOp::Or => {
                         if lt != Ty::Bool || rt != Ty::Bool {
-                            self.err(e.span, format!("`{op}` requires bool operands, found {lt} and {rt}"));
+                            self.err(
+                                e.span,
+                                format!("`{op}` requires bool operands, found {lt} and {rt}"),
+                            );
                         }
                         Ty::Bool
                     }
                     BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        let compatible = (numeric(lt) && numeric(rt))
-                            || (lt == Ty::Bool && rt == Ty::Bool);
+                        let compatible =
+                            (numeric(lt) && numeric(rt)) || (lt == Ty::Bool && rt == Ty::Bool);
                         if !compatible {
                             self.err(e.span, format!("cannot compare {lt} with {rt}"));
                         }
@@ -460,7 +467,10 @@ impl<'a> Checker<'a> {
         let ret = sig.ret;
         for (i, (a, p)) in arg_tys.iter().zip(params.iter()).enumerate() {
             if !coerces(*a, *p) {
-                self.err(span, format!("argument {i} of `{callee}`: expected {p}, found {a}"));
+                self.err(
+                    span,
+                    format!("argument {i} of `{callee}`: expected {p}, found {a}"),
+                );
             }
         }
         ret
@@ -468,7 +478,10 @@ impl<'a> Checker<'a> {
 
     fn expect_args(&mut self, span: Span, what: &str, args: &[AExpr], n: usize) {
         if args.len() != n {
-            self.err(span, format!("`{what}` expects {n} argument(s), got {}", args.len()));
+            self.err(
+                span,
+                format!("`{what}` expects {n} argument(s), got {}", args.len()),
+            );
         }
     }
 
@@ -502,7 +515,10 @@ impl<'a> Checker<'a> {
                 }
                 let t = self.check_expr(&args[0]);
                 if t != Ty::VertexSet {
-                    self.err(span, format!("`from` expects a vertexset or filter, found {t}"));
+                    self.err(
+                        span,
+                        format!("`from` expects a vertexset or filter, found {t}"),
+                    );
                 }
                 Ty::EdgeSet
             }
@@ -527,7 +543,10 @@ impl<'a> Checker<'a> {
                         // error already recorded
                     }
                 } else {
-                    self.err(span, "`applyModified` second argument must be a vector name");
+                    self.err(
+                        span,
+                        "`applyModified` second argument must be a vector name",
+                    );
                 }
                 if let Some(a) = args.get(2) {
                     let t = self.check_expr(a);
@@ -575,7 +594,10 @@ impl<'a> Checker<'a> {
                     self.err(span, format!("`{method}` first argument must be a vertex"));
                 }
                 if !int_like(pt) {
-                    self.err(span, format!("`{method}` second argument must be an int priority"));
+                    self.err(
+                        span,
+                        format!("`{method}` second argument must be an int priority"),
+                    );
                 }
                 Ty::Void
             }
@@ -700,7 +722,10 @@ pub fn typecheck(prog: &SourceProgram) -> Result<(), Vec<TypeError>> {
                 if !ok && it != Ty::Void {
                     checker.err(
                         c.span,
-                        format!("cannot initialize const `{}` of type {declared} with {it}", c.name),
+                        format!(
+                            "cannot initialize const `{}` of type {declared} with {it}",
+                            c.name
+                        ),
                     );
                 }
             }
@@ -780,7 +805,9 @@ end"
     #[test]
     fn unknown_identifier_rejected() {
         let errs = check("func main()\nvar x : int = nope;\nend").unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("unknown identifier")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("unknown identifier")));
     }
 
     #[test]
@@ -814,7 +841,9 @@ end"
     fn method_on_wrong_receiver_rejected() {
         let src = format!("{PRELUDE}func main()\nvertices.applyModified(f, parent);\nend");
         let errs = check(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("no method `applyModified`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("no method `applyModified`")));
     }
 
     #[test]
@@ -877,7 +906,9 @@ end"
     fn wrong_arity_udf_call_rejected() {
         let src = "func helper(a : int)\nend\nfunc main()\nhelper(1, 2);\nend";
         let errs = check(src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("expects 1 arguments")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("expects 1 arguments")));
     }
 
     #[test]
@@ -896,6 +927,8 @@ end"
     #[test]
     fn duplicate_function_rejected() {
         let errs = check("func main()\nend\nfunc main()\nend").unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate function")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate function")));
     }
 }

@@ -114,7 +114,11 @@ mod tests {
     #[test]
     fn builder_symmetric_dedup() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 1).symmetric(true).dedup(true);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(1, 1)
+            .symmetric(true)
+            .dedup(true);
         let g = b.into_graph();
         // 0->1 and 1->0 each symmetrized then deduped; self loop removed.
         assert_eq!(g.num_edges(), 2);

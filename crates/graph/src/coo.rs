@@ -93,8 +93,7 @@ impl EdgeList {
     /// and self-loops.
     pub fn dedup_and_strip_loops(&mut self) {
         self.edges.retain(|&(s, d, _)| s != d);
-        self.edges
-            .sort_unstable_by_key(|&(s, d, w)| (s, d, w));
+        self.edges.sort_unstable_by_key(|&(s, d, w)| (s, d, w));
         self.edges.dedup_by_key(|&mut (s, d, _)| (s, d));
     }
 

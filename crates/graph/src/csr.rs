@@ -74,7 +74,11 @@ impl Csr {
         }
         let mut cursor = offsets[..num_vertices].to_vec();
         let mut targets = vec![0 as VertexId; num_edges];
-        let mut weights = if weighted { vec![0; num_edges] } else { Vec::new() };
+        let mut weights = if weighted {
+            vec![0; num_edges]
+        } else {
+            Vec::new()
+        };
         for (s, d, w) in edges {
             let at = cursor[s as usize];
             targets[at] = d;

@@ -10,9 +10,7 @@
 //! * **Road-like graphs** ([`road_grid`]) stand in for RoadUSA/RoadNetCA/
 //!   RoadCentral: bounded degree, huge diameter.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::prng::Prng;
 use crate::{EdgeList, Graph, VertexId, Weight};
 
 /// Maximum random edge weight produced by the weighted generators.
@@ -36,7 +34,7 @@ pub const MAX_WEIGHT: Weight = 64;
 /// ```
 pub fn rmat(scale: u32, edge_factor: usize, seed: u64, weighted: bool) -> Graph {
     let n = 1usize << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let (a, b, c) = (0.57, 0.19, 0.19);
     let mut el = EdgeList::new(n);
     let target = n * edge_factor;
@@ -45,11 +43,11 @@ pub fn rmat(scale: u32, edge_factor: usize, seed: u64, weighted: bool) -> Graph 
         let (mut y0, mut y1) = (0usize, n - 1);
         while x0 < x1 {
             // Add noise per level so degrees smooth out (standard practice).
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (da, db, dc) = (
-                a * (0.9 + 0.2 * rng.gen::<f64>()),
-                b * (0.9 + 0.2 * rng.gen::<f64>()),
-                c * (0.9 + 0.2 * rng.gen::<f64>()),
+                a * (0.9 + 0.2 * rng.gen_f64()),
+                b * (0.9 + 0.2 * rng.gen_f64()),
+                c * (0.9 + 0.2 * rng.gen_f64()),
             );
             let norm = da + db + dc + (1.0 - a - b - c);
             let (pa, pb, pc) = (da / norm, db / norm, dc / norm);
@@ -95,12 +93,18 @@ pub fn rmat(scale: u32, edge_factor: usize, seed: u64, weighted: bool) -> Graph 
 /// assert_eq!(g.num_vertices(), 256);
 /// assert!(g.is_weighted());
 /// ```
-pub fn road_grid(width: usize, height: usize, extra_fraction: f64, seed: u64, weighted: bool) -> Graph {
+pub fn road_grid(
+    width: usize,
+    height: usize,
+    extra_fraction: f64,
+    seed: u64,
+    weighted: bool,
+) -> Graph {
     let n = width * height;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut el = EdgeList::new(n);
     let idx = |x: usize, y: usize| (y * width + x) as VertexId;
-    let push = |el: &mut EdgeList, s: VertexId, d: VertexId, rng: &mut StdRng| {
+    let push = |el: &mut EdgeList, s: VertexId, d: VertexId, rng: &mut Prng| {
         if weighted {
             el.push_weighted(s, d, rng.gen_range(1..=MAX_WEIGHT));
         } else {
@@ -136,7 +140,7 @@ pub fn road_grid(width: usize, height: usize, extra_fraction: f64, seed: u64, we
 /// Uniform random graph with `num_edges` directed edges drawn uniformly
 /// (Erdős–Rényi G(n, m) style), symmetrized and deduplicated.
 pub fn uniform_random(num_vertices: usize, num_edges: usize, seed: u64, weighted: bool) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut el = EdgeList::new(num_vertices);
     for _ in 0..num_edges {
         let s = rng.gen_range(0..num_vertices) as VertexId;
@@ -238,7 +242,10 @@ mod tests {
         let g = rmat(7, 4, 3, false);
         for v in 0..g.num_vertices() as VertexId {
             for &u in g.out_neighbors(v) {
-                assert!(g.out_neighbors(u).contains(&v), "missing reverse of ({v},{u})");
+                assert!(
+                    g.out_neighbors(u).contains(&v),
+                    "missing reverse of ({v},{u})"
+                );
             }
         }
     }
@@ -272,7 +279,11 @@ mod tests {
     fn uniform_random_edge_count_close() {
         let g = uniform_random(100, 500, 11, false);
         // Symmetrized then deduped: between 500 and 1000 directed edges.
-        assert!(g.num_edges() > 400 && g.num_edges() <= 1000, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 400 && g.num_edges() <= 1000,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`datasets`] — scaled-down stand-ins for the ten input graphs of the
 //!   paper's Table VIII,
 //! * [`io`] — plain-text edge-list loading and saving,
-//! * [`stats`] — degree statistics used by scheduling heuristics.
+//! * [`stats`] — degree statistics used by scheduling heuristics,
+//! * [`prng`] — in-tree deterministic PRNG (splitmix64-seeded xoshiro256++)
+//!   so the whole workspace builds offline with zero external crates.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod io;
+pub mod prng;
 pub mod stats;
 
 pub use builder::GraphBuilder;

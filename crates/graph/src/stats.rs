@@ -44,7 +44,11 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
         num_vertices: n,
         num_edges: g.num_edges(),
         max_degree,
-        avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / n as f64
+        },
         num_isolated,
     }
 }
@@ -76,7 +80,11 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
     let mut hist = Vec::new();
     for v in 0..g.num_vertices() as VertexId {
         let d = g.out_degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -1,108 +1,144 @@
-//! Property-based tests on the graph substrate's invariants.
+//! Property-based tests on the graph substrate's invariants, running on
+//! the in-tree `ugc-testkit` harness (seeded cases + bounded shrinking).
 
-use proptest::prelude::*;
 use ugc_graph::{Csr, EdgeList, Graph};
+use ugc_testkit::{check_with_shrink, Config, Prng, Shrink};
 
-/// Strategy: a vertex count and a set of in-range edges.
-fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..64).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32);
-        (Just(n), proptest::collection::vec(edge, 0..256))
-    })
+/// Generator: a vertex count and a set of in-range edges.
+fn gen_edges(rng: &mut Prng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.gen_range(2..64usize);
+    let len = rng.gen_range(0..256usize);
+    let edges = (0..len)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #[test]
-    fn csr_preserves_edge_multiset((n, edges) in edges_strategy()) {
-        let csr = Csr::from_edges(n, &edges);
-        prop_assert_eq!(csr.num_edges(), edges.len());
+/// Shrinker that keeps `n` fixed so edges stay in range, only simplifying
+/// the edge list.
+fn shrink_edges(input: &(usize, Vec<(u32, u32)>)) -> Vec<(usize, Vec<(u32, u32)>)> {
+    let (n, edges) = input;
+    edges.shrink().into_iter().map(|e| (*n, e)).collect()
+}
+
+fn check_edges(name: &str, prop: impl Fn(&(usize, Vec<(u32, u32)>))) {
+    check_with_shrink(name, Config::default(), gen_edges, shrink_edges, prop);
+}
+
+#[test]
+fn csr_preserves_edge_multiset() {
+    check_edges("csr_preserves_edge_multiset", |(n, edges)| {
+        let csr = Csr::from_edges(*n, edges);
+        assert_eq!(csr.num_edges(), edges.len());
         let mut expect = edges.clone();
         expect.sort_unstable();
         let mut got: Vec<(u32, u32)> = csr.iter_edges().map(|(s, d, _)| (s, d)).collect();
         got.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn degrees_sum_to_edge_count((n, edges) in edges_strategy()) {
-        let csr = Csr::from_edges(n, &edges);
-        let total: usize = (0..n as u32).map(|v| csr.degree(v)).sum();
-        prop_assert_eq!(total, edges.len());
-    }
+#[test]
+fn degrees_sum_to_edge_count() {
+    check_edges("degrees_sum_to_edge_count", |(n, edges)| {
+        let csr = Csr::from_edges(*n, edges);
+        let total: usize = (0..*n as u32).map(|v| csr.degree(v)).sum();
+        assert_eq!(total, edges.len());
+    });
+}
 
-    #[test]
-    fn transpose_is_involution((n, edges) in edges_strategy()) {
-        let csr = Csr::from_edges(n, &edges);
-        prop_assert_eq!(csr.transpose().transpose(), csr);
-    }
+#[test]
+fn transpose_is_involution() {
+    check_edges("transpose_is_involution", |(n, edges)| {
+        let csr = Csr::from_edges(*n, edges);
+        assert_eq!(csr.transpose().transpose(), csr);
+    });
+}
 
-    #[test]
-    fn transpose_preserves_edge_count((n, edges) in edges_strategy()) {
-        let csr = Csr::from_edges(n, &edges);
+#[test]
+fn transpose_preserves_edge_count() {
+    check_edges("transpose_preserves_edge_count", |(n, edges)| {
+        let csr = Csr::from_edges(*n, edges);
         let t = csr.transpose();
-        prop_assert_eq!(t.num_edges(), csr.num_edges());
+        assert_eq!(t.num_edges(), csr.num_edges());
         // Every edge reversed is present.
         for (s, d, _) in csr.iter_edges() {
-            prop_assert!(t.neighbors(d).contains(&s));
+            assert!(t.neighbors(d).contains(&s));
         }
-    }
+    });
+}
 
-    #[test]
-    fn in_degree_equals_incoming_edges((n, edges) in edges_strategy()) {
-        let g = Graph::from_edges(n, &edges);
-        for v in 0..n as u32 {
+#[test]
+fn in_degree_equals_incoming_edges() {
+    check_edges("in_degree_equals_incoming_edges", |(n, edges)| {
+        let g = Graph::from_edges(*n, edges);
+        for v in 0..*n as u32 {
             let expect = edges.iter().filter(|&&(_, d)| d == v).count();
-            prop_assert_eq!(g.in_degree(v), expect);
+            assert_eq!(g.in_degree(v), expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn symmetrize_makes_symmetric((n, edges) in edges_strategy()) {
-        let mut el = EdgeList::new(n);
-        for &(s, d) in &edges {
+#[test]
+fn symmetrize_makes_symmetric() {
+    check_edges("symmetrize_makes_symmetric", |(n, edges)| {
+        let mut el = EdgeList::new(*n);
+        for &(s, d) in edges {
             el.push(s, d);
         }
         el.symmetrize();
         el.dedup_and_strip_loops();
         let g = el.into_graph();
-        for v in 0..n as u32 {
+        for v in 0..*n as u32 {
             for &u in g.out_neighbors(v) {
-                prop_assert!(g.out_neighbors(u).contains(&v), "missing {u}->{v}");
+                assert!(g.out_neighbors(u).contains(&v), "missing {u}->{v}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dedup_removes_all_duplicates((n, edges) in edges_strategy()) {
-        let mut el = EdgeList::new(n);
-        for &(s, d) in &edges {
+#[test]
+fn dedup_removes_all_duplicates() {
+    check_edges("dedup_removes_all_duplicates", |(n, edges)| {
+        let mut el = EdgeList::new(*n);
+        for &(s, d) in edges {
             el.push(s, d);
             el.push(s, d); // force duplicates
         }
         el.dedup_and_strip_loops();
         let mut seen = std::collections::HashSet::new();
         for &(s, d, _) in el.edges() {
-            prop_assert!(s != d, "self loop survived");
-            prop_assert!(seen.insert((s, d)), "duplicate ({s},{d}) survived");
+            assert!(s != d, "self loop survived");
+            assert!(seen.insert((s, d)), "duplicate ({s},{d}) survived");
         }
-    }
+    });
+}
 
-    #[test]
-    fn io_round_trip((n, edges) in edges_strategy()) {
-        let g = Graph::from_edges(n.max(1), &edges);
+#[test]
+fn io_round_trip() {
+    check_edges("io_round_trip", |(n, edges)| {
+        let g = Graph::from_edges((*n).max(1), edges);
         let mut buf = Vec::new();
         ugc_graph::io::write_edge_list(&g, &mut buf).unwrap();
         if g.num_edges() > 0 {
             let g2 = ugc_graph::io::read_edge_list(buf.as_slice()).unwrap();
-            prop_assert_eq!(g.out_csr().targets(), g2.out_csr().targets());
+            assert_eq!(g.out_csr().targets(), g2.out_csr().targets());
         }
-    }
+    });
+}
 
-    #[test]
-    fn rmat_deterministic_for_seed(seed in 0u64..500) {
-        let a = ugc_graph::generators::rmat(6, 4, seed, true);
-        let b = ugc_graph::generators::rmat(6, 4, seed, true);
-        prop_assert_eq!(a.out_csr().targets(), b.out_csr().targets());
-        prop_assert_eq!(a.out_csr().weights(), b.out_csr().weights());
-    }
+#[test]
+fn rmat_deterministic_for_seed() {
+    check_with_shrink(
+        "rmat_deterministic_for_seed",
+        Config::default(),
+        |rng| rng.gen_range(0u64..500),
+        |_| Vec::new(), // the seed value has no meaningful simplification
+        |seed| {
+            let a = ugc_graph::generators::rmat(6, 4, *seed, true);
+            let b = ugc_graph::generators::rmat(6, 4, *seed, true);
+            assert_eq!(a.out_csr().targets(), b.out_csr().targets());
+            assert_eq!(a.out_csr().weights(), b.out_csr().weights());
+        },
+    );
 }

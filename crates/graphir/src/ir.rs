@@ -49,7 +49,12 @@ impl Program {
     }
 
     /// Declares a scalar global.
-    pub fn add_global(&mut self, name: impl Into<String>, ty: Type, init: Option<Expr>) -> &mut Self {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        init: Option<Expr>,
+    ) -> &mut Self {
         self.globals.push(GlobalDecl {
             name: name.into(),
             ty,
@@ -614,9 +619,15 @@ mod tests {
         );
         p.add_function(f);
         assert_eq!(p.function("toFilter").unwrap().params.len(), 1);
-        p.function_mut("toFilter").unwrap().meta.set(keys::PLACEMENT, "DEVICE");
+        p.function_mut("toFilter")
+            .unwrap()
+            .meta
+            .set(keys::PLACEMENT, "DEVICE");
         assert_eq!(
-            p.function("toFilter").unwrap().meta.get_str(keys::PLACEMENT),
+            p.function("toFilter")
+                .unwrap()
+                .meta
+                .get_str(keys::PLACEMENT),
             Some("DEVICE")
         );
     }

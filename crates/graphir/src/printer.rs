@@ -25,7 +25,14 @@ pub fn print_program(p: &Program) -> String {
     for g in &p.globals {
         match &g.init {
             Some(e) => {
-                let _ = writeln!(out, "Global{} {} : {} = {}", meta_str(&g.meta), g.name, g.ty, print_expr(e));
+                let _ = writeln!(
+                    out,
+                    "Global{} {} : {} = {}",
+                    meta_str(&g.meta),
+                    g.name,
+                    g.ty,
+                    print_expr(e)
+                );
             }
             None => {
                 let _ = writeln!(out, "Global{} {} : {}", meta_str(&g.meta), g.name, g.ty);
@@ -91,10 +98,7 @@ fn meta_str(m: &Metadata) -> String {
     if m.is_empty() {
         return String::new();
     }
-    let inner: Vec<String> = m
-        .iter()
-        .map(|(k, v)| format!("{k}={v:?}"))
-        .collect();
+    let inner: Vec<String> = m.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
     format!("<{}>", inner.join(", "))
 }
 
@@ -120,7 +124,12 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             }
         },
         StmtKind::Assign { target, value } => {
-            let _ = writeln!(out, "AssignStmt{m}({}, {})", print_lvalue(target), print_expr(value));
+            let _ = writeln!(
+                out,
+                "AssignStmt{m}({}, {})",
+                print_lvalue(target),
+                print_expr(value)
+            );
         }
         StmtKind::Reduce {
             target,
@@ -248,7 +257,11 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
         StmtKind::ListAppend { list, set } => {
             let _ = writeln!(out, "ListAppend{m}({list}, {set})");
         }
-        StmtKind::ListRetrieve { list, index, out: o } => {
+        StmtKind::ListRetrieve {
+            list,
+            index,
+            out: o,
+        } => {
             let _ = writeln!(out, "ListRetrieve{m}({list}, {}, {o})", print_expr(index));
         }
         StmtKind::ListPopBack { list, out: o } => {
@@ -369,7 +382,10 @@ mod tests {
 
         let text = print_program(&p);
         assert!(text.contains("CompareAndSwap<is_atomic=true>"), "{text}");
-        assert!(text.contains("EdgeSetIterator<direction=PUSH, requires_output=true>"), "{text}");
+        assert!(
+            text.contains("EdgeSetIterator<direction=PUSH, requires_output=true>"),
+            "{text}"
+        );
         assert!(text.contains("#s1#"), "{text}");
         assert!(text.contains("WhileLoopStmt"), "{text}");
         assert!(text.contains("EnqueueVertex"), "{text}");

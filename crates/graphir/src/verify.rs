@@ -55,9 +55,21 @@ pub fn verify(prog: &Program) -> Result<(), Vec<VerifyError>> {
     }
 
     // Duplicate declarations.
-    check_unique(prog.properties.iter().map(|p| p.name.as_str()), "property", &mut errors);
-    check_unique(prog.functions.iter().map(|f| f.name.as_str()), "function", &mut errors);
-    check_unique(prog.globals.iter().map(|g| g.name.as_str()), "global", &mut errors);
+    check_unique(
+        prog.properties.iter().map(|p| p.name.as_str()),
+        "property",
+        &mut errors,
+    );
+    check_unique(
+        prog.functions.iter().map(|f| f.name.as_str()),
+        "function",
+        &mut errors,
+    );
+    check_unique(
+        prog.globals.iter().map(|g| g.name.as_str()),
+        "global",
+        &mut errors,
+    );
 
     // Duplicate labels in main.
     let mut labels = HashSet::new();
@@ -95,24 +107,21 @@ pub fn verify(prog: &Program) -> Result<(), Vec<VerifyError>> {
                         }
                     }
                 }
-                StmtKind::VertexSetIterator { apply, .. }
-                    if !funcs.contains(apply.as_str()) => {
-                        errors.push(err(format!(
-                            "{ctx}: VertexSetIterator applies unknown function `{apply}`"
-                        )));
-                    }
-                StmtKind::UpdatePriority { queue, .. }
-                    if !queues.contains(queue.as_str()) => {
-                        errors.push(err(format!(
-                            "{ctx}: UpdatePriority on undeclared queue `{queue}`"
-                        )));
-                    }
+                StmtKind::VertexSetIterator { apply, .. } if !funcs.contains(apply.as_str()) => {
+                    errors.push(err(format!(
+                        "{ctx}: VertexSetIterator applies unknown function `{apply}`"
+                    )));
+                }
+                StmtKind::UpdatePriority { queue, .. } if !queues.contains(queue.as_str()) => {
+                    errors.push(err(format!(
+                        "{ctx}: UpdatePriority on undeclared queue `{queue}`"
+                    )));
+                }
                 StmtKind::Assign { target, .. } | StmtKind::Reduce { target, .. } => {
                     if let crate::ir::LValue::Prop { prop, .. } = target {
                         if !props.contains(prop.as_str()) {
-                            errors.push(err(format!(
-                                "{ctx}: write to undeclared property `{prop}`"
-                            )));
+                            errors
+                                .push(err(format!("{ctx}: write to undeclared property `{prop}`")));
                         }
                     }
                 }
@@ -120,22 +129,17 @@ pub fn verify(prog: &Program) -> Result<(), Vec<VerifyError>> {
             }
             stmt_exprs(s, &mut |e| {
                 walk_expr(e, &mut |e| match &e.kind {
-                    ExprKind::PropRead { prop, .. }
-                        if !props.contains(prop.as_str()) => {
-                            errors.push(err(format!(
-                                "{ctx}: read of undeclared property `{prop}`"
-                            )));
-                        }
-                    ExprKind::CompareAndSwap { prop, .. }
-                        if !props.contains(prop.as_str()) => {
-                            errors.push(err(format!(
-                                "{ctx}: CompareAndSwap on undeclared property `{prop}`"
-                            )));
-                        }
-                    ExprKind::Call { func, .. }
-                        if !funcs.contains(func.as_str()) => {
-                            errors.push(err(format!("{ctx}: call to unknown function `{func}`")));
-                        }
+                    ExprKind::PropRead { prop, .. } if !props.contains(prop.as_str()) => {
+                        errors.push(err(format!("{ctx}: read of undeclared property `{prop}`")));
+                    }
+                    ExprKind::CompareAndSwap { prop, .. } if !props.contains(prop.as_str()) => {
+                        errors.push(err(format!(
+                            "{ctx}: CompareAndSwap on undeclared property `{prop}`"
+                        )));
+                    }
+                    ExprKind::Call { func, .. } if !funcs.contains(func.as_str()) => {
+                        errors.push(err(format!("{ctx}: call to unknown function `{func}`")));
+                    }
                     _ => {}
                 });
             });
@@ -201,9 +205,13 @@ mod tests {
     #[test]
     fn undeclared_property_read_fails() {
         let mut p = valid_program();
-        p.function_mut("updateEdge").unwrap().body.push(Stmt::new(StmtKind::ExprStmt(
-            Expr::prop("ghost", Expr::int(0)),
-        )));
+        p.function_mut("updateEdge")
+            .unwrap()
+            .body
+            .push(Stmt::new(StmtKind::ExprStmt(Expr::prop(
+                "ghost",
+                Expr::int(0),
+            ))));
         let errs = verify(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("ghost")));
     }
@@ -214,7 +222,9 @@ mod tests {
         p.main[0].label = Some("s0".into());
         p.main.push(Stmt::labeled("s0", StmtKind::Break));
         let errs = verify(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate scheduling label")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate scheduling label")));
     }
 
     #[test]
@@ -222,7 +232,9 @@ mod tests {
         let mut p = valid_program();
         p.add_queue("pq", "missing", Expr::int(0));
         let errs = verify(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("undeclared property `missing`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undeclared property `missing`")));
     }
 
     #[test]
@@ -230,18 +242,23 @@ mod tests {
         let mut p = valid_program();
         p.add_function(Function::new("updateEdge", vec![], None));
         let errs = verify(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate function")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate function")));
     }
 
     #[test]
     fn update_priority_requires_declared_queue() {
         let mut p = valid_program();
-        p.function_mut("updateEdge").unwrap().body.push(Stmt::new(StmtKind::UpdatePriority {
-            queue: "pq".into(),
-            vertex: Expr::int(0),
-            op: crate::types::ReduceOp::Min,
-            value: Expr::int(1),
-        }));
+        p.function_mut("updateEdge")
+            .unwrap()
+            .body
+            .push(Stmt::new(StmtKind::UpdatePriority {
+                queue: "pq".into(),
+                vertex: Expr::int(0),
+                op: crate::types::ReduceOp::Min,
+                value: Expr::int(1),
+            }));
         let errs = verify(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("undeclared queue")));
     }

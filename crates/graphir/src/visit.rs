@@ -115,7 +115,6 @@ pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
     }
 }
 
-
 /// Mutable variant of [`stmt_exprs`].
 pub fn stmt_exprs_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
     let on_lvalue = |lv: &mut LValue, f: &mut dyn FnMut(&mut Expr)| {

@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use ugc_frontend::ast::{
-    AExpr, AExprKind, AStmt, AStmtKind, Decl, SourceProgram, TypeExpr,
-};
+use ugc_frontend::ast::{AExpr, AExprKind, AStmt, AStmtKind, Decl, SourceProgram, TypeExpr};
 use ugc_graphir::ir::{
     EdgeSetIteratorData, Expr, Function, LValue, Param, Program, Stmt, StmtKind,
 };
@@ -145,7 +143,9 @@ impl Lowerer {
                                 ..
                             }) if method == "transpose" => {
                                 let AExprKind::Ident(base) = &receiver.kind else {
-                                    return Self::err("transpose() receiver must be an edgeset variable");
+                                    return Self::err(
+                                        "transpose() receiver must be an edgeset variable",
+                                    );
                                 };
                                 (base.clone(), true)
                             }
@@ -254,7 +254,9 @@ impl Lowerer {
     }
 
     fn graph_expr_name(&self) -> String {
-        self.canonical_graph.clone().unwrap_or_else(|| "edges".into())
+        self.canonical_graph
+            .clone()
+            .unwrap_or_else(|| "edges".into())
     }
 
     /// Tries to interpret an expression as an edge-set operator chain.
@@ -356,9 +358,7 @@ impl Lowerer {
                             src_filter = Some(n.clone());
                         }
                         other => {
-                            return Self::err(format!(
-                                "unsupported edgeset chain method `{other}`"
-                            ))
+                            return Self::err(format!("unsupported edgeset chain method `{other}`"))
                         }
                     }
                     cur = r;
@@ -376,9 +376,7 @@ impl Lowerer {
     ) -> Stmt {
         let (apply, tracked_prop, requires_output, dedup, ordered) = match info.terminal {
             Terminal::Apply(f) => (f, None, output.is_some(), false, false),
-            Terminal::ApplyModified { func, prop, dedup } => {
-                (func, Some(prop), true, dedup, false)
-            }
+            Terminal::ApplyModified { func, prop, dedup } => (func, Some(prop), true, dedup, false),
             Terminal::ApplyUpdatePriority(f) => (f, None, false, false, true),
         };
         let is_all = info.input.is_none() && info.src_filter.is_none();
@@ -469,7 +467,10 @@ impl Lowerer {
                                 }
                             },
                             AExprKind::MethodCall {
-                                receiver, method, args, ..
+                                receiver,
+                                method,
+                                args,
+                                ..
                             } => {
                                 if method == "pop" {
                                     let AExprKind::Ident(l) = &receiver.kind else {
@@ -492,7 +493,9 @@ impl Lowerer {
                                 }
                                 if method == "retrieve" {
                                     let AExprKind::Ident(l) = &receiver.kind else {
-                                        return Self::err("retrieve() receiver must be a list variable");
+                                        return Self::err(
+                                            "retrieve() receiver must be a list variable",
+                                        );
                                     };
                                     let idx = self.lower_expr(&args[0])?;
                                     out.push(Stmt::new(StmtKind::VarDecl {
@@ -778,14 +781,10 @@ impl Lowerer {
                 };
                 Ok(Expr::prop(p.clone(), self.lower_expr(index)?))
             }
-            AExprKind::Binary { op, lhs, rhs } => Ok(Expr::bin(
-                *op,
-                self.lower_expr(lhs)?,
-                self.lower_expr(rhs)?,
-            )),
-            AExprKind::Unary { op, operand } => {
-                Ok(Expr::un(*op, self.lower_expr(operand)?))
+            AExprKind::Binary { op, lhs, rhs } => {
+                Ok(Expr::bin(*op, self.lower_expr(lhs)?, self.lower_expr(rhs)?))
             }
+            AExprKind::Unary { op, operand } => Ok(Expr::un(*op, self.lower_expr(operand)?)),
             AExprKind::Call { callee, args } => match callee.as_str() {
                 "fabs" => Ok(Expr::intrinsic(
                     Intrinsic::Abs,
@@ -863,9 +862,7 @@ impl Lowerer {
                     )),
                 }
             }
-            AExprKind::New { .. } => {
-                Self::err("`new` only supported as a variable initializer")
-            }
+            AExprKind::New { .. } => Self::err("`new` only supported as a variable initializer"),
         }
     }
 }

@@ -148,7 +148,7 @@ mod tests {
     use crate::lower::lower;
     use crate::passes::{direction, tracking};
     use ugc_graphir::printer::print_function;
-    use ugc_schedule::{apply_schedule, ScheduleRef, SchedDirection, SimpleSchedule};
+    use ugc_schedule::{apply_schedule, SchedDirection, ScheduleRef, SimpleSchedule};
 
     #[derive(Debug)]
     struct Sched(SchedDirection);

@@ -14,8 +14,8 @@ use ugc_graphir::ir::{Expr, Program, Stmt, StmtKind};
 use ugc_graphir::keys;
 use ugc_graphir::types::{BinOp, Direction, Intrinsic, VertexSetRepr};
 use ugc_schedule::{
-    schedule_of, CompositeCriteria, Parallelization, PullFrontierRepr, SchedDirection,
-    ScheduleRef, SimpleSchedule,
+    schedule_of, CompositeCriteria, Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef,
+    SimpleSchedule,
 };
 
 use crate::MidendError;
@@ -254,7 +254,12 @@ end
     #[test]
     fn simple_pull_schedule() {
         let mut p = lowered();
-        apply_schedule(&mut p, "s0:s1", ScheduleRef::simple(Sched(SchedDirection::Pull))).unwrap();
+        apply_schedule(
+            &mut p,
+            "s0:s1",
+            ScheduleRef::simple(Sched(SchedDirection::Pull)),
+        )
+        .unwrap();
         run(&mut p).unwrap();
         let (n, dirs) = count_iterators(&p);
         assert_eq!(n, 1);
@@ -272,8 +277,12 @@ end
     #[test]
     fn hybrid_becomes_runtime_branch() {
         let mut p = lowered();
-        apply_schedule(&mut p, "s0:s1", ScheduleRef::simple(Sched(SchedDirection::Hybrid)))
-            .unwrap();
+        apply_schedule(
+            &mut p,
+            "s0:s1",
+            ScheduleRef::simple(Sched(SchedDirection::Hybrid)),
+        )
+        .unwrap();
         run(&mut p).unwrap();
         let (n, dirs) = count_iterators(&p);
         assert_eq!(n, 2);

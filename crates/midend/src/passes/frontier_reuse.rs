@@ -129,7 +129,10 @@ func main()
 end
 "#;
         let p = run_on(src);
-        assert!(find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+        assert!(find_labeled(&p, "s1")
+            .unwrap()
+            .meta
+            .flag(keys::CAN_REUSE_FRONTIER));
     }
 
     #[test]
@@ -153,7 +156,10 @@ func main()
 end
 "#;
         let p = run_on(src);
-        assert!(!find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+        assert!(!find_labeled(&p, "s1")
+            .unwrap()
+            .meta
+            .flag(keys::CAN_REUSE_FRONTIER));
     }
 
     #[test]
@@ -171,6 +177,9 @@ func main()
 end
 "#;
         let p = run_on(src);
-        assert!(!find_labeled(&p, "s1").unwrap().meta.flag(keys::CAN_REUSE_FRONTIER));
+        assert!(!find_labeled(&p, "s1")
+            .unwrap()
+            .meta
+            .flag(keys::CAN_REUSE_FRONTIER));
     }
 }

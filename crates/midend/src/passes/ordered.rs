@@ -72,17 +72,20 @@ pub fn run(prog: &mut Program) -> Result<(), MidendError> {
     walk_stmts_mut(&mut prog.main, &mut |s| {
         if let StmtKind::While { cond, .. } = &s.kind {
             let mut ordered = false;
-            walk_all_exprs(std::slice::from_ref(&ugc_graphir::ir::Stmt::new(
-                StmtKind::ExprStmt(cond.clone()),
-            )), &mut |e| {
-                if let ExprKind::Intrinsic {
-                    kind: Intrinsic::PrioQueueFinished,
-                    ..
-                } = &e.kind
-                {
-                    ordered = true;
-                }
-            });
+            walk_all_exprs(
+                std::slice::from_ref(&ugc_graphir::ir::Stmt::new(StmtKind::ExprStmt(
+                    cond.clone(),
+                ))),
+                &mut |e| {
+                    if let ExprKind::Intrinsic {
+                        kind: Intrinsic::PrioQueueFinished,
+                        ..
+                    } = &e.kind
+                    {
+                        ordered = true;
+                    }
+                },
+            );
             if ordered {
                 s.meta.set("is_ordered_loop", true);
             }

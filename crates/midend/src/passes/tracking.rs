@@ -50,10 +50,7 @@ pub fn run(prog: &mut Program) -> Result<(), MidendError> {
     });
 
     for (counter, w) in work.into_iter().enumerate() {
-        let suffix = w
-            .label
-            .clone()
-            .unwrap_or_else(|| format!("{counter}"));
+        let suffix = w.label.clone().unwrap_or_else(|| format!("{counter}"));
         let new_name = format!("{}__trk_{suffix}", w.apply);
         if prog.function(&new_name).is_some() {
             continue; // already specialized (idempotent pass)
@@ -65,7 +62,10 @@ pub fn run(prog: &mut Program) -> Result<(), MidendError> {
                 MidendError::new(format!("tracked property `{}` is not declared", w.tracked))
             })?;
         let base = prog.function(&w.apply).ok_or_else(|| {
-            MidendError::new(format!("applyModified references unknown UDF `{}`", w.apply))
+            MidendError::new(format!(
+                "applyModified references unknown UDF `{}`",
+                w.apply
+            ))
         })?;
         let mut clone = base.clone();
         clone.name = new_name.clone();
@@ -99,11 +99,7 @@ pub fn run(prog: &mut Program) -> Result<(), MidendError> {
 }
 
 /// Rewrites writes to `tracked` in `body`; returns how many were rewritten.
-fn rewrite_body(
-    body: &mut Vec<Stmt>,
-    tracked: &str,
-    init: &Expr,
-) -> Result<usize, MidendError> {
+fn rewrite_body(body: &mut Vec<Stmt>, tracked: &str, init: &Expr) -> Result<usize, MidendError> {
     let mut count = 0usize;
     let mut fresh = 0usize;
     rewrite_block(body, tracked, init, &mut count, &mut fresh)?;
@@ -152,12 +148,7 @@ fn rewrite_block(
                 *count += 1;
                 let flag = format!("__enq{fresh}");
                 *fresh += 1;
-                let cas = Expr::cas(
-                    prop.clone(),
-                    (**index).clone(),
-                    init.clone(),
-                    value.clone(),
-                );
+                let cas = Expr::cas(prop.clone(), (**index).clone(), init.clone(), value.clone());
                 Some(vec![
                     Stmt::new(StmtKind::VarDecl {
                         name: flag.clone(),

@@ -179,7 +179,7 @@ mod tests {
         };
         assert_eq!(q.pop_ready(prio).iter(), vec![0]);
         assert_eq!(q.pop_ready(prio).iter(), vec![3]); // from bucket 2
-        // The stale bucket-5 entry is dropped.
+                                                       // The stale bucket-5 entry is dropped.
         assert_eq!(q.pop_ready(prio).iter(), Vec::<u32>::new());
         assert!(q.finished());
     }

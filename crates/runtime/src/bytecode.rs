@@ -183,9 +183,15 @@ pub fn compile_udfs(prog: &Program, binding: &Binding) -> Result<UdfSet, Compile
     }
     let mut queue_props = Vec::new();
     for q in &prog.queues {
-        let pid = *binding.props.get(&q.tracked_property).ok_or_else(|| CompileError {
-            message: format!("queue `{}` tracks unbound property `{}`", q.name, q.tracked_property),
-        })?;
+        let pid = *binding
+            .props
+            .get(&q.tracked_property)
+            .ok_or_else(|| CompileError {
+                message: format!(
+                    "queue `{}` tracks unbound property `{}`",
+                    q.name, q.tracked_property
+                ),
+            })?;
         queue_props.push(pid);
     }
     Ok(UdfSet { udfs, queue_props })
@@ -264,9 +270,13 @@ impl FnCompiler<'_> {
     }
 
     fn prop_id(&self, name: &str) -> Result<PropId, CompileError> {
-        self.binding.props.get(name).copied().ok_or_else(|| CompileError {
-            message: format!("in function `{}`: unbound property `{name}`", self.fname),
-        })
+        self.binding
+            .props
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError {
+                message: format!("in function `{}`: unbound property `{name}`", self.fname),
+            })
     }
 
     fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
@@ -314,7 +324,11 @@ impl FnCompiler<'_> {
                     LValue::Prop { prop, index } => {
                         let p = self.prop_id(prop)?;
                         let i = self.expr(index)?;
-                        self.instrs.push(Instr::StoreProp { prop: p, idx: i, val: v });
+                        self.instrs.push(Instr::StoreProp {
+                            prop: p,
+                            idx: i,
+                            val: v,
+                        });
                         Ok(())
                     }
                 }
@@ -362,7 +376,11 @@ impl FnCompiler<'_> {
                                 ReduceOp::Min | ReduceOp::Max => {
                                     // r = min(r, v) via compare + conditional move
                                     let cond = self.alloc();
-                                    let cmp = if *op == ReduceOp::Min { BinOp::Lt } else { BinOp::Gt };
+                                    let cmp = if *op == ReduceOp::Min {
+                                        BinOp::Lt
+                                    } else {
+                                        BinOp::Gt
+                                    };
                                     self.instrs.push(Instr::Bin {
                                         op: cmp,
                                         dst: cond,
@@ -624,7 +642,10 @@ impl FnCompiler<'_> {
             ExprKind::Intrinsic { kind, args } => match kind {
                 Intrinsic::OutDegree | Intrinsic::InDegree => {
                     let v = self.expr(args.last().ok_or_else(|| CompileError {
-                        message: format!("in function `{}`: degree intrinsic needs a vertex", self.fname),
+                        message: format!(
+                            "in function `{}`: degree intrinsic needs a vertex",
+                            self.fname
+                        ),
                     })?)?;
                     let r = self.alloc();
                     self.instrs.push(if *kind == Intrinsic::OutDegree {
@@ -749,7 +770,10 @@ mod tests {
         let set = compile_udfs(&p, &b).unwrap();
         let u = set.get(set.id_of("updateEdge").unwrap());
         assert_eq!(u.num_params, 2);
-        assert!(u.instrs.iter().any(|i| matches!(i, Instr::Cas { atomic: true, .. })));
+        assert!(u
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Cas { atomic: true, .. })));
         assert!(u.instrs.iter().any(|i| matches!(i, Instr::Enqueue { .. })));
         assert!(matches!(u.instrs.last(), Some(Instr::Ret)));
     }
@@ -814,7 +838,10 @@ mod tests {
         p.add_function(f);
         let set = compile_udfs(&p, &binding_of(&p)).unwrap();
         let u = set.get(UdfId(0));
-        assert!(u.instrs.iter().any(|i| matches!(i, Instr::Jump { target } if *target == 0)));
+        assert!(u
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Jump { target } if *target == 0)));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use ugc_graph::Graph;
 use ugc_graphir::types::ReduceOp;
 
 use crate::bytecode::{Instr, UdfId, UdfSet};
-use crate::properties::{GlobalTable, PropertyStorage, PropId};
+use crate::properties::{GlobalTable, PropId, PropertyStorage};
 use crate::value::Value;
 
 /// Observes memory operations performed while evaluating a UDF.
@@ -173,9 +173,9 @@ impl<'a> Evaluator<'a> {
                     atomic,
                 } => {
                     let i = regs[*idx as usize].as_int() as u32;
-                    let ok = self
-                        .props
-                        .cas(*prop, i, regs[*expected as usize], regs[*new as usize]);
+                    let ok =
+                        self.props
+                            .cas(*prop, i, regs[*expected as usize], regs[*new as usize]);
                     // A failed CAS observes but does not modify the line.
                     match (ok, *atomic) {
                         (true, true) => mem.atomic(*prop, i),
@@ -199,7 +199,8 @@ impl<'a> Evaluator<'a> {
                     let (ch, _) = if *atomic && self.really_atomic {
                         self.props.reduce(*prop, i, *op, regs[*val as usize])
                     } else {
-                        self.props.reduce_relaxed(*prop, i, *op, regs[*val as usize])
+                        self.props
+                            .reduce_relaxed(*prop, i, *op, regs[*val as usize])
                     };
                     // An ineffective reduction observes but does not modify.
                     match (ch, *atomic) {
@@ -369,10 +370,7 @@ mod tests {
     use ugc_graphir::keys;
     use ugc_graphir::types::{BinOp, Type};
 
-    fn setup(
-        prog: &Program,
-        n: usize,
-    ) -> (UdfSet, PropertyStorage, GlobalTable, Graph) {
+    fn setup(prog: &Program, n: usize) -> (UdfSet, PropertyStorage, GlobalTable, Graph) {
         let binding = binding_of(prog);
         let udfs = compile_udfs(prog, &binding).unwrap();
         let mut props = PropertyStorage::new(n);
@@ -432,8 +430,20 @@ mod tests {
         let id = udfs.id_of("updateEdge").unwrap();
         let mut out = BufferedOutput::default();
         let mut mem = CountingMemory::default();
-        ev.call(id, &[Value::Int(0), Value::Int(2)], EdgeCtx::default(), &mut out, &mut mem);
-        ev.call(id, &[Value::Int(1), Value::Int(2)], EdgeCtx::default(), &mut out, &mut mem);
+        ev.call(
+            id,
+            &[Value::Int(0), Value::Int(2)],
+            EdgeCtx::default(),
+            &mut out,
+            &mut mem,
+        );
+        ev.call(
+            id,
+            &[Value::Int(1), Value::Int(2)],
+            EdgeCtx::default(),
+            &mut out,
+            &mut mem,
+        );
         assert_eq!(out.enqueued, vec![2]); // second CAS fails
         assert_eq!(props.read(props.id_of("parent").unwrap(), 2), Value::Int(0));
         // Only the successful claim counts as an atomic write; the failed
@@ -463,10 +473,22 @@ mod tests {
         let (udfs, props, globals, graph) = setup(&prog, 3);
         let ev = Evaluator::new(&udfs, &props, &globals, &graph);
         let id = udfs.id_of("toFilter").unwrap();
-        let r = ev.call(id, &[Value::Int(1)], EdgeCtx::default(), &mut NullOutput, &mut NullMemory);
+        let r = ev.call(
+            id,
+            &[Value::Int(1)],
+            EdgeCtx::default(),
+            &mut NullOutput,
+            &mut NullMemory,
+        );
         assert_eq!(r, Some(Value::Bool(true)));
         props.write(props.id_of("parent").unwrap(), 1, Value::Int(0));
-        let r = ev.call(id, &[Value::Int(1)], EdgeCtx::default(), &mut NullOutput, &mut NullMemory);
+        let r = ev.call(
+            id,
+            &[Value::Int(1)],
+            EdgeCtx::default(),
+            &mut NullOutput,
+            &mut NullMemory,
+        );
         assert_eq!(r, Some(Value::Bool(false)));
     }
 
@@ -508,8 +530,20 @@ mod tests {
         let ev = Evaluator::new(&udfs, &props, &globals, &graph);
         let id = udfs.id_of("upd").unwrap();
         let mut out = BufferedOutput::default();
-        ev.call(id, &[Value::Int(0), Value::Int(3)], EdgeCtx::default(), &mut out, &mut NullMemory);
-        ev.call(id, &[Value::Int(0), Value::Int(3)], EdgeCtx::default(), &mut out, &mut NullMemory);
+        ev.call(
+            id,
+            &[Value::Int(0), Value::Int(3)],
+            EdgeCtx::default(),
+            &mut out,
+            &mut NullMemory,
+        );
+        ev.call(
+            id,
+            &[Value::Int(0), Value::Int(3)],
+            EdgeCtx::default(),
+            &mut out,
+            &mut NullMemory,
+        );
         assert_eq!(out.enqueued, vec![3]); // second min does not improve
         assert_eq!(props.read(ids, 3), Value::Int(0));
     }
@@ -577,13 +611,22 @@ mod tests {
         let mut f = Function::new("record", vec![Param::new("v", Type::Vertex)], None);
         f.body.push(Stmt::new(StmtKind::Assign {
             target: LValue::prop("deg", Expr::var("v")),
-            value: Expr::intrinsic(ugc_graphir::types::Intrinsic::OutDegree, vec![Expr::var("v")]),
+            value: Expr::intrinsic(
+                ugc_graphir::types::Intrinsic::OutDegree,
+                vec![Expr::var("v")],
+            ),
         }));
         prog.add_function(f);
         let (udfs, props, globals, graph) = setup(&prog, 4);
         let ev = Evaluator::new(&udfs, &props, &globals, &graph);
         let id = udfs.id_of("record").unwrap();
-        ev.call(id, &[Value::Int(0)], EdgeCtx::default(), &mut NullOutput, &mut NullMemory);
+        ev.call(
+            id,
+            &[Value::Int(0)],
+            EdgeCtx::default(),
+            &mut NullOutput,
+            &mut NullMemory,
+        );
         assert_eq!(props.read(props.id_of("deg").unwrap(), 0), Value::Int(2));
     }
 
@@ -594,7 +637,13 @@ mod tests {
         let ev = Evaluator::new(&udfs, &props, &globals, &graph);
         let id = udfs.id_of("updateEdge").unwrap();
         let mut mem = CountingMemory::default();
-        ev.call(id, &[Value::Int(0), Value::Int(1)], EdgeCtx::default(), &mut BufferedOutput::default(), &mut mem);
+        ev.call(
+            id,
+            &[Value::Int(0), Value::Int(1)],
+            EdgeCtx::default(),
+            &mut BufferedOutput::default(),
+            &mut mem,
+        );
         assert_eq!(mem.atomics, 1);
         assert!(mem.computes > 0);
     }

@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn assign_unknown_errors() {
         let mut env = HostEnv::new();
-        assert!(env.assign("ghost", HostValue::Scalar(Value::Int(0))).is_err());
+        assert!(env
+            .assign("ghost", HostValue::Scalar(Value::Int(0)))
+            .is_err());
     }
 
     #[test]

@@ -14,9 +14,7 @@
 use std::collections::HashMap;
 
 use ugc_graph::Graph;
-use ugc_graphir::ir::{
-    EdgeSetIteratorData, Expr, ExprKind, LValue, Program, Stmt, StmtKind,
-};
+use ugc_graphir::ir::{EdgeSetIteratorData, Expr, ExprKind, LValue, Program, Stmt, StmtKind};
 use ugc_graphir::types::{Intrinsic, ReduceOp, Type};
 
 use crate::buckets::BucketQueue;
@@ -87,11 +85,7 @@ pub trait OperatorExecutor {
     /// # Errors
     ///
     /// Backend-specific failures.
-    fn try_loop(
-        &mut self,
-        _state: &mut ProgramState<'_>,
-        _stmt: &Stmt,
-    ) -> Result<bool, ExecError> {
+    fn try_loop(&mut self, _state: &mut ProgramState<'_>, _stmt: &Stmt) -> Result<bool, ExecError> {
         Ok(false)
     }
 }
@@ -147,8 +141,7 @@ impl<'g> ProgramState<'g> {
         extern_values: &HashMap<String, Value>,
     ) -> Result<Self, ExecError> {
         let binding = binding_of(&prog);
-        let udfs = compile_udfs(&prog, &binding)
-            .map_err(|e| ExecError::new(e.to_string()))?;
+        let udfs = compile_udfs(&prog, &binding).map_err(|e| ExecError::new(e.to_string()))?;
         let mut state = ProgramState {
             prog,
             graph,
@@ -312,12 +305,8 @@ impl<'g> ProgramState<'g> {
                 for a in args {
                     vals.push(self.eval_host(a)?);
                 }
-                let ev = crate::eval::Evaluator::new(
-                    &self.udfs,
-                    &self.props,
-                    &self.globals,
-                    self.graph,
-                );
+                let ev =
+                    crate::eval::Evaluator::new(&self.udfs, &self.props, &self.globals, self.graph);
                 Ok(ev
                     .call(
                         id,
@@ -328,9 +317,9 @@ impl<'g> ProgramState<'g> {
                     )
                     .unwrap_or(Value::Int(0)))
             }
-            ExprKind::CompareAndSwap { .. } => {
-                Err(ExecError::new("CompareAndSwap not valid in host expressions"))
-            }
+            ExprKind::CompareAndSwap { .. } => Err(ExecError::new(
+                "CompareAndSwap not valid in host expressions",
+            )),
         }
     }
 
@@ -538,7 +527,9 @@ fn exec_stmt(
             let lo = state.eval_host(start)?.as_int();
             let hi = state.eval_host(end)?.as_int();
             state.env.push_scope();
-            state.env.declare(var.clone(), HostValue::Scalar(Value::Int(lo)));
+            state
+                .env
+                .declare(var.clone(), HostValue::Scalar(Value::Int(lo)));
             let mut i = lo;
             while i < hi {
                 state
@@ -590,15 +581,13 @@ fn exec_stmt(
                 _ => Err(ExecError::new(format!("set `{name}` is not bound"))),
             }
         }
-        StmtKind::VertexSetDedup { set } => {
-            match state.env.get_mut(set) {
-                Some(HostValue::Set(s)) => {
-                    s.dedup();
-                    Ok(Flow::Normal)
-                }
-                _ => Err(ExecError::new(format!("set `{set}` is not bound"))),
+        StmtKind::VertexSetDedup { set } => match state.env.get_mut(set) {
+            Some(HostValue::Set(s)) => {
+                s.dedup();
+                Ok(Flow::Normal)
             }
-        }
+            _ => Err(ExecError::new(format!("set `{set}` is not bound"))),
+        },
         StmtKind::UpdatePriority { .. } => Err(ExecError::new(
             "UpdatePriority outside a UDF is not supported",
         )),
@@ -905,11 +894,7 @@ mod tests {
                     tracking: None,
                 }),
                 Stmt::new(StmtKind::If {
-                    cond: Expr::bin(
-                        ugc_graphir::types::BinOp::Ge,
-                        Expr::var("n"),
-                        Expr::int(5),
-                    ),
+                    cond: Expr::bin(ugc_graphir::types::BinOp::Ge, Expr::var("n"), Expr::int(5)),
                     then_body: vec![Stmt::new(StmtKind::Break)],
                     else_body: vec![],
                 }),

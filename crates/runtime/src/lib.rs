@@ -20,7 +20,7 @@
 //!   load/store/atomic with its address while the real CPU backend pays no
 //!   observation cost,
 //! * [`parallel`] — minimal work-distribution primitives for the CPU
-//!   backend, built on crossbeam scoped threads,
+//!   backend, built on std scoped threads,
 //! * [`host`] — host-side variable environment shared by backend
 //!   interpreters.
 

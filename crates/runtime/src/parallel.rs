@@ -1,8 +1,11 @@
 //! Minimal work-distribution primitives for the CPU backend.
 //!
-//! Built on crossbeam scoped threads with an atomic chunk cursor — the
-//! dynamic scheduling shape of an OpenMP `schedule(dynamic)` loop, which is
-//! what GraphIt's CPU runtime uses for irregular graph work.
+//! Built on `std::thread::scope` (std scoped threads, stable since Rust
+//! 1.63) with an atomic chunk cursor — the dynamic scheduling shape of an
+//! OpenMP `schedule(dynamic)` loop, which is what GraphIt's CPU runtime
+//! uses for irregular graph work. Using std keeps the workspace free of
+//! external runtime dependencies, like the paper's self-contained GraphVM
+//! runtime libraries.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -44,11 +47,11 @@ where
         return;
     }
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..threads {
             let f = &f;
             let cursor = &cursor;
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= total {
                     break;
@@ -57,8 +60,8 @@ where
                 f(tid, start..end);
             });
         }
-    })
-    .expect("worker thread panicked");
+        // Scope exit joins every worker; a worker panic propagates here.
+    });
 }
 
 /// Runs `f(thread_id, start..end, &mut local)` like [`parallel_for`] but
@@ -85,12 +88,12 @@ where
         return vec![local];
     }
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(threads);
         for tid in 0..threads {
             let f = &f;
             let cursor = &cursor;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut local = T::default();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -108,7 +111,6 @@ where
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })
-    .expect("worker thread panicked")
 }
 
 #[cfg(test)]

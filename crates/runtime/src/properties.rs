@@ -47,7 +47,11 @@ impl std::fmt::Debug for PropertyStorage {
             .field("num_vertices", &self.num_vertices)
             .field(
                 "properties",
-                &self.arrays.iter().map(|a| a.name.as_str()).collect::<Vec<_>>(),
+                &self
+                    .arrays
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -70,7 +74,9 @@ impl PropertyStorage {
     /// Adds a property initialized to `init` everywhere; returns its id.
     pub fn add(&mut self, name: impl Into<String>, ty: Type, init: Value) -> PropId {
         let bits = init.to_bits(ty);
-        let data = (0..self.num_vertices).map(|_| AtomicU64::new(bits)).collect();
+        let data = (0..self.num_vertices)
+            .map(|_| AtomicU64::new(bits))
+            .collect();
         self.arrays.push(PropArray {
             name: name.into(),
             ty,
@@ -188,7 +194,9 @@ impl PropertyStorage {
 
     /// Snapshot of a whole property as values (used by validators).
     pub fn snapshot(&self, id: PropId) -> Vec<Value> {
-        (0..self.num_vertices as u32).map(|i| self.read(id, i)).collect()
+        (0..self.num_vertices as u32)
+            .map(|i| self.read(id, i))
+            .collect()
     }
 }
 
@@ -274,8 +282,12 @@ impl GlobalTable {
             if !changed {
                 return false;
             }
-            match cell.compare_exchange_weak(cur, newv.to_bits(ty), Ordering::SeqCst, Ordering::SeqCst)
-            {
+            match cell.compare_exchange_weak(
+                cur,
+                newv.to_bits(ty),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }

@@ -207,10 +207,7 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(
-            Value::bin(BinOp::Lt, 1.into(), 2.into()),
-            Value::Bool(true)
-        );
+        assert_eq!(Value::bin(BinOp::Lt, 1.into(), 2.into()), Value::Bool(true));
         assert_eq!(
             Value::bin(BinOp::Eq, Value::Float(1.0), 1.into()),
             Value::Bool(true)

@@ -197,7 +197,9 @@ impl VertexSet {
                 m.sort_unstable();
                 m
             }
-            VertexSet::Bitmap { words, universe, .. } => {
+            VertexSet::Bitmap {
+                words, universe, ..
+            } => {
                 let mut out = Vec::new();
                 for (wi, &w) in words.iter().enumerate() {
                     let mut w = w;

@@ -1,130 +1,200 @@
-//! Property-based tests on the runtime substrate's invariants.
+//! Property-based tests on the runtime substrate's invariants, running on
+//! the in-tree `ugc-testkit` harness (seeded cases + bounded shrinking).
 
-use proptest::prelude::*;
 use ugc_graphir::types::{ReduceOp, Type, VertexSetRepr};
 use ugc_runtime::properties::PropertyStorage;
 use ugc_runtime::value::Value;
 use ugc_runtime::{BucketQueue, VertexSet};
+use ugc_testkit::{check, check_with_shrink, gen, Config, Prng, Shrink};
 
-fn members_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
-    (1usize..128).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec(0..n as u32, 0..256),
-        )
-    })
+/// Generator: a universe size and member vertex ids within it.
+fn gen_members(rng: &mut Prng) -> (usize, Vec<u32>) {
+    let n = rng.gen_range(1..128usize);
+    let members = gen::vec_of(rng, 0..256, |r| r.gen_range(0..n as u32));
+    (n, members)
 }
 
-proptest! {
-    #[test]
-    fn representations_agree((n, members) in members_strategy()) {
-        let mut sparse = VertexSet::empty_sparse(n);
-        for &v in &members {
+/// Shrinker that keeps the universe size fixed so members stay in range.
+fn shrink_members(input: &(usize, Vec<u32>)) -> Vec<(usize, Vec<u32>)> {
+    let (n, members) = input;
+    members.shrink().into_iter().map(|m| (*n, m)).collect()
+}
+
+fn check_members(name: &str, prop: impl Fn(&(usize, Vec<u32>))) {
+    check_with_shrink(name, Config::default(), gen_members, shrink_members, prop);
+}
+
+#[test]
+fn representations_agree() {
+    check_members("representations_agree", |(n, members)| {
+        let mut sparse = VertexSet::empty_sparse(*n);
+        for &v in members {
             sparse.add(v);
         }
         sparse.dedup();
         let bitmap = sparse.to_repr(VertexSetRepr::Bitmap);
         let boolmap = sparse.to_repr(VertexSetRepr::Boolmap);
-        prop_assert_eq!(sparse.iter(), bitmap.iter());
-        prop_assert_eq!(bitmap.iter(), boolmap.iter());
-        prop_assert_eq!(sparse.len(), bitmap.len());
-        for v in 0..n as u32 {
-            prop_assert_eq!(sparse.contains(v), bitmap.contains(v));
-            prop_assert_eq!(sparse.contains(v), boolmap.contains(v));
+        assert_eq!(sparse.iter(), bitmap.iter());
+        assert_eq!(bitmap.iter(), boolmap.iter());
+        assert_eq!(sparse.len(), bitmap.len());
+        for v in 0..*n as u32 {
+            assert_eq!(sparse.contains(v), bitmap.contains(v));
+            assert_eq!(sparse.contains(v), boolmap.contains(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dedup_is_set_semantics((n, members) in members_strategy()) {
-        let mut s = VertexSet::from_members(n, members.clone());
+#[test]
+fn dedup_is_set_semantics() {
+    check_members("dedup_is_set_semantics", |(n, members)| {
+        let mut s = VertexSet::from_members(*n, members.clone());
         s.dedup();
         let expect: std::collections::BTreeSet<u32> = members.iter().copied().collect();
-        prop_assert_eq!(s.len(), expect.len());
+        assert_eq!(s.len(), expect.len());
         let got: std::collections::BTreeSet<u32> = s.iter().into_iter().collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn round_trip_through_any_repr((n, members) in members_strategy(),
-                                   repr in prop_oneof![
-                                       Just(VertexSetRepr::Sparse),
-                                       Just(VertexSetRepr::Bitmap),
-                                       Just(VertexSetRepr::Boolmap)
-                                   ]) {
-        let mut s = VertexSet::from_members(n, members);
-        s.dedup();
-        let converted = s.to_repr(repr).to_repr(VertexSetRepr::Sparse);
-        prop_assert_eq!(s.iter(), converted.iter());
-    }
+#[test]
+fn round_trip_through_any_repr() {
+    let reprs = [
+        VertexSetRepr::Sparse,
+        VertexSetRepr::Bitmap,
+        VertexSetRepr::Boolmap,
+    ];
+    check_with_shrink(
+        "round_trip_through_any_repr",
+        Config::default(),
+        |rng| {
+            let (n, members) = gen_members(rng);
+            (n, members, rng.gen_range(0..reprs.len()))
+        },
+        |(n, members, r)| {
+            members
+                .shrink()
+                .into_iter()
+                .map(|m| (*n, m, *r))
+                .collect::<Vec<_>>()
+        },
+        |(n, members, r)| {
+            let mut s = VertexSet::from_members(*n, members.clone());
+            s.dedup();
+            let converted = s.to_repr(reprs[*r]).to_repr(VertexSetRepr::Sparse);
+            assert_eq!(s.iter(), converted.iter());
+        },
+    );
+}
 
-    /// Bucket queue pops every pushed vertex exactly once (when priorities
-    /// are stable) and in non-decreasing bucket order.
-    #[test]
-    fn bucket_queue_pops_in_order(
-        prios in proptest::collection::vec(0i64..200, 1..64),
-        delta in 1i64..16,
-    ) {
-        let n = prios.len();
-        let mut q = BucketQueue::new(n, delta, 0);
-        for (v, &p) in prios.iter().enumerate().skip(1) {
-            q.push(v as u32, p);
-        }
-        let prio = |v: u32| if v == 0 { 0 } else { prios[v as usize] };
-        let mut popped = Vec::new();
-        let mut last_bucket = i64::MIN;
-        while !q.finished() {
-            let set = q.pop_ready(prio);
-            if set.is_empty() {
-                continue;
+/// Bucket queue pops every pushed vertex exactly once (when priorities
+/// are stable) and in non-decreasing bucket order.
+#[test]
+fn bucket_queue_pops_in_order() {
+    check(
+        "bucket_queue_pops_in_order",
+        Config::default(),
+        |rng| {
+            let prios = gen::vec_of(rng, 1..64, |r| r.gen_range(0i64..200));
+            let delta = rng.gen_range(1i64..16);
+            (prios, delta)
+        },
+        |(prios, delta)| {
+            let delta = (*delta).max(1); // shrinking may halve delta to 0
+            let n = prios.len();
+            if n == 0 {
+                return;
             }
-            let bucket = prio(set.iter()[0]).div_euclid(delta);
-            prop_assert!(bucket >= last_bucket, "bucket order violated");
-            last_bucket = bucket;
-            for v in set.iter() {
-                prop_assert_eq!(prio(v).div_euclid(delta), bucket);
-                popped.push(v);
+            let mut q = BucketQueue::new(n, delta, 0);
+            for (v, &p) in prios.iter().enumerate().skip(1) {
+                q.push(v as u32, p);
             }
-        }
-        popped.sort_unstable();
-        let expect: Vec<u32> = (0..n as u32).collect();
-        prop_assert_eq!(popped, expect);
-    }
-
-    /// Atomic min-reduce: final value is the minimum of init and all
-    /// folded values, regardless of order.
-    #[test]
-    fn reduce_min_is_order_independent(vals in proptest::collection::vec(-1000i64..1000, 1..64)) {
-        let mut p = PropertyStorage::new(1);
-        let a = p.add("x", Type::Int, Value::Int(i64::MAX));
-        for &v in &vals {
-            p.reduce(a, 0, ReduceOp::Min, Value::Int(v));
-        }
-        prop_assert_eq!(p.read(a, 0), Value::Int(*vals.iter().min().expect("non-empty")));
-    }
-
-    /// Sum-reduce totals are exact.
-    #[test]
-    fn reduce_sum_totals(vals in proptest::collection::vec(-100i64..100, 0..64)) {
-        let mut p = PropertyStorage::new(1);
-        let a = p.add("x", Type::Int, Value::Int(0));
-        for &v in &vals {
-            p.reduce(a, 0, ReduceOp::Sum, Value::Int(v));
-        }
-        prop_assert_eq!(p.read(a, 0), Value::Int(vals.iter().sum()));
-    }
-
-    /// CAS claims exactly once per marker value.
-    #[test]
-    fn cas_single_claim(claims in proptest::collection::vec(0i64..50, 1..64)) {
-        let mut p = PropertyStorage::new(1);
-        let a = p.add("owner", Type::Int, Value::Int(-1));
-        let mut wins = 0;
-        for &c in &claims {
-            if p.cas(a, 0, Value::Int(-1), Value::Int(c)) {
-                wins += 1;
+            let prio = |v: u32| if v == 0 { 0 } else { prios[v as usize] };
+            let mut popped = Vec::new();
+            let mut last_bucket = i64::MIN;
+            while !q.finished() {
+                let set = q.pop_ready(prio);
+                if set.is_empty() {
+                    continue;
+                }
+                let bucket = prio(set.iter()[0]).div_euclid(delta);
+                assert!(bucket >= last_bucket, "bucket order violated");
+                last_bucket = bucket;
+                for v in set.iter() {
+                    assert_eq!(prio(v).div_euclid(delta), bucket);
+                    popped.push(v);
+                }
             }
-        }
-        prop_assert_eq!(wins, 1);
-        prop_assert_eq!(p.read(a, 0), Value::Int(claims[0]));
-    }
+            popped.sort_unstable();
+            let expect: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(popped, expect);
+        },
+    );
+}
+
+/// Atomic min-reduce: final value is the minimum of init and all
+/// folded values, regardless of order.
+#[test]
+fn reduce_min_is_order_independent() {
+    check(
+        "reduce_min_is_order_independent",
+        Config::default(),
+        |rng| gen::vec_of(rng, 1..64, |r| r.gen_range(-1000i64..1000)),
+        |vals| {
+            if vals.is_empty() {
+                return;
+            }
+            let mut p = PropertyStorage::new(1);
+            let a = p.add("x", Type::Int, Value::Int(i64::MAX));
+            for &v in vals {
+                p.reduce(a, 0, ReduceOp::Min, Value::Int(v));
+            }
+            assert_eq!(
+                p.read(a, 0),
+                Value::Int(*vals.iter().min().expect("non-empty"))
+            );
+        },
+    );
+}
+
+/// Sum-reduce totals are exact.
+#[test]
+fn reduce_sum_totals() {
+    check(
+        "reduce_sum_totals",
+        Config::default(),
+        |rng| gen::vec_of(rng, 0..64, |r| r.gen_range(-100i64..100)),
+        |vals| {
+            let mut p = PropertyStorage::new(1);
+            let a = p.add("x", Type::Int, Value::Int(0));
+            for &v in vals {
+                p.reduce(a, 0, ReduceOp::Sum, Value::Int(v));
+            }
+            assert_eq!(p.read(a, 0), Value::Int(vals.iter().sum()));
+        },
+    );
+}
+
+/// CAS claims exactly once per marker value.
+#[test]
+fn cas_single_claim() {
+    check(
+        "cas_single_claim",
+        Config::default(),
+        |rng| gen::vec_of(rng, 1..64, |r| r.gen_range(0i64..50)),
+        |claims| {
+            if claims.is_empty() {
+                return;
+            }
+            let mut p = PropertyStorage::new(1);
+            let a = p.add("owner", Type::Int, Value::Int(-1));
+            let mut wins = 0;
+            for &c in claims {
+                if p.cas(a, 0, Value::Int(-1), Value::Int(c)) {
+                    wins += 1;
+                }
+            }
+            assert_eq!(wins, 1);
+            assert_eq!(p.read(a, 0), Value::Int(claims[0]));
+        },
+    );
 }

@@ -250,7 +250,11 @@ pub struct ApplyScheduleError {
 
 impl fmt::Display for ApplyScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no statement matches schedule label path `{}`", self.path)
+        write!(
+            f,
+            "no statement matches schedule label path `{}`",
+            self.path
+        )
     }
 }
 

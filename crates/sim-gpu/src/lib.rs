@@ -241,7 +241,11 @@ impl GpuSim {
     pub fn flush_l2(&mut self) {
         let ways = self.l2.ways;
         let sets = self.l2.sets.len() as u64;
-        self.l2 = L2Cache::new(sets * ways as u64 * self.cfg.txn_bytes, self.cfg.txn_bytes, ways);
+        self.l2 = L2Cache::new(
+            sets * ways as u64 * self.cfg.txn_bytes,
+            self.cfg.txn_bytes,
+            ways,
+        );
     }
 
     /// Runs a kernel over the given warp traces, advancing simulated time.

@@ -271,8 +271,9 @@ impl HbSim {
                             }
                         }
                         let hit = self.llc.access(line);
-                        *bank_load.entry((line % self.cfg.llc_banks as u64) as usize).or_insert(0) +=
-                            self.cfg.bank_cycles;
+                        *bank_load
+                            .entry((line % self.cfg.llc_banks as u64) as usize)
+                            .or_insert(0) += self.cfg.bank_cycles;
                         let lat = if hit {
                             self.stats.llc_hits += 1;
                             self.cfg.llc_hit_cycles
@@ -322,7 +323,8 @@ impl HbSim {
                         // outstanding-request window.
                         let lat = lines * self.cfg.llc_hit_cycles + misses * self.cfg.dram_cycles;
                         let stall = lat / self.cfg.bulk_overlap;
-                        self.stats.dram_stall_cycles += misses * self.cfg.dram_cycles / self.cfg.bulk_overlap;
+                        self.stats.dram_stall_cycles +=
+                            misses * self.cfg.dram_cycles / self.cfg.bulk_overlap;
                         core_time += if write { lines * 2 } else { stall.max(lines) };
                     }
                 }

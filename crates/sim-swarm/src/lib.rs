@@ -269,7 +269,10 @@ impl SwarmSim {
                     // (Cascaded aborts can leave stale window entries;
                     // drop them before picking a victim.)
                     while let Some(&(opos, cand)) = window.iter().next_back() {
-                        if matches!(state[cand], TaskState::Running(..) | TaskState::Finished(..)) {
+                        if matches!(
+                            state[cand],
+                            TaskState::Running(..) | TaskState::Finished(..)
+                        ) {
                             break;
                         }
                         window.remove(&(opos, cand));

@@ -21,13 +21,7 @@ fn main() {
         );
         for target in Target::ALL {
             for algo in [Algorithm::Bfs, Algorithm::Sssp] {
-                let base = measure(
-                    target,
-                    algo,
-                    &graph,
-                    baseline_schedule(target, algo),
-                    3,
-                );
+                let base = measure(target, algo, &graph, baseline_schedule(target, algo), 3);
                 let (winner, _, best) = autotune(target, algo, &graph);
                 println!(
                     "{:>12} {:>5}: best = {winner:<14} ({:.3} ms, {:.2}x over baseline, {} candidates)",

@@ -48,6 +48,8 @@ fn main() {
     println!("{t4}");
 
     banner("HammerBlade GraphVM (manycore kernel C++)");
-    let hb = Compiler::new(Algorithm::Bfs).emit(Target::HammerBlade).unwrap();
+    let hb = Compiler::new(Algorithm::Bfs)
+        .emit(Target::HammerBlade)
+        .unwrap();
     println!("{hb}");
 }

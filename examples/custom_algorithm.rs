@@ -70,7 +70,10 @@ fn main() {
         .expect("k-hop runs on the GPU simulator");
     println!(
         "\nGPU simulator agrees: {} vertices within 2 hops ({} cycles)",
-        gpu.property_ints("hops").iter().filter(|&&h| h != -1).count(),
+        gpu.property_ints("hops")
+            .iter()
+            .filter(|&&h| h != -1)
+            .count(),
         gpu.cycles
     );
 }

@@ -36,7 +36,10 @@ fn main() {
             .iter()
             .filter(|&&d| d != i32::MAX as i64)
             .count();
-        println!("    delta={delta:<4} {:>8.3} ms   ({reach} reachable)", r.time_ms);
+        println!(
+            "    delta={delta:<4} {:>8.3} ms   ({reach} reachable)",
+            r.time_ms
+        );
     }
 
     // --- Swarm: barriers vs speculation ------------------------------

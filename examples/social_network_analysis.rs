@@ -56,9 +56,7 @@ fn main() {
     println!(
         "\n{} connected components; giant component holds {:.1}% of vertices",
         components.len(),
-        100.0
-            * labels.iter().filter(|&&l| l == components[0]).count() as f64
-            / labels.len() as f64
+        100.0 * labels.iter().filter(|&&l| l == components[0]).count() as f64 / labels.len() as f64
     );
 
     // --- BC: who brokers between communities? -----------------------

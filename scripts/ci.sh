@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (referenced from README.md).
+#
+# The workspace is hermetic — zero crates-io dependencies — so everything
+# here runs with --offline and must pass with no network access. Any
+# nonzero exit fails the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "tier-1 gate: OK"

@@ -62,7 +62,10 @@ fn async_drops_grid_syncs_and_wins_on_road_graphs() {
         asynced.property_ints("dist"),
         "async must not change results"
     );
-    assert_eq!(asynced.stats.grid_syncs, 0, "async must drop all grid syncs");
+    assert_eq!(
+        asynced.stats.grid_syncs, 0,
+        "async must drop all grid syncs"
+    );
     assert!(fused.stats.grid_syncs > 0);
     assert!(
         asynced.cycles < fused.cycles,

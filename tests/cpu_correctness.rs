@@ -15,13 +15,9 @@ fn run_and_validate(algo: Algorithm, sched: Option<ScheduleRef>) {
         let run = vm
             .execute(prog, &graph, &externs_for(algo, 0))
             .unwrap_or_else(|e| panic!("{} on {gname}: {e}", algo.name()));
-        validate(
-            algo,
-            &graph,
-            0,
-            &|p| run.property_ints(p),
-            &|p| run.property_floats(p),
-        );
+        validate(algo, &graph, 0, &|p| run.property_ints(p), &|p| {
+            run.property_floats(p)
+        });
     }
 }
 

@@ -110,10 +110,15 @@ fn division_by_zero_guarded_in_pagerank() {
     // Star graph: leaves have out-degree 1, hub high; add an isolated
     // vertex with out-degree 0 — the PR source guards the division.
     let mut b = ugc_graph::GraphBuilder::new(5);
-    b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 2).add_edge(2, 0);
+    b.add_edge(0, 1)
+        .add_edge(1, 0)
+        .add_edge(0, 2)
+        .add_edge(2, 0);
     let graph = b.into_graph(); // vertices 3,4 isolated
     for target in Target::ALL {
-        let r = Compiler::new(Algorithm::PageRank).run(target, &graph).unwrap();
+        let r = Compiler::new(Algorithm::PageRank)
+            .run(target, &graph)
+            .unwrap();
         let ranks = r.property_floats("old_rank");
         assert!(ranks.iter().all(|r| r.is_finite()), "{}", target.name());
     }

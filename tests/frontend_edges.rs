@@ -39,7 +39,8 @@ fn unknown_schedule_label_is_reported() {
 
 #[test]
 fn missing_extern_reported_at_run_time() {
-    let src = "element Vertex end\nconst start_vertex : Vertex;\nfunc main()\nprint start_vertex;\nend";
+    let src =
+        "element Vertex end\nconst start_vertex : Vertex;\nfunc main()\nprint start_vertex;\nend";
     let err = run_cpu(src).unwrap_err();
     assert!(err.to_string().contains("start_vertex"), "{err}");
 }
@@ -110,9 +111,7 @@ end
 "#;
     let mut c = Compiler::from_source(src);
     c.bind("bias", Value::Int(10));
-    let r = c
-        .run(Target::Cpu, &ugc_graph::generators::path(2))
-        .unwrap();
+    let r = c.run(Target::Cpu, &ugc_graph::generators::path(2)).unwrap();
     assert_eq!(r.prints, vec!["15"]);
 }
 
@@ -200,7 +199,11 @@ end
         let r = Compiler::from_source(src).run(target, &graph).unwrap();
         let counts = r.property_ints("out_count");
         for v in 0..graph.num_vertices() as u32 {
-            let expect = if v % 2 == 0 { graph.out_degree(v) as i64 } else { 0 };
+            let expect = if v % 2 == 0 {
+                graph.out_degree(v) as i64
+            } else {
+                0
+            };
             assert_eq!(counts[v as usize], expect, "{} vertex {v}", target.name());
         }
     }

@@ -14,13 +14,9 @@ fn run_and_validate(algo: Algorithm, sched: Option<GpuSchedule>) {
             .execute(prog, &graph, &externs_for(algo, 0))
             .unwrap_or_else(|e| panic!("{} on {gname}: {e}", algo.name()));
         assert!(run.cycles > 0, "{} on {gname}: zero cycles", algo.name());
-        validate(
-            algo,
-            &graph,
-            0,
-            &|p| run.property_ints(p),
-            &|p| run.property_floats(p),
-        );
+        validate(algo, &graph, 0, &|p| run.property_ints(p), &|p| {
+            run.property_floats(p)
+        });
     }
 }
 
@@ -80,7 +76,10 @@ fn bfs_kernel_fusion_correct_and_fewer_launches() {
     let graph = ugc_graph::generators::road_grid(16, 16, 0.05, 3, true);
     let base = GpuGraphVm::default()
         .execute(
-            compile(Algorithm::Bfs, Some(ScheduleRef::simple(GpuSchedule::new()))),
+            compile(
+                Algorithm::Bfs,
+                Some(ScheduleRef::simple(GpuSchedule::new())),
+            ),
             &graph,
             &externs_for(Algorithm::Bfs, 0),
         )
@@ -97,10 +96,22 @@ fn bfs_kernel_fusion_correct_and_fewer_launches() {
             &externs_for(Algorithm::Bfs, 0),
         )
         .unwrap();
-    assert_eq!(base.property_ints("parent").iter().filter(|&&p| p != -1).count(),
-               fused.property_ints("parent").iter().filter(|&&p| p != -1).count());
+    assert_eq!(
+        base.property_ints("parent")
+            .iter()
+            .filter(|&&p| p != -1)
+            .count(),
+        fused
+            .property_ints("parent")
+            .iter()
+            .filter(|&&p| p != -1)
+            .count()
+    );
     assert!(fused.stats.kernels < base.stats.kernels);
-    assert!(fused.cycles < base.cycles, "fusion must win on a road graph");
+    assert!(
+        fused.cycles < base.cycles,
+        "fusion must win on a road graph"
+    );
 }
 
 #[test]

@@ -14,13 +14,9 @@ fn run_and_validate(algo: Algorithm, sched: Option<HbSchedule>) {
             .execute(prog, &graph, &externs_for(algo, 0))
             .unwrap_or_else(|e| panic!("{} on {gname}: {e}", algo.name()));
         assert!(run.cycles > 0);
-        validate(
-            algo,
-            &graph,
-            0,
-            &|p| run.property_ints(p),
-            &|p| run.property_floats(p),
-        );
+        validate(algo, &graph, 0, &|p| run.property_ints(p), &|p| {
+            run.property_floats(p)
+        });
     }
 }
 
@@ -38,7 +34,10 @@ fn bfs_all_load_balancers() {
         HbLoadBalance::EdgeBased,
         HbLoadBalance::Aligned,
     ] {
-        run_and_validate(Algorithm::Bfs, Some(HbSchedule::new().with_load_balance(lb)));
+        run_and_validate(
+            Algorithm::Bfs,
+            Some(HbSchedule::new().with_load_balance(lb)),
+        );
     }
 }
 
@@ -58,7 +57,11 @@ fn bfs_hybrid_direction() {
 fn pagerank_blocked_access() {
     run_and_validate(
         Algorithm::PageRank,
-        Some(HbSchedule::new().with_blocked_access(true).with_block_size(64)),
+        Some(
+            HbSchedule::new()
+                .with_blocked_access(true)
+                .with_block_size(64),
+        ),
     );
 }
 
@@ -66,11 +69,7 @@ fn pagerank_blocked_access() {
 fn sssp_blocked_access_with_delta() {
     run_and_validate(
         Algorithm::Sssp,
-        Some(
-            HbSchedule::new()
-                .with_blocked_access(true)
-                .with_delta(8),
-        ),
+        Some(HbSchedule::new().with_blocked_access(true).with_delta(8)),
     );
 }
 
@@ -95,7 +94,10 @@ fn blocked_access_reduces_dram_stalls_on_pagerank() {
     let externs = externs_for(Algorithm::PageRank, 0);
     let base = HbGraphVm::default()
         .execute(
-            compile(Algorithm::PageRank, Some(ScheduleRef::simple(HbSchedule::new()))),
+            compile(
+                Algorithm::PageRank,
+                Some(ScheduleRef::simple(HbSchedule::new())),
+            ),
             &graph,
             &externs,
         )
@@ -105,7 +107,9 @@ fn blocked_access_reduces_dram_stalls_on_pagerank() {
             compile(
                 Algorithm::PageRank,
                 Some(ScheduleRef::simple(
-                    HbSchedule::new().with_blocked_access(true).with_block_size(64),
+                    HbSchedule::new()
+                        .with_blocked_access(true)
+                        .with_block_size(64),
                 )),
             ),
             &graph,
@@ -118,7 +122,10 @@ fn blocked_access_reduces_dram_stalls_on_pagerank() {
         blocked.stats.dram_stall_cycles,
         base.stats.dram_stall_cycles
     );
-    assert!(blocked.cycles < base.cycles, "blocked access must speed up PR");
+    assert!(
+        blocked.cycles < base.cycles,
+        "blocked access must speed up PR"
+    );
 }
 
 #[test]

@@ -1,24 +1,53 @@
 //! Property-based end-to-end tests: on random graphs, every backend's
-//! result matches the sequential reference implementations.
+//! result matches the sequential reference implementations. Runs on the
+//! in-tree `ugc-testkit` harness (seeded cases + bounded shrinking).
 
-use proptest::prelude::*;
 use ugc::{Algorithm, Compiler, Target};
 use ugc_graph::{EdgeList, Graph};
+use ugc_testkit::{check_with_shrink, Config, Prng, Shrink};
 
-/// Random symmetric weighted graph (the shape every paper dataset has).
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (4usize..48).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 1i32..32);
-        proptest::collection::vec(edge, 1..128).prop_map(move |edges| {
-            let mut el = EdgeList::new(n);
-            for (s, d, w) in edges {
-                el.push_weighted(s, d, w);
-            }
-            el.symmetrize();
-            el.dedup_and_strip_loops();
-            el.into_graph()
+/// Raw material for a random symmetric weighted graph (the shape every
+/// paper dataset has). Kept as (n, edges) so failures shrink by removing
+/// edges while the vertex count stays fixed.
+type RawGraph = (usize, Vec<(u32, u32, i32)>);
+
+fn gen_raw(rng: &mut Prng) -> RawGraph {
+    let n = rng.gen_range(4..48usize);
+    let len = rng.gen_range(1..128usize);
+    let edges = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                rng.gen_range(1i32..32),
+            )
         })
-    })
+        .collect();
+    (n, edges)
+}
+
+fn shrink_raw(input: &RawGraph) -> Vec<RawGraph> {
+    let (n, edges) = input;
+    edges
+        .shrink()
+        .into_iter()
+        .filter(|e| {
+            e.iter()
+                .all(|&(s, d, w)| s < *n as u32 && d < *n as u32 && w >= 1)
+        })
+        .map(|e| (*n, e))
+        .collect()
+}
+
+fn build(raw: &RawGraph) -> Graph {
+    let (n, edges) = raw;
+    let mut el = EdgeList::new(*n);
+    for &(s, d, w) in edges {
+        el.push_weighted(s, d, w);
+    }
+    el.symmetrize();
+    el.dedup_and_strip_loops();
+    el.into_graph()
 }
 
 fn run(algo: Algorithm, target: Target, graph: &Graph, start: u32) -> ugc::RunResult {
@@ -29,65 +58,89 @@ fn run(algo: Algorithm, target: Target, graph: &Graph, start: u32) -> ugc::RunRe
     c.run(target, graph).expect("run succeeds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The e2e properties compile and execute on four backends per case, so
+/// mirror the seed's trimmed case count (ProptestConfig::with_cases(12)).
+fn check_graphs(name: &str, prop: impl Fn(&Graph)) {
+    check_with_shrink(
+        name,
+        Config {
+            cases: 12,
+            ..Config::default()
+        },
+        gen_raw,
+        shrink_raw,
+        |raw| prop(&build(raw)),
+    );
+}
 
-    #[test]
-    fn bfs_valid_on_every_backend(graph in graph_strategy()) {
+#[test]
+fn bfs_valid_on_every_backend() {
+    check_graphs("bfs_valid_on_every_backend", |graph| {
         for target in Target::ALL {
-            let r = run(Algorithm::Bfs, target, &graph, 0);
-            ugc_algorithms::validate::check_bfs_parents(&graph, 0, r.property_ints("parent"))
+            let r = run(Algorithm::Bfs, target, graph, 0);
+            ugc_algorithms::validate::check_bfs_parents(graph, 0, r.property_ints("parent"))
                 .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sssp_matches_dijkstra_on_every_backend(graph in graph_strategy()) {
+#[test]
+fn sssp_matches_dijkstra_on_every_backend() {
+    check_graphs("sssp_matches_dijkstra_on_every_backend", |graph| {
         for target in Target::ALL {
-            let r = run(Algorithm::Sssp, target, &graph, 0);
-            ugc_algorithms::validate::check_sssp_distances(&graph, 0, r.property_ints("dist"))
+            let r = run(Algorithm::Sssp, target, graph, 0);
+            ugc_algorithms::validate::check_sssp_distances(graph, 0, r.property_ints("dist"))
                 .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn cc_matches_union_find_on_every_backend(graph in graph_strategy()) {
+#[test]
+fn cc_matches_union_find_on_every_backend() {
+    check_graphs("cc_matches_union_find_on_every_backend", |graph| {
         for target in Target::ALL {
-            let r = run(Algorithm::Cc, target, &graph, 0);
-            ugc_algorithms::validate::check_cc_labels(&graph, r.property_ints("IDs"))
+            let r = run(Algorithm::Cc, target, graph, 0);
+            ugc_algorithms::validate::check_cc_labels(graph, r.property_ints("IDs"))
                 .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn pagerank_matches_reference_on_every_backend(graph in graph_strategy()) {
+#[test]
+fn pagerank_matches_reference_on_every_backend() {
+    check_graphs("pagerank_matches_reference_on_every_backend", |graph| {
         for target in Target::ALL {
-            let r = run(Algorithm::PageRank, target, &graph, 0);
-            ugc_algorithms::validate::check_pagerank(&graph, r.property_floats("old_rank"), 1e-7)
+            let r = run(Algorithm::PageRank, target, graph, 0);
+            ugc_algorithms::validate::check_pagerank(graph, r.property_floats("old_rank"), 1e-7)
                 .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn bc_matches_brandes_on_every_backend(graph in graph_strategy()) {
+#[test]
+fn bc_matches_brandes_on_every_backend() {
+    check_graphs("bc_matches_brandes_on_every_backend", |graph| {
         for target in Target::ALL {
-            let r = run(Algorithm::Bc, target, &graph, 0);
-            ugc_algorithms::validate::check_bc(&graph, 0, r.property_floats("centrality"), 1e-6)
+            let r = run(Algorithm::Bc, target, graph, 0);
+            ugc_algorithms::validate::check_bc(graph, 0, r.property_floats("centrality"), 1e-6)
                 .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
         }
-    }
+    });
+}
 
-    /// All four backends compute bit-identical integer results.
-    #[test]
-    fn backends_agree_exactly(graph in graph_strategy()) {
-        let cpu = run(Algorithm::Sssp, Target::Cpu, &graph, 0);
+/// All four backends compute bit-identical integer results.
+#[test]
+fn backends_agree_exactly() {
+    check_graphs("backends_agree_exactly", |graph| {
+        let cpu = run(Algorithm::Sssp, Target::Cpu, graph, 0);
         for target in [Target::Gpu, Target::Swarm, Target::HammerBlade] {
-            let other = run(Algorithm::Sssp, target, &graph, 0);
-            prop_assert_eq!(
+            let other = run(Algorithm::Sssp, target, graph, 0);
+            assert_eq!(
                 cpu.property_ints("dist"),
                 other.property_ints("dist"),
-                "{} disagrees with CPU", target.name()
+                "{} disagrees with CPU",
+                target.name()
             );
         }
-    }
+    });
 }

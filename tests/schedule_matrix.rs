@@ -39,13 +39,9 @@ fn cpu_schedule_matrix() {
                     let run = CpuGraphVm::with_threads(4)
                         .execute(prog, &graph, &externs_for(Algorithm::Bfs, 0))
                         .unwrap_or_else(|e| panic!("{dir:?}/{par:?}/{pf:?}/{dedup}: {e}"));
-                    validate(
-                        Algorithm::Bfs,
-                        &graph,
-                        0,
-                        &|p| run.property_ints(p),
-                        &|p| run.property_floats(p),
-                    );
+                    validate(Algorithm::Bfs, &graph, 0, &|p| run.property_ints(p), &|p| {
+                        run.property_floats(p)
+                    });
                 }
             }
         }
@@ -70,13 +66,9 @@ fn gpu_schedule_matrix() {
                 let run = GpuGraphVm::default()
                     .execute(prog, &graph, &externs_for(Algorithm::Cc, 0))
                     .unwrap_or_else(|e| panic!("{lb:?}/{fc:?}/{fusion}: {e}"));
-                validate(
-                    Algorithm::Cc,
-                    &graph,
-                    0,
-                    &|p| run.property_ints(p),
-                    &|p| run.property_floats(p),
-                );
+                validate(Algorithm::Cc, &graph, 0, &|p| run.property_ints(p), &|p| {
+                    run.property_floats(p)
+                });
             }
         }
     }

@@ -14,13 +14,9 @@ fn run_and_validate(algo: Algorithm, sched: Option<SwarmSchedule>) {
             .execute(prog, &graph, &externs_for(algo, 0))
             .unwrap_or_else(|e| panic!("{} on {gname}: {e}", algo.name()));
         assert!(run.cycles > 0, "{} on {gname}: zero cycles", algo.name());
-        validate(
-            algo,
-            &graph,
-            0,
-            &|p| run.property_ints(p),
-            &|p| run.property_floats(p),
-        );
+        validate(algo, &graph, 0, &|p| run.property_ints(p), &|p| {
+            run.property_floats(p)
+        });
     }
 }
 
@@ -96,7 +92,10 @@ fn task_conversion_beats_barriers_on_road_graphs() {
     let externs = externs_for(Algorithm::Bfs, 0);
     let base = SwarmGraphVm::default()
         .execute(
-            compile(Algorithm::Bfs, Some(ScheduleRef::simple(SwarmSchedule::new()))),
+            compile(
+                Algorithm::Bfs,
+                Some(ScheduleRef::simple(SwarmSchedule::new())),
+            ),
             &graph,
             &externs,
         )
