@@ -1,0 +1,388 @@
+//! Persistent tuning cache.
+//!
+//! Winners are stored as JSON lines in a plain text file, one entry per
+//! (target, algorithm, dataset fingerprint, scale) key. The workspace is
+//! hermetic, so the (de)serializer is hand-rolled for exactly the flat
+//! record shape below — it is not a general JSON parser.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ugc_graph::prng::SplitMix64;
+use ugc_graph::Graph;
+
+/// A structural fingerprint of a graph: folds the shape (vertex/edge
+/// counts, weightedness) and strided samples of the CSR arrays through
+/// SplitMix64. Deterministic for a given graph, cheap on large ones, and
+/// sensitive enough that different generated datasets don't collide.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut fold = |x: u64| {
+        acc = SplitMix64::new(acc ^ x).next_u64();
+    };
+    fold(g.num_vertices() as u64);
+    fold(g.num_edges() as u64);
+    fold(u64::from(g.is_weighted()));
+    let csr = g.out_csr();
+    let sample = |len: usize| -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let stride = (len / 64).max(1);
+        (0..len).step_by(stride).collect()
+    };
+    for i in sample(csr.offsets().len()) {
+        fold(csr.offsets()[i] as u64);
+    }
+    for i in sample(csr.targets().len()) {
+        fold(u64::from(csr.targets()[i]));
+    }
+    if let Some(w) = csr.weights() {
+        for i in sample(w.len()) {
+            fold(w[i] as u64);
+        }
+    }
+    acc
+}
+
+/// Identifies one tuning problem instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Target name (`cpu`, `gpu`, `swarm`, `hb`).
+    pub target: String,
+    /// Algorithm name (`BFS`, `SSSP`, ...).
+    pub algo: String,
+    /// [`graph_fingerprint`] of the dataset instance.
+    pub fingerprint: u64,
+    /// Scale name (`tiny`, `small`, `medium`).
+    pub scale: String,
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{:016x}/{}",
+            self.target, self.algo, self.fingerprint, self.scale
+        )
+    }
+}
+
+/// A cached tuning winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The problem instance this winner was tuned for.
+    pub key: CacheKey,
+    /// The winner's label (a `dim=level` point label or a pinned name).
+    pub winner: String,
+    /// The winner's point indices; empty for pinned candidates.
+    pub point: Vec<usize>,
+    /// Measured time of the winner.
+    pub time_ms: f64,
+    /// Measured cycles of the winner.
+    pub cycles: u64,
+    /// Distinct space points measured in the producing run.
+    pub explored: usize,
+    /// Seed the producing run used.
+    pub seed: u64,
+}
+
+impl CacheEntry {
+    fn to_json_line(&self) -> String {
+        let point = self
+            .point
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"target\":\"{}\",\"algo\":\"{}\",\"fingerprint\":\"{:016x}\",",
+                "\"scale\":\"{}\",\"winner\":\"{}\",\"point\":[{}],\"time_ms\":{},",
+                "\"cycles\":{},\"explored\":{},\"seed\":{}}}"
+            ),
+            escape(&self.key.target),
+            escape(&self.key.algo),
+            self.key.fingerprint,
+            escape(&self.key.scale),
+            escape(&self.winner),
+            point,
+            self.time_ms,
+            self.cycles,
+            self.explored,
+            self.seed,
+        )
+    }
+
+    fn from_json_line(line: &str) -> Option<CacheEntry> {
+        let target = field_str(line, "target")?;
+        let algo = field_str(line, "algo")?;
+        let fingerprint = u64::from_str_radix(&field_str(line, "fingerprint")?, 16).ok()?;
+        let scale = field_str(line, "scale")?;
+        let winner = field_str(line, "winner")?;
+        let point = field_usize_array(line, "point")?;
+        let time_ms = field_raw(line, "time_ms")?.parse().ok()?;
+        let cycles = field_raw(line, "cycles")?.parse().ok()?;
+        let explored = field_raw(line, "explored")?.parse().ok()?;
+        let seed = field_raw(line, "seed")?.parse().ok()?;
+        Some(CacheEntry {
+            key: CacheKey {
+                target,
+                algo,
+                fingerprint,
+                scale,
+            },
+            winner,
+            point,
+            time_ms,
+            cycles,
+            explored,
+            seed,
+        })
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The raw text after `"name":` up to the next unquoted `,` or `}`.
+fn field_raw<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = rest.len();
+    let mut in_str = false;
+    let mut esc = false;
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth = depth.saturating_sub(1),
+            ',' | '}' if !in_str && depth == 0 => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Some(rest[..end].trim())
+}
+
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let raw = field_raw(line, name)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(unescape(inner))
+}
+
+fn field_usize_array(line: &str, name: &str) -> Option<Vec<usize>> {
+    let raw = field_raw(line, name)?;
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<Vec<usize>>>()
+}
+
+/// An append-only JSONL store of tuning winners, loaded fully at open.
+/// Later lines for the same key win, so re-tuning simply appends.
+#[derive(Debug)]
+pub struct TuningCache {
+    path: PathBuf,
+    entries: HashMap<CacheKey, CacheEntry>,
+}
+
+impl TuningCache {
+    /// Opens (or lazily creates on first [`put`](Self::put)) a cache file.
+    /// Malformed lines are skipped, not fatal: a corrupt cache degrades to
+    /// re-tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if an existing file cannot be read.
+    pub fn open(path: impl AsRef<Path>) -> Result<TuningCache, String> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = HashMap::new();
+        if path.exists() {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(entry) = CacheEntry::from_json_line(line) {
+                    entries.insert(entry.key.clone(), entry);
+                }
+            }
+        }
+        Ok(TuningCache { path, entries })
+    }
+
+    /// The cached winner for `key`, if any.
+    pub fn get(&self, key: &CacheKey) -> Option<&CacheEntry> {
+        self.entries.get(key)
+    }
+
+    /// Records `entry` in memory and appends it to the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the line cannot be appended.
+    pub fn put(&mut self, entry: CacheEntry) -> Result<(), String> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() && !dir.exists() {
+                fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("cannot open {}: {e}", self.path.display()))?;
+        writeln!(file, "{}", entry.to_json_line())
+            .map_err(|e| format!("cannot write {}: {e}", self.path.display()))?;
+        self.entries.insert(entry.key.clone(), entry);
+        Ok(())
+    }
+
+    /// Number of distinct cached keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(target: &str, fp: u64) -> CacheEntry {
+        CacheEntry {
+            key: CacheKey {
+                target: target.to_string(),
+                algo: "BFS".to_string(),
+                fingerprint: fp,
+                scale: "tiny".to_string(),
+            },
+            winner: "dir=push,lb=twc".to_string(),
+            point: vec![0, 1, 0],
+            time_ms: 1.25,
+            cycles: 4096,
+            explored: 17,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let e = entry("gpu", 0xDEAD_BEEF);
+        let line = e.to_json_line();
+        assert_eq!(CacheEntry::from_json_line(&line), Some(e));
+    }
+
+    #[test]
+    fn empty_point_round_trips() {
+        let mut e = entry("cpu", 3);
+        e.point = Vec::new();
+        e.winner = "hand_tuned".to_string();
+        let line = e.to_json_line();
+        assert_eq!(CacheEntry::from_json_line(&line), Some(e));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let mut e = entry("cpu", 9);
+        e.winner = "odd \"name\" with \\ backslash".to_string();
+        assert_eq!(CacheEntry::from_json_line(&e.to_json_line()), Some(e));
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let dir = std::env::temp_dir().join("ugc-autotune-cache-test");
+        let path = dir.join("tuning-cache.jsonl");
+        let _ = fs::remove_file(&path);
+        {
+            let mut cache = TuningCache::open(&path).unwrap();
+            assert!(cache.is_empty());
+            cache.put(entry("gpu", 1)).unwrap();
+            cache.put(entry("swarm", 2)).unwrap();
+            // Re-tuning the same key overwrites in memory and appends.
+            let mut updated = entry("gpu", 1);
+            updated.time_ms = 0.5;
+            cache.put(updated).unwrap();
+            assert_eq!(cache.len(), 2);
+        }
+        let cache = TuningCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        let got = cache.get(&entry("gpu", 1).key).unwrap();
+        assert_eq!(got.time_ms, 0.5);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("ugc-autotune-cache-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuning-cache-malformed.jsonl");
+        fs::write(
+            &path,
+            format!(
+                "not json at all\n{}\n{{\"target\":\"gpu\"}}\n",
+                entry("hb", 4).to_json_line()
+            ),
+        )
+        .unwrap();
+        let cache = TuningCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&entry("hb", 4).key).is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let a = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let w = Graph::from_weighted_edges(4, &[(0, 1, 5), (1, 2, 9)]);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&w));
+    }
+}

@@ -1,0 +1,566 @@
+//! Deterministic search over a declared schedule space.
+//!
+//! Two strategies, both driven by the in-tree PRNG so the same seed always
+//! explores (and returns) the same candidates:
+//!
+//! * **Exhaustive** — visits every point of the cross-product in a stable
+//!   (odometer) order. Exact on the deterministic simulator targets; the
+//!   default whenever the space fits the evaluation budget.
+//! * **Greedy descent** — seeded random restarts followed by greedy
+//!   coordinate descent: sweep each dimension in turn, move to the best
+//!   level, repeat until a full sweep makes no progress. The classic
+//!   OpenTuner-style climb for spaces too large to enumerate.
+//!
+//! Cost comes from a caller-supplied evaluator (the bench harness passes
+//! its `measure`: wall time on CPU, simulated cycles elsewhere). Evaluated
+//! points are memoized, so the budget counts *distinct* measurements.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ugc_graph::prng::Prng;
+use ugc_schedule::space::{
+    cardinality, point_label, Dimension, PointIter, ScheduleSpace, SpaceParams,
+};
+use ugc_schedule::ScheduleRef;
+
+/// Cost of one measured candidate: the target-appropriate time plus the
+/// simulator counters recorded for explainability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Milliseconds — wall-clock (CPU) or simulated (the other targets).
+    pub time_ms: f64,
+    /// Simulated cycles (0 on CPU).
+    pub cycles: u64,
+}
+
+/// One measured candidate in a [`TuneOutcome`]'s ranking.
+#[derive(Debug, Clone)]
+pub struct Ranked {
+    /// Human-readable name: a `dim=level` label for space points, the
+    /// caller-given name for pinned candidates.
+    pub name: String,
+    /// The point's level indices; `None` for pinned candidates.
+    pub point: Option<Vec<usize>>,
+    /// The materialized schedule.
+    pub schedule: ScheduleRef,
+    /// Its measured cost.
+    pub sample: Sample,
+}
+
+/// The result of a tuning run: every measured candidate, best first.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Candidates sorted by ascending time (ties broken by name, so the
+    /// ranking is deterministic).
+    pub ranked: Vec<Ranked>,
+    /// Distinct space points measured (excludes pinned candidates).
+    pub explored: usize,
+    /// Raw cross-product size of the space.
+    pub cardinality: u64,
+    /// Which strategy ran: `"exhaustive"` or `"greedy"`.
+    pub strategy: &'static str,
+}
+
+impl TuneOutcome {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: [`tune`] returns an error instead of an empty ranking.
+    pub fn winner(&self) -> &Ranked {
+        &self.ranked[0]
+    }
+
+    /// The ranked entry with the given name, if it was measured.
+    pub fn find(&self, name: &str) -> Option<&Ranked> {
+        self.ranked.iter().find(|r| r.name == name)
+    }
+}
+
+/// Search strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Exhaustive when the space fits the budget, greedy otherwise.
+    #[default]
+    Auto,
+    /// Always enumerate (still capped at the budget).
+    Exhaustive,
+    /// Always random-restart + coordinate descent.
+    GreedyDescent,
+}
+
+/// Tuning knobs. Everything is deterministic per [`Tuner::seed`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tuner {
+    /// PRNG seed for restarts (and any future stochastic strategy).
+    pub seed: u64,
+    /// Maximum number of distinct space points to measure.
+    pub budget: usize,
+    /// Strategy selection.
+    pub strategy: Strategy,
+    /// Random restarts for greedy descent.
+    pub restarts: usize,
+}
+
+impl Default for Tuner {
+    fn default() -> Self {
+        Tuner {
+            seed: 0x7E57_5EED,
+            budget: 64,
+            strategy: Strategy::Auto,
+            restarts: 3,
+        }
+    }
+}
+
+/// Why a tuning run produced no winner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The space declared no candidates and nothing was pinned.
+    EmptySpace {
+        /// The backend whose space was empty.
+        target: String,
+    },
+    /// Every candidate's evaluation failed.
+    AllCandidatesFailed {
+        /// The backend being tuned.
+        target: String,
+        /// The last evaluator error, for diagnosis.
+        last_error: String,
+    },
+    /// The persistent cache could not be read or written.
+    Cache(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::EmptySpace { target } => {
+                write!(f, "schedule search space for `{target}` is empty")
+            }
+            TuneError::AllCandidatesFailed { target, last_error } => {
+                write!(
+                    f,
+                    "every candidate schedule for `{target}` failed to evaluate (last: {last_error})"
+                )
+            }
+            TuneError::Cache(msg) => write!(f, "tuning cache error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Shared mutable state of one search: memoized point evaluation so the
+/// budget counts *distinct* measurements.
+struct SearchState<'a, E> {
+    space: &'a dyn ScheduleSpace,
+    params: &'a SpaceParams,
+    dims: &'a [Dimension],
+    eval: E,
+    /// point -> index into `ranked` (`None` for alias/failed points).
+    memo: HashMap<Vec<usize>, Option<usize>>,
+    ranked: Vec<Ranked>,
+    explored: usize,
+    attempted: usize,
+    last_error: String,
+    budget: usize,
+}
+
+impl<E> SearchState<'_, &mut E>
+where
+    E: FnMut(&ScheduleRef) -> Result<Sample, String>,
+{
+    fn exhausted(&self) -> bool {
+        self.explored >= self.budget
+    }
+
+    /// Measures `pt` (memoized), returning its time if it evaluated.
+    fn eval_point(&mut self, pt: &[usize]) -> Option<f64> {
+        if let Some(&slot) = self.memo.get(pt) {
+            return slot.map(|i| self.ranked[i].sample.time_ms);
+        }
+        if self.exhausted() {
+            return None;
+        }
+        let Some(sched) = self.space.materialize(self.params, pt) else {
+            self.memo.insert(pt.to_vec(), None);
+            return None;
+        };
+        self.explored += 1;
+        self.attempted += 1;
+        match (self.eval)(&sched) {
+            Ok(sample) => {
+                self.ranked.push(Ranked {
+                    name: point_label(self.dims, pt),
+                    point: Some(pt.to_vec()),
+                    schedule: sched,
+                    sample,
+                });
+                self.memo.insert(pt.to_vec(), Some(self.ranked.len() - 1));
+                Some(sample.time_ms)
+            }
+            Err(e) => {
+                self.last_error = e;
+                self.memo.insert(pt.to_vec(), None);
+                None
+            }
+        }
+    }
+}
+
+/// Searches `space` for the fastest schedule under `eval`, additionally
+/// measuring the `pinned` candidates (name, schedule) so reference
+/// schedules — e.g. the hand-tuned one — are always part of the ranking
+/// and the winner can never lose to them.
+///
+/// # Errors
+///
+/// [`TuneError::EmptySpace`] when there is nothing to measure at all, and
+/// [`TuneError::AllCandidatesFailed`] when every evaluation failed.
+pub fn tune<E>(
+    space: &dyn ScheduleSpace,
+    params: &SpaceParams,
+    pinned: &[(String, ScheduleRef)],
+    tuner: &Tuner,
+    mut eval: E,
+) -> Result<TuneOutcome, TuneError>
+where
+    E: FnMut(&ScheduleRef) -> Result<Sample, String>,
+{
+    let dims = space.dimensions(params);
+    let card = cardinality(&dims);
+    let mut st = SearchState {
+        space,
+        params,
+        dims: &dims,
+        eval: &mut eval,
+        memo: HashMap::new(),
+        ranked: Vec::new(),
+        explored: 0,
+        attempted: 0,
+        last_error: String::new(),
+        budget: tuner.budget.max(1),
+    };
+
+    for (name, sched) in pinned {
+        st.attempted += 1;
+        match (st.eval)(sched) {
+            Ok(sample) => st.ranked.push(Ranked {
+                name: name.clone(),
+                point: None,
+                schedule: sched.clone(),
+                sample,
+            }),
+            Err(e) => st.last_error = e,
+        }
+    }
+
+    let exhaustive = match tuner.strategy {
+        Strategy::Exhaustive => true,
+        Strategy::GreedyDescent => false,
+        Strategy::Auto => card as usize <= st.budget,
+    };
+
+    if exhaustive {
+        for pt in PointIter::new(&dims) {
+            if st.exhausted() {
+                break;
+            }
+            st.eval_point(&pt);
+        }
+    } else if !dims.is_empty() {
+        let mut rng = Prng::new(tuner.seed);
+        'restarts: for _ in 0..tuner.restarts.max(1) {
+            // A random valid starting point.
+            let mut current: Option<(Vec<usize>, f64)> = None;
+            for _ in 0..64 {
+                let pt: Vec<usize> = dims
+                    .iter()
+                    .map(|d| rng.gen_range(0..d.levels.len()))
+                    .collect();
+                if let Some(t) = st.eval_point(&pt) {
+                    current = Some((pt, t));
+                    break;
+                }
+                if st.exhausted() {
+                    break 'restarts;
+                }
+            }
+            let Some((mut pt, mut best)) = current else {
+                continue;
+            };
+            // Greedy coordinate descent until a sweep stalls.
+            loop {
+                let mut improved = false;
+                for d in 0..dims.len() {
+                    let original = pt[d];
+                    for level in 0..dims[d].levels.len() {
+                        if level == original {
+                            continue;
+                        }
+                        let mut cand = pt.clone();
+                        cand[d] = level;
+                        if let Some(t) = st.eval_point(&cand) {
+                            if t < best {
+                                best = t;
+                                pt = cand;
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+                if !improved || st.exhausted() {
+                    break;
+                }
+            }
+            if st.exhausted() {
+                break;
+            }
+        }
+    }
+
+    let SearchState {
+        mut ranked,
+        explored,
+        attempted,
+        last_error,
+        ..
+    } = st;
+
+    if ranked.is_empty() {
+        if attempted == 0 {
+            return Err(TuneError::EmptySpace {
+                target: space.target_name().to_string(),
+            });
+        }
+        return Err(TuneError::AllCandidatesFailed {
+            target: space.target_name().to_string(),
+            last_error,
+        });
+    }
+
+    ranked.sort_by(|a, b| {
+        a.sample
+            .time_ms
+            .total_cmp(&b.sample.time_ms)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    Ok(TuneOutcome {
+        ranked,
+        explored,
+        cardinality: card,
+        strategy: if exhaustive { "exhaustive" } else { "greedy" },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_schedule::space::Dimension;
+    use ugc_schedule::DefaultSchedule;
+
+    /// A synthetic 3×4×5 space whose cost is a separable function of the
+    /// point, with the optimum at (2, 0, 4).
+    #[derive(Debug)]
+    struct Synthetic;
+
+    impl ScheduleSpace for Synthetic {
+        fn target_name(&self) -> &'static str {
+            "synthetic"
+        }
+        fn dimensions(&self, _p: &SpaceParams) -> Vec<Dimension> {
+            vec![
+                Dimension::new("a", vec!["a0", "a1", "a2"]),
+                Dimension::new("b", vec!["b0", "b1", "b2", "b3"]),
+                Dimension::new("c", vec!["c0", "c1", "c2", "c3", "c4"]),
+            ]
+        }
+        fn materialize(&self, _p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+            // Encode the point in the hybrid threshold so the evaluator
+            // can recover it from the schedule alone.
+            let code = (point[0] * 100 + point[1] * 10 + point[2]) as f64;
+            #[derive(Debug)]
+            struct Coded(f64);
+            impl ugc_schedule::SimpleSchedule for Coded {
+                fn hybrid_threshold(&self) -> f64 {
+                    self.0
+                }
+                fn as_any(&self) -> &dyn std::any::Any {
+                    self
+                }
+            }
+            Some(ScheduleRef::simple(Coded(code)))
+        }
+    }
+
+    fn cost_of(sched: &ScheduleRef) -> f64 {
+        let code = sched.representative().hybrid_threshold() as usize;
+        let (a, b, c) = (code / 100, (code / 10) % 10, code % 10);
+        // Separable, so coordinate descent finds the global optimum.
+        ((a as f64) - 2.0).abs() + (b as f64) + (4.0 - c as f64) + 1.0
+    }
+
+    fn params() -> SpaceParams {
+        SpaceParams {
+            ordered: false,
+            data_driven: false,
+            num_vertices: 10,
+        }
+    }
+
+    fn run(tuner: &Tuner) -> TuneOutcome {
+        tune(&Synthetic, &params(), &[], tuner, |s| {
+            Ok(Sample {
+                time_ms: cost_of(s),
+                cycles: 0,
+            })
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum() {
+        let out = run(&Tuner {
+            budget: 60,
+            ..Tuner::default()
+        });
+        assert_eq!(out.strategy, "exhaustive");
+        assert_eq!(out.explored, 60);
+        assert_eq!(out.winner().point, Some(vec![2, 0, 4]));
+        assert_eq!(out.winner().name, "a=a2,b=b0,c=c4");
+    }
+
+    #[test]
+    fn greedy_finds_the_separable_optimum_within_budget() {
+        let out = run(&Tuner {
+            budget: 30,
+            seed: 11,
+            ..Tuner::default()
+        });
+        assert_eq!(out.strategy, "greedy");
+        assert!(out.explored <= 30);
+        assert_eq!(out.winner().point, Some(vec![2, 0, 4]));
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let t = Tuner {
+            budget: 20,
+            seed: 99,
+            strategy: Strategy::GreedyDescent,
+            restarts: 2,
+        };
+        let (a, b) = (run(&t), run(&t));
+        assert_eq!(a.explored, b.explored);
+        assert_eq!(
+            a.ranked.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            b.ranked.iter().map(|r| &r.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_is_respected_and_memoized() {
+        let out = run(&Tuner {
+            budget: 7,
+            strategy: Strategy::GreedyDescent,
+            restarts: 5,
+            seed: 5,
+        });
+        assert!(out.explored <= 7, "explored {}", out.explored);
+        // Every ranked space point is distinct (memoization worked).
+        let mut pts: Vec<_> = out.ranked.iter().filter_map(|r| r.point.clone()).collect();
+        pts.sort();
+        let n = pts.len();
+        pts.dedup();
+        assert_eq!(pts.len(), n);
+    }
+
+    #[test]
+    fn pinned_candidates_always_rank() {
+        let pinned = vec![(
+            "hand_tuned".to_string(),
+            ScheduleRef::simple(DefaultSchedule::new()),
+        )];
+        let out = tune(
+            &Synthetic,
+            &params(),
+            &pinned,
+            &Tuner {
+                budget: 4,
+                ..Tuner::default()
+            },
+            |s| {
+                // The pinned candidate (a DefaultSchedule) costs 0.5 —
+                // better than anything in the space.
+                let t = if s.representative().hybrid_threshold() == 0.15 {
+                    0.5
+                } else {
+                    cost_of(s)
+                };
+                Ok(Sample {
+                    time_ms: t,
+                    cycles: 0,
+                })
+            },
+        )
+        .unwrap();
+        assert_eq!(out.winner().name, "hand_tuned");
+        assert_eq!(out.winner().point, None);
+        assert!(out.find("hand_tuned").is_some());
+    }
+
+    #[test]
+    fn empty_space_is_a_typed_error() {
+        #[derive(Debug)]
+        struct Empty;
+        impl ScheduleSpace for Empty {
+            fn target_name(&self) -> &'static str {
+                "empty"
+            }
+            fn dimensions(&self, _p: &SpaceParams) -> Vec<Dimension> {
+                vec![]
+            }
+            fn materialize(&self, _p: &SpaceParams, _pt: &[usize]) -> Option<ScheduleRef> {
+                None
+            }
+        }
+        let err = tune(&Empty, &params(), &[], &Tuner::default(), |_| {
+            Ok(Sample {
+                time_ms: 1.0,
+                cycles: 0,
+            })
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TuneError::EmptySpace {
+                target: "empty".into()
+            }
+        );
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn all_failures_reported() {
+        let err = tune(
+            &Synthetic,
+            &params(),
+            &[],
+            &Tuner {
+                budget: 5,
+                ..Tuner::default()
+            },
+            |_| Err("simulated failure".to_string()),
+        )
+        .unwrap_err();
+        match err {
+            TuneError::AllCandidatesFailed { last_error, .. } => {
+                assert_eq!(last_error, "simulated failure")
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

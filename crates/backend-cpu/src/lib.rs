@@ -31,5 +31,5 @@ pub mod schedule;
 pub mod vm;
 
 pub use executor::CpuExecutor;
-pub use schedule::CpuSchedule;
+pub use schedule::{CpuSchedule, CpuScheduleSpace};
 pub use vm::{CpuGraphVm, Execution};

@@ -2,7 +2,10 @@
 
 use std::any::Any;
 
-use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::{
+    Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
+};
 
 /// CPU scheduling options (the original GraphIt CPU space).
 ///
@@ -151,6 +154,63 @@ impl SimpleSchedule for CpuSchedule {
     }
 }
 
+/// The CPU GraphVM's declared search space: the original GraphIt CPU
+/// tuning axes (direction × parallelization × deduplication), plus the
+/// serial-dispatch threshold, cache blocking, and the shared ∆ sweep for
+/// ordered algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuScheduleSpace;
+
+impl ScheduleSpace for CpuScheduleSpace {
+    fn target_name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn dimensions(&self, p: &SpaceParams) -> Vec<Dimension> {
+        let directions = if p.ordered {
+            vec!["push"]
+        } else if p.data_driven {
+            vec!["push", "pull", "hybrid"]
+        } else {
+            vec!["push", "pull"]
+        };
+        vec![
+            Dimension::new("dir", directions),
+            Dimension::new("par", vec!["vertex", "edge_aware"]),
+            Dimension::new("dedup", vec!["off", "on"]),
+            Dimension::new("serial", vec!["0", "512", "4096"]),
+            Dimension::new("blocking", vec!["off", "on"]),
+            delta_dimension(p),
+        ]
+    }
+
+    fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+        let dims = self.dimensions(p);
+        let level = |i: usize| dims[i].levels[point[i]];
+        let mut s = CpuSchedule::new()
+            .with_direction(match level(0) {
+                "pull" => SchedDirection::Pull,
+                "hybrid" => SchedDirection::Hybrid,
+                _ => SchedDirection::Push,
+            })
+            .with_parallelization(match level(1) {
+                "edge_aware" => Parallelization::EdgeAwareVertexBased,
+                _ => Parallelization::VertexBased,
+            })
+            .with_deduplication(level(2) == "on")
+            .with_serial_threshold(match level(3) {
+                "512" => 512,
+                "4096" => 4096,
+                _ => 0,
+            })
+            .with_cache_blocking(level(4) == "on");
+        if p.ordered {
+            s = s.with_delta(delta_value(point[5]));
+        }
+        Some(ScheduleRef::simple(s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +242,37 @@ mod tests {
         let s: Box<dyn SimpleSchedule> = Box::new(CpuSchedule::new().with_delta(4));
         let c = s.as_any().downcast_ref::<CpuSchedule>().unwrap();
         assert_eq!(c.delta, 4);
+    }
+
+    #[test]
+    fn space_enumerates_and_materializes() {
+        use ugc_schedule::space::{cardinality, PointIter};
+        let p = SpaceParams {
+            ordered: false,
+            data_driven: true,
+            num_vertices: 1000,
+        };
+        let dims = CpuScheduleSpace.dimensions(&p);
+        assert_eq!(cardinality(&dims), 3 * 2 * 2 * 3 * 2);
+        for pt in PointIter::new(&dims) {
+            let s = CpuScheduleSpace.materialize(&p, &pt).expect("no aliases");
+            assert!(s.as_simple().is_some());
+        }
+    }
+
+    #[test]
+    fn space_pins_direction_for_ordered() {
+        let p = SpaceParams {
+            ordered: true,
+            data_driven: false,
+            num_vertices: 1000,
+        };
+        let dims = CpuScheduleSpace.dimensions(&p);
+        assert_eq!(dims[0].levels, vec!["push"]);
+        assert_eq!(dims.last().unwrap().levels.len(), 6, "∆ sweep present");
+        let s = CpuScheduleSpace
+            .materialize(&p, &[0, 1, 0, 2, 0, 5])
+            .unwrap();
+        assert_eq!(s.representative().delta(), 64);
     }
 }

@@ -28,5 +28,5 @@ pub mod vm;
 
 pub use executor::GpuExecutor;
 pub use load_balance::LoadBalance;
-pub use schedule::{FrontierCreation, GpuSchedule};
+pub use schedule::{FrontierCreation, GpuSchedule, GpuScheduleSpace};
 pub use vm::{GpuExecution, GpuGraphVm};

@@ -3,7 +3,10 @@
 
 use std::any::Any;
 
-use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::{
+    Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
+};
 
 use crate::load_balance::LoadBalance;
 
@@ -198,6 +201,85 @@ impl SimpleSchedule for GpuSchedule {
     }
 }
 
+/// The GPU GraphVM's declared search space — the space the GPU-GraphIt
+/// follow-up paper shows is too large to tune by hand: load balancer
+/// (VERTEX/TWC/CM/WM/STRICT/ETWC) × kernel fusion × frontier creation ×
+/// EdgeBlocking, plus traversal direction for frontier-driven algorithms
+/// and asynchronous execution + the ∆ sweep for ordered ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuScheduleSpace;
+
+/// The load balancers the space sweeps, with their level labels.
+const LB_LEVELS: [(&str, LoadBalance); 6] = [
+    ("vertex", LoadBalance::VertexBased),
+    ("twc", LoadBalance::Twc),
+    ("cm", LoadBalance::Cm),
+    ("wm", LoadBalance::Wm),
+    ("strict", LoadBalance::Strict),
+    ("etwc", LoadBalance::Etwc),
+];
+
+impl ScheduleSpace for GpuScheduleSpace {
+    fn target_name(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn dimensions(&self, p: &SpaceParams) -> Vec<Dimension> {
+        let directions = if p.data_driven && !p.ordered {
+            vec!["push", "pull", "hybrid"]
+        } else {
+            vec!["push"]
+        };
+        let mut dims = vec![
+            Dimension::new("dir", directions),
+            Dimension::new("lb", LB_LEVELS.iter().map(|(l, _)| *l).collect()),
+            Dimension::new("fusion", vec!["off", "on"]),
+            Dimension::new("frontier", vec!["fused", "unfused_bool", "unfused_bit"]),
+            Dimension::new("eb", vec!["off", "8k", "128k"]),
+        ];
+        if p.ordered {
+            dims.push(Dimension::new("async", vec!["off", "on"]));
+        }
+        dims.push(delta_dimension(p));
+        dims
+    }
+
+    fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+        let dims = self.dimensions(p);
+        let level = |i: usize| dims[i].levels[point[i]];
+        let mut s = GpuSchedule::new()
+            .with_direction(match level(0) {
+                "pull" => SchedDirection::Pull,
+                "hybrid" => SchedDirection::Hybrid,
+                _ => SchedDirection::Push,
+            })
+            .with_load_balance(LB_LEVELS[point[1]].1)
+            .with_kernel_fusion(level(2) == "on")
+            .with_frontier_creation(match level(3) {
+                "unfused_bool" => FrontierCreation::UnfusedBoolmap,
+                "unfused_bit" => FrontierCreation::UnfusedBitmap,
+                _ => FrontierCreation::Fused,
+            });
+        match level(4) {
+            "8k" => s = s.with_edge_blocking(1 << 13),
+            "128k" => s = s.with_edge_blocking(1 << 17),
+            _ => {}
+        }
+        if p.ordered {
+            // Async implies fusion, so async=on with fusion=off is an
+            // alias of the fused point — skip it instead of re-measuring.
+            if level(5) == "on" {
+                if level(2) == "off" {
+                    return None;
+                }
+                s = s.with_async_execution(true);
+            }
+            s = s.with_delta(delta_value(point[6]));
+        }
+        Some(ScheduleRef::simple(s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +320,51 @@ mod tests {
         assert_eq!(s.edge_blocking(), Some(4096));
         assert!(s.deduplication());
         assert_eq!(s.delta(), 16);
+    }
+
+    #[test]
+    fn space_enumerates_at_least_twenty_distinct_candidates() {
+        use ugc_schedule::space::{point_label, PointIter};
+        let p = SpaceParams {
+            ordered: false,
+            data_driven: true,
+            num_vertices: 1 << 12,
+        };
+        let dims = GpuScheduleSpace.dimensions(&p);
+        let mut labels = std::collections::HashSet::new();
+        for pt in PointIter::new(&dims) {
+            if GpuScheduleSpace.materialize(&p, &pt).is_some() {
+                labels.insert(point_label(&dims, &pt));
+            }
+        }
+        assert!(labels.len() >= 20, "only {} candidates", labels.len());
+    }
+
+    #[test]
+    fn async_without_fusion_is_an_alias() {
+        let p = SpaceParams {
+            ordered: true,
+            data_driven: false,
+            num_vertices: 1 << 12,
+        };
+        let dims = GpuScheduleSpace.dimensions(&p);
+        assert_eq!(dims.len(), 7);
+        // fusion=off (idx 2 = 0), async=on (idx 5 = 1) is skipped…
+        assert!(GpuScheduleSpace
+            .materialize(&p, &[0, 0, 0, 0, 0, 1, 0])
+            .is_none());
+        // …while fusion=on, async=on materializes with both enabled.
+        let s = GpuScheduleSpace
+            .materialize(&p, &[0, 1, 1, 0, 0, 1, 3])
+            .unwrap();
+        let g = s
+            .representative()
+            .as_any()
+            .downcast_ref::<GpuSchedule>()
+            .unwrap()
+            .clone();
+        assert!(g.async_execution() && g.kernel_fusion());
+        assert_eq!(g.delta(), 16);
+        assert_eq!(g.load_balance(), LoadBalance::Twc);
     }
 }

@@ -24,5 +24,5 @@ pub mod schedule;
 pub mod vm;
 
 pub use executor::HbExecutor;
-pub use schedule::{HbLoadBalance, HbSchedule};
+pub use schedule::{HbLoadBalance, HbSchedule, HbScheduleSpace};
 pub use vm::{HbExecution, HbGraphVm};

@@ -3,7 +3,10 @@
 
 use std::any::Any;
 
-use ugc_schedule::{Parallelization, PullFrontierRepr, SchedDirection, SimpleSchedule};
+use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::{
+    Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
+};
 
 /// Work-distribution strategies on the manycore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -145,6 +148,70 @@ impl SimpleSchedule for HbSchedule {
     }
 }
 
+/// The HammerBlade GraphVM's declared search space (paper Fig. 6b):
+/// direction × load balance (vertex/edge/aligned) × blocked access ×
+/// block size, plus the shared ∆ sweep for ordered algorithms. Block-size
+/// levels other than the first are aliases while blocked access is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HbScheduleSpace;
+
+impl ScheduleSpace for HbScheduleSpace {
+    fn target_name(&self) -> &'static str {
+        "hb"
+    }
+
+    fn dimensions(&self, p: &SpaceParams) -> Vec<Dimension> {
+        let directions = if p.ordered {
+            vec!["push"]
+        } else if p.data_driven {
+            vec!["push", "pull", "hybrid"]
+        } else {
+            vec!["push", "pull"]
+        };
+        vec![
+            Dimension::new("dir", directions),
+            Dimension::new("lb", vec!["vertex", "edge", "aligned"]),
+            Dimension::new("blocked", vec!["off", "on"]),
+            Dimension::new("bsize", vec!["32", "64", "128"]),
+            delta_dimension(p),
+        ]
+    }
+
+    fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+        let dims = self.dimensions(p);
+        let level = |i: usize| dims[i].levels[point[i]];
+        let blocked = level(2) == "on";
+        // Block size is meaningless without blocked access: keep only the
+        // first level so unblocked points are not measured three times.
+        if !blocked && point[3] != 0 {
+            return None;
+        }
+        let mut s = HbSchedule::new()
+            .with_direction(match level(0) {
+                "pull" => SchedDirection::Pull,
+                "hybrid" => SchedDirection::Hybrid,
+                _ => SchedDirection::Push,
+            })
+            .with_load_balance(match level(1) {
+                "edge" => HbLoadBalance::EdgeBased,
+                "aligned" => HbLoadBalance::Aligned,
+                _ => HbLoadBalance::VertexBased,
+            })
+            .with_blocked_access(blocked);
+        if blocked {
+            s = s.with_block_size(match level(3) {
+                "32" => 32,
+                "128" => 128,
+                _ => 64,
+            });
+        }
+        if p.ordered {
+            s = s.with_delta(delta_value(point[4]));
+        }
+        Some(ScheduleRef::simple(s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +238,31 @@ mod tests {
     #[test]
     fn zero_block_size_clamped() {
         assert_eq!(HbSchedule::new().with_block_size(0).block_size(), 1);
+    }
+
+    #[test]
+    fn space_skips_block_size_aliases() {
+        use ugc_schedule::space::PointIter;
+        let p = SpaceParams {
+            ordered: false,
+            data_driven: true,
+            num_vertices: 4096,
+        };
+        let dims = HbScheduleSpace.dimensions(&p);
+        let valid: Vec<_> = PointIter::new(&dims)
+            .filter(|pt| HbScheduleSpace.materialize(&p, pt).is_some())
+            .collect();
+        // 3 dirs × 3 lbs × (1 unblocked + 3 blocked sizes) = 36.
+        assert_eq!(valid.len(), 36);
+        let s = HbScheduleSpace.materialize(&p, &[2, 2, 1, 2, 0]).unwrap();
+        let hb = s
+            .representative()
+            .as_any()
+            .downcast_ref::<HbSchedule>()
+            .unwrap()
+            .clone();
+        assert_eq!(hb.load_balance(), HbLoadBalance::Aligned);
+        assert!(hb.blocked_access());
+        assert_eq!(hb.block_size(), 128);
     }
 }

@@ -29,5 +29,5 @@ pub mod schedule;
 pub mod vm;
 
 pub use executor::SwarmExecutor;
-pub use schedule::{Frontiers, SwarmSchedule, TaskGranularity};
+pub use schedule::{Frontiers, SwarmSchedule, SwarmScheduleSpace, TaskGranularity};
 pub use vm::{SwarmExecution, SwarmGraphVm};

@@ -3,7 +3,8 @@
 
 use std::any::Any;
 
-use ugc_schedule::{Parallelization, SchedDirection, SimpleSchedule};
+use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::{Parallelization, SchedDirection, ScheduleRef, SimpleSchedule};
 
 /// Task granularity for edge processing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -165,6 +166,48 @@ impl SimpleSchedule for SwarmSchedule {
     }
 }
 
+/// The Swarm GraphVM's declared search space (paper Fig. 6c): frontier
+/// handling × task splitting × spatial hints × privatization, plus the
+/// shared ∆ sweep for ordered algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwarmScheduleSpace;
+
+impl ScheduleSpace for SwarmScheduleSpace {
+    fn target_name(&self) -> &'static str {
+        "swarm"
+    }
+
+    fn dimensions(&self, p: &SpaceParams) -> Vec<Dimension> {
+        vec![
+            Dimension::new("frontiers", vec!["buffered", "tasks"]),
+            Dimension::new("gran", vec!["coarse", "fine"]),
+            Dimension::new("hints", vec!["off", "on"]),
+            Dimension::new("privatize", vec!["on", "off"]),
+            delta_dimension(p),
+        ]
+    }
+
+    fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+        let dims = self.dimensions(p);
+        let level = |i: usize| dims[i].levels[point[i]];
+        let mut s = SwarmSchedule::new()
+            .with_frontiers(match level(0) {
+                "tasks" => Frontiers::VertexsetToTasks,
+                _ => Frontiers::Buffered,
+            })
+            .with_task_granularity(match level(1) {
+                "fine" => TaskGranularity::FineGrained,
+                _ => TaskGranularity::Coarse,
+            })
+            .with_spatial_hints(level(2) == "on")
+            .with_privatization(level(3) == "on");
+        if p.ordered {
+            s = s.with_delta(delta_value(point[4]));
+        }
+        Some(ScheduleRef::simple(s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +239,34 @@ mod tests {
         assert!(s.shuffle_edges());
         assert!(!s.privatize());
         assert_eq!(s.delta(), 4);
+    }
+
+    #[test]
+    fn space_materializes_every_point() {
+        use ugc_schedule::space::{cardinality, PointIter};
+        let p = SpaceParams {
+            ordered: true,
+            data_driven: false,
+            num_vertices: 500,
+        };
+        let dims = SwarmScheduleSpace.dimensions(&p);
+        assert_eq!(cardinality(&dims), 2 * 2 * 2 * 2 * 6);
+        for pt in PointIter::new(&dims) {
+            assert!(SwarmScheduleSpace.materialize(&p, &pt).is_some());
+        }
+        // The hand-tuned SSSP point (tasks, fine, hints, ∆=16) is in-space.
+        let s = SwarmScheduleSpace
+            .materialize(&p, &[1, 1, 1, 0, 3])
+            .unwrap();
+        let sw = s
+            .representative()
+            .as_any()
+            .downcast_ref::<SwarmSchedule>()
+            .unwrap()
+            .clone();
+        assert_eq!(sw.frontiers(), Frontiers::VertexsetToTasks);
+        assert_eq!(sw.task_granularity(), TaskGranularity::FineGrained);
+        assert!(sw.spatial_hints());
+        assert_eq!(sw.delta(), 16);
     }
 }

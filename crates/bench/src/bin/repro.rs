@@ -5,7 +5,12 @@
 //! ```
 //!
 //! `<what>` is one of: `fig8 fig9 fig10a fig10b fig11 fig12 table3 table8
-//! table9 table10 configs all`.
+//! table9 table10 configs all`, or the autotuner:
+//!
+//! ```sh
+//! repro -- [--scale S] [--seed N] [--budget N] [--no-cache] \
+//!     tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <RN|..|SW>
+//! ```
 
 use std::collections::BTreeMap;
 
@@ -14,30 +19,70 @@ use ugc_backend_hb::HbGraphVm;
 use ugc_backend_swarm::SwarmGraphVm;
 use ugc_baselines::gpu_frameworks::{run_framework, Framework};
 use ugc_baselines::swarm_hand;
-use ugc_bench::{baseline_schedule, fig8_cell, measure, parse_scale, tuned_schedule};
+use ugc_bench::{
+    baseline_schedule, fig8_cell, measure, parse_algo, parse_dataset, parse_scale, parse_target,
+    tune_dataset, tuned_schedule, Tuned, Tuner,
+};
 use ugc_graph::{Dataset, Scale};
 use ugc_sim_gpu::GpuConfig;
 use ugc_sim_swarm::SwarmConfig;
 
+const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
+                     <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|all> \
+                     | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset>";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
+    let mut tuner = Tuner::default();
+    let mut use_cache = true;
     let mut what = Vec::new();
     let mut i = 0;
+    let flag_value = |args: &[String], i: usize| -> String {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("flag `{}` needs a value", args[i])))
+    };
     while i < args.len() {
-        if args[i] == "--scale" {
-            scale = parse_scale(&args[i + 1]);
-            i += 2;
-        } else {
-            what.push(args[i].clone());
-            i += 1;
+        match args[i].as_str() {
+            "--scale" => {
+                scale = parse_scale(&flag_value(&args, i)).unwrap_or_else(|e| usage_error(&e));
+                i += 2;
+            }
+            "--seed" => {
+                tuner.seed = flag_value(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed expects an integer"));
+                i += 2;
+            }
+            "--budget" => {
+                tuner.budget = flag_value(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--budget expects an integer"));
+                i += 2;
+            }
+            "--no-cache" => {
+                use_cache = false;
+                i += 1;
+            }
+            _ => {
+                what.push(args[i].clone());
+                i += 1;
+            }
         }
     }
     if what.is_empty() {
         what.push("all".to_string());
     }
-    for w in what {
-        match w.as_str() {
+    let mut w = 0;
+    while w < what.len() {
+        match what[w].as_str() {
             "fig8" => fig8(scale),
             "fig9" => fig9(scale),
             "fig10a" => fig10a(scale),
@@ -49,6 +94,17 @@ fn main() {
             "table9" => table9(scale),
             "table10" => table10(scale),
             "configs" => configs(),
+            "tune" => {
+                // `tune` consumes the next three words.
+                if what.len() - w < 4 {
+                    usage_error("tune needs <target> <algo> <dataset>");
+                }
+                let target = parse_target(&what[w + 1]).unwrap_or_else(|e| usage_error(&e));
+                let algo = parse_algo(&what[w + 2]).unwrap_or_else(|e| usage_error(&e));
+                let dataset = parse_dataset(&what[w + 3]).unwrap_or_else(|e| usage_error(&e));
+                tune(target, algo, dataset, scale, &tuner, use_cache);
+                w += 3;
+            }
             "all" => {
                 configs();
                 table8(scale);
@@ -62,7 +118,82 @@ fn main() {
                 table9(scale);
                 table10(scale);
             }
-            other => eprintln!("unknown experiment `{other}`"),
+            other => usage_error(&format!("unknown experiment `{other}`")),
+        }
+        w += 1;
+    }
+}
+
+/// `repro tune`: autotune one (target, algo, dataset) triple and print the
+/// ranked candidate table.
+fn tune(
+    target: Target,
+    algo: Algorithm,
+    dataset: Dataset,
+    scale: Scale,
+    tuner: &Tuner,
+    use_cache: bool,
+) {
+    banner(&format!(
+        "Autotune: {} / {} / {} (scale {}, seed {}, budget {})",
+        target.name(),
+        algo.name(),
+        dataset.abbrev(),
+        scale.name(),
+        tuner.seed,
+        tuner.budget
+    ));
+    let cache_path = std::env::var("UGC_TUNE_CACHE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::Path::new("target").join("tuning-cache.jsonl"));
+    let cache = use_cache.then_some(cache_path.as_path());
+    match tune_dataset(target, algo, dataset, scale, tuner, cache) {
+        Ok(Tuned::Cached { entry, .. }) => {
+            println!(
+                "cache hit ({}): winner `{}` at {:.4} ms ({} cycles), \
+                 tuned with seed {} over {} measured candidates",
+                cache_path.display(),
+                entry.winner,
+                entry.time_ms,
+                entry.cycles,
+                entry.seed,
+                entry.explored
+            );
+            println!("(delete the cache file or pass --no-cache to re-measure)");
+        }
+        Ok(Tuned::Fresh(out)) => {
+            println!(
+                "space: {} points, strategy: {}, measured: {} (+{} pinned)",
+                out.cardinality,
+                out.strategy,
+                out.explored,
+                out.ranked.len().saturating_sub(out.explored)
+            );
+            println!("{:<4}{:>12}{:>14}  candidate", "#", "time (ms)", "cycles");
+            for (i, r) in out.ranked.iter().enumerate().take(15) {
+                println!(
+                    "{:<4}{:>12.4}{:>14}  {}",
+                    i + 1,
+                    r.sample.time_ms,
+                    r.sample.cycles,
+                    r.name
+                );
+            }
+            if out.ranked.len() > 15 {
+                println!("... ({} more)", out.ranked.len() - 15);
+            }
+            let winner = out.winner();
+            if let Some(hand) = out.find("hand_tuned") {
+                println!(
+                    "winner `{}` vs hand-tuned: {:.3}x",
+                    winner.name,
+                    hand.sample.time_ms / winner.sample.time_ms.max(1e-12)
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("repro: autotuning failed: {e}");
+            std::process::exit(1);
         }
     }
 }

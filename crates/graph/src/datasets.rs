@@ -25,6 +25,17 @@ pub enum Scale {
     Medium,
 }
 
+impl Scale {
+    /// Lower-case name, as spelled on the CLI and in cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        }
+    }
+}
+
 /// The ten input graphs of Table VIII.
 ///
 /// # Example

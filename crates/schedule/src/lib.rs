@@ -30,6 +30,8 @@
 //! assert!(r.as_simple().is_some());
 //! ```
 
+pub mod space;
+
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;

@@ -1,16 +1,21 @@
-//! Schedule autotuning: exhaustively measure a candidate schedule space
-//! per architecture and report the winner — the workflow the paper
-//! delegates to OpenTuner (§IV-A).
+//! Schedule autotuning: search each GraphVM's declared schedule space and
+//! report the winner — the workflow the paper delegates to OpenTuner
+//! (§IV-A), here deterministic and offline.
 //!
 //! ```sh
 //! cargo run --release --example autotune
 //! ```
 
 use ugc::{Algorithm, Target};
-use ugc_bench::{autotune, baseline_schedule, candidate_schedules, measure};
+use ugc_bench::{autotune, Tuner};
 use ugc_graph::{Dataset, Scale};
 
 fn main() {
+    let tuner = Tuner {
+        budget: 32,
+        seed: 7,
+        ..Tuner::default()
+    };
     for dataset in [Dataset::RoadNetCa, Dataset::Pokec] {
         let graph = dataset.generate(Scale::Tiny);
         println!(
@@ -21,15 +26,26 @@ fn main() {
         );
         for target in Target::ALL {
             for algo in [Algorithm::Bfs, Algorithm::Sssp] {
-                let base = measure(target, algo, &graph, baseline_schedule(target, algo), 3);
-                let (winner, _, best) = autotune(target, algo, &graph);
+                let out = match autotune(target, algo, &graph, &tuner) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("{} {}: {e}", target.name(), algo.name());
+                        continue;
+                    }
+                };
+                let winner = out.winner();
+                let base = out.find("baseline").expect("baseline is pinned");
                 println!(
-                    "{:>12} {:>5}: best = {winner:<14} ({:.3} ms, {:.2}x over baseline, {} candidates)",
+                    "{:>12} {:>5}: best = {:<40} ({:.3} ms, {:.2}x over baseline, \
+                     {} of {} points measured, {})",
                     target.name(),
                     algo.name(),
-                    best.time_ms,
-                    base.time_ms / best.time_ms,
-                    candidate_schedules(target, algo).len(),
+                    winner.name,
+                    winner.sample.time_ms,
+                    base.sample.time_ms / winner.sample.time_ms.max(1e-12),
+                    out.explored,
+                    out.cardinality,
+                    out.strategy,
                 );
             }
         }

@@ -17,4 +17,21 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== autotuner smoke (tiny scale, fixed seed, capped budget)"
+# A deterministic end-to-end tune of one triple per simulator target; the
+# second GPU invocation must hit the persistent cache without re-measuring.
+export UGC_TUNE_CACHE="target/ci-tuning-cache.jsonl"
+rm -f "$UGC_TUNE_CACHE"
+tune() {
+  cargo run --release --offline -q -p ugc-bench --bin repro -- \
+    --scale tiny --seed 7 --budget 10 tune "$@"
+}
+tune gpu bfs PK
+tune swarm sssp RN
+tune hb pr PK
+tune gpu bfs PK | grep -q "cache hit" || {
+  echo "autotuner smoke: expected a cache hit on the second GPU tune" >&2
+  exit 1
+}
+
 echo "tier-1 gate: OK"
