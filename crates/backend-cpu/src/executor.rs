@@ -7,6 +7,7 @@ use ugc_graphir::types::{Direction, VertexSetRepr};
 use ugc_runtime::eval::{BufferedOutput, EdgeCtx, Evaluator, NullMemory, NullOutput};
 use ugc_runtime::interp::{ExecError, OperatorExecutor, ProgramState};
 use ugc_runtime::parallel::{default_threads, parallel_for_with_local};
+use ugc_runtime::pool::parallel_for_chunks_with_local;
 use ugc_runtime::value::Value;
 use ugc_runtime::vertexset::VertexSet;
 use ugc_runtime::UdfId;
@@ -256,15 +257,14 @@ impl OperatorExecutor for CpuExecutor {
                     push_range(&ev, fwd, &members, 0..members.len(), &plan, &mut out);
                     vec![out]
                 } else if plan.edge_aware {
+                    // Degree-balanced chunks go straight into per-worker
+                    // queues; idle workers steal whole chunks.
                     let chunks = Self::degree_chunks(fwd, &members, 2048);
-                    parallel_for_with_local(
+                    parallel_for_chunks_with_local(
                         self.num_threads,
-                        chunks.len(),
-                        1,
+                        chunks,
                         |_tid, crange, local: &mut BufferedOutput| {
-                            for ci in crange {
-                                push_range(&ev, fwd, &members, chunks[ci].clone(), &plan, local);
-                            }
+                            push_range(&ev, fwd, &members, crange, &plan, local);
                         },
                     )
                 } else {

@@ -77,14 +77,33 @@ impl MemoryModel for TaskRecorder {
 }
 
 impl TaskRecorder {
-    fn into_parts(mut self) -> (Vec<u64>, Vec<u64>, u64) {
-        self.reads.sort_unstable();
-        self.reads.dedup();
-        self.writes.sort_unstable();
-        self.writes.dedup();
+    /// Raw (unsorted, possibly duplicated) access lists plus the modeled
+    /// duration. Sorting/dedup is deferred to [`finalize_tasks`], which
+    /// normalizes every task in parallel right before simulation.
+    fn into_parts(self) -> (Vec<u64>, Vec<u64>, u64) {
         let duration = TASK_BASE_CYCLES + self.computes + self.accesses * MEM_CYCLES;
         (self.reads, self.writes, duration)
     }
+}
+
+/// Normalizes every task's read/write sets (sorted, deduplicated) — the
+/// form [`SwarmSim`] expects. Task construction is inherently serial
+/// (data-dependent traversal), but this cleanup pass is embarrassingly
+/// parallel, so it runs on the persistent pool.
+fn finalize_tasks(tasks: &mut [TaskSpec]) {
+    ugc_runtime::pool::parallel_for_each_mut(
+        ugc_runtime::pool::default_threads(),
+        tasks,
+        256,
+        |_tid, _start, window| {
+            for t in window {
+                t.reads.sort_unstable();
+                t.reads.dedup();
+                t.writes.sort_unstable();
+                t.writes.dedup();
+            }
+        },
+    );
 }
 
 /// Executes GraphIR operators as Swarm task graphs.
@@ -298,7 +317,7 @@ impl SwarmExecutor {
                         let dst = csr.targets()[lo + s];
                         plan.hint_prop
                             .map(|p| line(p, dst))
-                            .or_else(|| writes.first().copied())
+                            .or_else(|| writes.iter().min().copied())
                     } else {
                         None
                     };
@@ -318,6 +337,7 @@ impl SwarmExecutor {
                 }
             }
         }
+        finalize_tasks(&mut tasks);
         self.sim.simulate(&tasks, &roots, false);
         merged
     }
@@ -427,7 +447,7 @@ impl SwarmExecutor {
                     let hint = if plan.sched.spatial_hints() {
                         plan.hint_prop
                             .map(|p| line(p, first_dst))
-                            .or_else(|| w.first().copied())
+                            .or_else(|| w.iter().min().copied())
                     } else {
                         None
                     };
@@ -456,6 +476,7 @@ impl SwarmExecutor {
                 }
             }
         }
+        finalize_tasks(&mut tasks);
         self.sim.simulate(&tasks, &roots, false);
         // The loop has fully run: the frontier drains to empty.
         let empty = VertexSet::empty_sparse(state.graph.num_vertices());
@@ -590,6 +611,7 @@ impl SwarmExecutor {
             }
         }
         let barrier = plan.sched.frontiers() == Frontiers::Buffered;
+        finalize_tasks(&mut tasks);
         self.sim.simulate(&tasks, &roots, barrier);
         state.queues[qid].clear();
         Ok(())

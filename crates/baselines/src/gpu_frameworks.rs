@@ -246,38 +246,66 @@ fn pull_kernel(
     out
 }
 
-fn compaction(sim: &mut GpuSim, n: usize, out_len: usize) {
-    let warps = (0..n).step_by(32).map(|base| WarpTrace {
-        lanes: (base..(base + 32).min(n))
-            .map(|v| LaneTrace {
-                computes: 6,
+/// Builds the `wi`-th 32-lane warp trace of a uniform bookkeeping kernel
+/// over `0..total`, one `prop` load per lane.
+fn uniform_warp(
+    total: usize,
+    wi: usize,
+    computes: u32,
+    prop: u32,
+    idx_of: fn(usize) -> u32,
+) -> WarpTrace {
+    let base = wi * 32;
+    WarpTrace {
+        lanes: (base..(base + 32).min(total))
+            .map(|i| LaneTrace {
+                computes,
                 mem: vec![MemAccess {
                     kind: AccessKind::Load,
-                    prop: arrays::MAP,
-                    idx: (v / 4) as u32,
+                    prop,
+                    idx: idx_of(i),
                 }],
             })
             .collect(),
-    });
-    sim.run_kernel("baseline_compaction", warps, false);
+    }
+}
+
+/// Materializes `total.div_ceil(32)` uniform warp traces in parallel on
+/// the persistent pool. Warps land at their own index, so the trace
+/// stream is deterministic regardless of thread count.
+fn uniform_warps(
+    total: usize,
+    computes: u32,
+    prop: u32,
+    idx_of: fn(usize) -> u32,
+) -> Vec<WarpTrace> {
+    let num_warps = total.div_ceil(32);
+    let mut warps: Vec<WarpTrace> = (0..num_warps)
+        .map(|_| WarpTrace { lanes: vec![] })
+        .collect();
+    ugc_runtime::pool::parallel_for_each_mut(
+        ugc_runtime::pool::default_threads(),
+        &mut warps,
+        64,
+        |_tid, start, window| {
+            for (i, w) in window.iter_mut().enumerate() {
+                *w = uniform_warp(total, start + i, computes, prop, idx_of);
+            }
+        },
+    );
+    warps
+}
+
+fn compaction(sim: &mut GpuSim, n: usize, out_len: usize) {
+    let warps = uniform_warps(n, 6, arrays::MAP, |v| (v / 4) as u32);
+    sim.run_kernel("baseline_compaction", warps.into_iter(), false);
     let _ = out_len;
 }
 
 /// A small bookkeeping kernel (Gunrock-style filter / frontier mgmt).
 fn overhead_kernel(sim: &mut GpuSim, work: usize) {
-    let warps = (0..work).step_by(32).map(|base| WarpTrace {
-        lanes: (base..(base + 32).min(work))
-            .map(|i| LaneTrace {
-                computes: 4,
-                mem: vec![MemAccess {
-                    kind: AccessKind::Load,
-                    prop: arrays::FRONTIER_IN,
-                    idx: i as u32,
-                }],
-            })
-            .collect(),
-    });
-    sim.run_kernel("baseline_overhead", warps, false);
+    let warps = uniform_warps(work, 4, arrays::FRONTIER_IN, |i| i as u32);
+    sim.run_kernel("baseline_overhead", warps.into_iter(), false);
 }
 
 fn dedup(mut v: Vec<u32>) -> Vec<u32> {

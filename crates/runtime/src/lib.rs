@@ -19,8 +19,9 @@
 //!   [`eval::MemoryModel`], so architecture simulators observe every
 //!   load/store/atomic with its address while the real CPU backend pays no
 //!   observation cost,
-//! * [`parallel`] — minimal work-distribution primitives for the CPU
-//!   backend, built on std scoped threads,
+//! * [`parallel`] / [`pool`] — work-distribution primitives for the CPU
+//!   backend, dispatching to a persistent std-only work-stealing worker
+//!   pool (`UGC_THREADS=1` forces deterministic serial execution),
 //! * [`host`] — host-side variable environment shared by backend
 //!   interpreters.
 
@@ -31,6 +32,7 @@ pub mod frontier_list;
 pub mod host;
 pub mod interp;
 pub mod parallel;
+pub mod pool;
 pub mod properties;
 pub mod value;
 pub mod vertexset;

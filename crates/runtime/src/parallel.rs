@@ -1,25 +1,30 @@
-//! Minimal work-distribution primitives for the CPU backend.
+//! Work-distribution primitives for the CPU backend.
 //!
-//! Built on `std::thread::scope` (std scoped threads, stable since Rust
-//! 1.63) with an atomic chunk cursor — the dynamic scheduling shape of an
-//! OpenMP `schedule(dynamic)` loop, which is what GraphIt's CPU runtime
-//! uses for irregular graph work. Using std keeps the workspace free of
+//! The public entry points [`parallel_for`] and [`parallel_for_with_local`]
+//! keep their original signatures but now dispatch to the persistent
+//! work-stealing pool in [`crate::pool`] — one spawn per worker per
+//! process instead of one spawn/join cycle per edge/vertex operator per
+//! traversal iteration (the dynamic-scheduling discipline of GraphIt's
+//! persistent OpenMP worker team). Using std keeps the workspace free of
 //! external runtime dependencies, like the paper's self-contained GraphVM
 //! runtime libraries.
+//!
+//! The original spawn-per-call implementations survive as
+//! [`spawn_parallel_for`] / [`spawn_parallel_for_with_local`], used only by
+//! the `pool_dispatch` microbenchmark as the comparison baseline.
 
+use std::ops::Range;
+use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads used by default: the machine's available
-/// parallelism.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
+pub use crate::pool::default_threads;
 
-/// Runs `f(thread_id, start..end)` over chunks of `0..total` on
-/// `num_threads` workers, chunks handed out dynamically.
+/// Runs `f(thread_id, start..end)` over chunks of `0..total` on up to
+/// `num_threads` persistent pool workers, chunks handed out dynamically
+/// with work stealing.
 ///
 /// `f` must be safe to call concurrently. Chunk size is
-/// `max(chunk_hint, 1)`.
+/// `max(chunk_hint, 1)`. See [`crate::pool::parallel_for`].
 ///
 /// # Example
 ///
@@ -35,38 +40,15 @@ pub fn default_threads() -> usize {
 /// ```
 pub fn parallel_for<F>(num_threads: usize, total: usize, chunk_hint: usize, f: F)
 where
-    F: Fn(usize, std::ops::Range<usize>) + Sync,
+    F: Fn(usize, Range<usize>) + Sync,
 {
-    if total == 0 {
-        return;
-    }
-    let chunk = chunk_hint.max(1);
-    let threads = num_threads.max(1).min(total.div_ceil(chunk));
-    if threads <= 1 {
-        f(0, 0..total);
-        return;
-    }
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for tid in 0..threads {
-            let f = &f;
-            let cursor = &cursor;
-            s.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= total {
-                    break;
-                }
-                let end = (start + chunk).min(total);
-                f(tid, start..end);
-            });
-        }
-        // Scope exit joins every worker; a worker panic propagates here.
-    });
+    crate::pool::parallel_for(num_threads, total, chunk_hint, f);
 }
 
 /// Runs `f(thread_id, start..end, &mut local)` like [`parallel_for`] but
 /// gives each worker a `T::default()` accumulator, returning all
 /// accumulators (useful for building output frontiers without contention).
+/// See [`crate::pool::parallel_for_with_local`].
 pub fn parallel_for_with_local<T, F>(
     num_threads: usize,
     total: usize,
@@ -75,7 +57,36 @@ pub fn parallel_for_with_local<T, F>(
 ) -> Vec<T>
 where
     T: Default + Send,
-    F: Fn(usize, std::ops::Range<usize>, &mut T) + Sync,
+    F: Fn(usize, Range<usize>, &mut T) + Sync,
+{
+    crate::pool::parallel_for_with_local(num_threads, total, chunk_hint, f)
+}
+
+/// The pre-pool spawn-per-call [`parallel_for`]: `std::thread::scope` plus
+/// a shared atomic cursor. Kept as the measured baseline for the
+/// `pool_dispatch` microbenchmark — do not use on hot paths.
+pub fn spawn_parallel_for<F>(num_threads: usize, total: usize, chunk_hint: usize, f: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    spawn_parallel_for_with_local::<(), _>(num_threads, total, chunk_hint, |tid, range, _| {
+        f(tid, range)
+    });
+}
+
+/// The pre-pool spawn-per-call [`parallel_for_with_local`]. Kept as the
+/// measured baseline for the `pool_dispatch` microbenchmark — do not use
+/// on hot paths. Unlike the original, a worker panic re-raises the
+/// original payload instead of a generic `.expect` message.
+pub fn spawn_parallel_for_with_local<T, F>(
+    num_threads: usize,
+    total: usize,
+    chunk_hint: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Default + Send,
+    F: Fn(usize, Range<usize>, &mut T) + Sync,
 {
     if total == 0 {
         return Vec::new();
@@ -108,7 +119,7 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
             .collect()
     })
 }
@@ -151,5 +162,35 @@ mod tests {
             *local += range.len();
         });
         assert_eq!(locals, vec![10]);
+    }
+
+    #[test]
+    fn spawn_baseline_covers_every_index() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        spawn_parallel_for(8, 500, 7, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn spawn_baseline_propagates_panic_payload() {
+        let err = std::panic::catch_unwind(|| {
+            spawn_parallel_for_with_local::<usize, _>(4, 100, 1, |_tid, range, _| {
+                if range.contains(&42) {
+                    panic!("spawn boom");
+                }
+            });
+        })
+        .expect_err("must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("original payload");
+        assert!(msg.contains("spawn boom"), "got: {msg}");
     }
 }

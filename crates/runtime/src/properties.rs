@@ -129,12 +129,26 @@ impl PropertyStorage {
         a.data[idx as usize].store(v.to_bits(a.ty), Ordering::Relaxed);
     }
 
-    /// Re-initializes every element of `id` to `v`.
+    /// Re-initializes every element of `id` to `v`. Large vectors are
+    /// filled by the persistent pool.
     pub fn fill(&self, id: PropId, v: Value) {
         let a = &self.arrays[id.0];
         let bits = v.to_bits(a.ty);
-        for cell in &a.data {
-            cell.store(bits, Ordering::Relaxed);
+        if a.data.len() >= PARALLEL_PROP_THRESHOLD {
+            crate::pool::parallel_for(
+                crate::pool::default_threads(),
+                a.data.len(),
+                PARALLEL_PROP_CHUNK,
+                |_tid, range| {
+                    for cell in &a.data[range] {
+                        cell.store(bits, Ordering::Relaxed);
+                    }
+                },
+            );
+        } else {
+            for cell in &a.data {
+                cell.store(bits, Ordering::Relaxed);
+            }
         }
     }
 
@@ -192,13 +206,36 @@ impl PropertyStorage {
         (changed, old)
     }
 
-    /// Snapshot of a whole property as values (used by validators).
+    /// Snapshot of a whole property as values (used by validators). Large
+    /// vectors are materialized by the persistent pool.
     pub fn snapshot(&self, id: PropId) -> Vec<Value> {
-        (0..self.num_vertices as u32)
-            .map(|i| self.read(id, i))
-            .collect()
+        let a = &self.arrays[id.0];
+        if a.data.len() >= PARALLEL_PROP_THRESHOLD {
+            let mut out = vec![Value::Int(0); a.data.len()];
+            crate::pool::parallel_for_each_mut(
+                crate::pool::default_threads(),
+                &mut out,
+                PARALLEL_PROP_CHUNK,
+                |_tid, start, window| {
+                    for (i, slot) in window.iter_mut().enumerate() {
+                        *slot = Value::from_bits(a.data[start + i].load(Ordering::Relaxed), a.ty);
+                    }
+                },
+            );
+            out
+        } else {
+            (0..self.num_vertices as u32)
+                .map(|i| self.read(id, i))
+                .collect()
+        }
     }
 }
+
+/// Below this many elements, fill/snapshot run serially (pool dispatch
+/// would cost more than the copy).
+const PARALLEL_PROP_THRESHOLD: usize = 1 << 15;
+/// Elements per chunk for pool-parallel fill/snapshot.
+const PARALLEL_PROP_CHUNK: usize = 4096;
 
 fn apply_reduce(op: ReduceOp, old: Value, v: Value, ty: Type) -> (Value, bool) {
     match op {
@@ -362,13 +399,9 @@ mod tests {
     fn parallel_reduce_sum_is_exact() {
         let mut p = PropertyStorage::new(1);
         let a = p.add("acc", Type::Int, Value::Int(0));
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for _ in 0..1000 {
-                        p.reduce(a, 0, ReduceOp::Sum, Value::Int(1));
-                    }
-                });
+        crate::pool::parallel_for(4, 4000, 1000, |_tid, range| {
+            for _ in range {
+                p.reduce(a, 0, ReduceOp::Sum, Value::Int(1));
             }
         });
         assert_eq!(p.read(a, 0), Value::Int(4000));
@@ -379,15 +412,11 @@ mod tests {
         let mut p = PropertyStorage::new(1);
         let a = p.add("owner", Type::Int, Value::Int(-1));
         let winners = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for t in 0..8 {
-                let winners = &winners;
-                let p = &p;
-                s.spawn(move || {
-                    if p.cas(a, 0, Value::Int(-1), Value::Int(t)) {
-                        winners.fetch_add(1, Ordering::SeqCst);
-                    }
-                });
+        crate::pool::parallel_for(8, 8, 1, |_tid, range| {
+            for t in range {
+                if p.cas(a, 0, Value::Int(-1), Value::Int(t as i64)) {
+                    winners.fetch_add(1, Ordering::SeqCst);
+                }
             }
         });
         assert_eq!(winners.load(Ordering::SeqCst), 1);
@@ -400,6 +429,18 @@ mod tests {
         p.write(a, 2, Value::Int(9));
         p.fill(a, Value::Int(0));
         assert_eq!(p.snapshot(a), vec![Value::Int(0); 3]);
+    }
+
+    #[test]
+    fn large_fill_and_snapshot_use_pool_path() {
+        let n = super::PARALLEL_PROP_THRESHOLD + 17;
+        let mut p = PropertyStorage::new(n);
+        let a = p.add("x", Type::Int, Value::Int(1));
+        p.write(a, 5, Value::Int(9));
+        p.fill(a, Value::Int(3));
+        let snap = p.snapshot(a);
+        assert_eq!(snap.len(), n);
+        assert!(snap.iter().all(|&v| v == Value::Int(3)));
     }
 
     #[test]

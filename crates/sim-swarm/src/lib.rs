@@ -101,6 +101,58 @@ pub struct TaskSpec {
     pub children: Vec<TaskId>,
 }
 
+/// Task graphs below this size are sorted serially (pool dispatch and the
+/// merge pass would cost more than the sort).
+const PARALLEL_SORT_MIN: usize = 1 << 14;
+
+/// The commit order `(ts, id)` of a task graph. Large graphs are sorted
+/// as per-worker runs on the persistent pool followed by a serial k-way
+/// merge; keys are unique, so the result is deterministic and identical
+/// to a serial sort.
+fn sorted_commit_order(tasks: &[TaskSpec]) -> Vec<TaskId> {
+    sorted_commit_order_on(tasks, ugc_runtime::pool::default_threads())
+}
+
+fn sorted_commit_order_on(tasks: &[TaskSpec], threads: usize) -> Vec<TaskId> {
+    let n = tasks.len();
+    let mut order: Vec<TaskId> = (0..n).collect();
+    if n < PARALLEL_SORT_MIN || threads < 2 {
+        order.sort_unstable_by_key(|&t| (tasks[t].ts, t));
+        return order;
+    }
+    let runs = threads.min(8);
+    let run_len = n.div_ceil(runs);
+    let mut slices: Vec<&mut [TaskId]> = order.chunks_mut(run_len).collect();
+    ugc_runtime::pool::parallel_for_each_mut(threads, &mut slices, 1, |_tid, _start, window| {
+        for run in window {
+            run.sort_unstable_by_key(|&t| (tasks[t].ts, t));
+        }
+    });
+    // Serial k-way merge of the sorted runs.
+    let bounds: Vec<(usize, usize)> = (0..slices.len())
+        .map(|r| (r * run_len, (r * run_len + slices[r].len())))
+        .collect();
+    drop(slices);
+    let mut cursors: Vec<usize> = bounds.iter().map(|&(s, _)| s).collect();
+    let mut heap: BinaryHeap<Reverse<((u64, TaskId), usize)>> = BinaryHeap::new();
+    for (r, &(s, e)) in bounds.iter().enumerate() {
+        if s < e {
+            let t = order[s];
+            heap.push(Reverse(((tasks[t].ts, t), r)));
+        }
+    }
+    let mut merged = Vec::with_capacity(n);
+    while let Some(Reverse(((_, t), r))) = heap.pop() {
+        merged.push(t);
+        cursors[r] += 1;
+        if cursors[r] < bounds[r].1 {
+            let nt = order[cursors[r]];
+            heap.push(Reverse(((tasks[nt].ts, nt), r)));
+        }
+    }
+    merged
+}
+
 /// Aggregate statistics of one simulation (Fig. 11's categories).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwarmStats {
@@ -192,8 +244,7 @@ impl SwarmSim {
         let n = tasks.len();
         let mut state = vec![TaskState::Waiting; n];
         // Commit order: (ts, id).
-        let mut commit_order: Vec<TaskId> = (0..n).collect();
-        commit_order.sort_by_key(|&t| (tasks[t].ts, t));
+        let commit_order = sorted_commit_order(tasks);
         let order_pos: Vec<usize> = {
             let mut p = vec![0usize; n];
             for (i, &t) in commit_order.iter().enumerate() {
@@ -519,6 +570,24 @@ fn abort_recursive(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_commit_order_matches_serial_sort() {
+        // Big enough to take the parallel run-sort + merge path.
+        let n = PARALLEL_SORT_MIN + 123;
+        let tasks: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec {
+                // Scrambled, heavily duplicated timestamps.
+                ts: ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56) % 97,
+                ..Default::default()
+            })
+            .collect();
+        let mut expect: Vec<TaskId> = (0..n).collect();
+        expect.sort_unstable_by_key(|&t| (tasks[t].ts, t));
+        // Force the parallel run-sort + merge path regardless of host CPUs.
+        assert_eq!(sorted_commit_order_on(&tasks, 4), expect);
+        assert_eq!(sorted_commit_order(&tasks), expect);
+    }
 
     fn task(ts: u64, duration: u64) -> TaskSpec {
         TaskSpec {

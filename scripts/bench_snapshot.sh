@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Records a benchmark snapshot: runs the CPU fig8 benches plus the
+# pool_dispatch microbenchmark at a fixed seed/scale and writes the JSON
+# lines into BENCH_<n>.json at the repo root (the perf trajectory the
+# ROADMAP tracks).
+#
+# Usage: scripts/bench_snapshot.sh [N]
+#   N        snapshot number (default 3); output file BENCH_<N>.json
+#
+# Env:
+#   UGC_BENCH_OUT      override the output path entirely (CI smoke runs
+#                      point this at target/ so the tracked snapshot is
+#                      untouched)
+#   UGC_BENCH_SAMPLES  timed iterations per bench (default 7 here)
+#   UGC_BENCH_WARMUP   warmup iterations per bench (default 2 here)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-3}"
+OUT="${UGC_BENCH_OUT:-BENCH_${N}.json}"
+export UGC_BENCH_SAMPLES="${UGC_BENCH_SAMPLES:-7}"
+export UGC_BENCH_WARMUP="${UGC_BENCH_WARMUP:-2}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== fig8 CPU cells (fixed generator seeds, tiny scale)" >&2
+cargo bench --offline -q -p ugc-bench --bench fig8_speedups -- cpu/ \
+  | grep '^{' >>"$TMP"
+
+echo "== pool dispatch microbenchmark" >&2
+cargo bench --offline -q -p ugc-bench --bench pool_dispatch \
+  | grep '^{' >>"$TMP"
+
+# Assemble a single JSON document: metadata + the individual bench lines.
+{
+  printf '{\n'
+  printf '  "snapshot": %s,\n' "$N"
+  printf '  "host_threads": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+  printf '  "samples": %s,\n' "$UGC_BENCH_SAMPLES"
+  printf '  "warmup": %s,\n' "$UGC_BENCH_WARMUP"
+  printf '  "benches": [\n'
+  sed '$!s/$/,/; s/^/    /' "$TMP"
+  printf '  ]\n'
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"group"' "$OUT") bench entries)" >&2

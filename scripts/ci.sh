@@ -17,6 +17,11 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== cargo test under UGC_THREADS=1 (deterministic serial execution)"
+# The pool honors UGC_THREADS as a global cap; 1 means every parallel_for
+# runs inline. Scoped to the crates that exercise the pool to bound time.
+UGC_THREADS=1 cargo test -q --offline -p ugc-runtime -p ugc-backend-cpu -p ugc-integration
+
 echo "== autotuner smoke (tiny scale, fixed seed, capped budget)"
 # A deterministic end-to-end tune of one triple per simulator target; the
 # second GPU invocation must hit the persistent cache without re-measuring.
@@ -31,6 +36,16 @@ tune swarm sssp RN
 tune hb pr PK
 tune gpu bfs PK | grep -q "cache hit" || {
   echo "autotuner smoke: expected a cache hit on the second GPU tune" >&2
+  exit 1
+}
+
+echo "== bench snapshot smoke (tiny, output under target/)"
+# Exercise the snapshot pipeline end to end without touching the tracked
+# BENCH_<n>.json: one sample per bench, output redirected to target/.
+UGC_BENCH_OUT="target/ci-bench-smoke.json" UGC_BENCH_SAMPLES=1 UGC_BENCH_WARMUP=0 \
+  scripts/bench_snapshot.sh
+grep -q '"group"' target/ci-bench-smoke.json || {
+  echo "bench snapshot smoke: no bench entries in output" >&2
   exit 1
 }
 

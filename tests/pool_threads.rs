@@ -1,0 +1,143 @@
+//! Thread-count invariance of the CPU GraphVM on the persistent pool:
+//! for random graphs, BFS and SSSP answers are identical whether the
+//! pool runs 1, 2, or 8 threads.
+//!
+//! SSSP distances are compared exactly (monotone min-relaxation converges
+//! to shortest distances under any interleaving). BFS parent arrays are
+//! race-dependent across thread counts — any same-level predecessor is a
+//! valid parent — so the comparison is on the derived level of each
+//! vertex (parent-chain depth), which every valid BFS tree agrees on.
+
+use ugc_algorithms::Algorithm;
+use ugc_backend_cpu::{CpuGraphVm, CpuSchedule};
+use ugc_graph::{EdgeList, Graph};
+use ugc_integration::{compile, externs_for};
+use ugc_schedule::{Parallelization, ScheduleRef};
+use ugc_testkit::{check, Config, Prng};
+
+type RawGraph = (usize, Vec<(u32, u32, i32)>);
+
+fn gen_raw(rng: &mut Prng) -> RawGraph {
+    // Sizes reach well past the executor chunk hints (64/128 vertices,
+    // 2048 edges per degree chunk) so frontiers really split across
+    // multiple pool participants; the low end still covers tiny graphs.
+    let n = rng.gen_range(4..320usize);
+    let len = rng.gen_range(1..4096usize);
+    let edges = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                rng.gen_range(1i32..32),
+            )
+        })
+        .collect();
+    (n, edges)
+}
+
+fn build(raw: &RawGraph) -> Graph {
+    let (n, edges) = raw;
+    let mut el = EdgeList::new(*n);
+    for &(s, d, w) in edges {
+        el.push_weighted(s, d, w);
+    }
+    el.symmetrize();
+    el.dedup_and_strip_loops();
+    el.into_graph()
+}
+
+/// Depth of each vertex's parent chain: the BFS level, which is identical
+/// for every valid BFS tree of the same graph. `-1` stays unreachable.
+fn levels_from_parents(parents: &[i64], start: u32) -> Vec<i64> {
+    let n = parents.len();
+    parents
+        .iter()
+        .enumerate()
+        .map(|(v, &p)| {
+            if p == -1 {
+                return -1;
+            }
+            let mut cur = v as u32;
+            let mut depth = 0i64;
+            while cur != start {
+                let pv = parents[cur as usize];
+                assert!(pv >= 0, "vertex {v}: broken parent chain at {cur}");
+                cur = pv as u32;
+                depth += 1;
+                assert!(depth <= n as i64, "vertex {v}: parent cycle");
+            }
+            depth
+        })
+        .collect()
+}
+
+/// Runs `algo` once per thread count and returns the named property.
+fn runs_for_threads(
+    algo: Algorithm,
+    sched: ScheduleRef,
+    graph: &Graph,
+    prop: &str,
+) -> Vec<Vec<i64>> {
+    [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            let prog = compile(algo, Some(sched.clone()));
+            let vm = CpuGraphVm::with_threads(t);
+            let run = vm
+                .execute(prog, graph, &externs_for(algo, 0))
+                .unwrap_or_else(|e| panic!("{} with {t} threads: {e}", algo.name()));
+            run.property_ints(prop)
+        })
+        .collect()
+}
+
+/// Schedules that actually engage the parallel paths on small graphs
+/// (serial_threshold 0), with and without edge-aware chunking.
+fn parallel_scheds() -> Vec<ScheduleRef> {
+    vec![
+        ScheduleRef::simple(CpuSchedule::new().with_serial_threshold(0)),
+        ScheduleRef::simple(
+            CpuSchedule::new()
+                .with_serial_threshold(0)
+                .with_parallelization(Parallelization::EdgeAwareVertexBased),
+        ),
+    ]
+}
+
+#[test]
+fn bfs_levels_invariant_across_thread_counts() {
+    check(
+        "bfs_levels_invariant_across_thread_counts",
+        Config::with_cases(12),
+        gen_raw,
+        |raw| {
+            let graph = build(raw);
+            for sched in parallel_scheds() {
+                let runs = runs_for_threads(Algorithm::Bfs, sched, &graph, "parent");
+                let levels: Vec<Vec<i64>> = runs
+                    .iter()
+                    .map(|parents| levels_from_parents(parents, 0))
+                    .collect();
+                assert_eq!(levels[0], levels[1], "1 vs 2 threads");
+                assert_eq!(levels[0], levels[2], "1 vs 8 threads");
+            }
+        },
+    );
+}
+
+#[test]
+fn sssp_distances_invariant_across_thread_counts() {
+    check(
+        "sssp_distances_invariant_across_thread_counts",
+        Config::with_cases(12),
+        gen_raw,
+        |raw| {
+            let graph = build(raw);
+            for sched in parallel_scheds() {
+                let runs = runs_for_threads(Algorithm::Sssp, sched, &graph, "dist");
+                assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+                assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+            }
+        },
+    );
+}
