@@ -88,6 +88,10 @@ pub struct CacheEntry {
     pub explored: usize,
     /// Seed the producing run used.
     pub seed: u64,
+    /// Attribution summary of the winner's measurement (why it won);
+    /// empty for entries written before profiles existed or with
+    /// telemetry disabled.
+    pub profile: String,
 }
 
 impl CacheEntry {
@@ -102,7 +106,7 @@ impl CacheEntry {
             concat!(
                 "{{\"target\":\"{}\",\"algo\":\"{}\",\"fingerprint\":\"{:016x}\",",
                 "\"scale\":\"{}\",\"winner\":\"{}\",\"point\":[{}],\"time_ms\":{},",
-                "\"cycles\":{},\"explored\":{},\"seed\":{}}}"
+                "\"cycles\":{},\"explored\":{},\"seed\":{},\"profile\":\"{}\"}}"
             ),
             escape(&self.key.target),
             escape(&self.key.algo),
@@ -114,6 +118,7 @@ impl CacheEntry {
             self.cycles,
             self.explored,
             self.seed,
+            escape(&self.profile),
         )
     }
 
@@ -128,6 +133,8 @@ impl CacheEntry {
         let cycles = field_raw(line, "cycles")?.parse().ok()?;
         let explored = field_raw(line, "explored")?.parse().ok()?;
         let seed = field_raw(line, "seed")?.parse().ok()?;
+        // Absent in cache files written before profiles existed.
+        let profile = field_str(line, "profile").unwrap_or_default();
         Some(CacheEntry {
             key: CacheKey {
                 target,
@@ -141,6 +148,7 @@ impl CacheEntry {
             cycles,
             explored,
             seed,
+            profile,
         })
     }
 }
@@ -308,6 +316,7 @@ mod tests {
             cycles: 4096,
             explored: 17,
             seed: 7,
+            profile: "mem_stall 60% of 4096 cycles".to_string(),
         }
     }
 
@@ -316,6 +325,16 @@ mod tests {
         let e = entry("gpu", 0xDEAD_BEEF);
         let line = e.to_json_line();
         assert_eq!(CacheEntry::from_json_line(&line), Some(e));
+    }
+
+    #[test]
+    fn pre_profile_cache_lines_still_parse() {
+        let mut e = entry("gpu", 9);
+        let line = e.to_json_line();
+        let legacy = line.replace(&format!(",\"profile\":\"{}\"", e.profile), "");
+        assert!(legacy.ends_with("\"seed\":7}"), "{legacy}");
+        e.profile = String::new();
+        assert_eq!(CacheEntry::from_json_line(&legacy), Some(e));
     }
 
     #[test]

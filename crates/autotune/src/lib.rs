@@ -77,6 +77,7 @@ pub fn compiler_evaluator<'a>(
         Ok(Sample {
             time_ms: run.time_ms,
             cycles: run.cycles,
+            ..Sample::default()
         })
     }
 }
@@ -169,6 +170,7 @@ where
                 cycles: w.sample.cycles,
                 explored: outcome.explored,
                 seed: tuner.seed,
+                profile: w.sample.profile.clone(),
             })
             .map_err(TuneError::Cache)?;
     }
@@ -255,6 +257,7 @@ mod tests {
             Ok(Sample {
                 time_ms: 1.0 + s.representative().delta() as f64,
                 cycles: 1,
+                ..Sample::default()
             })
         };
 
@@ -272,6 +275,7 @@ mod tests {
             Ok(Sample {
                 time_ms: 1.0 + s.representative().delta() as f64,
                 cycles: 1,
+                ..Sample::default()
             })
         })
         .unwrap();

@@ -26,12 +26,16 @@ use ugc_schedule::ScheduleRef;
 
 /// Cost of one measured candidate: the target-appropriate time plus the
 /// simulator counters recorded for explainability.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sample {
     /// Milliseconds — wall-clock (CPU) or simulated (the other targets).
     pub time_ms: f64,
     /// Simulated cycles (0 on CPU).
     pub cycles: u64,
+    /// Short attribution summary (where the time went) captured from the
+    /// telemetry registry during the measurement; empty when telemetry is
+    /// disabled or the evaluator does not collect one.
+    pub profile: String,
 }
 
 /// One measured candidate in a [`TuneOutcome`]'s ranking.
@@ -192,6 +196,7 @@ where
         self.attempted += 1;
         match (self.eval)(&sched) {
             Ok(sample) => {
+                let time_ms = sample.time_ms;
                 self.ranked.push(Ranked {
                     name: point_label(self.dims, pt),
                     point: Some(pt.to_vec()),
@@ -199,7 +204,7 @@ where
                     sample,
                 });
                 self.memo.insert(pt.to_vec(), Some(self.ranked.len() - 1));
-                Some(sample.time_ms)
+                Some(time_ms)
             }
             Err(e) => {
                 self.last_error = e;
@@ -416,6 +421,7 @@ mod tests {
             Ok(Sample {
                 time_ms: cost_of(s),
                 cycles: 0,
+                ..Sample::default()
             })
         })
         .unwrap()
@@ -503,6 +509,7 @@ mod tests {
                 Ok(Sample {
                     time_ms: t,
                     cycles: 0,
+                    ..Sample::default()
                 })
             },
         )
@@ -531,6 +538,7 @@ mod tests {
             Ok(Sample {
                 time_ms: 1.0,
                 cycles: 0,
+                ..Sample::default()
             })
         })
         .unwrap_err();

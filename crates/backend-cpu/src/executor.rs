@@ -1,5 +1,9 @@
 //! The CPU operator executor: real multithreaded traversal.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
 use ugc_graph::Csr;
 use ugc_graphir::ir::{EdgeSetIteratorData, Stmt};
 use ugc_graphir::keys;
@@ -13,20 +17,102 @@ use ugc_runtime::vertexset::VertexSet;
 use ugc_runtime::UdfId;
 use ugc_schedule::schedule_of;
 
+use ugc_telemetry::{Counter, Span};
+
 use crate::schedule::CpuSchedule;
+
+/// Telemetry handles for the CPU executor, registered once per process.
+struct CpuCounters {
+    edge_push: Span,
+    edge_pull: Span,
+    vertex_apply: Span,
+    other_ns: Counter,
+    elapsed_ns: Counter,
+    runs: Counter,
+    direction_switches: Counter,
+}
+
+fn counters() -> &'static CpuCounters {
+    static COUNTERS: OnceLock<CpuCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CpuCounters {
+        edge_push: Span::new("cpu.edge_push"),
+        edge_pull: Span::new("cpu.edge_pull"),
+        vertex_apply: Span::new("cpu.vertex_apply"),
+        other_ns: Counter::new("cpu.other.ns"),
+        elapsed_ns: Counter::new("cpu.elapsed.ns"),
+        runs: Counter::new("cpu.runs"),
+        direction_switches: Counter::new("cpu.direction_switches"),
+    })
+}
+
+/// Last edge-traversal direction (0 = none yet, 1 = push, 2 = pull).
+/// Process-global: executors are cloned per run, and a schedule-driven
+/// push/pull flip is interesting wherever it happens.
+static LAST_DIRECTION: AtomicUsize = AtomicUsize::new(0);
+
+fn note_direction(direction: Direction) {
+    let code = match direction {
+        Direction::Push => 1,
+        Direction::Pull => 2,
+    };
+    let prev = LAST_DIRECTION.swap(code, Ordering::Relaxed);
+    if prev != 0 && prev != code {
+        counters().direction_switches.incr();
+    }
+}
+
+/// Per-run wall-time attribution in nanoseconds. Components sum exactly to
+/// [`CpuAttribution::total`], which is the elapsed time of `main`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuAttribution {
+    /// Time inside push-direction edge traversals.
+    pub edge_push: u64,
+    /// Time inside pull-direction edge traversals.
+    pub edge_pull: u64,
+    /// Time inside vertex-apply operators.
+    pub vertex_apply: u64,
+    /// Interpreter overhead: everything outside the traversal operators.
+    pub other: u64,
+}
+
+impl CpuAttribution {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.edge_push + self.edge_pull + self.vertex_apply + self.other
+    }
+
+    /// Named components, in display order.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, u64); 4] {
+        [
+            ("edge_push", self.edge_push),
+            ("edge_pull", self.edge_pull),
+            ("vertex_apply", self.vertex_apply),
+            ("other", self.other),
+        ]
+    }
+}
+
+/// Phase nanoseconds accumulated by one executor over one run.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseNs {
+    push: u64,
+    pull: u64,
+    apply: u64,
+}
 
 /// Executes GraphIR iteration operators on host threads.
 #[derive(Debug, Clone)]
 pub struct CpuExecutor {
     /// Worker thread count (defaults to available parallelism).
     pub num_threads: usize,
+    phase_ns: PhaseNs,
 }
 
 impl Default for CpuExecutor {
     fn default() -> Self {
-        CpuExecutor {
-            num_threads: default_threads(),
-        }
+        CpuExecutor::with_threads(default_threads())
     }
 }
 
@@ -45,6 +131,38 @@ struct OpPlan {
 }
 
 impl CpuExecutor {
+    /// An executor with `num_threads` workers.
+    #[must_use]
+    pub fn with_threads(num_threads: usize) -> Self {
+        CpuExecutor {
+            num_threads,
+            phase_ns: PhaseNs::default(),
+        }
+    }
+
+    /// Closes out one run: attributes `elapsed_ns` of wall time across the
+    /// phases timed during the run, charges the remainder to `other`,
+    /// mirrors the totals into the global registry, and resets the per-run
+    /// accumulators. Returns all zeros when telemetry is disabled.
+    pub fn finish_run(&mut self, elapsed_ns: u64) -> CpuAttribution {
+        let phases = std::mem::take(&mut self.phase_ns);
+        if !ugc_telemetry::enabled() {
+            return CpuAttribution::default();
+        }
+        let tracked = phases.push + phases.pull + phases.apply;
+        let attr = CpuAttribution {
+            edge_push: phases.push,
+            edge_pull: phases.pull,
+            vertex_apply: phases.apply,
+            other: elapsed_ns.max(tracked) - tracked,
+        };
+        let c = counters();
+        c.other_ns.add(attr.other);
+        c.elapsed_ns.add(attr.total());
+        c.runs.incr();
+        attr
+    }
+
     fn plan(
         state: &ProgramState<'_>,
         stmt: &Stmt,
@@ -231,6 +349,8 @@ impl OperatorExecutor for CpuExecutor {
             .meta
             .get_direction(keys::DIRECTION)
             .unwrap_or(Direction::Push);
+        let t0 = ugc_telemetry::enabled().then(Instant::now);
+        note_direction(direction);
         let input = state.input_set(&data.input)?;
 
         // Resolve traversal CSRs honoring the `transposed` flag.
@@ -306,7 +426,22 @@ impl OperatorExecutor for CpuExecutor {
                 }
             }
         };
-        Ok(CpuExecutor::finish(state, &plan, locals))
+        let out = CpuExecutor::finish(state, &plan, locals);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let c = counters();
+            match direction {
+                Direction::Push => {
+                    self.phase_ns.push += ns;
+                    c.edge_push.record_ns(ns);
+                }
+                Direction::Pull => {
+                    self.phase_ns.pull += ns;
+                    c.edge_pull.record_ns(ns);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn vertex_iterator(
@@ -316,6 +451,7 @@ impl OperatorExecutor for CpuExecutor {
         set: Option<&str>,
         apply: &str,
     ) -> Result<(), ExecError> {
+        let t0 = ugc_telemetry::enabled().then(Instant::now);
         let udf = state
             .udfs
             .id_of(apply)
@@ -363,6 +499,11 @@ impl OperatorExecutor for CpuExecutor {
             for (q, v, p) in l.priority_updates {
                 state.queues[q].push(v, p);
             }
+        }
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.phase_ns.apply += ns;
+            counters().vertex_apply.record_ns(ns);
         }
         Ok(())
     }

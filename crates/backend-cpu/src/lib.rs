@@ -30,6 +30,6 @@ pub mod executor;
 pub mod schedule;
 pub mod vm;
 
-pub use executor::CpuExecutor;
+pub use executor::{CpuAttribution, CpuExecutor};
 pub use schedule::{CpuSchedule, CpuScheduleSpace};
 pub use vm::{CpuGraphVm, Execution};

@@ -8,7 +8,7 @@ use ugc_graphir::ir::Program;
 use ugc_runtime::interp::{run_main, ExecError, ProgramState};
 use ugc_runtime::value::Value;
 
-use crate::executor::CpuExecutor;
+use crate::executor::{CpuAttribution, CpuExecutor};
 
 /// The CPU GraphVM: executes midend-processed GraphIR on host threads.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +23,9 @@ pub struct Execution<'g> {
     pub state: ProgramState<'g>,
     /// Wall-clock time of `main` (excludes state setup).
     pub elapsed: Duration,
+    /// Where the wall time went; components sum to `attr.total()`.
+    /// All zeros when telemetry is disabled.
+    pub attr: CpuAttribution,
 }
 
 impl std::fmt::Debug for Execution<'_> {
@@ -70,7 +73,7 @@ impl CpuGraphVm {
     /// A VM with `num_threads` workers.
     pub fn with_threads(num_threads: usize) -> Self {
         CpuGraphVm {
-            executor: CpuExecutor { num_threads },
+            executor: CpuExecutor::with_threads(num_threads),
         }
     }
 
@@ -89,9 +92,16 @@ impl CpuGraphVm {
         let mut state = ProgramState::new(prog, graph, externs)?;
         let mut exec = self.executor.clone();
         let start = Instant::now();
-        run_main(&mut state, &mut exec)?;
+        let result = run_main(&mut state, &mut exec);
         let elapsed = start.elapsed();
-        Ok(Execution { state, elapsed })
+        // Attribute even on error so global counters stay consistent.
+        let attr = exec.finish_run(elapsed.as_nanos() as u64);
+        result?;
+        Ok(Execution {
+            state,
+            elapsed,
+            attr,
+        })
     }
 }
 
@@ -116,5 +126,54 @@ end
         let run = vm.execute(prog, &graph, &HashMap::new()).unwrap();
         assert_eq!(run.state.prints, vec!["42"]);
         assert_eq!(run.property_ints("x"), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn attribution_components_sum_to_total_time() {
+        let src = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const vertices : vertexset{Vertex} = edges.getVertices();
+const parent : vector{Vertex}(int) = -1;
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func reset(v : Vertex)
+    parent[v] = -1;
+end
+func main()
+    vertices.apply(reset);
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(0);
+    parent[0] = 0;
+    while (frontier.getVertexSetSize() != 0)
+        var output : vertexset{Vertex} = edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+"#;
+        let mut prog = ugc_midend::frontend_to_ir(src).unwrap();
+        ugc_midend::run_passes(&mut prog).unwrap();
+        let graph = ugc_graph::generators::uniform_random(256, 1024, 7, false);
+        let vm = CpuGraphVm::with_threads(2);
+        let run = vm.execute(prog, &graph, &HashMap::new()).unwrap();
+        if ugc_telemetry::enabled() {
+            // Components sum exactly to the attributed total, which covers
+            // the whole elapsed window.
+            assert_eq!(
+                run.attr.components().iter().map(|(_, v)| v).sum::<u64>(),
+                run.attr.total()
+            );
+            assert!(run.attr.total() >= run.elapsed.as_nanos() as u64);
+            assert!(run.attr.edge_push + run.attr.edge_pull > 0);
+            assert!(run.attr.vertex_apply > 0);
+        } else {
+            assert_eq!(run.attr, CpuAttribution::default());
+        }
     }
 }

@@ -20,8 +20,8 @@ use ugc_backend_swarm::SwarmGraphVm;
 use ugc_baselines::gpu_frameworks::{run_framework, Framework};
 use ugc_baselines::swarm_hand;
 use ugc_bench::{
-    baseline_schedule, fig8_cell, measure, parse_algo, parse_dataset, parse_scale, parse_target,
-    tune_dataset, tuned_schedule, Tuned, Tuner,
+    baseline_schedule, fig8_cell, measure, parse_algo, parse_dataset, parse_profile, parse_scale,
+    parse_target, profile_backend, tune_dataset, tuned_schedule, Tuned, Tuner,
 };
 use ugc_graph::{Dataset, Scale};
 use ugc_sim_gpu::GpuConfig;
@@ -29,7 +29,8 @@ use ugc_sim_swarm::SwarmConfig;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
                      <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|all> \
-                     | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset>";
+                     | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
+                     | --profile <cpu|gpu|swarm|hb|all>";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -42,6 +43,7 @@ fn main() {
     let mut scale = Scale::Tiny;
     let mut tuner = Tuner::default();
     let mut use_cache = true;
+    let mut profile_targets: Option<Vec<Target>> = None;
     let mut what = Vec::new();
     let mut i = 0;
     let flag_value = |args: &[String], i: usize| -> String {
@@ -71,11 +73,23 @@ fn main() {
                 use_cache = false;
                 i += 1;
             }
+            "--profile" => {
+                profile_targets =
+                    Some(parse_profile(&flag_value(&args, i)).unwrap_or_else(|e| usage_error(&e)));
+                i += 2;
+            }
             _ => {
                 what.push(args[i].clone());
                 i += 1;
             }
         }
+    }
+    if let Some(targets) = profile_targets {
+        if !what.is_empty() {
+            usage_error("--profile runs on its own; drop the experiment/tune words");
+        }
+        profile(&targets, scale);
+        return;
     }
     if what.is_empty() {
         what.push("all".to_string());
@@ -124,6 +138,51 @@ fn main() {
     }
 }
 
+/// `repro --profile`: run the profile workload per backend, print each
+/// attribution table, and append the telemetry snapshots (JSON lines) to
+/// the bench output file.
+fn profile(targets: &[Target], scale: Scale) {
+    if !ugc_telemetry::enabled() {
+        eprintln!("repro: --profile needs telemetry (run without UGC_TELEMETRY=0)");
+        std::process::exit(2);
+    }
+    let out_path = std::env::var("UGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_profile.json".into());
+    let mut lines = String::new();
+    let mut consistent = true;
+    for &target in targets {
+        banner(&format!(
+            "Profile: {} GraphVM — PageRank + BFS on PK (scale {}, default schedules)",
+            target.name(),
+            scale.name()
+        ));
+        let (attr, delta) = profile_backend(target, scale);
+        print!("{}", attr.render());
+        consistent &= attr.is_consistent();
+        lines.push_str(&format!(
+            "{{\"profile\":\"{}\",\"scale\":\"{}\"}}\n",
+            target.name(),
+            scale.name()
+        ));
+        lines.push_str(&delta.to_json_lines());
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+    {
+        Ok(mut f) => match f.write_all(lines.as_bytes()) {
+            Ok(()) => eprintln!("appended telemetry snapshots to {out_path}"),
+            Err(e) => eprintln!("repro: could not write {out_path}: {e}"),
+        },
+        Err(e) => eprintln!("repro: could not open {out_path}: {e}"),
+    }
+    if !consistent {
+        eprintln!("repro: attribution components do not sum to the reported total");
+        std::process::exit(1);
+    }
+}
+
 /// `repro tune`: autotune one (target, algo, dataset) triple and print the
 /// ranked candidate table.
 fn tune(
@@ -159,6 +218,9 @@ fn tune(
                 entry.seed,
                 entry.explored
             );
+            if !entry.profile.is_empty() {
+                println!("winner profile: {}", entry.profile);
+            }
             println!("(delete the cache file or pass --no-cache to re-measure)");
         }
         Ok(Tuned::Fresh(out)) => {
@@ -183,6 +245,9 @@ fn tune(
                 println!("... ({} more)", out.ranked.len() - 15);
             }
             let winner = out.winner();
+            if !winner.sample.profile.is_empty() {
+                println!("winner profile: {}", winner.sample.profile);
+            }
             if let Some(hand) = out.find("hand_tuned") {
                 println!(
                     "winner `{}` vs hand-tuned: {:.3}x",

@@ -10,8 +10,10 @@
 //! each GraphVM's default.
 
 pub mod harness;
+pub mod profile;
 
 pub use harness::{Harness, Stats};
+pub use profile::{attribution_from, profile_backend, try_measure_profiled, Attribution};
 pub use ugc_autotune::{Strategy, TuneError, TuneOutcome, Tuned, Tuner};
 
 use std::path::Path;
@@ -346,9 +348,10 @@ pub fn autotune(
     let params = space_params(algo, graph);
     let pinned = pinned_candidates(target, algo, graph);
     ugc_autotune::tune(space_for(target), &params, &pinned, tuner, |sched| {
-        try_measure(target, algo, graph, sched.clone(), 2).map(|m| Sample {
+        try_measure_profiled(target, algo, graph, sched.clone(), 2).map(|(m, profile)| Sample {
             time_ms: m.time_ms,
             cycles: m.cycles,
+            profile,
         })
     })
 }
@@ -390,9 +393,12 @@ pub fn tune_dataset(
         cache.as_mut(),
         &key,
         |sched| {
-            try_measure(target, algo, &graph, sched.clone(), 2).map(|m| Sample {
-                time_ms: m.time_ms,
-                cycles: m.cycles,
+            try_measure_profiled(target, algo, &graph, sched.clone(), 2).map(|(m, profile)| {
+                Sample {
+                    time_ms: m.time_ms,
+                    cycles: m.cycles,
+                    profile,
+                }
             })
         },
     )
@@ -447,6 +453,20 @@ pub fn parse_algo(s: &str) -> Result<Algorithm, String> {
             "unknown algorithm `{other}` (expected pr|bfs|sssp|cc|bc)"
         )),
     }
+}
+
+/// Parses the `--profile` flag value: one backend name or `all`.
+///
+/// # Errors
+///
+/// Returns a usage message naming the accepted values.
+pub fn parse_profile(s: &str) -> Result<Vec<Target>, String> {
+    if s.eq_ignore_ascii_case("all") {
+        return Ok(Target::ALL.to_vec());
+    }
+    parse_target(s)
+        .map(|t| vec![t])
+        .map_err(|_| format!("unknown profile `{s}` (expected cpu|gpu|swarm|hb|all)"))
 }
 
 /// Parses a dataset abbreviation (Table VIII's RN/RC/RU/PK/HW/LJ/OK/IC/TW/SW).

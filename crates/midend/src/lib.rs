@@ -84,6 +84,70 @@ impl MidendError {
 
 pub use lower::lower;
 
+/// Number of statements in the program (all function bodies plus `main`),
+/// counted pre-order so nested bodies are included. Used for per-pass IR
+/// growth/shrink telemetry.
+#[must_use]
+pub fn ir_size(prog: &Program) -> u64 {
+    let mut n = 0u64;
+    let mut tally = |_: &ugc_graphir::ir::Stmt| n += 1;
+    for f in &prog.functions {
+        ugc_graphir::visit::walk_stmts(&f.body, &mut tally);
+    }
+    ugc_graphir::visit::walk_stmts(&prog.main, &mut tally);
+    n
+}
+
+/// Runs one pass under a telemetry span, recording wall time per pass and
+/// the statement-count delta it caused.
+fn timed_pass(
+    prog: &mut Program,
+    name: &'static str,
+    pass: fn(&mut Program) -> Result<(), MidendError>,
+) -> Result<(), MidendError> {
+    use std::sync::OnceLock;
+    use ugc_telemetry::{Counter, Span};
+    if !ugc_telemetry::enabled() {
+        return pass(prog);
+    }
+    static SPANS: OnceLock<Vec<(&'static str, Span)>> = OnceLock::new();
+    static DELTAS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    let spans = SPANS.get_or_init(|| {
+        PASS_NAMES
+            .iter()
+            .map(|&n| (n, Span::new(&format!("midend.pass.{n}"))))
+            .collect()
+    });
+    let (added, removed) = DELTAS.get_or_init(|| {
+        (
+            Counter::new("midend.nodes_added"),
+            Counter::new("midend.nodes_removed"),
+        )
+    });
+    let span = spans
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| s)
+        .expect("pass name registered in PASS_NAMES");
+    let before = ir_size(prog);
+    let guard = span.start();
+    let result = pass(prog);
+    drop(guard);
+    let after = ir_size(prog);
+    added.add(after.saturating_sub(before));
+    removed.add(before.saturating_sub(after));
+    result
+}
+
+/// Names of the midend passes, in pipeline order.
+pub const PASS_NAMES: [&str; 5] = [
+    "ordered",
+    "direction",
+    "tracking",
+    "atomics",
+    "frontier_reuse",
+];
+
 /// Runs the full hardware-independent pass pipeline over a lowered program
 /// (schedules should already be attached).
 ///
@@ -92,11 +156,11 @@ pub use lower::lower;
 /// Returns [`MidendError`] when a pass invariant fails or the resulting
 /// program does not verify.
 pub fn run_passes(prog: &mut Program) -> Result<(), MidendError> {
-    passes::ordered::run(prog)?;
-    passes::direction::run(prog)?;
-    passes::tracking::run(prog)?;
-    passes::atomics::run(prog)?;
-    passes::frontier_reuse::run(prog)?;
+    timed_pass(prog, "ordered", passes::ordered::run)?;
+    timed_pass(prog, "direction", passes::direction::run)?;
+    timed_pass(prog, "tracking", passes::tracking::run)?;
+    timed_pass(prog, "atomics", passes::atomics::run)?;
+    timed_pass(prog, "frontier_reuse", passes::frontier_reuse::run)?;
     verify(prog).map_err(|errs| {
         MidendError::new(format!(
             "post-pass verification failed: {}",
@@ -115,6 +179,54 @@ pub fn run_passes(prog: &mut Program) -> Result<(), MidendError> {
 ///
 /// Returns the first frontend or lowering error, rendered.
 pub fn frontend_to_ir(src: &str) -> Result<Program, MidendError> {
+    use std::sync::OnceLock;
+    use ugc_telemetry::Span;
+    static SPANS: OnceLock<(Span, Span)> = OnceLock::new();
+    let (parse, lower_span) =
+        SPANS.get_or_init(|| (Span::new("frontend.parse"), Span::new("frontend.lower")));
+    let guard = parse.start();
     let ast = ugc_frontend::parse_and_check(src).map_err(MidendError::new)?;
+    drop(guard);
+    let _guard = lower_span.start();
     lower::lower(&ast)
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    const SRC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load("g");
+const r : vector{Vertex}(float) = 0.0;
+func update(src : Vertex, dst : Vertex)
+    r[dst] += r[src];
+end
+func main()
+    #s1# edges.apply(update);
+end
+"#;
+
+    #[test]
+    fn passes_record_spans_and_node_deltas() {
+        let mut prog = frontend_to_ir(SRC).unwrap();
+        let before = ir_size(&prog);
+        assert!(before > 0);
+        let snap_before = ugc_telemetry::snapshot();
+        run_passes(&mut prog).unwrap();
+        let snap_after = ugc_telemetry::snapshot();
+        if ugc_telemetry::enabled() {
+            let delta = snap_after.diff(&snap_before);
+            for name in PASS_NAMES {
+                assert_eq!(
+                    delta.value(&format!("midend.pass.{name}.calls")),
+                    1,
+                    "pass {name} should record exactly one call"
+                );
+            }
+        } else {
+            assert!(snap_after.is_empty());
+        }
+    }
 }

@@ -52,8 +52,9 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+use ugc_telemetry::{Counter, Histogram};
 
 /// Hard cap on persistent worker threads (a runaway-request backstop far
 /// above any real machine this targets).
@@ -94,22 +95,53 @@ pub struct PoolTelemetry {
     pub parks: u64,
 }
 
-static WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
-static JOBS: AtomicU64 = AtomicU64::new(0);
-static SERIAL_RUNS: AtomicU64 = AtomicU64::new(0);
-static CHUNKS: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
-static PARKS: AtomicU64 = AtomicU64::new(0);
+/// The pool's counters, registered in the [`ugc_telemetry`] registry
+/// under the `pool.` prefix (the old private `AtomicU64`s re-homed).
+/// `pool.chunk_size` is a histogram of executed chunk lengths — its
+/// spread is the chunk-imbalance signal `repro --profile` reports.
+struct Counters {
+    workers_spawned: Counter,
+    jobs: Counter,
+    serial_runs: Counter,
+    chunks: Counter,
+    steals: Counter,
+    parks: Counter,
+    chunk_size: Histogram,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        workers_spawned: Counter::new("pool.workers_spawned"),
+        jobs: Counter::new("pool.jobs"),
+        serial_runs: Counter::new("pool.serial_runs"),
+        chunks: Counter::new("pool.chunks"),
+        steals: Counter::new("pool.steals"),
+        parks: Counter::new("pool.parks"),
+        chunk_size: Histogram::new("pool.chunk_size"),
+    })
+}
+
+/// Marks one executed chunk: the count plus its length for the
+/// imbalance histogram.
+#[inline]
+fn count_chunk(range: &Range<usize>) {
+    let c = counters();
+    c.chunks.incr();
+    c.chunk_size.record(range.len() as u64);
+}
 
 /// Reads the pool's telemetry counters (relaxed; for reporting only).
+/// All zeros when telemetry is disabled via `UGC_TELEMETRY=0`.
 pub fn telemetry() -> PoolTelemetry {
+    let c = counters();
     PoolTelemetry {
-        workers_spawned: WORKERS_SPAWNED.load(Ordering::Relaxed),
-        jobs: JOBS.load(Ordering::Relaxed),
-        serial_runs: SERIAL_RUNS.load(Ordering::Relaxed),
-        chunks: CHUNKS.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
-        parks: PARKS.load(Ordering::Relaxed),
+        workers_spawned: c.workers_spawned.get(),
+        jobs: c.jobs.get(),
+        serial_runs: c.serial_runs.get(),
+        chunks: c.chunks.get(),
+        steals: c.steals.get(),
+        parks: c.parks.get(),
     }
 }
 
@@ -204,7 +236,7 @@ fn worker_loop(pool: &'static Pool, index: usize) {
                     }
                 }
             }
-            PARKS.fetch_add(1, Ordering::Relaxed);
+            counters().parks.incr();
             guard = pool.work_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         };
         drop(guard);
@@ -241,7 +273,7 @@ fn run_job(participants: usize, body: JobBody<'_>) {
                 .spawn(move || worker_loop(pool, index))
                 .expect("spawning pool worker");
             st.spawned += 1;
-            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            counters().workers_spawned.incr();
         }
         st.epoch += 1;
         st.panic = None;
@@ -253,7 +285,7 @@ fn run_job(participants: usize, body: JobBody<'_>) {
             participants,
             remaining: participants,
         });
-        JOBS.fetch_add(1, Ordering::Relaxed);
+        counters().jobs.incr();
         pool.work_cv.notify_all();
     }
     // The caller is participant 0.
@@ -357,7 +389,7 @@ impl BlockQueues {
                 (lo, vb.end)
             };
             drop(vb);
-            STEALS.fetch_add(1, Ordering::Relaxed);
+            counters().steals.incr();
             let mut own = lock(&self.blocks[i]);
             debug_assert!(own.next >= own.end, "stealing with own work left");
             own.next = (lo + self.chunk).min(hi);
@@ -371,7 +403,7 @@ impl BlockQueues {
             let Some(range) = self.pop_own(tid).or_else(|| self.steal(tid)) else {
                 return;
             };
-            CHUNKS.fetch_add(1, Ordering::Relaxed);
+            count_chunk(&range);
             f(tid, range);
         }
     }
@@ -407,7 +439,7 @@ where
     let chunk = chunk_hint.max(1);
     let t = clamp_participants(num_threads.max(1).min(total.div_ceil(chunk)));
     if t <= 1 || in_pool_job() {
-        SERIAL_RUNS.fetch_add(1, Ordering::Relaxed);
+        counters().serial_runs.incr();
         f(0, 0..total);
         return;
     }
@@ -438,7 +470,7 @@ where
     let chunk = chunk_hint.max(1);
     let t = clamp_participants(num_threads.max(1).min(total.div_ceil(chunk)));
     if t <= 1 || in_pool_job() {
-        SERIAL_RUNS.fetch_add(1, Ordering::Relaxed);
+        counters().serial_runs.incr();
         let mut local = T::default();
         f(0, 0..total, &mut local);
         return vec![local];
@@ -451,7 +483,7 @@ where
             let Some(range) = queues.pop_own(tid).or_else(|| queues.steal(tid)) else {
                 break;
             };
-            CHUNKS.fetch_add(1, Ordering::Relaxed);
+            count_chunk(&range);
             f(tid, range, &mut local);
         }
         lock(&results).push(local);
@@ -477,7 +509,7 @@ where
     }
     let t = clamp_participants(num_threads.max(1).min(chunks.len()));
     if t <= 1 || in_pool_job() {
-        SERIAL_RUNS.fetch_add(1, Ordering::Relaxed);
+        counters().serial_runs.incr();
         let mut local = T::default();
         for c in chunks {
             f(0, c, &mut local);
@@ -503,13 +535,13 @@ where
                 (1..t).find_map(|d| {
                     let c = lock(&queues[(tid + d) % t]).pop_back();
                     if c.is_some() {
-                        STEALS.fetch_add(1, Ordering::Relaxed);
+                        counters().steals.incr();
                     }
                     c
                 })
             });
             let Some(range) = next else { break };
-            CHUNKS.fetch_add(1, Ordering::Relaxed);
+            count_chunk(&range);
             f(tid, range, &mut local);
         }
         lock(&results).push(local);
@@ -553,7 +585,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, AtomicUsize};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn covers_every_index_exactly_once_under_stealing() {
@@ -661,6 +693,11 @@ mod tests {
 
     #[test]
     fn telemetry_counts_dispatch_and_parks() {
+        if !ugc_telemetry::enabled() {
+            // UGC_TELEMETRY=0: the counters are dead by design.
+            assert_eq!(telemetry(), PoolTelemetry::default());
+            return;
+        }
         let before = telemetry();
         parallel_for(4, 10_000, 16, |_tid, _range| {});
         let after = telemetry();

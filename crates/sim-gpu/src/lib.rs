@@ -38,6 +38,89 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use ugc_telemetry::Counter;
+
+/// Where the simulated cycles went, cumulatively per simulator instance.
+///
+/// The five components partition [`GpuSim::time_cycles`] exactly:
+/// `compute + divergence + mem_stall + launch + host == time_cycles()`
+/// at every instant (asserted by `tests/telemetry_invariants.rs`). The
+/// split classifies the existing timing math without changing it — each
+/// kernel's cycle charge is decomposed proportionally to the per-warp
+/// mean lane compute (compute), lockstep serialization above the mean
+/// plus atomic serialization (divergence), and coalescing/transaction
+/// cycles (mem_stall, which also absorbs any bandwidth-bound excess).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuAttribution {
+    /// Useful lane work: per-warp mean lane compute cycles.
+    pub compute: u64,
+    /// SIMT divergence serialization (slowest-lane excess over the mean)
+    /// plus same-address atomic serialization.
+    pub divergence: u64,
+    /// Memory-coalescing stalls: transaction issue + DRAM miss cycles,
+    /// plus bandwidth-roofline excess.
+    pub mem_stall: u64,
+    /// Kernel launch overhead and cooperative grid synchronizations.
+    pub launch: u64,
+    /// Host-side cycles between kernels.
+    pub host: u64,
+}
+
+impl GpuAttribution {
+    /// Sum of all components — always equals the simulator's total time.
+    pub fn total(&self) -> u64 {
+        self.compute + self.divergence + self.mem_stall + self.launch + self.host
+    }
+
+    /// Named components in display order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("compute", self.compute),
+            ("divergence", self.divergence),
+            ("mem_stall", self.mem_stall),
+            ("launch", self.launch),
+            ("host", self.host),
+        ]
+    }
+}
+
+/// Registry handles for the `sim_gpu.` counter namespace.
+struct Counters {
+    compute: Counter,
+    divergence: Counter,
+    mem_stall: Counter,
+    launch: Counter,
+    host: Counter,
+    total: Counter,
+    kernels: Counter,
+    warps: Counter,
+    transactions: Counter,
+    l2_hits: Counter,
+    l2_misses: Counter,
+    dram_bytes: Counter,
+    atomics: Counter,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        compute: Counter::new("sim_gpu.cycles.compute"),
+        divergence: Counter::new("sim_gpu.cycles.divergence"),
+        mem_stall: Counter::new("sim_gpu.cycles.mem_stall"),
+        launch: Counter::new("sim_gpu.cycles.launch"),
+        host: Counter::new("sim_gpu.cycles.host"),
+        total: Counter::new("sim_gpu.cycles.total"),
+        kernels: Counter::new("sim_gpu.kernels"),
+        warps: Counter::new("sim_gpu.warps"),
+        transactions: Counter::new("sim_gpu.transactions"),
+        l2_hits: Counter::new("sim_gpu.l2_hits"),
+        l2_misses: Counter::new("sim_gpu.l2_misses"),
+        dram_bytes: Counter::new("sim_gpu.dram_bytes"),
+        atomics: Counter::new("sim_gpu.atomics"),
+    })
+}
 
 /// Configuration of the simulated GPU (defaults are V100-flavored).
 #[derive(Debug, Clone)]
@@ -204,6 +287,8 @@ pub struct GpuSim {
     pub cfg: GpuConfig,
     /// Aggregate statistics.
     pub stats: GpuStats,
+    /// Cycle attribution; components always sum to [`GpuSim::time_cycles`].
+    pub attr: GpuAttribution,
     l2: L2Cache,
     time: u64,
 }
@@ -215,9 +300,27 @@ impl GpuSim {
         GpuSim {
             cfg,
             stats: GpuStats::default(),
+            attr: GpuAttribution::default(),
             l2,
             time: 0,
         }
+    }
+
+    /// Records an attribution increment in lockstep with `self.time` (the
+    /// caller adds the same total to `time`); mirrors into the registry.
+    fn attribute(&mut self, delta: GpuAttribution) {
+        self.attr.compute += delta.compute;
+        self.attr.divergence += delta.divergence;
+        self.attr.mem_stall += delta.mem_stall;
+        self.attr.launch += delta.launch;
+        self.attr.host += delta.host;
+        let c = counters();
+        c.compute.add(delta.compute);
+        c.divergence.add(delta.divergence);
+        c.mem_stall.add(delta.mem_stall);
+        c.launch.add(delta.launch);
+        c.host.add(delta.host);
+        c.total.add(delta.total());
     }
 
     /// Total simulated cycles so far.
@@ -234,6 +337,7 @@ impl GpuSim {
     /// [`GpuSim::flush_l2`] is called).
     pub fn reset(&mut self) {
         self.stats = GpuStats::default();
+        self.attr = GpuAttribution::default();
         self.time = 0;
     }
 
@@ -260,20 +364,29 @@ impl GpuSim {
         warps: impl Iterator<Item = WarpTrace>,
         fused: bool,
     ) -> u64 {
+        let stats_before = self.stats;
         let mut total_warp_cycles: u64 = 0;
         let mut max_warp_cycles: u64 = 0;
         let mut kernel_dram_bytes: u64 = 0;
         let mut num_warps: u64 = 0;
+        // Raw attribution sums in warp-issue cycles; their total equals
+        // `total_warp_cycles`, so scaling them to the kernel's actual
+        // charge preserves the proportions the model computed.
+        let mut compute_raw: u64 = 0;
+        let mut divergence_raw: u64 = 0;
+        let mut mem_raw: u64 = 0;
 
         for warp in warps {
             num_warps += 1;
             let mut compute_max: u64 = 0;
+            let mut lane_compute_sum: u64 = 0;
             // Coalesce: group this warp's accesses into transactions.
             let mut segments: HashMap<u64, ()> = HashMap::new();
             let mut atomic_groups: HashMap<u64, u64> = HashMap::new();
             let mut accesses: u64 = 0;
             for lane in &warp.lanes {
                 compute_max = compute_max.max(lane.computes as u64);
+                lane_compute_sum += lane.computes as u64;
                 for a in &lane.mem {
                     accesses += 1;
                     let seg = a.segment(self.cfg.txn_bytes);
@@ -309,6 +422,14 @@ impl GpuSim {
             let warp_cycles = compute_max + txn_cycles + atomic_cycles;
             total_warp_cycles += warp_cycles;
             max_warp_cycles = max_warp_cycles.max(warp_cycles);
+            // Classify this warp's issue cycles: the mean lane compute is
+            // useful work, the slowest-lane excess over it is lockstep
+            // (divergence) serialization, atomics serialize too, and the
+            // transaction cycles are coalescing/memory stalls.
+            let mean_compute = lane_compute_sum / warp.lanes.len().max(1) as u64;
+            compute_raw += mean_compute;
+            divergence_raw += (compute_max - mean_compute) + atomic_cycles;
+            mem_raw += txn_cycles;
         }
 
         self.stats.warps += num_warps;
@@ -319,13 +440,45 @@ impl GpuSim {
         // critical path bound, and DRAM bandwidth bound.
         let issue = total_warp_cycles / self.cfg.num_sms;
         let bw = kernel_dram_bytes / self.cfg.dram_bytes_per_cycle;
-        let mut cycles = issue.max(max_warp_cycles).max(bw);
-        if fused {
+        let work = issue.max(max_warp_cycles).max(bw);
+        let mut cycles = work;
+        let launch = if fused {
             self.stats.grid_syncs += 0; // syncs charged separately
+            0
         } else {
             self.stats.kernels += 1;
             cycles += self.cfg.kernel_launch_cycles;
-        }
+            self.cfg.kernel_launch_cycles
+        };
+        // Scale the raw per-warp classification to the kernel's actual
+        // charge. mem_stall takes the remainder, which also absorbs any
+        // bandwidth-roofline excess over the issue/critical-path bounds.
+        let raw_total = compute_raw + divergence_raw + mem_raw;
+        let scale = |part: u64| {
+            if raw_total == 0 {
+                0
+            } else {
+                ((work as u128 * part as u128) / raw_total as u128) as u64
+            }
+        };
+        let (compute, divergence) = (scale(compute_raw), scale(divergence_raw));
+        self.attribute(GpuAttribution {
+            compute,
+            divergence,
+            mem_stall: work - compute - divergence,
+            launch,
+            host: 0,
+        });
+        let c = counters();
+        c.kernels.add(u64::from(!fused));
+        c.warps.add(num_warps);
+        c.transactions
+            .add(self.stats.transactions - stats_before.transactions);
+        c.l2_hits.add(self.stats.l2_hits - stats_before.l2_hits);
+        c.l2_misses
+            .add(self.stats.l2_misses - stats_before.l2_misses);
+        c.dram_bytes.add(kernel_dram_bytes);
+        c.atomics.add(self.stats.atomics - stats_before.atomics);
         self.time += cycles;
         cycles
     }
@@ -335,17 +488,32 @@ impl GpuSim {
     /// [`GpuSim::run_kernel`] calls plus [`GpuSim::grid_sync`]).
     pub fn charge_launch(&mut self) {
         self.stats.kernels += 1;
+        counters().kernels.incr();
+        self.attribute(GpuAttribution {
+            launch: self.cfg.kernel_launch_cycles,
+            ..GpuAttribution::default()
+        });
         self.time += self.cfg.kernel_launch_cycles;
     }
 
     /// Charges one cooperative grid synchronization (fused kernels).
+    /// Attributed to launch overhead: grid syncs are what fusion pays
+    /// instead of per-operator launches.
     pub fn grid_sync(&mut self) {
         self.stats.grid_syncs += 1;
+        self.attribute(GpuAttribution {
+            launch: self.cfg.grid_sync_cycles,
+            ..GpuAttribution::default()
+        });
         self.time += self.cfg.grid_sync_cycles;
     }
 
     /// Charges host-side work between kernels (e.g. swap/size checks).
     pub fn host_cycles(&mut self, cycles: u64) {
+        self.attribute(GpuAttribution {
+            host: cycles,
+            ..GpuAttribution::default()
+        });
         self.time += cycles;
     }
 }
@@ -485,6 +653,63 @@ mod tests {
         let bw_bound = sim.stats.dram_bytes / cfg.dram_bytes_per_cycle;
         assert!(cycles >= bw_bound);
         assert!(sim.stats.dram_bytes >= 10_000 * 32 * 32);
+    }
+
+    #[test]
+    fn attribution_components_sum_to_total_time() {
+        let mut sim = GpuSim::new(GpuConfig::default());
+        sim.charge_launch();
+        for k in 0..8u32 {
+            let warps = (0..40u32).map(|w| WarpTrace {
+                lanes: (0..32)
+                    .map(|l| LaneTrace {
+                        computes: (l * w) % 17,
+                        mem: vec![
+                            MemAccess {
+                                kind: AccessKind::Load,
+                                prop: 0,
+                                idx: w * 320 + l * 10,
+                            },
+                            MemAccess {
+                                kind: AccessKind::Atomic,
+                                prop: 1,
+                                idx: (l % 3) * 1000,
+                            },
+                        ],
+                    })
+                    .collect(),
+            });
+            sim.run_kernel("mixed", warps, k % 2 == 0);
+            sim.grid_sync();
+            sim.host_cycles(37);
+        }
+        assert_eq!(sim.attr.total(), sim.time_cycles());
+        assert!(sim.attr.compute > 0);
+        assert!(sim.attr.divergence > 0);
+        assert!(sim.attr.mem_stall > 0);
+        assert!(sim.attr.launch > 0);
+        assert_eq!(sim.attr.host, 8 * 37);
+        sim.reset();
+        assert_eq!(sim.attr.total(), 0);
+    }
+
+    #[test]
+    fn attribution_does_not_change_timing() {
+        // The decomposition must classify the existing math, not alter it:
+        // launch delta between fused and unfused is still exact.
+        let cfg = GpuConfig::default();
+        let w = WarpTrace {
+            lanes: vec![lane_with_accesses(&[0])],
+        };
+        let mut a = GpuSim::new(cfg.clone());
+        let unfused = a.run_kernel("u", vec![w.clone()].into_iter(), false);
+        let mut b = GpuSim::new(cfg.clone());
+        let fused = b.run_kernel("f", vec![w].into_iter(), true);
+        assert_eq!(unfused - fused, cfg.kernel_launch_cycles);
+        assert_eq!(a.attr.launch, cfg.kernel_launch_cycles);
+        assert_eq!(b.attr.launch, 0);
+        assert_eq!(a.attr.total(), a.time_cycles());
+        assert_eq!(b.attr.total(), b.time_cycles());
     }
 
     #[test]

@@ -19,6 +19,87 @@
 //! and achieved memory bandwidth.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use ugc_telemetry::Counter;
+
+/// Where the simulated cycles went, cumulatively per simulator instance.
+///
+/// Components always sum to [`HbSim::time_cycles`]. Each phase's charge
+/// beyond the fixed barrier is split proportionally to the raw cycle
+/// classification accumulated while costing the traces (core compute,
+/// LLC access latency, DRAM stall, bank occupancy), so the model's
+/// timing math is classified, never changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HbAttribution {
+    /// Core-local scalar work (including scratchpad/stream-buffer hits).
+    pub compute: u64,
+    /// LLC access latency (network hop + hit service).
+    pub llc_access: u64,
+    /// DRAM stalls (miss latency and bandwidth-roofline excess).
+    pub dram_stall: u64,
+    /// LLC bank occupancy/contention serialization.
+    pub bank: u64,
+    /// Per-phase SPMD barrier and dispatch.
+    pub barrier: u64,
+    /// Sequential host cycles.
+    pub host: u64,
+}
+
+impl HbAttribution {
+    /// Sum of all components — always equals the simulator's total time.
+    pub fn total(&self) -> u64 {
+        self.compute + self.llc_access + self.dram_stall + self.bank + self.barrier + self.host
+    }
+
+    /// Named components in display order.
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("compute", self.compute),
+            ("llc_access", self.llc_access),
+            ("dram_stall", self.dram_stall),
+            ("bank", self.bank),
+            ("barrier", self.barrier),
+            ("host", self.host),
+        ]
+    }
+}
+
+/// Registry handles for the `sim_hb.` counter namespace.
+struct Counters {
+    compute: Counter,
+    llc_access: Counter,
+    dram_stall: Counter,
+    bank: Counter,
+    barrier: Counter,
+    host: Counter,
+    total: Counter,
+    phases: Counter,
+    network_hops: Counter,
+    llc_hits: Counter,
+    llc_misses: Counter,
+    scratchpad_hits: Counter,
+    dram_bytes: Counter,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        compute: Counter::new("sim_hb.cycles.compute"),
+        llc_access: Counter::new("sim_hb.cycles.llc_access"),
+        dram_stall: Counter::new("sim_hb.cycles.dram_stall"),
+        bank: Counter::new("sim_hb.cycles.bank"),
+        barrier: Counter::new("sim_hb.cycles.barrier"),
+        host: Counter::new("sim_hb.cycles.host"),
+        total: Counter::new("sim_hb.cycles.total"),
+        phases: Counter::new("sim_hb.phases"),
+        network_hops: Counter::new("sim_hb.network_hops"),
+        llc_hits: Counter::new("sim_hb.llc_hits"),
+        llc_misses: Counter::new("sim_hb.llc_misses"),
+        scratchpad_hits: Counter::new("sim_hb.scratchpad_hits"),
+        dram_bytes: Counter::new("sim_hb.dram_bytes"),
+    })
+}
 
 /// Configuration of the simulated manycore (Table VII flavored).
 #[derive(Debug, Clone)]
@@ -189,6 +270,8 @@ pub struct HbSim {
     pub cfg: HbConfig,
     /// Aggregate statistics.
     pub stats: HbStats,
+    /// Cycle attribution; components sum to [`HbSim::time_cycles`].
+    pub attr: HbAttribution,
     llc: Llc,
     time: u64,
 }
@@ -200,9 +283,29 @@ impl HbSim {
         HbSim {
             cfg,
             stats: HbStats::default(),
+            attr: HbAttribution::default(),
             llc,
             time: 0,
         }
+    }
+
+    /// Records an attribution increment (the caller advances `time` by the
+    /// same total) and mirrors it into the telemetry registry.
+    fn attribute(&mut self, delta: HbAttribution) {
+        self.attr.compute += delta.compute;
+        self.attr.llc_access += delta.llc_access;
+        self.attr.dram_stall += delta.dram_stall;
+        self.attr.bank += delta.bank;
+        self.attr.barrier += delta.barrier;
+        self.attr.host += delta.host;
+        let c = counters();
+        c.compute.add(delta.compute);
+        c.llc_access.add(delta.llc_access);
+        c.dram_stall.add(delta.dram_stall);
+        c.bank.add(delta.bank);
+        c.barrier.add(delta.barrier);
+        c.host.add(delta.host);
+        c.total.add(delta.total());
     }
 
     /// Total simulated cycles.
@@ -226,6 +329,10 @@ impl HbSim {
 
     /// Charges sequential host cycles.
     pub fn host_cycles(&mut self, cycles: u64) {
+        self.attribute(HbAttribution {
+            host: cycles,
+            ..HbAttribution::default()
+        });
         self.time += cycles;
     }
 
@@ -237,9 +344,16 @@ impl HbSim {
     /// charged (including the end-of-phase barrier).
     pub fn run_phase(&mut self, _name: &str, cores: Vec<CoreTrace>) -> u64 {
         self.stats.phases += 1;
+        let stats_before = self.stats;
         let mut max_core: u64 = 0;
         let mut bank_load: HashMap<usize, u64> = HashMap::new();
         let mut phase_dram_bytes: u64 = 0;
+        // Raw attribution sums in core-cycles, classifying every addition
+        // to `core_time`; scaled to the phase's actual charge below.
+        let mut compute_raw: u64 = 0;
+        let mut llc_raw: u64 = 0;
+        let mut dram_raw: u64 = 0;
+        let mut scratch_hits: u64 = 0;
         // (line -> (first core id, shared?)) for contention accounting.
         let mut line_users: HashMap<u64, (usize, bool)> = HashMap::new();
 
@@ -250,11 +364,15 @@ impl HbSim {
             // locality that alignment-based partitioning creates.
             let mut stream: HashMap<u32, u64> = HashMap::new();
             self.stats.compute_cycles += trace.computes;
+            compute_raw += trace.computes;
             for a in &trace.accesses {
                 match *a {
                     HbAccess::Demand { prop, idx, write } => {
                         let line = self.line_of(prop, idx);
                         if !write && stream.get(&prop) == Some(&line) {
+                            // Scratchpad/stream-buffer hit: core-local.
+                            scratch_hits += 1;
+                            compute_raw += 1;
                             core_time += 1;
                             continue;
                         }
@@ -274,22 +392,29 @@ impl HbSim {
                         *bank_load
                             .entry((line % self.cfg.llc_banks as u64) as usize)
                             .or_insert(0) += self.cfg.bank_cycles;
-                        let lat = if hit {
+                        let (lat, miss_stall) = if hit {
                             self.stats.llc_hits += 1;
-                            self.cfg.llc_hit_cycles
+                            (self.cfg.llc_hit_cycles, 0)
                         } else {
                             self.stats.llc_misses += 1;
                             phase_dram_bytes += self.cfg.line_bytes;
                             let stall = self.cfg.dram_cycles;
                             self.stats.dram_stall_cycles += stall / self.cfg.demand_overlap;
-                            self.cfg.llc_hit_cycles + stall
+                            (
+                                self.cfg.llc_hit_cycles + stall,
+                                stall / self.cfg.demand_overlap,
+                            )
                         };
                         // Non-blocking loads overlap a little; writes post.
-                        core_time += if write {
+                        let added = if write {
                             2
                         } else {
                             lat / self.cfg.demand_overlap
                         };
+                        let dram_part = miss_stall.min(added);
+                        dram_raw += dram_part;
+                        llc_raw += added - dram_part;
+                        core_time += added;
                     }
                     HbAccess::Bulk {
                         prop,
@@ -323,9 +448,13 @@ impl HbSim {
                         // outstanding-request window.
                         let lat = lines * self.cfg.llc_hit_cycles + misses * self.cfg.dram_cycles;
                         let stall = lat / self.cfg.bulk_overlap;
-                        self.stats.dram_stall_cycles +=
-                            misses * self.cfg.dram_cycles / self.cfg.bulk_overlap;
-                        core_time += if write { lines * 2 } else { stall.max(lines) };
+                        let miss_stall = misses * self.cfg.dram_cycles / self.cfg.bulk_overlap;
+                        self.stats.dram_stall_cycles += miss_stall;
+                        let added = if write { lines * 2 } else { stall.max(lines) };
+                        let dram_part = if write { 0 } else { miss_stall.min(added) };
+                        dram_raw += dram_part;
+                        llc_raw += added - dram_part;
+                        core_time += added;
                     }
                 }
             }
@@ -344,7 +473,38 @@ impl HbSim {
         let bw_bound = phase_dram_bytes
             / (self.cfg.hbm_channels as u64 * self.cfg.channel_bytes_per_cycle).max(1);
         self.stats.dram_bytes += phase_dram_bytes;
-        let cycles = max_core.max(bank_bound).max(bw_bound) + self.cfg.barrier_cycles;
+        let work = max_core.max(bank_bound).max(bw_bound);
+        let cycles = work + self.cfg.barrier_cycles;
+        // Scale the raw classification to the phase's actual charge;
+        // dram_stall takes the remainder (absorbing rounding and any
+        // bandwidth-roofline excess), the barrier is charged exactly.
+        let bank_raw = bank_bound;
+        let raw_total = compute_raw + llc_raw + dram_raw + bank_raw;
+        let scale = |part: u64| {
+            if raw_total == 0 {
+                0
+            } else {
+                ((work as u128 * part as u128) / raw_total as u128) as u64
+            }
+        };
+        let (compute, llc_access, bank) = (scale(compute_raw), scale(llc_raw), scale(bank_raw));
+        self.attribute(HbAttribution {
+            compute,
+            llc_access,
+            dram_stall: work - compute - llc_access - bank,
+            bank,
+            barrier: self.cfg.barrier_cycles,
+            host: 0,
+        });
+        let c = counters();
+        let hits = self.stats.llc_hits - stats_before.llc_hits;
+        let misses = self.stats.llc_misses - stats_before.llc_misses;
+        c.phases.incr();
+        c.network_hops.add(hits + misses);
+        c.llc_hits.add(hits);
+        c.llc_misses.add(misses);
+        c.scratchpad_hits.add(scratch_hits);
+        c.dram_bytes.add(phase_dram_bytes);
         self.time += cycles;
         cycles
     }
@@ -440,6 +600,44 @@ mod tests {
         assert!(u > 0.0 && u <= 1.0, "{u}");
         assert!(sim.stats.dram_bytes > 0);
         assert!(sim.time_ms() > 0.0);
+    }
+
+    #[test]
+    fn attribution_components_sum_to_total_time() {
+        let mut sim = HbSim::new(HbConfig::default());
+        sim.host_cycles(55);
+        for p in 0..4u32 {
+            let cores: Vec<CoreTrace> = (0..16u32)
+                .map(|c| CoreTrace {
+                    computes: 100 + c as u64 * 7,
+                    accesses: (0..64)
+                        .map(|i| {
+                            if i % 5 == 0 {
+                                HbAccess::Bulk {
+                                    prop: 1,
+                                    start: p * 4096 + i * 32,
+                                    count: 32,
+                                    write: i % 10 == 5,
+                                }
+                            } else {
+                                HbAccess::Demand {
+                                    prop: 2,
+                                    idx: (c * 997 + i * 131 + p * 13) % 65536,
+                                    write: i % 7 == 3,
+                                }
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            sim.run_phase("mixed", cores);
+        }
+        assert_eq!(sim.attr.total(), sim.time_cycles());
+        assert_eq!(sim.attr.host, 55);
+        assert_eq!(sim.attr.barrier, 4 * HbConfig::default().barrier_cycles);
+        assert!(sim.attr.compute > 0);
+        assert!(sim.attr.llc_access > 0);
+        assert!(sim.attr.dram_stall > 0);
     }
 
     #[test]

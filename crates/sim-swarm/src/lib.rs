@@ -32,6 +32,85 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::OnceLock;
+
+use ugc_telemetry::{Counter, Histogram};
+
+/// Where the simulated wall-clock cycles went, cumulatively per simulator.
+///
+/// Components always sum to [`SwarmSim::time_cycles`]. Each phase's
+/// elapsed time is split proportionally to the phase's per-core cycle
+/// categories (Fig. 11's breakdown), so the attribution reflects what the
+/// cores were doing while the clock advanced without changing the timing
+/// model itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwarmAttribution {
+    /// Time dominated by committed work.
+    pub commit: u64,
+    /// Time dominated by aborted/re-executed work (plus penalties).
+    pub abort: u64,
+    /// Time cores idled with no ready task.
+    pub idle_no_task: u64,
+    /// Time cores stalled on a full commit queue.
+    pub idle_cq_full: u64,
+    /// Time spent spilling overflowing task queues.
+    pub spill: u64,
+    /// Sequential host cycles between phases.
+    pub host: u64,
+}
+
+impl SwarmAttribution {
+    /// Sum of all components — always equals the simulator's total time.
+    pub fn total(&self) -> u64 {
+        self.commit + self.abort + self.idle_no_task + self.idle_cq_full + self.spill + self.host
+    }
+
+    /// Named components in display order.
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("commit", self.commit),
+            ("abort", self.abort),
+            ("idle_no_task", self.idle_no_task),
+            ("idle_cq_full", self.idle_cq_full),
+            ("spill", self.spill),
+            ("host", self.host),
+        ]
+    }
+}
+
+/// Registry handles for the `sim_swarm.` counter namespace.
+struct Counters {
+    commit: Counter,
+    abort: Counter,
+    idle_no_task: Counter,
+    idle_cq_full: Counter,
+    spill: Counter,
+    host: Counter,
+    total: Counter,
+    tasks_spawned: Counter,
+    commits: Counter,
+    aborts: Counter,
+    commit_order_merges: Counter,
+    queue_occupancy: Histogram,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        commit: Counter::new("sim_swarm.cycles.commit"),
+        abort: Counter::new("sim_swarm.cycles.abort"),
+        idle_no_task: Counter::new("sim_swarm.cycles.idle_no_task"),
+        idle_cq_full: Counter::new("sim_swarm.cycles.idle_cq_full"),
+        spill: Counter::new("sim_swarm.cycles.spill"),
+        host: Counter::new("sim_swarm.cycles.host"),
+        total: Counter::new("sim_swarm.cycles.total"),
+        tasks_spawned: Counter::new("sim_swarm.tasks_spawned"),
+        commits: Counter::new("sim_swarm.commits"),
+        aborts: Counter::new("sim_swarm.aborts"),
+        commit_order_merges: Counter::new("sim_swarm.commit_order_merges"),
+        queue_occupancy: Histogram::new("sim_swarm.queue_occupancy"),
+    })
+}
 
 /// Identifier of a task within one simulation.
 pub type TaskId = usize;
@@ -120,6 +199,7 @@ fn sorted_commit_order_on(tasks: &[TaskSpec], threads: usize) -> Vec<TaskId> {
         order.sort_unstable_by_key(|&t| (tasks[t].ts, t));
         return order;
     }
+    counters().commit_order_merges.incr();
     let runs = threads.min(8);
     let run_len = n.div_ceil(runs);
     let mut slices: Vec<&mut [TaskId]> = order.chunks_mut(run_len).collect();
@@ -203,6 +283,8 @@ pub struct SwarmSim {
     pub cfg: SwarmConfig,
     /// Statistics accumulated across [`SwarmSim::simulate`] calls.
     pub stats: SwarmStats,
+    /// Wall-clock attribution; components sum to [`SwarmSim::time_cycles`].
+    pub attr: SwarmAttribution,
     time: u64,
 }
 
@@ -212,8 +294,28 @@ impl SwarmSim {
         SwarmSim {
             cfg,
             stats: SwarmStats::default(),
+            attr: SwarmAttribution::default(),
             time: 0,
         }
+    }
+
+    /// Records an attribution increment (the caller advances `time` by the
+    /// same total) and mirrors it into the telemetry registry.
+    fn attribute(&mut self, delta: SwarmAttribution) {
+        self.attr.commit += delta.commit;
+        self.attr.abort += delta.abort;
+        self.attr.idle_no_task += delta.idle_no_task;
+        self.attr.idle_cq_full += delta.idle_cq_full;
+        self.attr.spill += delta.spill;
+        self.attr.host += delta.host;
+        let c = counters();
+        c.commit.add(delta.commit);
+        c.abort.add(delta.abort);
+        c.idle_no_task.add(delta.idle_no_task);
+        c.idle_cq_full.add(delta.idle_cq_full);
+        c.spill.add(delta.spill);
+        c.host.add(delta.host);
+        c.total.add(delta.total());
     }
 
     /// Total simulated cycles so far.
@@ -228,6 +330,10 @@ impl SwarmSim {
 
     /// Charges sequential host cycles (setup between task phases).
     pub fn host_cycles(&mut self, cycles: u64) {
+        self.attribute(SwarmAttribution {
+            host: cycles,
+            ..SwarmAttribution::default()
+        });
         self.time += cycles;
     }
 
@@ -241,6 +347,7 @@ impl SwarmSim {
         if tasks.is_empty() {
             return 0;
         }
+        counters().tasks_spawned.add(tasks.len() as u64);
         let n = tasks.len();
         let mut state = vec![TaskState::Waiting; n];
         // Commit order: (ts, id).
@@ -281,6 +388,11 @@ impl SwarmSim {
         let mut stash: Vec<(u64, TaskId)> = Vec::new();
 
         loop {
+            // One histogram sample of task-queue pressure per event-loop
+            // iteration (deterministic: the event loop is single-threaded).
+            counters()
+                .queue_occupancy
+                .record((runnable.len() + pending.len()) as u64);
             // Promote pending tasks that became available.
             while let Some(&Reverse((avail, t))) = pending.peek() {
                 if avail > now {
@@ -497,6 +609,30 @@ impl SwarmSim {
 
         let elapsed = now;
         self.time += elapsed;
+        // Attribute this phase's elapsed wall-clock proportionally to its
+        // per-core cycle categories; the commit component takes the
+        // integer-division remainder so the parts sum to `elapsed` exactly.
+        let core_total = stats.total_core_cycles();
+        let scale = |part: u64| {
+            if core_total == 0 {
+                0
+            } else {
+                ((elapsed as u128 * part as u128) / core_total as u128) as u64
+            }
+        };
+        let mut delta = SwarmAttribution {
+            commit: 0,
+            abort: scale(stats.abort_cycles),
+            idle_no_task: scale(stats.idle_no_task_cycles),
+            idle_cq_full: scale(stats.idle_cq_full_cycles),
+            spill: scale(stats.spill_cycles),
+            host: 0,
+        };
+        delta.commit = elapsed - delta.total();
+        self.attribute(delta);
+        let c = counters();
+        c.commits.add(stats.commits);
+        c.aborts.add(stats.aborts);
         self.stats.commit_cycles += stats.commit_cycles;
         self.stats.abort_cycles += stats.abort_cycles;
         self.stats.idle_no_task_cycles += stats.idle_no_task_cycles;
@@ -776,6 +912,28 @@ mod tests {
             "eviction should have squashed: {:?}",
             sim.stats
         );
+    }
+
+    #[test]
+    fn attribution_components_sum_to_total_time() {
+        let mut sim = SwarmSim::new(SwarmConfig::default().with_cores(4));
+        sim.host_cycles(123);
+        // A conflicting workload (aborts), a fan-out (spills with a tiny
+        // queue would need config; idle shows up regardless), two phases.
+        let mut t0 = task(0, 1000);
+        t0.writes = vec![7];
+        let mut t1 = task(1, 10);
+        t1.reads = vec![7];
+        sim.simulate(&[t0, t1], &[0, 1], false);
+        sim.simulate(
+            &(0..32).map(|_| task(0, 50)).collect::<Vec<_>>(),
+            &(0..32).collect::<Vec<_>>(),
+            false,
+        );
+        sim.host_cycles(7);
+        assert_eq!(sim.attr.total(), sim.time_cycles());
+        assert_eq!(sim.attr.host, 130);
+        assert!(sim.attr.commit > 0);
     }
 
     #[test]

@@ -20,7 +20,47 @@ cargo test -q --offline
 echo "== cargo test under UGC_THREADS=1 (deterministic serial execution)"
 # The pool honors UGC_THREADS as a global cap; 1 means every parallel_for
 # runs inline. Scoped to the crates that exercise the pool to bound time.
+# ugc-integration includes the cross-backend differential conformance
+# suite (tests/differential_backends.rs) and the pool counter tests, so
+# both run serially here — the latter asserts steals == 0 exactly.
 UGC_THREADS=1 cargo test -q --offline -p ugc-runtime -p ugc-backend-cpu -p ugc-integration
+
+echo "== cargo test under UGC_TELEMETRY=0 (counters compiled to no-ops)"
+# Disabled telemetry must leave results identical and registries empty;
+# telemetry_invariants asserts both, the differential suite proves the
+# answers don't change, pool_threads checks the all-zero counter branch,
+# and failure_modes drives the repro CLI's telemetry-off exit path.
+UGC_TELEMETRY=0 cargo test -q --offline -p ugc-telemetry
+UGC_TELEMETRY=0 cargo test -q --offline -p ugc-integration \
+  --test telemetry_invariants --test differential_backends \
+  --test pool_threads --test failure_modes
+
+echo "== repro --profile smoke (attribution tables must balance)"
+# repro itself exits nonzero when a backend's components fail to sum to
+# its total; on top of that, assert the table actually rendered for all
+# four backends and the snapshot landed in the JSON-lines output.
+rm -f target/ci-profile-smoke.json
+profile_out="$(UGC_BENCH_OUT=target/ci-profile-smoke.json \
+  cargo run --release --offline -q -p ugc-bench --bin repro -- --scale tiny --profile all)"
+balanced=$(printf '%s\n' "$profile_out" | grep -c "components sum to total" || true)
+if [ "$balanced" -ne 4 ]; then
+  echo "profile smoke: expected 4 balanced attribution tables, saw $balanced" >&2
+  exit 1
+fi
+grep -q '"counter":"sim_gpu.cycles.total"' target/ci-profile-smoke.json || {
+  echo "profile smoke: telemetry snapshot missing from JSON output" >&2
+  exit 1
+}
+
+echo "== telemetry centralization gate"
+# Every perf counter lives in crates/telemetry. No other crate may
+# declare a raw `static ... AtomicU64` counter — property storage
+# (Vec<AtomicU64> fields) and test-local atomics are fine; the gate is
+# on statics, which is how ad-hoc perf counters creep back in.
+if grep -rn --include='*.rs' 'static .*AtomicU64' crates | grep -v '^crates/telemetry/'; then
+  echo "telemetry gate: raw static AtomicU64 counter outside crates/telemetry" >&2
+  exit 1
+fi
 
 echo "== autotuner smoke (tiny scale, fixed seed, capped budget)"
 # A deterministic end-to-end tune of one triple per simulator target; the
@@ -34,8 +74,15 @@ tune() {
 tune gpu bfs PK
 tune swarm sssp RN
 tune hb pr PK
-tune gpu bfs PK | grep -q "cache hit" || {
+# Capture to a file rather than piping into grep -q: an early-exiting
+# grep would hand repro a broken pipe mid-print.
+tune gpu bfs PK > target/ci-tune-rerun.txt
+grep -q "cache hit" target/ci-tune-rerun.txt || {
   echo "autotuner smoke: expected a cache hit on the second GPU tune" >&2
+  exit 1
+}
+grep -q "winner profile:" target/ci-tune-rerun.txt || {
+  echo "autotuner smoke: cached tune must replay the winner's profile" >&2
   exit 1
 }
 

@@ -139,3 +139,118 @@ fn duplicate_schedule_application_last_wins() {
     let r = c.run(Target::Cpu, &graph).unwrap();
     assert!(r.property_ints("parent").iter().all(|&p| p != -1));
 }
+
+/// The `repro` CLI must reject invalid invocations with a nonzero exit
+/// and the usage string — never panic, never run a half-configured
+/// experiment. These tests drive the real binary.
+mod repro_cli {
+    use std::path::PathBuf;
+    use std::process::{Command, Output};
+    use std::sync::OnceLock;
+
+    /// Builds the `repro` binary once (offline, same profile as this test
+    /// executable) and returns its path.
+    fn repro_bin() -> &'static PathBuf {
+        static BIN: OnceLock<PathBuf> = OnceLock::new();
+        BIN.get_or_init(|| {
+            let mut dir = std::env::current_exe().expect("test executable path");
+            dir.pop();
+            if dir.ends_with("deps") {
+                dir.pop();
+            }
+            let release = dir.ends_with("release");
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let mut build = Command::new(cargo);
+            build.args([
+                "build",
+                "-q",
+                "--offline",
+                "-p",
+                "ugc-bench",
+                "--bin",
+                "repro",
+            ]);
+            if release {
+                build.arg("--release");
+            }
+            let status = build.status().expect("spawn cargo to build repro");
+            assert!(status.success(), "building the repro binary failed");
+            let bin = dir.join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+            assert!(bin.exists(), "repro binary missing at {}", bin.display());
+            bin
+        })
+    }
+
+    fn run_repro(args: &[&str], telemetry: Option<&str>) -> Output {
+        let mut cmd = Command::new(repro_bin());
+        cmd.args(args);
+        if let Some(mode) = telemetry {
+            cmd.env("UGC_TELEMETRY", mode);
+        }
+        cmd.output().expect("run repro")
+    }
+
+    /// Asserts the invocation exits nonzero and prints the usage string.
+    /// Every case here fails during argument validation, before any
+    /// experiment starts, so this is mode-independent and fast.
+    fn assert_usage_failure(args: &[&str]) {
+        let out = run_repro(args, None);
+        assert!(
+            !out.status.success(),
+            "repro {args:?} must exit nonzero, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("usage: repro"),
+            "repro {args:?} stderr must show usage, got: {stderr}"
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_name_exits_with_usage() {
+        assert_usage_failure(&["tune", "cpu", "pr", "nosuchdataset"]);
+    }
+
+    #[test]
+    fn unknown_experiment_exits_with_usage() {
+        assert_usage_failure(&["fig99"]);
+    }
+
+    #[test]
+    fn unknown_profile_value_exits_with_usage() {
+        assert_usage_failure(&["--profile", "tpu"]);
+    }
+
+    #[test]
+    fn profile_mixed_with_experiment_words_exits_with_usage() {
+        assert_usage_failure(&["--profile", "all", "fig8"]);
+    }
+
+    #[test]
+    fn flag_without_value_exits_with_usage() {
+        assert_usage_failure(&["--scale"]);
+        assert_usage_failure(&["--profile"]);
+    }
+
+    #[test]
+    fn bad_scale_and_incomplete_tune_exit_with_usage() {
+        assert_usage_failure(&["--scale", "galactic", "fig8"]);
+        assert_usage_failure(&["tune", "cpu", "pr"]);
+    }
+
+    #[test]
+    fn profile_with_telemetry_disabled_exits_nonzero() {
+        let out = run_repro(&["--profile", "cpu"], Some("0"));
+        assert!(
+            !out.status.success(),
+            "--profile under UGC_TELEMETRY=0 must fail, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("UGC_TELEMETRY"),
+            "error must name the telemetry switch, got: {stderr}"
+        );
+    }
+}

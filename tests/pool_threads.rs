@@ -141,3 +141,109 @@ fn sssp_distances_invariant_across_thread_counts() {
         },
     );
 }
+
+/// The global `UGC_THREADS` cap, as the pool reads it: `None` means
+/// uncapped, `Some(1)` (or 0, which the pool clamps up) means every
+/// `parallel_for` in this process runs inline on the caller.
+fn threads_cap() -> Option<usize> {
+    std::env::var("UGC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Telemetry: under forced stealing (8 participants, chunk hint 1, work
+/// skewed onto participant 0's block) the pool's steal/park counters stay
+/// consistent with its chunk accounting — and under `UGC_THREADS=1`, where
+/// dispatch is impossible, steals and parks are exactly zero for the whole
+/// process no matter what the sibling tests in this binary did.
+#[test]
+fn steal_and_park_counters_consistent_under_forced_stealing() {
+    use ugc_runtime::pool::{telemetry, PoolTelemetry};
+
+    let total = 4096usize;
+    let before = telemetry();
+    // Chunk hint 1 makes every index its own chunk; the first 64 indices
+    // (all inside participant 0's block) burn enough cycles that the other
+    // seven participants drain their trivial blocks and must steal the
+    // upper half of block 0 to finish.
+    ugc_runtime::pool::parallel_for(8, total, 1, |_tid, range| {
+        for i in range {
+            if i < 64 {
+                std::hint::black_box((0..200_000u64).sum::<u64>());
+            }
+        }
+    });
+    let after = telemetry();
+
+    if !ugc_telemetry::enabled() {
+        // UGC_TELEMETRY=0: every pool counter is dead by design.
+        assert_eq!(after, PoolTelemetry::default());
+        return;
+    }
+    if threads_cap().is_some_and(|cap| cap <= 1) {
+        // UGC_THREADS=1: inline execution only — no job was ever
+        // dispatched in this process, so stealing and parking cannot
+        // have happened even once.
+        assert_eq!(after.jobs, 0, "single-thread cap must never dispatch");
+        assert_eq!(after.steals, 0, "single-thread cap must never steal");
+        assert_eq!(after.parks, 0, "single-thread cap must never park");
+        assert!(
+            after.serial_runs > before.serial_runs,
+            "the inline fallback must be counted"
+        );
+        return;
+    }
+    // Multi-threaded: the job dispatched, every index became a counted
+    // chunk, and the skew forced at least one steal.
+    assert!(after.jobs > before.jobs, "dispatch must be counted");
+    assert!(
+        after.chunks - before.chunks >= total as u64,
+        "chunk hint 1 must count at least {total} chunks \
+         (delta {})",
+        after.chunks - before.chunks
+    );
+    assert!(
+        after.steals > before.steals,
+        "skewed tiny blocks must force stealing"
+    );
+    // Consistency: a steal always hands the thief work that executes as a
+    // counted chunk, so globally steals can never outnumber chunks; and
+    // both counters are monotone.
+    assert!(
+        after.steals <= after.chunks,
+        "steals ({}) cannot exceed executed chunks ({})",
+        after.steals,
+        after.chunks
+    );
+    assert!(after.parks >= before.parks, "park counter went backwards");
+}
+
+/// The zero-steal guarantee holds for an explicitly serial call too:
+/// one participant never dispatches, steals, or parks, regardless of the
+/// `UGC_THREADS` setting.
+#[test]
+fn one_participant_never_steals() {
+    use ugc_runtime::pool::telemetry;
+
+    let before = telemetry();
+    let hits = std::sync::atomic::AtomicUsize::new(0);
+    ugc_runtime::pool::parallel_for(1, 512, 1, |tid, range| {
+        assert_eq!(tid, 0, "serial run must stay on the caller");
+        hits.fetch_add(range.len(), std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 512);
+    let after = telemetry();
+    if !ugc_telemetry::enabled() {
+        return;
+    }
+    assert!(
+        after.serial_runs > before.serial_runs,
+        "one participant must take the serial path"
+    );
+    if threads_cap().is_some_and(|cap| cap <= 1) {
+        // With the process-wide cap at 1, nothing in this binary may
+        // have stolen — the counter is exactly zero, not merely stable.
+        assert_eq!(after.steals, 0);
+        assert_eq!(after.parks, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Telemetry invariants, cross-layer:
+//!
+//! 1. Per-component attributions sum to each backend's reported total
+//!    *exactly* (the simulators account every cycle; the CPU backend
+//!    accounts every nanosecond of `main`).
+//! 2. Registry counters are monotonic across iterations.
+//! 3. With `UGC_TELEMETRY=0` the registry stays empty and algorithm
+//!    results are unaffected (CI runs this binary under both settings).
+//! 4. Snapshots of the deterministic simulators are byte-stable across
+//!    two identical seeded runs.
+//!
+//! Registry deltas are only exact while no other thread is mid-
+//! measurement, so every measuring test in this binary serializes on
+//! [`measure_lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ugc::{Algorithm, Target};
+use ugc_bench::profile::{attribution_from, counter_prefix};
+use ugc_bench::{baseline_schedule, try_measure};
+use ugc_graph::{Dataset, Graph, Scale};
+use ugc_telemetry::Collector;
+
+fn measure_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A poisoned lock only means another test failed; the registry is
+    // still usable.
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn workload_graph() -> Graph {
+    Dataset::Pokec.generate(Scale::Tiny)
+}
+
+fn run_workload(target: Target, algo: Algorithm, graph: &Graph) {
+    try_measure(target, algo, graph, baseline_schedule(target, algo), 1)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", target.name(), algo.name()));
+}
+
+#[test]
+fn attribution_components_sum_to_each_backends_total() {
+    let _guard = measure_lock();
+    let graph = workload_graph();
+    for target in Target::ALL {
+        let col = Collector::start();
+        for algo in [Algorithm::PageRank, Algorithm::Bfs, Algorithm::Sssp] {
+            run_workload(target, algo, &graph);
+        }
+        let attr = attribution_from(target, &col.snapshot());
+        if ugc_telemetry::enabled() {
+            assert!(attr.total > 0, "{}: nothing attributed", target.name());
+            assert_eq!(
+                attr.component_sum(),
+                attr.total,
+                "{}: components {:?} do not sum to total {}",
+                target.name(),
+                attr.components,
+                attr.total
+            );
+        } else {
+            assert_eq!(attr.total, 0);
+            assert_eq!(attr.component_sum(), 0);
+        }
+    }
+}
+
+#[test]
+fn counters_are_monotonic_across_iterations() {
+    let _guard = measure_lock();
+    let graph = workload_graph();
+    let mut previous = ugc_telemetry::snapshot();
+    for _ in 0..3 {
+        for target in Target::ALL {
+            run_workload(target, Algorithm::Bfs, &graph);
+        }
+        let current = ugc_telemetry::snapshot();
+        for (name, value) in previous.entries() {
+            let now = current.value(name);
+            assert!(
+                now >= *value,
+                "counter `{name}` went backwards: {value} -> {now}"
+            );
+        }
+        previous = current;
+    }
+}
+
+#[test]
+fn disabled_telemetry_keeps_registry_empty_and_results_intact() {
+    let _guard = measure_lock();
+    let graph = workload_graph();
+    // The run must produce correct results in either mode...
+    let mut c = ugc::Compiler::new(Algorithm::Bfs);
+    c.start_vertex(0);
+    let run = c.run(Target::Cpu, &graph).expect("runs");
+    ugc_algorithms::validate::check_bfs_parents(&graph, 0, run.property_ints("parent"))
+        .expect("valid BFS tree regardless of telemetry mode");
+    // ...and with UGC_TELEMETRY=0 nothing may ever have been registered.
+    if !ugc_telemetry::enabled() {
+        assert!(
+            ugc_telemetry::Registry::global().is_empty(),
+            "disabled telemetry must register no counters"
+        );
+        assert!(ugc_telemetry::snapshot().is_empty());
+    }
+}
+
+#[test]
+fn simulator_snapshots_are_byte_stable_across_identical_runs() {
+    let _guard = measure_lock();
+    let graph = workload_graph();
+    // Wall-clock counters (cpu.*, pool.*, frontend/midend spans) are
+    // legitimately noisy; the simulators are deterministic and their
+    // snapshots must match byte-for-byte between identical seeded runs.
+    let sim_targets = [Target::Gpu, Target::Swarm, Target::HammerBlade];
+    let mut passes = Vec::new();
+    for _ in 0..2 {
+        let mut lines = String::new();
+        for target in sim_targets {
+            let col = Collector::start();
+            run_workload(target, Algorithm::Sssp, &graph);
+            run_workload(target, Algorithm::Cc, &graph);
+            lines.push_str(&col.snapshot_prefix(counter_prefix(target)).to_json_lines());
+        }
+        passes.push(lines);
+    }
+    assert_eq!(
+        passes[0], passes[1],
+        "simulator telemetry must be byte-stable across identical runs"
+    );
+    if ugc_telemetry::enabled() {
+        assert!(!passes[0].is_empty());
+        assert!(passes[0].lines().all(|l| l.starts_with("{\"counter\":\"")));
+    } else {
+        assert!(passes[0].is_empty());
+    }
+}
