@@ -24,6 +24,25 @@ pub fn bfs_levels(g: &Graph, src: VertexId) -> Vec<i64> {
     level
 }
 
+/// BFS parent pointers from `src` (the BFS algorithm's `parent` vector):
+/// `parent[src] == src`, `-1` for unreachable vertices. Any valid BFS
+/// tree passes the validators; this one is the first-discovered tree.
+pub fn bfs_parents(g: &Graph, src: VertexId) -> Vec<i64> {
+    let mut parent = vec![-1i64; g.num_vertices()];
+    let mut q = VecDeque::new();
+    parent[src as usize] = src as i64;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        for &u in g.out_neighbors(v) {
+            if parent[u as usize] == -1 {
+                parent[u as usize] = v as i64;
+                q.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
 /// Dijkstra distances from `src`; [`INF`] for unreachable vertices.
 pub fn dijkstra(g: &Graph, src: VertexId) -> Vec<i64> {
     use std::cmp::Reverse;
@@ -151,6 +170,13 @@ mod tests {
         let g = generators::path(4);
         assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
         assert_eq!(bfs_levels(&g, 2), vec![-1, -1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_parents_on_path() {
+        let g = generators::path(4);
+        assert_eq!(bfs_parents(&g, 0), vec![0, 0, 1, 2]);
+        assert_eq!(bfs_parents(&g, 2), vec![-1, -1, 2, 2]);
     }
 
     #[test]

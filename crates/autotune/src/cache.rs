@@ -10,9 +10,18 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use ugc_graph::prng::SplitMix64;
 use ugc_graph::Graph;
+use ugc_telemetry::Counter;
+
+/// Counts cache lines dropped as malformed. Registered lazily so clean
+/// caches leave no trace in telemetry snapshots.
+fn malformed_counter() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| Counter::new("autotune.cache.malformed"))
+}
 
 /// A structural fingerprint of a graph: folds the shape (vertex/edge
 /// counts, weightedness) and strided samples of the CSR arrays through
@@ -248,6 +257,8 @@ impl TuningCache {
                 }
                 if let Some(entry) = CacheEntry::from_json_line(line) {
                     entries.insert(entry.key.clone(), entry);
+                } else {
+                    malformed_counter().incr();
                 }
             }
         }
@@ -377,21 +388,25 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_skipped() {
+    fn malformed_lines_are_skipped_and_counted() {
         let dir = std::env::temp_dir().join("ugc-autotune-cache-test");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tuning-cache-malformed.jsonl");
+        let good = entry("hb", 4).to_json_line();
+        // A record cut off mid-write (e.g. a crashed tuning run).
+        let truncated = &good[..good.len() / 2];
         fs::write(
             &path,
-            format!(
-                "not json at all\n{}\n{{\"target\":\"gpu\"}}\n",
-                entry("hb", 4).to_json_line()
-            ),
+            format!("not json at all\n{good}\n{{\"target\":\"gpu\"}}\n{truncated}\n"),
         )
         .unwrap();
+        let before = malformed_counter().get();
         let cache = TuningCache::open(&path).unwrap();
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&entry("hb", 4).key).is_some());
+        if ugc_telemetry::enabled() {
+            assert_eq!(malformed_counter().get() - before, 3);
+        }
         let _ = fs::remove_file(&path);
     }
 

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use ugc_graph::Graph;
 use ugc_graphir::ir::Program;
-use ugc_runtime::interp::{run_main, ExecError, ProgramState};
+use ugc_runtime::interp::{contain, run_main, ExecError, ProgramState};
 use ugc_runtime::value::Value;
 
 use crate::executor::{CpuAttribution, CpuExecutor};
@@ -80,6 +80,10 @@ impl CpuGraphVm {
     /// Executes a program (already lowered and passed through the midend)
     /// on `graph`, binding extern consts from `externs`.
     ///
+    /// Runs under [`contain`]: panics anywhere in the execution (broken
+    /// invariants, watchdog payloads) come back as classed [`ExecError`]s
+    /// instead of unwinding into the caller.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError`] for unbound externs or execution failures.
@@ -89,19 +93,21 @@ impl CpuGraphVm {
         graph: &'g Graph,
         externs: &HashMap<String, Value>,
     ) -> Result<Execution<'g>, ExecError> {
-        let mut state = ProgramState::new(prog, graph, externs)?;
-        let mut exec = self.executor.clone();
-        let start = Instant::now();
-        let result = run_main(&mut state, &mut exec);
-        let elapsed = start.elapsed();
-        // Attribute even on error so global counters stay consistent.
-        let attr = exec.finish_run(elapsed.as_nanos() as u64);
-        result?;
-        Ok(Execution {
-            state,
-            elapsed,
-            attr,
-        })
+        contain(std::panic::AssertUnwindSafe(|| {
+            let mut state = ProgramState::new(prog, graph, externs)?;
+            let mut exec = self.executor.clone();
+            let start = Instant::now();
+            let result = run_main(&mut state, &mut exec);
+            let elapsed = start.elapsed();
+            // Attribute even on error so global counters stay consistent.
+            let attr = exec.finish_run(elapsed.as_nanos() as u64);
+            result?;
+            Ok(Execution {
+                state,
+                elapsed,
+                attr,
+            })
+        }))
     }
 }
 

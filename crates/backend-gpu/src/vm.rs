@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use ugc_graph::Graph;
 use ugc_graphir::ir::Program;
-use ugc_runtime::interp::{run_main, ExecError, ProgramState};
+use ugc_runtime::interp::{contain, run_main, ExecError, ProgramState};
 use ugc_runtime::value::Value;
 use ugc_sim_gpu::{GpuConfig, GpuSim, GpuStats};
 
@@ -88,16 +88,18 @@ impl GpuGraphVm {
         graph: &'g Graph,
         externs: &HashMap<String, Value>,
     ) -> Result<GpuExecution<'g>, ExecError> {
-        crate::passes::run(&mut prog);
-        let mut state = ProgramState::new(prog, graph, externs)?;
-        let mut exec = GpuExecutor::new(GpuSim::new(self.config.clone()));
-        run_main(&mut state, &mut exec)?;
-        Ok(GpuExecution {
-            cycles: exec.sim.time_cycles(),
-            time_ms: exec.sim.time_ms(),
-            stats: exec.sim.stats,
-            state,
-        })
+        contain(std::panic::AssertUnwindSafe(|| {
+            crate::passes::run(&mut prog);
+            let mut state = ProgramState::new(prog, graph, externs)?;
+            let mut exec = GpuExecutor::new(GpuSim::new(self.config.clone()));
+            run_main(&mut state, &mut exec)?;
+            Ok(GpuExecution {
+                cycles: exec.sim.time_cycles(),
+                time_ms: exec.sim.time_ms(),
+                stats: exec.sim.stats,
+                state,
+            })
+        }))
     }
 }
 

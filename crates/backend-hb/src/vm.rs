@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use ugc_graph::Graph;
 use ugc_graphir::ir::Program;
-use ugc_runtime::interp::{run_main, ExecError, ProgramState};
+use ugc_runtime::interp::{contain, run_main, ExecError, ProgramState};
 use ugc_runtime::value::Value;
 use ugc_sim_hb::{HbConfig, HbSim, HbStats};
 
@@ -96,16 +96,18 @@ impl HbGraphVm {
         graph: &'g Graph,
         externs: &HashMap<String, Value>,
     ) -> Result<HbExecution<'g>, ExecError> {
-        let mut state = ProgramState::new(prog, graph, externs)?;
-        let mut exec = HbExecutor::new(HbSim::new(self.config.clone()));
-        run_main(&mut state, &mut exec)?;
-        Ok(HbExecution {
-            cycles: exec.sim.time_cycles(),
-            time_ms: exec.sim.time_ms(),
-            stats: exec.sim.stats,
-            bandwidth_utilization: exec.sim.bandwidth_utilization(),
-            state,
-        })
+        contain(std::panic::AssertUnwindSafe(|| {
+            let mut state = ProgramState::new(prog, graph, externs)?;
+            let mut exec = HbExecutor::new(HbSim::new(self.config.clone()));
+            run_main(&mut state, &mut exec)?;
+            Ok(HbExecution {
+                cycles: exec.sim.time_cycles(),
+                time_ms: exec.sim.time_ms(),
+                stats: exec.sim.stats,
+                bandwidth_utilization: exec.sim.bandwidth_utilization(),
+                state,
+            })
+        }))
     }
 }
 

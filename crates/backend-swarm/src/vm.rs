@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use ugc_graph::Graph;
 use ugc_graphir::ir::Program;
-use ugc_runtime::interp::{run_main, ExecError, ProgramState};
+use ugc_runtime::interp::{contain, run_main, ExecError, ProgramState};
 use ugc_runtime::value::Value;
 use ugc_sim_swarm::{SwarmConfig, SwarmSim, SwarmStats};
 
@@ -94,15 +94,17 @@ impl SwarmGraphVm {
         graph: &'g Graph,
         externs: &HashMap<String, Value>,
     ) -> Result<SwarmExecution<'g>, ExecError> {
-        let mut state = ProgramState::new(prog, graph, externs)?;
-        let mut exec = SwarmExecutor::new(SwarmSim::new(self.config.clone()));
-        run_main(&mut state, &mut exec)?;
-        Ok(SwarmExecution {
-            cycles: exec.sim.time_cycles(),
-            time_ms: exec.sim.time_ms(),
-            stats: exec.sim.stats,
-            state,
-        })
+        contain(std::panic::AssertUnwindSafe(|| {
+            let mut state = ProgramState::new(prog, graph, externs)?;
+            let mut exec = SwarmExecutor::new(SwarmSim::new(self.config.clone()));
+            run_main(&mut state, &mut exec)?;
+            Ok(SwarmExecution {
+                cycles: exec.sim.time_cycles(),
+                time_ms: exec.sim.time_ms(),
+                stats: exec.sim.stats,
+                state,
+            })
+        }))
     }
 }
 

@@ -28,9 +28,11 @@ use ugc_sim_gpu::GpuConfig;
 use ugc_sim_swarm::SwarmConfig;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
-                     <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|all> \
+                     <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|all> \
                      | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
-                     | --profile <cpu|gpu|swarm|hb|all>";
+                     | --profile <cpu|gpu|swarm|hb|all>\n\
+                     env: UGC_FAULTS=<gpu|swarm|hb>:<kind>:p=<prob>:seed=<N>[,...] \
+                     UGC_BUDGET_MS=<N> UGC_BUDGET_CYCLES=<N> UGC_FALLBACK=<cpu,seq,...|none>";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -38,7 +40,23 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Rejects malformed supervisor environment variables up front (exit 2)
+/// instead of letting every experiment fail identically mid-run.
+fn validate_supervisor_env() {
+    if let Ok(v) = std::env::var("UGC_FAULTS") {
+        if !v.trim().is_empty() {
+            if let Err(e) = ugc_resilience::fault::parse_faults(&v) {
+                usage_error(&format!("UGC_FAULTS: {e}"));
+            }
+        }
+    }
+    if let Err(e) = ugc::Policy::from_env() {
+        usage_error(&e);
+    }
+}
+
 fn main() {
+    validate_supervisor_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
     let mut tuner = Tuner::default();
@@ -108,6 +126,7 @@ fn main() {
             "table9" => table9(scale),
             "table10" => table10(scale),
             "configs" => configs(),
+            "chaos" => chaos(scale),
             "tune" => {
                 // `tune` consumes the next three words.
                 if what.len() - w < 4 {
@@ -260,6 +279,88 @@ fn tune(
             eprintln!("repro: autotuning failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `repro chaos`: seeded fault-injection smoke. Runs BFS and SSSP on
+/// every backend under the supervisor with the `UGC_FAULTS` schedule from
+/// the environment; each run must either validate against the sequential
+/// reference (possibly after retries/fallback) or fail with a typed
+/// error — a silent wrong answer exits 1. With telemetry on, also
+/// requires the resilience counters to have moved.
+fn chaos(scale: Scale) {
+    let spec = std::env::var("UGC_FAULTS").unwrap_or_default();
+    if spec.trim().is_empty() {
+        usage_error("chaos needs UGC_FAULTS (e.g. gpu:kernel_launch_fail:p=0.2:seed=7)");
+    }
+    banner(&format!(
+        "Chaos: BFS + SSSP under injected faults (UGC_FAULTS={spec}, scale {})",
+        scale.name()
+    ));
+    let graph = Dataset::RoadNetCa.generate(scale);
+    let mut wrong = 0usize;
+    println!("{:<6}{:<13}outcome", "algo", "target");
+    for algo in [Algorithm::Bfs, Algorithm::Sssp] {
+        for target in Target::ALL {
+            let mut c = Compiler::new(algo);
+            c.start_vertex(0);
+            let outcome = match c.run(target, &graph) {
+                Ok(r) => {
+                    let check = match algo {
+                        Algorithm::Bfs => ugc_algorithms::validate::check_bfs_parents(
+                            &graph,
+                            0,
+                            r.property_ints("parent"),
+                        ),
+                        _ => ugc_algorithms::validate::check_sssp_distances(
+                            &graph,
+                            0,
+                            r.property_ints("dist"),
+                        ),
+                    };
+                    match check {
+                        Ok(()) => format!(
+                            "reference-equal (attempts {}, degraded to {})",
+                            r.attempts,
+                            r.degraded_to.as_deref().unwrap_or("-")
+                        ),
+                        Err(e) => {
+                            wrong += 1;
+                            format!("SILENT WRONG ANSWER: {e}")
+                        }
+                    }
+                }
+                Err(e) => format!("typed failure: {e}"),
+            };
+            println!("{:<6}{:<13}{outcome}", algo.name(), target.name());
+        }
+    }
+    if ugc_telemetry::enabled() {
+        let snap = ugc_telemetry::snapshot();
+        let activity: u64 = [
+            "resilience.faults_injected",
+            "resilience.retries",
+            "resilience.fallbacks",
+            "resilience.budget_kills",
+        ]
+        .iter()
+        .map(|k| snap.get(k).unwrap_or(0))
+        .sum();
+        println!(
+            "resilience: injected {}, retries {}, fallbacks {}, budget kills {}",
+            snap.get("resilience.faults_injected").unwrap_or(0),
+            snap.get("resilience.retries").unwrap_or(0),
+            snap.get("resilience.fallbacks").unwrap_or(0),
+            snap.get("resilience.budget_kills").unwrap_or(0),
+        );
+        if activity == 0 {
+            eprintln!("repro: chaos ran but no resilience counter moved — fault spec never fired");
+            std::process::exit(1);
+        }
+    }
+    if wrong > 0 {
+        eprintln!("repro: {wrong} chaos run(s) returned a silent wrong answer");
+        std::process::exit(1);
     }
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use ugc_graph::Graph;
 use ugc_graphir::ir::Program;
@@ -41,6 +42,7 @@ use ugc_runtime::value::Value;
 use ugc_schedule::ScheduleRef;
 
 pub use ugc_algorithms::Algorithm;
+pub use ugc_resilience::ErrorClass;
 
 /// The four architectures of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +85,12 @@ pub struct RunResult {
     pub time_ms: f64,
     /// Simulated cycles (0 for the CPU target).
     pub cycles: u64,
+    /// Total execution attempts the supervisor made to get this result
+    /// (1 = clean first try).
+    pub attempts: u32,
+    /// `Some(name)` when the supervisor degraded to a fallback executor
+    /// (a backend name, or `"reference"` for the sequential reference).
+    pub degraded_to: Option<String>,
 }
 
 impl std::fmt::Debug for RunResult {
@@ -114,16 +122,31 @@ impl RunResult {
     }
 }
 
-/// Compilation/execution failure.
+/// Compilation/execution failure, classed per the workspace taxonomy
+/// ([`ErrorClass`]) so supervisors and callers can tell retryable faults
+/// from program errors, watchdog kills, and broken invariants.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UgcError {
     /// Description.
     pub message: String,
+    /// Supervisor policy class.
+    pub class: ErrorClass,
+}
+
+impl UgcError {
+    /// A `Permanent` error — the default for compile-time and
+    /// configuration failures.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        UgcError {
+            message: message.into(),
+            class: ErrorClass::Permanent,
+        }
+    }
 }
 
 impl std::fmt::Display for UgcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ugc error: {}", self.message)
+        write!(f, "ugc error ({}): {}", self.class, self.message)
     }
 }
 
@@ -131,8 +154,129 @@ impl std::error::Error for UgcError {}
 
 impl From<ExecError> for UgcError {
     fn from(e: ExecError) -> Self {
-        UgcError { message: e.message }
+        UgcError {
+            message: e.message,
+            class: e.class,
+        }
     }
+}
+
+/// One step of a supervisor fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// Re-run the compiled program on another backend.
+    Target(Target),
+    /// Run the sequential reference implementation (known algorithms
+    /// only).
+    Reference,
+}
+
+impl Fallback {
+    fn name(self) -> String {
+        match self {
+            Fallback::Target(t) => t.name().to_ascii_lowercase(),
+            Fallback::Reference => "reference".to_string(),
+        }
+    }
+}
+
+/// Supervisor policy: retry limits, watchdog budgets, and the fallback
+/// chain. [`Policy::from_env`] is what [`Compiler::run`] uses; tests
+/// construct policies directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Retries per chain step for `Transient` failures (beyond the first
+    /// attempt).
+    pub max_retries: u32,
+    /// Wall-clock watchdog (`UGC_BUDGET_MS`).
+    pub wall_budget: Option<Duration>,
+    /// Simulated-cycle watchdog (`UGC_BUDGET_CYCLES`).
+    pub cycle_budget: Option<u64>,
+    /// Explicit fallback chain; `None` selects the default (the CPU
+    /// backend, then the sequential reference).
+    pub fallback: Option<Vec<Fallback>>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            max_retries: 2,
+            wall_budget: None,
+            cycle_budget: None,
+            fallback: None,
+        }
+    }
+}
+
+impl Policy {
+    /// Reads `UGC_BUDGET_MS`, `UGC_BUDGET_CYCLES`, and `UGC_FALLBACK`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending variable and value; budgets must be
+    /// positive integers, fallback entries must name a backend,
+    /// `reference`/`seq`, or `none`.
+    pub fn from_env() -> Result<Policy, String> {
+        let mut policy = Policy::default();
+        policy.wall_budget = parse_budget_env("UGC_BUDGET_MS")?.map(Duration::from_millis);
+        policy.cycle_budget = parse_budget_env("UGC_BUDGET_CYCLES")?;
+        if let Ok(v) = std::env::var("UGC_FALLBACK") {
+            policy.fallback = Some(parse_fallback(&v)?);
+        }
+        Ok(policy)
+    }
+}
+
+fn parse_budget_env(name: &str) -> Result<Option<u64>, String> {
+    let Ok(v) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let v = v.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "{name} must be a positive integer, got `{v}` (zero and negative budgets reject every run)"
+        )),
+    }
+}
+
+/// Parses a `UGC_FALLBACK` value: comma-separated backend names,
+/// `reference`/`seq`, or the single word `none` for an empty chain.
+///
+/// # Errors
+///
+/// A message naming the unknown entry.
+pub fn parse_fallback(s: &str) -> Result<Vec<Fallback>, String> {
+    let trimmed = s.trim();
+    if trimmed.eq_ignore_ascii_case("none") {
+        return Ok(Vec::new());
+    }
+    let mut chain = Vec::new();
+    for part in trimmed.split(',') {
+        let part = part.trim().to_ascii_lowercase();
+        if part.is_empty() {
+            continue;
+        }
+        chain.push(match part.as_str() {
+            "cpu" => Fallback::Target(Target::Cpu),
+            "gpu" => Fallback::Target(Target::Gpu),
+            "swarm" => Fallback::Target(Target::Swarm),
+            "hb" | "hammerblade" => Fallback::Target(Target::HammerBlade),
+            "seq" | "reference" => Fallback::Reference,
+            other => {
+                return Err(format!(
+                    "UGC_FALLBACK entry `{other}` is not a backend (cpu/gpu/swarm/hb), `seq`, or `none`"
+                ))
+            }
+        });
+    }
+    if chain.is_empty() {
+        return Err(format!("UGC_FALLBACK `{s}` names no fallback targets"));
+    }
+    Ok(chain)
 }
 
 /// The end-to-end compiler pipeline for one algorithm.
@@ -144,6 +288,9 @@ pub struct Compiler {
     source: String,
     schedules: Vec<(String, ScheduleRef)>,
     externs: HashMap<String, Value>,
+    /// Known algorithm identity (enables the sequential-reference
+    /// fallback); `None` for arbitrary source text.
+    algo: Option<Algorithm>,
 }
 
 impl Compiler {
@@ -153,6 +300,7 @@ impl Compiler {
             source: algo.source().to_string(),
             schedules: Vec::new(),
             externs: HashMap::new(),
+            algo: Some(algo),
         }
     }
 
@@ -162,6 +310,7 @@ impl Compiler {
             source: source.into(),
             schedules: Vec::new(),
             externs: HashMap::new(),
+            algo: None,
         }
     }
 
@@ -193,25 +342,181 @@ impl Compiler {
     ///
     /// Returns [`UgcError`] on any frontend/midend failure.
     pub fn compile(&self) -> Result<Program, UgcError> {
-        let mut prog = ugc_midend::frontend_to_ir(&self.source)
-            .map_err(|e| UgcError { message: e.message })?;
+        let mut prog =
+            ugc_midend::frontend_to_ir(&self.source).map_err(|e| UgcError::permanent(e.message))?;
         for (path, sched) in &self.schedules {
-            ugc_schedule::apply_schedule(&mut prog, path, sched.clone()).map_err(|e| UgcError {
-                message: e.to_string(),
-            })?;
+            ugc_schedule::apply_schedule(&mut prog, path, sched.clone())
+                .map_err(|e| UgcError::permanent(e.to_string()))?;
         }
-        ugc_midend::run_passes(&mut prog).map_err(|e| UgcError { message: e.message })?;
+        ugc_midend::run_passes(&mut prog).map_err(|e| UgcError::permanent(e.message))?;
         Ok(prog)
     }
 
-    /// Compiles and executes on a target.
+    /// Compiles and executes on a target under the supervisor, with the
+    /// fault injector ([`UGC_FAULTS`]), watchdog budgets, and fallback
+    /// chain configured from the environment (`UGC_BUDGET_MS`,
+    /// `UGC_BUDGET_CYCLES`, `UGC_FALLBACK`).
+    ///
+    /// [`UGC_FAULTS`]: ugc_resilience::fault
     ///
     /// # Errors
     ///
-    /// Returns [`UgcError`] on compilation or execution failure.
+    /// Returns [`UgcError`] on compilation failure, malformed supervisor
+    /// environment variables, or when the whole fallback chain is
+    /// exhausted.
     pub fn run(&self, target: Target, graph: &Graph) -> Result<RunResult, UgcError> {
+        ugc_resilience::fault::init_from_env().map_err(UgcError::permanent)?;
+        let policy = Policy::from_env().map_err(UgcError::permanent)?;
+        self.run_with_policy(target, graph, &policy)
+    }
+
+    /// Compiles and executes on a target under an explicit supervisor
+    /// [`Policy`].
+    ///
+    /// Every attempt runs inside a watchdog [`budget scope`]
+    /// (`ugc_resilience::budget`); `Transient` failures (injected faults)
+    /// are retried with deterministic exponential backoff, and on
+    /// exhaustion — or on `Budget`/`Invariant` failures — execution
+    /// degrades along the fallback chain. The default chain is the CPU
+    /// backend (when it is not the primary) followed by the sequential
+    /// reference implementation (known algorithms only).
+    ///
+    /// [`budget scope`]: ugc_resilience::budget::scope
+    ///
+    /// # Errors
+    ///
+    /// `Permanent` failures of the primary target return immediately
+    /// (program and configuration errors no fallback can mask); otherwise
+    /// the last chain step's error is returned once every step fails.
+    pub fn run_with_policy(
+        &self,
+        target: Target,
+        graph: &Graph,
+        policy: &Policy,
+    ) -> Result<RunResult, UgcError> {
         let prog = self.compile()?;
-        self.run_compiled(target, prog, graph)
+        let mut chain: Vec<Fallback> = vec![Fallback::Target(target)];
+        match &policy.fallback {
+            Some(steps) => chain.extend(steps.iter().copied()),
+            None => {
+                if target != Target::Cpu {
+                    chain.push(Fallback::Target(Target::Cpu));
+                }
+                if self.algo.is_some() {
+                    chain.push(Fallback::Reference);
+                }
+            }
+        }
+        let mut attempts: u32 = 0;
+        let mut last_err: Option<UgcError> = None;
+        for (step_idx, step) in chain.iter().enumerate() {
+            if step_idx > 0 {
+                ugc_resilience::count_fallback();
+            }
+            let mut retries = 0u32;
+            loop {
+                attempts += 1;
+                // Each attempt gets its own deterministic fault stream and
+                // a fresh watchdog window.
+                ugc_resilience::fault::begin_attempt(attempts as u64);
+                let _budget =
+                    ugc_resilience::budget::scope(policy.wall_budget, policy.cycle_budget);
+                let outcome = match step {
+                    Fallback::Target(t) => self.run_compiled(*t, prog.clone(), graph),
+                    Fallback::Reference => self.run_reference(graph),
+                };
+                match outcome {
+                    Ok(mut r) => {
+                        r.attempts = attempts;
+                        if step_idx > 0 {
+                            r.degraded_to = Some(step.name());
+                        }
+                        return Ok(r);
+                    }
+                    Err(e) => {
+                        if e.class == ErrorClass::Transient && retries < policy.max_retries {
+                            retries += 1;
+                            ugc_resilience::count_retry();
+                            std::thread::sleep(Duration::from_millis(ugc_resilience::backoff_ms(
+                                retries,
+                            )));
+                            continue;
+                        }
+                        // Permanent errors from the requested target are
+                        // program/configuration errors no fallback masks.
+                        if step_idx == 0 && e.class == ErrorClass::Permanent {
+                            return Err(e);
+                        }
+                        last_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("fallback chain always has the primary step"))
+    }
+
+    /// Runs the sequential reference implementation — the degradation
+    /// chain's last resort. Only available when the pipeline was built
+    /// from a known [`Algorithm`].
+    fn run_reference(&self, graph: &Graph) -> Result<RunResult, UgcError> {
+        let Some(algo) = self.algo else {
+            return Err(UgcError::permanent(
+                "no sequential reference for arbitrary source text",
+            ));
+        };
+        let start = if algo.needs_start_vertex() {
+            let v = *self
+                .externs
+                .get("start_vertex")
+                .ok_or_else(|| UgcError::permanent("start_vertex extern is not bound"))?;
+            let s = ugc_runtime::contain(std::panic::AssertUnwindSafe(|| Ok(v.as_int())))?;
+            if s < 0 || s as usize >= graph.num_vertices() {
+                return Err(UgcError::permanent(format!(
+                    "start_vertex {s} out of range for graph with {} vertices",
+                    graph.num_vertices()
+                )));
+            }
+            s as u32
+        } else {
+            0
+        };
+        let t0 = Instant::now();
+        let mut ints = HashMap::new();
+        let mut floats = HashMap::new();
+        ugc_runtime::contain(std::panic::AssertUnwindSafe(|| {
+            use ugc_algorithms::reference;
+            match algo {
+                Algorithm::Bfs => {
+                    ints.insert("parent".to_string(), reference::bfs_parents(graph, start));
+                }
+                Algorithm::Sssp => {
+                    ints.insert("dist".to_string(), reference::dijkstra(graph, start));
+                }
+                Algorithm::Cc => {
+                    ints.insert("IDs".to_string(), reference::cc_labels(graph));
+                }
+                Algorithm::PageRank => {
+                    floats.insert("old_rank".to_string(), reference::pagerank(graph, 20, 0.85));
+                }
+                Algorithm::Bc => {
+                    floats.insert(
+                        "centrality".to_string(),
+                        reference::bc_dependencies(graph, start),
+                    );
+                }
+            }
+            Ok(())
+        }))?;
+        Ok(RunResult {
+            ints,
+            floats,
+            prints: Vec::new(),
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+            cycles: 0,
+            attempts: 1,
+            degraded_to: None,
+        })
     }
 
     /// Executes an already-compiled program on a target.
@@ -253,6 +558,8 @@ impl Compiler {
                     prints: run.state.prints.clone(),
                     time_ms: run.elapsed.as_secs_f64() * 1e3,
                     cycles: 0,
+                    attempts: 1,
+                    degraded_to: None,
                 })
             }
             Target::Gpu => {
@@ -265,6 +572,8 @@ impl Compiler {
                     prints: run.state.prints.clone(),
                     time_ms: run.time_ms,
                     cycles: run.cycles,
+                    attempts: 1,
+                    degraded_to: None,
                 })
             }
             Target::Swarm => {
@@ -277,6 +586,8 @@ impl Compiler {
                     prints: run.state.prints.clone(),
                     time_ms: run.time_ms,
                     cycles: run.cycles,
+                    attempts: 1,
+                    degraded_to: None,
                 })
             }
             Target::HammerBlade => {
@@ -289,6 +600,8 @@ impl Compiler {
                     prints: run.state.prints.clone(),
                     time_ms: run.time_ms,
                     cycles: run.cycles,
+                    attempts: 1,
+                    degraded_to: None,
                 })
             }
         }

@@ -1,0 +1,140 @@
+//! Cooperative watchdog budgets: wall-clock and simulated-cycle caps.
+//!
+//! The supervisor arms budgets for the current thread with [`scope`];
+//! execution then checks them cooperatively:
+//!
+//! * the timing simulators call [`check_cycles`] after advancing
+//!   simulated time — exceeding the cap panics with a typed
+//!   [`BudgetPayload`] that the GraphVM boundary converts into a
+//!   `Budget`-classed error;
+//! * the shared interpreter queries [`wall_exceeded`] once per `While`
+//!   iteration and returns a classed error directly.
+//!
+//! Budgets are thread-local: nothing outside a supervisor scope ever
+//! pays more than two thread-local reads, and unsupervised code paths
+//! (unit tests driving a VM directly) behave exactly as before.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use crate::counters;
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+    static CYCLE_CAP: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The panic payload raised when a cycle watchdog kills an attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetPayload {
+    /// Which budget fired (`"cycles"` or `"wall"`).
+    pub what: &'static str,
+    /// Human-readable detail (cap and observed value).
+    pub detail: String,
+}
+
+impl std::fmt::Display for BudgetPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} budget exhausted: {}", self.what, self.detail)
+    }
+}
+
+/// RAII guard from [`scope`]; restores the previous budgets on drop.
+pub struct BudgetScope {
+    prev_deadline: Option<Instant>,
+    prev_cap: Option<u64>,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        DEADLINE.with(|d| d.set(self.prev_deadline));
+        CYCLE_CAP.with(|c| c.set(self.prev_cap));
+    }
+}
+
+/// Arms the calling thread's watchdogs for the duration of the returned
+/// guard. `None` leaves the corresponding watchdog disarmed.
+pub fn scope(wall: Option<Duration>, cycles: Option<u64>) -> BudgetScope {
+    let prev_deadline = DEADLINE.with(|d| d.replace(wall.map(|w| Instant::now() + w)));
+    let prev_cap = CYCLE_CAP.with(|c| c.replace(cycles));
+    BudgetScope {
+        prev_deadline,
+        prev_cap,
+    }
+}
+
+/// Checks the simulated-cycle cap against `current` cycles; called by the
+/// simulators after advancing time.
+///
+/// # Panics
+///
+/// Panics with a typed [`BudgetPayload`] (counted as
+/// `resilience.budget_kills`) when the cap is exceeded. The payload is
+/// caught at the GraphVM boundary — it never escapes the supervisor.
+pub fn check_cycles(current: u64) {
+    let Some(cap) = CYCLE_CAP.with(|c| c.get()) else {
+        return;
+    };
+    if current > cap {
+        counters().budget_kills.incr();
+        std::panic::panic_any(BudgetPayload {
+            what: "cycles",
+            detail: format!("simulated {current} cycles against a cap of {cap}"),
+        });
+    }
+}
+
+/// Non-panicking wall-clock check used by the interpreter's loop headers.
+/// Returns the kill message (and counts `resilience.budget_kills`) when
+/// the deadline has passed.
+pub fn wall_exceeded() -> Option<String> {
+    let deadline = DEADLINE.with(|d| d.get())?;
+    if Instant::now() <= deadline {
+        return None;
+    }
+    counters().budget_kills.incr();
+    Some("wall budget exhausted: watchdog deadline passed mid-execution".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_budgets_are_noops() {
+        check_cycles(u64::MAX);
+        assert!(wall_exceeded().is_none());
+    }
+
+    #[test]
+    fn cycle_cap_panics_with_typed_payload() {
+        let _scope = scope(None, Some(1000));
+        check_cycles(999);
+        check_cycles(1000);
+        let err = std::panic::catch_unwind(|| check_cycles(1001)).unwrap_err();
+        let payload = err.downcast_ref::<BudgetPayload>().expect("typed payload");
+        assert_eq!(payload.what, "cycles");
+    }
+
+    #[test]
+    fn wall_deadline_trips_after_expiry() {
+        let _scope = scope(Some(Duration::from_millis(0)), None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(wall_exceeded().is_some());
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert!(wall_exceeded().is_none());
+        {
+            let _outer = scope(None, Some(10));
+            {
+                let _inner = scope(None, Some(u64::MAX));
+                check_cycles(1_000_000); // inner cap wins
+            }
+            let err = std::panic::catch_unwind(|| check_cycles(11)).unwrap_err();
+            assert!(err.downcast_ref::<BudgetPayload>().is_some());
+        }
+        check_cycles(u64::MAX); // fully disarmed again
+    }
+}

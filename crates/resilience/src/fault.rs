@@ -1,0 +1,421 @@
+//! The deterministic seeded fault injector.
+//!
+//! Configured from `UGC_FAULTS` (comma-separated
+//! `<domain>:<kind>:p=<prob>:seed=<n>` specs) or programmatically via
+//! [`install`]. The three timing simulators [`roll`] at their natural
+//! fault sites; a hit either degrades the simulation (extra cycles the
+//! caller charges) or is [`raise`]d as a typed panic payload that the
+//! GraphVM boundary converts into a `Transient` error.
+//!
+//! Determinism: draws come from a splitmix64 stream seeded by the spec's
+//! seed mixed with the supervisor's attempt number ([`begin_attempt`]) and
+//! a per-attempt draw index. The same spec, attempt, and draw sequence
+//! always produces the same faults; a *retry* re-rolls a different stream,
+//! which is what makes retrying injected transients meaningful.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::counters;
+
+/// Which simulator a fault spec targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// The SIMT GPU timing simulator (`sim-gpu`).
+    Gpu,
+    /// The Swarm speculative-task simulator (`sim-swarm`).
+    Swarm,
+    /// The HammerBlade manycore simulator (`sim-hb`).
+    Hb,
+}
+
+impl Domain {
+    /// The spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Gpu => "gpu",
+            Domain::Swarm => "swarm",
+            Domain::Hb => "hb",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Domain> {
+        match s {
+            "gpu" => Some(Domain::Gpu),
+            "swarm" => Some(Domain::Swarm),
+            "hb" | "hammerblade" => Some(Domain::Hb),
+            _ => None,
+        }
+    }
+}
+
+/// The injectable fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A kernel launch fails outright (GPU; fatal to the attempt).
+    KernelLaunchFail,
+    /// A memory-stall spike: the kernel completes but pays extra stall
+    /// cycles (GPU; degraded).
+    MemStallSpike,
+    /// An abort storm collapses the speculative commit window (Swarm;
+    /// fatal to the attempt).
+    TaskAbortStorm,
+    /// A DRAM bit error forces a redundant retry read (HammerBlade;
+    /// degraded — extra DRAM cycles).
+    DramBitError,
+}
+
+impl FaultKind {
+    /// The spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::KernelLaunchFail => "kernel_launch_fail",
+            FaultKind::MemStallSpike => "mem_stall_spike",
+            FaultKind::TaskAbortStorm => "task_abort_storm",
+            FaultKind::DramBitError => "dram_bit_error",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "kernel_launch_fail" => Some(FaultKind::KernelLaunchFail),
+            "mem_stall_spike" => Some(FaultKind::MemStallSpike),
+            "task_abort_storm" => Some(FaultKind::TaskAbortStorm),
+            "dram_bit_error" => Some(FaultKind::DramBitError),
+            _ => None,
+        }
+    }
+
+    /// The kinds a domain can host (specs are validated against this).
+    fn valid_for(self, domain: Domain) -> bool {
+        matches!(
+            (domain, self),
+            (Domain::Gpu, FaultKind::KernelLaunchFail)
+                | (Domain::Gpu, FaultKind::MemStallSpike)
+                | (Domain::Swarm, FaultKind::TaskAbortStorm)
+                | (Domain::Hb, FaultKind::DramBitError)
+        )
+    }
+}
+
+/// One parsed fault spec: inject `kind` faults in `domain` with
+/// per-opportunity probability `p`, drawing from `seed`'s stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Target simulator.
+    pub domain: Domain,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Per-roll probability in `[0, 1]`.
+    pub p: f64,
+    /// Base seed of the deterministic draw stream.
+    pub seed: u64,
+}
+
+/// A typed fault event, also used as the panic payload for fatal faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPayload {
+    /// Where the fault fired.
+    pub domain: Domain,
+    /// Which fault fired.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for FaultPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected fault {}:{}",
+            self.domain.name(),
+            self.kind.name()
+        )
+    }
+}
+
+/// Parses a full `UGC_FAULTS` value: comma-separated specs of the form
+/// `<domain>:<kind>:p=<prob>:seed=<n>`.
+///
+/// # Errors
+///
+/// A message naming the offending field; used verbatim by `repro`'s
+/// usage errors.
+pub fn parse_faults(s: &str) -> Result<Vec<FaultSpec>, String> {
+    let mut specs = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        specs.push(parse_one(part)?);
+    }
+    if specs.is_empty() {
+        return Err(format!("UGC_FAULTS `{s}` contains no fault specs"));
+    }
+    Ok(specs)
+}
+
+fn parse_one(part: &str) -> Result<FaultSpec, String> {
+    let fields: Vec<&str> = part.split(':').collect();
+    if fields.len() != 4 {
+        return Err(format!(
+            "fault spec `{part}` must be <domain>:<kind>:p=<prob>:seed=<n>"
+        ));
+    }
+    let domain = Domain::parse(fields[0])
+        .ok_or_else(|| format!("fault spec `{part}`: unknown domain `{}`", fields[0]))?;
+    let kind = FaultKind::parse(fields[1])
+        .ok_or_else(|| format!("fault spec `{part}`: unknown fault kind `{}`", fields[1]))?;
+    if !kind.valid_for(domain) {
+        return Err(format!(
+            "fault spec `{part}`: `{}` is not a `{}` fault",
+            kind.name(),
+            domain.name()
+        ));
+    }
+    let p = fields[2]
+        .strip_prefix("p=")
+        .and_then(|v| v.parse::<f64>().ok())
+        .ok_or_else(|| format!("fault spec `{part}`: bad probability `{}`", fields[2]))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!(
+            "fault spec `{part}`: probability {p} outside [0, 1]"
+        ));
+    }
+    let seed = fields[3]
+        .strip_prefix("seed=")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| format!("fault spec `{part}`: bad seed `{}`", fields[3]))?;
+    Ok(FaultSpec {
+        domain,
+        kind,
+        p,
+        seed,
+    })
+}
+
+/// Fast-path flag: `false` means [`roll`] returns without touching any
+/// lock, counter, or RNG — the zero-faults case costs one relaxed load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn specs() -> &'static Mutex<Vec<FaultSpec>> {
+    static SPECS: OnceLock<Mutex<Vec<FaultSpec>>> = OnceLock::new();
+    SPECS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// Supervisor attempt salt; mixed into every draw so retries re-roll.
+    static ATTEMPT: Cell<u64> = const { Cell::new(0) };
+    /// Draw index within the current attempt.
+    static DRAWS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Installs fault specs process-wide (replacing any previous set). The
+/// programmatic equivalent of setting `UGC_FAULTS`, used by chaos tests.
+pub fn install(new_specs: Vec<FaultSpec>) {
+    let mut guard = specs().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = new_specs;
+    ACTIVE.store(!guard.is_empty(), Ordering::SeqCst);
+}
+
+/// Removes every installed fault spec.
+pub fn clear() {
+    install(Vec::new());
+}
+
+/// True when at least one fault spec is installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs specs from `UGC_FAULTS` if the variable is set. Idempotent:
+/// the environment is read once per process; later calls (and calls after
+/// a programmatic [`install`]) are no-ops.
+///
+/// # Errors
+///
+/// The parse error message when `UGC_FAULTS` is set but invalid.
+pub fn init_from_env() -> Result<(), String> {
+    static INIT: OnceLock<Result<(), String>> = OnceLock::new();
+    INIT.get_or_init(|| match std::env::var("UGC_FAULTS") {
+        Err(_) => Ok(()),
+        Ok(v) if v.trim().is_empty() => Ok(()),
+        Ok(v) => {
+            let parsed = parse_faults(&v)?;
+            // Respect an earlier programmatic install (tests own the
+            // injector once they touch it).
+            let mut guard = specs().lock().unwrap_or_else(|e| e.into_inner());
+            if guard.is_empty() {
+                *guard = parsed;
+                ACTIVE.store(true, Ordering::SeqCst);
+            }
+            Ok(())
+        }
+    })
+    .clone()
+}
+
+/// Starts a new supervised attempt on this thread: resets the draw index
+/// and salts subsequent draws with `attempt`, so a retry sees a fresh
+/// (but still deterministic) fault schedule.
+pub fn begin_attempt(attempt: u64) {
+    ATTEMPT.with(|a| a.set(attempt));
+    DRAWS.with(|d| d.set(0));
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Rolls the injector at a fault opportunity. Returns `true` (and counts
+/// `resilience.faults_injected`) when a matching installed spec fires.
+///
+/// Fault-free processes pay one relaxed atomic load and nothing else.
+pub fn roll(domain: Domain, kind: FaultKind) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    let spec = {
+        let guard = specs().lock().unwrap_or_else(|e| e.into_inner());
+        guard
+            .iter()
+            .find(|s| s.domain == domain && s.kind == kind)
+            .copied()
+    };
+    let Some(spec) = spec else {
+        return false;
+    };
+    let attempt = ATTEMPT.with(|a| a.get());
+    let draw = DRAWS.with(|d| {
+        let n = d.get();
+        d.set(n + 1);
+        n
+    });
+    let bits = splitmix64(
+        spec.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt.wrapping_mul(0xD134_2543_DE82_EF95))
+            .wrapping_add(draw),
+    );
+    // 53 uniform bits → [0, 1).
+    let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+    let hit = u < spec.p;
+    if hit {
+        counters().faults_injected.incr();
+    }
+    hit
+}
+
+/// Raises a fatal injected fault as a typed panic payload. The GraphVM
+/// boundary (`ugc_runtime::contain`) converts it into a `Transient`
+/// [`crate::ErrorClass`] error; it never escapes the supervisor.
+pub fn raise(domain: Domain, kind: FaultKind) -> ! {
+    std::panic::panic_any(FaultPayload { domain, kind })
+}
+
+/// [`roll`] + [`raise`]: panics with a typed payload when the roll hits.
+/// The one-liner simulators use at fatal fault sites.
+pub fn roll_fatal(domain: Domain, kind: FaultKind) {
+    if roll(domain, kind) {
+        raise(domain, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The injector is process-global; tests that install specs must not
+    /// overlap.
+    fn injector_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parses_the_documented_example() {
+        let specs = parse_faults("gpu:mem_stall_spike:p=0.01:seed=7").unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].domain, Domain::Gpu);
+        assert_eq!(specs[0].kind, FaultKind::MemStallSpike);
+        assert!((specs[0].p - 0.01).abs() < 1e-12);
+        assert_eq!(specs[0].seed, 7);
+    }
+
+    #[test]
+    fn parses_multi_spec_lists() {
+        let specs = parse_faults(
+            "gpu:kernel_launch_fail:p=0.5:seed=1, swarm:task_abort_storm:p=0.1:seed=2",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].domain, Domain::Swarm);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "gpu",
+            "gpu:mem_stall_spike",
+            "tpu:mem_stall_spike:p=0.1:seed=1",
+            "gpu:nosuchkind:p=0.1:seed=1",
+            "gpu:mem_stall_spike:p=nan:seed=1",
+            "gpu:mem_stall_spike:p=1.5:seed=1",
+            "gpu:mem_stall_spike:p=-0.1:seed=1",
+            "gpu:mem_stall_spike:p=0.1:seed=x",
+            "gpu:mem_stall_spike:p=0.1:seed=-3",
+            "swarm:mem_stall_spike:p=0.1:seed=1",
+            "hb:kernel_launch_fail:p=0.1:seed=1",
+        ] {
+            assert!(parse_faults(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_attempt() {
+        let _guard = injector_lock();
+        install(vec![FaultSpec {
+            domain: Domain::Gpu,
+            kind: FaultKind::MemStallSpike,
+            p: 0.5,
+            seed: 42,
+        }]);
+        begin_attempt(1);
+        let a: Vec<bool> = (0..64)
+            .map(|_| roll(Domain::Gpu, FaultKind::MemStallSpike))
+            .collect();
+        begin_attempt(1);
+        let b: Vec<bool> = (0..64)
+            .map(|_| roll(Domain::Gpu, FaultKind::MemStallSpike))
+            .collect();
+        assert_eq!(a, b, "same attempt must replay the same schedule");
+        begin_attempt(2);
+        let c: Vec<bool> = (0..64)
+            .map(|_| roll(Domain::Gpu, FaultKind::MemStallSpike))
+            .collect();
+        assert_ne!(a, c, "a retry must see a different schedule");
+        assert!(a.iter().any(|&h| h), "p=0.5 over 64 draws must hit");
+        assert!(a.iter().any(|&h| !h), "p=0.5 over 64 draws must miss");
+        clear();
+        assert!(!roll(Domain::Gpu, FaultKind::MemStallSpike));
+    }
+
+    #[test]
+    fn unmatched_domains_never_fire() {
+        let _guard = injector_lock();
+        install(vec![FaultSpec {
+            domain: Domain::Hb,
+            kind: FaultKind::DramBitError,
+            p: 1.0,
+            seed: 1,
+        }]);
+        begin_attempt(1);
+        assert!(!roll(Domain::Gpu, FaultKind::KernelLaunchFail));
+        assert!(roll(Domain::Hb, FaultKind::DramBitError));
+        clear();
+    }
+}

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use ugc_graph::Graph;
 use ugc_graphir::ir::{EdgeSetIteratorData, Expr, ExprKind, LValue, Program, Stmt, StmtKind};
 use ugc_graphir::types::{Intrinsic, ReduceOp, Type};
+use ugc_resilience::ErrorClass;
 
 use crate::buckets::BucketQueue;
 use crate::bytecode::{binding_of, compile_udfs, Binding, UdfSet};
@@ -25,26 +26,56 @@ use crate::properties::{GlobalTable, PropertyStorage};
 use crate::value::Value;
 use crate::vertexset::VertexSet;
 
-/// Execution failure (unbound variables, malformed host programs).
+/// Execution failure (unbound variables, malformed host programs,
+/// injected faults, watchdog kills), classed per the workspace taxonomy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError {
     /// Description.
     pub message: String,
+    /// Supervisor policy class ([`ErrorClass::Permanent`] for ordinary
+    /// program/configuration errors).
+    pub class: ErrorClass,
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "execution error: {}", self.message)
+        write!(f, "execution error ({}): {}", self.class, self.message)
     }
 }
 
 impl std::error::Error for ExecError {}
 
 impl ExecError {
-    /// Creates an error with the given message.
+    /// Creates a `Permanent` error with the given message — the right
+    /// default for program and configuration errors, which fail the same
+    /// way on every backend and every retry.
     pub fn new(message: impl Into<String>) -> Self {
+        ExecError::classified(ErrorClass::Permanent, message)
+    }
+
+    /// Creates an error with an explicit class.
+    pub fn classified(class: ErrorClass, message: impl Into<String>) -> Self {
         ExecError {
             message: message.into(),
+            class,
+        }
+    }
+}
+
+/// Runs a GraphVM execution body with panic isolation: any panic —
+/// including the typed payloads raised by injected faults and cycle
+/// watchdogs — is caught and converted into a classed [`ExecError`].
+/// This is the boundary the supervisor's "no panic escapes" guarantee
+/// rests on.
+pub fn contain<T>(
+    body: impl FnOnce() -> Result<T, ExecError> + std::panic::UnwindSafe,
+) -> Result<T, ExecError> {
+    ugc_resilience::silence_supervised_panics();
+    match std::panic::catch_unwind(body) {
+        Ok(result) => result,
+        Err(payload) => {
+            let (class, message) = ugc_resilience::classify_panic(payload.as_ref());
+            Err(ExecError::classified(class, message))
         }
     }
 }
@@ -508,6 +539,12 @@ fn exec_stmt(
                 return Ok(Flow::Normal);
             }
             loop {
+                // Cooperative wall watchdog: `While` headers are the one
+                // place every long-running program passes through
+                // repeatedly, on every backend.
+                if let Some(msg) = ugc_resilience::budget::wall_exceeded() {
+                    return Err(ExecError::classified(ErrorClass::Budget, msg));
+                }
                 if !state.eval_host(cond)?.as_bool() {
                     break;
                 }

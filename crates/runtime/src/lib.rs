@@ -41,6 +41,8 @@ pub use buckets::BucketQueue;
 pub use bytecode::{compile_udfs, UdfId, UdfProgram, UdfSet};
 pub use eval::{EdgeCtx, MemoryModel, NullMemory, UdfOutput};
 pub use frontier_list::FrontierList;
+pub use interp::{contain, ExecError};
 pub use properties::{GlobalTable, PropId, PropertyStorage};
+pub use ugc_resilience::ErrorClass;
 pub use value::Value;
 pub use vertexset::VertexSet;

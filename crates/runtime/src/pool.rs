@@ -54,7 +54,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
-use ugc_telemetry::{Counter, Histogram};
+use ugc_telemetry::{Counter, Histogram, Span};
 
 /// Hard cap on persistent worker threads (a runaway-request backstop far
 /// above any real machine this targets).
@@ -107,6 +107,10 @@ struct Counters {
     steals: Counter,
     parks: Counter,
     chunk_size: Histogram,
+    /// Wall time per dispatched job (`pool.job.ns` / `pool.job.calls`).
+    /// `pool.job.calls` must stay equal to `pool.jobs` even when a job
+    /// body panics — see the explicit guard drop in [`run_job`].
+    job_span: Span,
 }
 
 fn counters() -> &'static Counters {
@@ -119,6 +123,7 @@ fn counters() -> &'static Counters {
         steals: Counter::new("pool.steals"),
         parks: Counter::new("pool.parks"),
         chunk_size: Histogram::new("pool.chunk_size"),
+        job_span: Span::new("pool.job"),
     })
 }
 
@@ -261,6 +266,7 @@ fn worker_loop(pool: &'static Pool, index: usize) {
 /// `participants - 1` pool workers), blocking until all have returned and
 /// re-raising the first panic payload, if any. `participants >= 2`.
 fn run_job(participants: usize, body: JobBody<'_>) {
+    let job_guard = counters().job_span.start();
     let pool = pool();
     let _submit = lock(&pool.submit);
     {
@@ -302,6 +308,9 @@ fn run_job(participants: usize, body: JobBody<'_>) {
     let panic = st.panic.take();
     drop(st);
     drop(_submit);
+    // Close the job span before re-raising: a panicking job must not
+    // leave `pool.job.calls` unbalanced against `pool.jobs`.
+    drop(job_guard);
     if let Some(payload) = panic {
         resume_unwind(payload);
     }

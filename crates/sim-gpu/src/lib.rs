@@ -40,6 +40,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use ugc_resilience::{budget, fault};
 use ugc_telemetry::Counter;
 
 /// Where the simulated cycles went, cumulatively per simulator instance.
@@ -446,6 +447,9 @@ impl GpuSim {
             self.stats.grid_syncs += 0; // syncs charged separately
             0
         } else {
+            // Injected launch failure: fatal to this attempt, transported
+            // as a typed payload and retried by the supervisor.
+            fault::roll_fatal(fault::Domain::Gpu, fault::FaultKind::KernelLaunchFail);
             self.stats.kernels += 1;
             cycles += self.cfg.kernel_launch_cycles;
             self.cfg.kernel_launch_cycles
@@ -462,10 +466,18 @@ impl GpuSim {
             }
         };
         let (compute, divergence) = (scale(compute_raw), scale(divergence_raw));
+        // Injected memory-stall spike: the kernel completes, but pays a
+        // launch-sized extra stall (degraded, absorbed as mem_stall).
+        let spike = if fault::roll(fault::Domain::Gpu, fault::FaultKind::MemStallSpike) {
+            self.cfg.kernel_launch_cycles
+        } else {
+            0
+        };
+        let cycles = cycles + spike;
         self.attribute(GpuAttribution {
             compute,
             divergence,
-            mem_stall: work - compute - divergence,
+            mem_stall: work - compute - divergence + spike,
             launch,
             host: 0,
         });
@@ -480,6 +492,7 @@ impl GpuSim {
         c.dram_bytes.add(kernel_dram_bytes);
         c.atomics.add(self.stats.atomics - stats_before.atomics);
         self.time += cycles;
+        budget::check_cycles(self.time);
         cycles
     }
 
@@ -487,6 +500,7 @@ impl GpuSim {
     /// fused loop; its per-step work is charged via fused
     /// [`GpuSim::run_kernel`] calls plus [`GpuSim::grid_sync`]).
     pub fn charge_launch(&mut self) {
+        fault::roll_fatal(fault::Domain::Gpu, fault::FaultKind::KernelLaunchFail);
         self.stats.kernels += 1;
         counters().kernels.incr();
         self.attribute(GpuAttribution {
@@ -494,6 +508,7 @@ impl GpuSim {
             ..GpuAttribution::default()
         });
         self.time += self.cfg.kernel_launch_cycles;
+        budget::check_cycles(self.time);
     }
 
     /// Charges one cooperative grid synchronization (fused kernels).
@@ -506,6 +521,7 @@ impl GpuSim {
             ..GpuAttribution::default()
         });
         self.time += self.cfg.grid_sync_cycles;
+        budget::check_cycles(self.time);
     }
 
     /// Charges host-side work between kernels (e.g. swap/size checks).
@@ -515,6 +531,7 @@ impl GpuSim {
             ..GpuAttribution::default()
         });
         self.time += cycles;
+        budget::check_cycles(self.time);
     }
 }
 

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use ugc_resilience::{budget, fault};
 use ugc_telemetry::Counter;
 
 /// Where the simulated cycles went, cumulatively per simulator instance.
@@ -334,6 +335,7 @@ impl HbSim {
             ..HbAttribution::default()
         });
         self.time += cycles;
+        budget::check_cycles(self.time);
     }
 
     fn line_of(&self, prop: u32, idx: u32) -> u64 {
@@ -474,7 +476,15 @@ impl HbSim {
             / (self.cfg.hbm_channels as u64 * self.cfg.channel_bytes_per_cycle).max(1);
         self.stats.dram_bytes += phase_dram_bytes;
         let work = max_core.max(bank_bound).max(bw_bound);
-        let cycles = work + self.cfg.barrier_cycles;
+        // Injected DRAM bit error: the affected reads are retried, costing
+        // extra DRAM latency (degraded, absorbed as dram_stall).
+        let bit_error_retry = if fault::roll(fault::Domain::Hb, fault::FaultKind::DramBitError) {
+            self.cfg.dram_cycles * 64
+        } else {
+            0
+        };
+        self.stats.dram_stall_cycles += bit_error_retry;
+        let cycles = work + self.cfg.barrier_cycles + bit_error_retry;
         // Scale the raw classification to the phase's actual charge;
         // dram_stall takes the remainder (absorbing rounding and any
         // bandwidth-roofline excess), the barrier is charged exactly.
@@ -491,7 +501,7 @@ impl HbSim {
         self.attribute(HbAttribution {
             compute,
             llc_access,
-            dram_stall: work - compute - llc_access - bank,
+            dram_stall: work - compute - llc_access - bank + bit_error_retry,
             bank,
             barrier: self.cfg.barrier_cycles,
             host: 0,
@@ -506,6 +516,7 @@ impl HbSim {
         c.scratchpad_hits.add(scratch_hits);
         c.dram_bytes.add(phase_dram_bytes);
         self.time += cycles;
+        budget::check_cycles(self.time);
         cycles
     }
 }

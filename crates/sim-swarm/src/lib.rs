@@ -34,6 +34,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::OnceLock;
 
+use ugc_resilience::{budget, fault};
 use ugc_telemetry::{Counter, Histogram};
 
 /// Where the simulated wall-clock cycles went, cumulatively per simulator.
@@ -335,6 +336,7 @@ impl SwarmSim {
             ..SwarmAttribution::default()
         });
         self.time += cycles;
+        budget::check_cycles(self.time);
     }
 
     /// Simulates a task graph. `roots` are initially ready; other tasks
@@ -347,6 +349,10 @@ impl SwarmSim {
         if tasks.is_empty() {
             return 0;
         }
+        // Injected abort storm: cascading aborts collapse the speculative
+        // commit window for this phase — fatal to the attempt, retried by
+        // the supervisor with a fresh draw stream.
+        fault::roll_fatal(fault::Domain::Swarm, fault::FaultKind::TaskAbortStorm);
         counters().tasks_spawned.add(tasks.len() as u64);
         let n = tasks.len();
         let mut state = vec![TaskState::Waiting; n];
@@ -640,6 +646,7 @@ impl SwarmSim {
         self.stats.spill_cycles += stats.spill_cycles;
         self.stats.commits += stats.commits;
         self.stats.aborts += stats.aborts;
+        budget::check_cycles(self.time);
         elapsed
     }
 }

@@ -23,15 +23,25 @@ export UGC_BENCH_SAMPLES="${UGC_BENCH_SAMPLES:-7}"
 export UGC_BENCH_WARMUP="${UGC_BENCH_WARMUP:-2}"
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+RAW="$(mktemp)"
+trap 'rm -f "$TMP" "$RAW"' EXIT
+
+# Runs one bench binary and appends its JSON lines to $TMP. Capturing to a
+# file first (instead of piping into grep) makes the bench's own exit code
+# the one that gates the script — a crashing bench can't hide behind a
+# successful grep, and grep can't hand the bench a broken pipe mid-print.
+run_bench() {
+  local bench="$1"
+  shift
+  cargo bench --offline -q -p ugc-bench --bench "$bench" -- "$@" >"$RAW"
+  grep '^{' "$RAW" >>"$TMP"
+}
 
 echo "== fig8 CPU cells (fixed generator seeds, tiny scale)" >&2
-cargo bench --offline -q -p ugc-bench --bench fig8_speedups -- cpu/ \
-  | grep '^{' >>"$TMP"
+run_bench fig8_speedups cpu/
 
 echo "== pool dispatch microbenchmark" >&2
-cargo bench --offline -q -p ugc-bench --bench pool_dispatch \
-  | grep '^{' >>"$TMP"
+run_bench pool_dispatch
 
 # Assemble a single JSON document: metadata + the individual bench lines.
 {

@@ -62,6 +62,37 @@ if grep -rn --include='*.rs' 'static .*AtomicU64' crates | grep -v '^crates/tele
   exit 1
 fi
 
+echo "== chaos smoke (seeded faults; supervised runs must stay reference-equal)"
+# A deterministic fault schedule across all three simulator domains. The
+# repro chaos experiment itself exits 1 on any silent wrong answer or if
+# no resilience counter moved; on top of that, assert every one of the 8
+# (algorithm x backend) rows recovered to a reference-equal result with
+# these seeds.
+chaos_env='gpu:kernel_launch_fail:p=0.3:seed=7,swarm:task_abort_storm:p=0.2:seed=3,hb:dram_bit_error:p=0.05:seed=9'
+chaos_out="$(UGC_FAULTS="$chaos_env" \
+  cargo run --release --offline -q -p ugc-bench --bin repro -- --scale tiny chaos)"
+recovered=$(printf '%s\n' "$chaos_out" | grep -c "reference-equal" || true)
+if [ "$recovered" -ne 8 ]; then
+  echo "chaos smoke: expected 8 reference-equal rows, saw $recovered" >&2
+  printf '%s\n' "$chaos_out" >&2
+  exit 1
+fi
+
+echo "== backend VM containment gate"
+# GraphVM execute paths must surface failures as classed errors through
+# the contain() boundary — never unwrap or panic in production code. Test
+# modules are exempt: the gate stops scanning at the first #[cfg(test)].
+containment_bad=0
+for f in crates/backend-*/src/vm.rs crates/backend-*/src/executor.rs; do
+  if ! awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|panic!\(/{print FILENAME ": " $0; found=1} END{exit found}' "$f"; then
+    containment_bad=1
+  fi
+done
+if [ "$containment_bad" -ne 0 ]; then
+  echo "containment gate: unwrap()/panic! in backend VM production code (see lines above)" >&2
+  exit 1
+fi
+
 echo "== autotuner smoke (tiny scale, fixed seed, capped budget)"
 # A deterministic end-to-end tune of one triple per simulator target; the
 # second GPU invocation must hit the persistent cache without re-measuring.

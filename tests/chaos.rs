@@ -1,0 +1,306 @@
+//! Chaos differential suite: under any injected fault schedule, every
+//! (algorithm × backend) run must either produce results that match the
+//! sequential reference — possibly after supervisor retries or a
+//! fallback — or fail with a typed, classed [`UgcError`]. Never a hang,
+//! never an escaped panic, never a silent wrong answer.
+//!
+//! The fault injector is process-global, so every test here serializes on
+//! [`injector`]; specs are installed programmatically (no environment
+//! dependence) and cleared before the lock drops.
+
+use std::sync::{Mutex, MutexGuard};
+
+use ugc::{Algorithm, Compiler, ErrorClass, Fallback, Policy, RunResult, Target, UgcError};
+use ugc_algorithms::validate;
+use ugc_graph::Graph;
+use ugc_resilience::fault::{self, Domain, FaultKind, FaultSpec};
+
+/// Serializes access to the process-global fault injector and clears any
+/// installed specs when dropped, so a panicking test can't leak faults
+/// into the next one.
+struct InjectorGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for InjectorGuard {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+fn injector() -> InjectorGuard {
+    static LOCK: Mutex<()> = Mutex::new(());
+    InjectorGuard(LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn spec(domain: Domain, kind: FaultKind, p: f64, seed: u64) -> FaultSpec {
+    FaultSpec {
+        domain,
+        kind,
+        p,
+        seed,
+    }
+}
+
+/// A policy with no budgets and the default fallback chain.
+fn default_policy() -> Policy {
+    Policy::default()
+}
+
+/// A policy whose fallback chain is empty: failures surface instead of
+/// degrading, which is how the tests observe error classes.
+fn no_fallback_policy() -> Policy {
+    Policy {
+        fallback: Some(Vec::new()),
+        ..Policy::default()
+    }
+}
+
+fn compiler_for(algo: Algorithm) -> Compiler {
+    let mut c = Compiler::new(algo);
+    if algo.needs_start_vertex() {
+        c.start_vertex(0);
+    }
+    c
+}
+
+/// Checks `r` against the sequential reference for `algo` from source 0.
+fn check_against_reference(algo: Algorithm, graph: &Graph, r: &RunResult) -> Result<(), String> {
+    match algo {
+        Algorithm::Bfs => validate::check_bfs_parents(graph, 0, r.property_ints("parent")),
+        Algorithm::Sssp => validate::check_sssp_distances(graph, 0, r.property_ints("dist")),
+        Algorithm::Cc => validate::check_cc_labels(graph, r.property_ints("IDs")),
+        Algorithm::PageRank => validate::check_pagerank(graph, r.property_floats("old_rank"), 1e-6),
+        Algorithm::Bc => validate::check_bc(graph, 0, r.property_floats("centrality"), 1e-6),
+    }
+}
+
+/// The core chaos invariant for one run outcome.
+fn assert_reference_equal_or_typed(
+    algo: Algorithm,
+    target: Target,
+    graph: &Graph,
+    outcome: Result<RunResult, UgcError>,
+) {
+    match outcome {
+        Ok(r) => {
+            if let Err(e) = check_against_reference(algo, graph, &r) {
+                panic!(
+                    "{} on {}: SILENT WRONG ANSWER (attempts {}, degraded {:?}): {e}",
+                    algo.name(),
+                    target.name(),
+                    r.attempts,
+                    r.degraded_to
+                );
+            }
+        }
+        Err(e) => {
+            // Typed failure: acceptable, but it must carry a class and a
+            // message (the "no anonymous failures" half of the contract).
+            assert!(
+                !e.message.is_empty(),
+                "{} on {}",
+                algo.name(),
+                target.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_and_backend_survives_a_mixed_fault_schedule() {
+    let _guard = injector();
+    fault::install(vec![
+        spec(Domain::Gpu, FaultKind::KernelLaunchFail, 0.3, 7),
+        spec(Domain::Gpu, FaultKind::MemStallSpike, 0.2, 11),
+        spec(Domain::Swarm, FaultKind::TaskAbortStorm, 0.3, 13),
+        spec(Domain::Hb, FaultKind::DramBitError, 0.2, 17),
+    ]);
+    let graph = ugc_graph::generators::two_communities();
+    let policy = default_policy();
+    for algo in Algorithm::ALL {
+        for target in Target::ALL {
+            let outcome = compiler_for(algo).run_with_policy(target, &graph, &policy);
+            assert_reference_equal_or_typed(algo, target, &graph, outcome);
+        }
+    }
+}
+
+#[test]
+fn certain_launch_failure_degrades_to_cpu_with_retries() {
+    let _guard = injector();
+    fault::install(vec![spec(Domain::Gpu, FaultKind::KernelLaunchFail, 1.0, 1)]);
+    let graph = ugc_graph::generators::two_communities();
+    let r = compiler_for(Algorithm::Bfs)
+        .run_with_policy(Target::Gpu, &graph, &default_policy())
+        .expect("the default chain ends on a fault-free backend");
+    // max_retries=2 → 3 failed GPU attempts, then the CPU step succeeds.
+    assert_eq!(r.attempts, 4);
+    assert_eq!(r.degraded_to.as_deref(), Some("cpu"));
+    check_against_reference(Algorithm::Bfs, &graph, &r).unwrap();
+}
+
+#[test]
+fn certain_launch_failure_without_fallback_is_a_transient_error() {
+    let _guard = injector();
+    fault::install(vec![spec(Domain::Gpu, FaultKind::KernelLaunchFail, 1.0, 1)]);
+    let graph = ugc_graph::generators::two_communities();
+    let err = compiler_for(Algorithm::Bfs)
+        .run_with_policy(Target::Gpu, &graph, &no_fallback_policy())
+        .unwrap_err();
+    assert_eq!(err.class, ErrorClass::Transient);
+    assert!(err.message.contains("kernel_launch_fail"), "{err}");
+}
+
+#[test]
+fn task_abort_storm_on_swarm_degrades_or_errors_typed() {
+    let _guard = injector();
+    fault::install(vec![spec(Domain::Swarm, FaultKind::TaskAbortStorm, 1.0, 5)]);
+    let graph = ugc_graph::generators::two_communities();
+    let r = compiler_for(Algorithm::Sssp)
+        .run_with_policy(Target::Swarm, &graph, &default_policy())
+        .expect("CPU fallback is unaffected by swarm faults");
+    assert_eq!(r.degraded_to.as_deref(), Some("cpu"));
+    check_against_reference(Algorithm::Sssp, &graph, &r).unwrap();
+}
+
+#[test]
+fn dram_bit_errors_degrade_timing_but_not_results() {
+    let _guard = injector();
+    let graph = ugc_graph::generators::two_communities();
+    let clean = compiler_for(Algorithm::Bfs)
+        .run_with_policy(Target::HammerBlade, &graph, &no_fallback_policy())
+        .expect("clean run");
+    fault::install(vec![spec(Domain::Hb, FaultKind::DramBitError, 1.0, 3)]);
+    let faulted = compiler_for(Algorithm::Bfs)
+        .run_with_policy(Target::HammerBlade, &graph, &no_fallback_policy())
+        .expect("bit-error retries are absorbed as extra cycles, not failures");
+    assert_eq!(faulted.attempts, 1);
+    assert_eq!(faulted.degraded_to, None);
+    check_against_reference(Algorithm::Bfs, &graph, &faulted).unwrap();
+    assert!(
+        faulted.cycles > clean.cycles,
+        "ECC retries must cost cycles: {} vs {}",
+        faulted.cycles,
+        clean.cycles
+    );
+}
+
+#[test]
+fn cycle_budget_kill_degrades_to_cpu() {
+    let _guard = injector();
+    let graph = ugc_graph::generators::two_communities();
+    let policy = Policy {
+        cycle_budget: Some(10),
+        ..Policy::default()
+    };
+    let r = compiler_for(Algorithm::Bfs)
+        .run_with_policy(Target::Gpu, &graph, &policy)
+        .expect("the CPU step runs no simulator, so the cycle cap never trips there");
+    assert_eq!(r.degraded_to.as_deref(), Some("cpu"));
+    check_against_reference(Algorithm::Bfs, &graph, &r).unwrap();
+}
+
+#[test]
+fn cycle_budget_kill_without_fallback_is_a_budget_error() {
+    let _guard = injector();
+    let graph = ugc_graph::generators::two_communities();
+    let policy = Policy {
+        cycle_budget: Some(10),
+        fallback: Some(Vec::new()),
+        ..Policy::default()
+    };
+    for target in [Target::Gpu, Target::Swarm, Target::HammerBlade] {
+        let err = compiler_for(Algorithm::Bfs)
+            .run_with_policy(target, &graph, &policy)
+            .unwrap_err();
+        assert_eq!(err.class, ErrorClass::Budget, "{}: {err}", target.name());
+    }
+}
+
+#[test]
+fn explicit_reference_fallback_chain_reaches_the_reference() {
+    let _guard = injector();
+    fault::install(vec![spec(Domain::Gpu, FaultKind::KernelLaunchFail, 1.0, 9)]);
+    let graph = ugc_graph::generators::two_communities();
+    let policy = Policy {
+        fallback: Some(vec![Fallback::Reference]),
+        ..Policy::default()
+    };
+    for algo in Algorithm::ALL {
+        let r = compiler_for(algo)
+            .run_with_policy(Target::Gpu, &graph, &policy)
+            .expect("the sequential reference cannot launch-fail");
+        assert_eq!(
+            r.degraded_to.as_deref(),
+            Some("reference"),
+            "{}",
+            algo.name()
+        );
+        check_against_reference(algo, &graph, &r).unwrap();
+    }
+}
+
+#[test]
+fn faults_in_one_domain_leave_other_backends_untouched() {
+    let _guard = injector();
+    fault::install(vec![spec(Domain::Gpu, FaultKind::KernelLaunchFail, 1.0, 2)]);
+    let graph = ugc_graph::generators::two_communities();
+    for target in [Target::Cpu, Target::Swarm, Target::HammerBlade] {
+        let r = compiler_for(Algorithm::Bfs)
+            .run_with_policy(target, &graph, &no_fallback_policy())
+            .unwrap_or_else(|e| panic!("{}: {e}", target.name()));
+        assert_eq!(r.attempts, 1, "{}", target.name());
+        assert_eq!(r.degraded_to, None, "{}", target.name());
+        check_against_reference(Algorithm::Bfs, &graph, &r).unwrap();
+    }
+}
+
+#[test]
+fn fault_free_runs_move_no_resilience_counters() {
+    let _guard = injector();
+    let graph = ugc_graph::generators::two_communities();
+    let col = ugc_telemetry::Collector::start();
+    for algo in Algorithm::ALL {
+        for target in Target::ALL {
+            let r = compiler_for(algo)
+                .run_with_policy(target, &graph, &default_policy())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), target.name()));
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.degraded_to, None);
+            check_against_reference(algo, &graph, &r).unwrap();
+        }
+    }
+    let delta = col.snapshot_prefix("resilience.");
+    assert!(
+        delta.is_empty(),
+        "fault-free runs must leave resilience telemetry untouched: {delta:?}"
+    );
+}
+
+#[test]
+fn retry_reroll_lets_probabilistic_faults_eventually_pass() {
+    let _guard = injector();
+    // p=0.5: each attempt re-rolls a fresh deterministic stream (the
+    // per-attempt salt), so retries can pass where the first attempt
+    // faulted. Determinism makes the outcome exact, not flaky.
+    fault::install(vec![spec(
+        Domain::Gpu,
+        FaultKind::KernelLaunchFail,
+        0.5,
+        21,
+    )]);
+    let graph = ugc_graph::generators::two_communities();
+    let outcome =
+        compiler_for(Algorithm::Bfs).run_with_policy(Target::Gpu, &graph, &no_fallback_policy());
+    // Whatever the seeded schedule does, the supervisor contract holds.
+    assert_reference_equal_or_typed(Algorithm::Bfs, Target::Gpu, &graph, outcome);
+    // And a second identical run reproduces the same attempt count/result.
+    let a =
+        compiler_for(Algorithm::Bfs).run_with_policy(Target::Gpu, &graph, &no_fallback_policy());
+    let b =
+        compiler_for(Algorithm::Bfs).run_with_policy(Target::Gpu, &graph, &no_fallback_policy());
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(x.attempts, y.attempts),
+        (Err(x), Err(y)) => assert_eq!(x, y),
+        (x, y) => panic!("seeded runs diverged: {x:?} vs {y:?}"),
+    }
+}

@@ -6,35 +6,39 @@ use ugc_runtime::value::Value;
 
 #[test]
 fn start_vertex_out_of_range_errors_cleanly() {
-    // Vertex 99 does not exist in a 4-vertex graph; the claim write panics
-    // inside the runtime... it must NOT silently succeed. We bind a valid
-    // vertex here and assert the valid path works, then check the invalid
-    // binding is caught by the property bounds.
+    // Vertex 99 does not exist in a 4-vertex graph; the claim write used
+    // to panic inside the runtime. The supervisor's containment boundary
+    // must surface it as a typed error — it must NOT silently succeed and
+    // must NOT unwind into the caller.
     let graph = ugc_graph::generators::path(4);
     let ok = Compiler::new(Algorithm::Bfs)
         .start_vertex(3)
         .run(Target::Cpu, &graph)
         .unwrap();
     assert_eq!(ok.property_ints("parent")[3], 3);
-    let bad = std::panic::catch_unwind(|| {
-        Compiler::new(Algorithm::Bfs)
-            .start_vertex(99)
-            .run(Target::Cpu, &graph)
-    });
-    assert!(bad.is_err(), "out-of-range start must not succeed");
+    let err = Compiler::new(Algorithm::Bfs)
+        .start_vertex(99)
+        .run(Target::Cpu, &graph)
+        .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
 }
 
 #[test]
 fn wrong_extern_type_is_usable_or_rejected() {
-    // Binding a float where a vertex is expected: the int coercion panics
-    // rather than producing a wrong vertex id.
+    // Binding a float where a vertex is expected: the int coercion used to
+    // panic; it must now come back as a classed error rather than a wrong
+    // vertex id or an unwind.
     let graph = ugc_graph::generators::path(3);
-    let r = std::panic::catch_unwind(|| {
-        let mut c = Compiler::new(Algorithm::Bfs);
-        c.bind("start_vertex", Value::Float(0.5));
-        c.run(Target::Cpu, &graph)
-    });
-    assert!(r.is_err());
+    let mut c = Compiler::new(Algorithm::Bfs);
+    c.bind("start_vertex", Value::Float(0.5));
+    let err = c.run(Target::Cpu, &graph).unwrap_err();
+    assert!(
+        matches!(
+            err.class,
+            ugc::ErrorClass::Invariant | ugc::ErrorClass::Permanent
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -181,30 +185,44 @@ mod repro_cli {
         })
     }
 
-    fn run_repro(args: &[&str], telemetry: Option<&str>) -> Output {
+    fn run_repro(args: &[&str], envs: &[(&str, &str)]) -> Output {
         let mut cmd = Command::new(repro_bin());
         cmd.args(args);
-        if let Some(mode) = telemetry {
-            cmd.env("UGC_TELEMETRY", mode);
+        // Start from a clean supervisor environment so an outer harness
+        // (e.g. a chaos CI job) can't leak into these assertions.
+        for k in [
+            "UGC_FAULTS",
+            "UGC_BUDGET_MS",
+            "UGC_BUDGET_CYCLES",
+            "UGC_FALLBACK",
+        ] {
+            cmd.env_remove(k);
+        }
+        for (k, v) in envs {
+            cmd.env(k, v);
         }
         cmd.output().expect("run repro")
     }
 
-    /// Asserts the invocation exits nonzero and prints the usage string.
-    /// Every case here fails during argument validation, before any
-    /// experiment starts, so this is mode-independent and fast.
-    fn assert_usage_failure(args: &[&str]) {
-        let out = run_repro(args, None);
-        assert!(
-            !out.status.success(),
-            "repro {args:?} must exit nonzero, got {:?}",
-            out.status.code()
+    /// Asserts the invocation exits 2 and prints the usage string.
+    /// Every case here fails during argument/environment validation,
+    /// before any experiment starts, so this is mode-independent and fast.
+    fn assert_usage_failure_env(args: &[&str], envs: &[(&str, &str)]) {
+        let out = run_repro(args, envs);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "repro {args:?} (env {envs:?}) must exit 2"
         );
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
             stderr.contains("usage: repro"),
             "repro {args:?} stderr must show usage, got: {stderr}"
         );
+    }
+
+    fn assert_usage_failure(args: &[&str]) {
+        assert_usage_failure_env(args, &[]);
     }
 
     #[test]
@@ -240,8 +258,48 @@ mod repro_cli {
     }
 
     #[test]
+    fn malformed_fault_specs_exit_with_usage() {
+        // Not domain:kind:p=..:seed=.. shaped at all.
+        assert_usage_failure_env(&["configs"], &[("UGC_FAULTS", "bogus")]);
+        // Unknown fault kind for a valid domain.
+        assert_usage_failure_env(
+            &["configs"],
+            &[("UGC_FAULTS", "gpu:flux_capacitor:p=0.1:seed=1")],
+        );
+        // Probability outside [0, 1].
+        assert_usage_failure_env(
+            &["configs"],
+            &[("UGC_FAULTS", "gpu:kernel_launch_fail:p=1.5:seed=1")],
+        );
+        // Kind that exists but not for this domain.
+        assert_usage_failure_env(
+            &["configs"],
+            &[("UGC_FAULTS", "hb:kernel_launch_fail:p=0.1:seed=1")],
+        );
+    }
+
+    #[test]
+    fn non_positive_budgets_exit_with_usage() {
+        assert_usage_failure_env(&["configs"], &[("UGC_BUDGET_MS", "0")]);
+        assert_usage_failure_env(&["configs"], &[("UGC_BUDGET_MS", "-5")]);
+        assert_usage_failure_env(&["configs"], &[("UGC_BUDGET_CYCLES", "0")]);
+        assert_usage_failure_env(&["configs"], &[("UGC_BUDGET_CYCLES", "not-a-number")]);
+    }
+
+    #[test]
+    fn unknown_fallback_target_exits_with_usage() {
+        assert_usage_failure_env(&["configs"], &[("UGC_FALLBACK", "tpu")]);
+        assert_usage_failure_env(&["configs"], &[("UGC_FALLBACK", "cpu,quantum")]);
+    }
+
+    #[test]
+    fn chaos_without_fault_spec_exits_with_usage() {
+        assert_usage_failure(&["chaos"]);
+    }
+
+    #[test]
     fn profile_with_telemetry_disabled_exits_nonzero() {
-        let out = run_repro(&["--profile", "cpu"], Some("0"));
+        let out = run_repro(&["--profile", "cpu"], &[("UGC_TELEMETRY", "0")]);
         assert!(
             !out.status.success(),
             "--profile under UGC_TELEMETRY=0 must fail, got {:?}",

@@ -218,6 +218,47 @@ fn steal_and_park_counters_consistent_under_forced_stealing() {
     assert!(after.parks >= before.parks, "park counter went backwards");
 }
 
+/// A panicking job must close its `pool.job` telemetry span before the
+/// payload is re-raised to the caller: `pool.job.calls` stays balanced
+/// against `pool.jobs` no matter how the job ended. Sibling tests may
+/// have jobs in flight, so the balance is polled to quiescence — a leaked
+/// span never converges and times the assertion out.
+#[test]
+fn panicking_job_leaves_job_span_balanced() {
+    let result = std::panic::catch_unwind(|| {
+        ugc_runtime::pool::parallel_for(8, 256, 1, |_tid, range| {
+            for i in range {
+                if i == 128 {
+                    panic!("injected job panic");
+                }
+            }
+        });
+    });
+    assert!(result.is_err(), "the panic must propagate to the caller");
+    if !ugc_telemetry::enabled() || threads_cap().is_some_and(|cap| cap <= 1) {
+        // Disabled counters or inline execution: nothing to balance.
+        return;
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let snap = ugc_telemetry::snapshot();
+        let closes = snap.get("pool.job.calls").unwrap_or(0);
+        let jobs = snap.get("pool.jobs").unwrap_or(0);
+        assert!(
+            closes <= jobs,
+            "span closes ({closes}) exceed dispatched jobs ({jobs})"
+        );
+        if closes == jobs {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool.job span left open: {closes} closes vs {jobs} jobs"
+        );
+        std::thread::yield_now();
+    }
+}
+
 /// The zero-steal guarantee holds for an explicitly serial call too:
 /// one participant never dispatches, steals, or parks, regardless of the
 /// `UGC_THREADS` setting.
