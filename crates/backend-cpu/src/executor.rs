@@ -15,10 +15,11 @@ use ugc_runtime::pool::parallel_for_chunks_with_local;
 use ugc_runtime::value::Value;
 use ugc_runtime::vertexset::VertexSet;
 use ugc_runtime::UdfId;
-use ugc_schedule::schedule_of;
+use ugc_schedule::{schedule_of, SchedulePoint};
 
 use ugc_telemetry::{Counter, Span};
 
+use crate::kernels::{self, EdgeKernel, Io, KernelCache, KernelKey};
 use crate::schedule::CpuSchedule;
 
 /// Telemetry handles for the CPU executor, registered once per process.
@@ -30,6 +31,8 @@ struct CpuCounters {
     elapsed_ns: Counter,
     runs: Counter,
     direction_switches: Counter,
+    kernel_specialized: Counter,
+    kernel_fallback: Counter,
 }
 
 fn counters() -> &'static CpuCounters {
@@ -42,6 +45,8 @@ fn counters() -> &'static CpuCounters {
         elapsed_ns: Counter::new("cpu.elapsed.ns"),
         runs: Counter::new("cpu.runs"),
         direction_switches: Counter::new("cpu.direction_switches"),
+        kernel_specialized: Counter::new("cpu.kernel.specialized"),
+        kernel_fallback: Counter::new("cpu.kernel.fallback"),
     })
 }
 
@@ -103,11 +108,38 @@ struct PhaseNs {
 }
 
 /// Executes GraphIR iteration operators on host threads.
-#[derive(Debug, Clone)]
 pub struct CpuExecutor {
     /// Worker thread count (defaults to available parallelism).
     pub num_threads: usize,
+    /// Whether edge traversals may use compiled monomorphized kernels
+    /// (default: on, unless `UGC_CPU_KERNELS=0`). Off forces the
+    /// interpreter everywhere — the differential oracle.
+    pub use_kernels: bool,
+    /// Per-run kernel table. [`UdfId`]s are only meaningful within one
+    /// compiled program, so `Clone` (the per-`execute` entry point) resets
+    /// this to empty rather than sharing it.
+    kernels: std::sync::Arc<KernelCache>,
     phase_ns: PhaseNs,
+}
+
+impl Clone for CpuExecutor {
+    fn clone(&self) -> Self {
+        CpuExecutor {
+            num_threads: self.num_threads,
+            use_kernels: self.use_kernels,
+            kernels: std::sync::Arc::new(KernelCache::default()),
+            phase_ns: self.phase_ns,
+        }
+    }
+}
+
+impl std::fmt::Debug for CpuExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuExecutor")
+            .field("num_threads", &self.num_threads)
+            .field("use_kernels", &self.use_kernels)
+            .finish()
+    }
 }
 
 impl Default for CpuExecutor {
@@ -136,8 +168,45 @@ impl CpuExecutor {
     pub fn with_threads(num_threads: usize) -> Self {
         CpuExecutor {
             num_threads,
+            use_kernels: kernels::kernels_enabled_by_env(),
+            kernels: std::sync::Arc::new(KernelCache::default()),
             phase_ns: PhaseNs::default(),
         }
+    }
+
+    /// Resolves the compiled kernel for one edge traversal (or `None` for
+    /// the interpreter fallback), counting the selection either way.
+    fn resolve_kernel(
+        &self,
+        state: &ProgramState<'_>,
+        stmt: &Stmt,
+        plan: &OpPlan,
+    ) -> Option<std::sync::Arc<dyn EdgeKernel>> {
+        let kernel = if self.use_kernels {
+            let key = KernelKey {
+                point: SchedulePoint::of_stmt(stmt),
+                udf: plan.udf,
+                src_filter: plan.src_filter,
+                dst_filter: plan.dst_filter,
+                weighted: plan.takes_weight,
+            };
+            self.kernels.resolve(key, || {
+                kernels::recognize(
+                    &state.udfs,
+                    &state.props,
+                    plan.udf,
+                    plan.src_filter,
+                    plan.dst_filter,
+                )
+            })
+        } else {
+            None
+        };
+        match kernel {
+            Some(_) => counters().kernel_specialized.incr(),
+            None => counters().kernel_fallback.incr(),
+        }
+        kernel
     }
 
     /// Closes out one run: attributes `elapsed_ns` of wall time across the
@@ -366,15 +435,31 @@ impl OperatorExecutor for CpuExecutor {
         };
 
         let ev = Evaluator::new(&state.udfs, &state.props, &state.globals, state.graph);
+        let kernel = self.resolve_kernel(state, stmt, &plan);
         let locals: Vec<BufferedOutput> = match direction {
             Direction::Push => {
                 let members = input.iter();
+                let io = Io {
+                    props: &state.props,
+                    csr: fwd,
+                };
+                // One range-level dispatch: the specialized kernel body or
+                // the interpreter, chosen once per operator, never per edge.
+                let run = |range: std::ops::Range<usize>, out: &mut BufferedOutput| match &kernel {
+                    Some(k) => k.run_push(&io, &members, range, out),
+                    None => push_range(&ev, fwd, &members, range, &plan, out),
+                };
                 if plan.cache_blocking && data.input.is_none() {
                     // EdgeBlocking: iterate destination blocks for locality.
-                    cache_blocked_push(&ev, fwd, &members, &plan, self.num_threads)
+                    match &kernel {
+                        Some(k) => {
+                            cache_blocked_push_kernel(k.as_ref(), &io, &members, self.num_threads)
+                        }
+                        None => cache_blocked_push(&ev, fwd, &members, &plan, self.num_threads),
+                    }
                 } else if members.len() < plan.serial_threshold {
                     let mut out = BufferedOutput::default();
-                    push_range(&ev, fwd, &members, 0..members.len(), &plan, &mut out);
+                    run(0..members.len(), &mut out);
                     vec![out]
                 } else if plan.edge_aware {
                     // Degree-balanced chunks go straight into per-worker
@@ -383,18 +468,14 @@ impl OperatorExecutor for CpuExecutor {
                     parallel_for_chunks_with_local(
                         self.num_threads,
                         chunks,
-                        |_tid, crange, local: &mut BufferedOutput| {
-                            push_range(&ev, fwd, &members, crange, &plan, local);
-                        },
+                        |_tid, crange, local: &mut BufferedOutput| run(crange, local),
                     )
                 } else {
                     parallel_for_with_local(
                         self.num_threads,
                         members.len(),
                         64,
-                        |_tid, range, local: &mut BufferedOutput| {
-                            push_range(&ev, fwd, &members, range, &plan, local);
-                        },
+                        |_tid, range, local: &mut BufferedOutput| run(range, local),
                     )
                 }
             }
@@ -410,18 +491,24 @@ impl OperatorExecutor for CpuExecutor {
                     Some(input.to_repr(repr))
                 };
                 let membership = membership.as_ref();
+                let io = Io {
+                    props: &state.props,
+                    csr: bwd,
+                };
+                let run = |range: std::ops::Range<usize>, out: &mut BufferedOutput| match &kernel {
+                    Some(k) => k.run_pull(&io, membership, range, out),
+                    None => pull_range(&ev, bwd, membership, range, &plan, out),
+                };
                 if n < plan.serial_threshold {
                     let mut out = BufferedOutput::default();
-                    pull_range(&ev, bwd, membership, 0..n, &plan, &mut out);
+                    run(0..n, &mut out);
                     vec![out]
                 } else {
                     parallel_for_with_local(
                         self.num_threads,
                         n,
                         128,
-                        |_tid, range, local: &mut BufferedOutput| {
-                            pull_range(&ev, bwd, membership, range, &plan, local);
-                        },
+                        |_tid, range, local: &mut BufferedOutput| run(range, local),
                     )
                 }
             }
@@ -559,6 +646,34 @@ fn cache_blocked_push(
                         );
                     }
                 }
+            },
+        );
+        all.extend(locals);
+        lo = hi;
+    }
+    all
+}
+
+/// The compiled-kernel twin of [`cache_blocked_push`]: same destination
+/// blocking, per-edge work done by the monomorphized kernel body.
+fn cache_blocked_push_kernel(
+    kernel: &dyn EdgeKernel,
+    io: &Io<'_>,
+    members: &[u32],
+    num_threads: usize,
+) -> Vec<BufferedOutput> {
+    const BLOCK: u32 = 1 << 14;
+    let n = io.csr.num_vertices() as u32;
+    let mut all = Vec::new();
+    let mut lo = 0u32;
+    while lo < n {
+        let hi = (lo + BLOCK).min(n);
+        let locals = parallel_for_with_local(
+            num_threads,
+            members.len(),
+            64,
+            |_tid, range, local: &mut BufferedOutput| {
+                kernel.run_push_block(io, members, range, lo, hi, local);
             },
         );
         all.extend(locals);

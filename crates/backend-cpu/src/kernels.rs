@@ -1,0 +1,952 @@
+//! Monomorphized edge-traversal kernels: the CPU GraphVM's answer to the
+//! interpreter tax.
+//!
+//! The generic executor pays per-edge for genericity — a `Vec<Value>` of
+//! arguments, a register frame, and an instruction-dispatch loop per UDF
+//! call. This module recognizes the traversal shapes the midend actually
+//! produces (CAS-claim, property reduction, priority relaxation, plus
+//! `prop[v] == const` filters) by symbolically executing the compiled
+//! bytecode, and builds a specialized closed-form loop for each
+//! combination — one monomorphized `Kernel<Op, SrcFilter, DstFilter>`
+//! instantiation per shape, selected **once per run** and cached by
+//! [`KernelKey`] (the [`ugc_schedule::SchedulePoint`] plus the operator
+//! facts only this backend sees).
+//!
+//! Anything the recognizer does not understand falls back to the
+//! interpreter, which also remains the differential oracle: every kernel
+//! reproduces the evaluator's observable semantics exactly — the same
+//! [`PropertyStorage`] atomics (`cas`/`reduce`/`reduce_relaxed`), the same
+//! enqueue and priority-notification conditions, in the same order.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ugc_graph::Csr;
+use ugc_graphir::types::{BinOp, ReduceOp, Type};
+use ugc_runtime::bytecode::{Instr, UdfProgram};
+use ugc_runtime::eval::{BufferedOutput, UdfOutput};
+use ugc_runtime::properties::{PropId, PropertyStorage};
+use ugc_runtime::value::Value;
+use ugc_runtime::vertexset::VertexSet;
+use ugc_runtime::{UdfId, UdfSet};
+use ugc_schedule::SchedulePoint;
+
+/// Whether compiled kernels are enabled for this process (default yes).
+/// `UGC_CPU_KERNELS=0|off|false` forces the interpreter everywhere — the
+/// CI smoke uses this to assert the fallback path stays alive.
+pub fn kernels_enabled_by_env() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        !matches!(
+            std::env::var("UGC_CPU_KERNELS").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+/// Identity of one specialized traversal: the hardware-independent
+/// schedule point plus the operator facts that select a kernel body.
+///
+/// UDF ids are only meaningful within one compiled program, so keys must
+/// not outlive the run they were built for — [`KernelCache`] enforces this
+/// by being per-run (the executor resets it on clone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Schedule point (direction, parallelization, dedup, pull repr).
+    pub point: SchedulePoint,
+    /// The apply UDF.
+    pub udf: UdfId,
+    /// Source-side filter UDF, if any.
+    pub src_filter: Option<UdfId>,
+    /// Destination-side filter UDF, if any.
+    pub dst_filter: Option<UdfId>,
+    /// Whether the UDF consumes the edge weight (3-parameter form).
+    pub weighted: bool,
+}
+
+/// Everything a kernel needs per range: the property arrays and the CSR
+/// for the traversal direction (forward for push, backward for pull).
+pub struct Io<'a> {
+    /// Property vectors.
+    pub props: &'a PropertyStorage,
+    /// Adjacency in the traversal direction.
+    pub csr: &'a Csr,
+}
+
+/// A compiled edge-traversal loop. One object serves every direction —
+/// the executor picks the entry point, the monomorphized body does the
+/// per-edge work without touching the interpreter.
+pub trait EdgeKernel: Send + Sync {
+    /// Short name of the recognized operator shape (for telemetry rows,
+    /// emitter comments, and tests).
+    fn name(&self) -> &'static str;
+
+    /// Push traversal over `members[range]` (mirror of the interpreter's
+    /// `push_range`).
+    fn run_push(&self, io: &Io<'_>, members: &[u32], range: Range<usize>, out: &mut BufferedOutput);
+
+    /// Pull traversal over destination vertices `range`, with optional
+    /// input-frontier membership (mirror of `pull_range`, including the
+    /// direction-optimizing early exit on the destination filter).
+    fn run_pull(
+        &self,
+        io: &Io<'_>,
+        membership: Option<&VertexSet>,
+        range: Range<usize>,
+        out: &mut BufferedOutput,
+    );
+
+    /// Cache-blocked push: only edges with destination in `lo..hi`
+    /// (mirror of the interpreter's EdgeBlocking inner loop).
+    fn run_push_block(
+        &self,
+        io: &Io<'_>,
+        members: &[u32],
+        range: Range<usize>,
+        lo: u32,
+        hi: u32,
+        out: &mut BufferedOutput,
+    );
+}
+
+/// Per-run kernel table: `KernelKey → Option<kernel>` (a cached `None`
+/// records a deliberate fallback so recognition runs once per key).
+#[derive(Default)]
+pub struct KernelCache {
+    map: Mutex<HashMap<KernelKey, Option<Arc<dyn EdgeKernel>>>>,
+}
+
+impl KernelCache {
+    /// Looks up `key`, recognizing on first use via `build`.
+    pub fn resolve(
+        &self,
+        key: KernelKey,
+        build: impl FnOnce() -> Option<Arc<dyn EdgeKernel>>,
+    ) -> Option<Arc<dyn EdgeKernel>> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key).or_insert_with(build).clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recognition: symbolic execution of UDF bytecode.
+// ---------------------------------------------------------------------------
+
+/// Symbolic value of a register during recognition.
+#[derive(Debug, Clone, PartialEq)]
+enum Sym {
+    /// UDF parameter `i` (0 = src, 1 = dst, 2 = weight for 3-param UDFs).
+    Param(usize),
+    /// A literal constant.
+    Lit(Value),
+    /// The edge weight (the `EdgeWeight` intrinsic).
+    Weight,
+    /// `prop[idx]`.
+    Load(PropId, Box<Sym>),
+    /// `a + b`.
+    Add(Box<Sym>, Box<Sym>),
+    /// `a == b`.
+    Eq(Box<Sym>, Box<Sym>),
+    /// The success/changed flag of effect `k`.
+    Flag(usize),
+    /// Anything the recognizer does not model.
+    Opaque,
+}
+
+/// One side effect in program order.
+#[derive(Debug, Clone)]
+enum Effect {
+    Cas {
+        prop: PropId,
+        idx: Sym,
+        expected: Sym,
+        new: Sym,
+    },
+    Reduce {
+        prop: PropId,
+        idx: Sym,
+        op: ReduceOp,
+        val: Sym,
+        atomic: bool,
+    },
+    UpdatePrio {
+        queue: usize,
+        vertex: Sym,
+        op: ReduceOp,
+        val: Sym,
+        atomic: bool,
+    },
+    Enqueue {
+        vertex: Sym,
+        /// Effect index whose success/changed flag guards this enqueue.
+        guard: Option<usize>,
+    },
+}
+
+/// Symbolically executes a UDF. Returns its effects in order plus the
+/// symbolic return value, or `None` when the program uses anything outside
+/// the modeled subset (stores, globals, calls, loops, non-flag branches).
+fn symexec(u: &UdfProgram) -> Option<(Vec<Effect>, Option<Sym>)> {
+    let mut regs: Vec<Sym> = (0..u.num_regs)
+        .map(|i| {
+            if i < u.num_params {
+                Sym::Param(i)
+            } else {
+                Sym::Lit(Value::Int(0))
+            }
+        })
+        .collect();
+    let mut effects: Vec<Effect> = Vec::new();
+    let mut pc = 0usize;
+    while pc < u.instrs.len() {
+        match &u.instrs[pc] {
+            Instr::Const { dst, v } => regs[*dst as usize] = Sym::Lit(*v),
+            Instr::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize].clone(),
+            Instr::Bin { op, dst, a, b } => {
+                let (a, b) = (regs[*a as usize].clone(), regs[*b as usize].clone());
+                regs[*dst as usize] = match op {
+                    BinOp::Add => Sym::Add(Box::new(a), Box::new(b)),
+                    BinOp::Eq => Sym::Eq(Box::new(a), Box::new(b)),
+                    _ => Sym::Opaque,
+                };
+            }
+            Instr::EdgeWeight { dst } => regs[*dst as usize] = Sym::Weight,
+            Instr::LoadProp { dst, prop, idx } => {
+                regs[*dst as usize] = Sym::Load(*prop, Box::new(regs[*idx as usize].clone()));
+            }
+            Instr::Cas {
+                dst,
+                prop,
+                idx,
+                expected,
+                new,
+                ..
+            } => {
+                let k = effects.len();
+                effects.push(Effect::Cas {
+                    prop: *prop,
+                    idx: regs[*idx as usize].clone(),
+                    expected: regs[*expected as usize].clone(),
+                    new: regs[*new as usize].clone(),
+                });
+                regs[*dst as usize] = Sym::Flag(k);
+            }
+            Instr::ReduceProp {
+                prop,
+                idx,
+                op,
+                val,
+                atomic,
+                changed,
+            } => {
+                let k = effects.len();
+                effects.push(Effect::Reduce {
+                    prop: *prop,
+                    idx: regs[*idx as usize].clone(),
+                    op: *op,
+                    val: regs[*val as usize].clone(),
+                    atomic: *atomic,
+                });
+                if let Some(c) = changed {
+                    regs[*c as usize] = Sym::Flag(k);
+                }
+            }
+            Instr::UpdatePrio {
+                queue,
+                vertex,
+                op,
+                val,
+                atomic,
+            } => {
+                effects.push(Effect::UpdatePrio {
+                    queue: *queue,
+                    vertex: regs[*vertex as usize].clone(),
+                    op: *op,
+                    val: regs[*val as usize].clone(),
+                    atomic: *atomic,
+                });
+            }
+            Instr::Enqueue { vertex } => {
+                effects.push(Effect::Enqueue {
+                    vertex: regs[*vertex as usize].clone(),
+                    guard: None,
+                });
+            }
+            Instr::JumpIfNot { cond, target } => {
+                // The only branch shape modeled: `if <flag> { enqueue… }`,
+                // exactly what the tracking pass emits.
+                let Sym::Flag(k) = regs[*cond as usize] else {
+                    return None;
+                };
+                if *target <= pc || *target > u.instrs.len() {
+                    return None;
+                }
+                for j in pc + 1..*target {
+                    match &u.instrs[j] {
+                        Instr::Enqueue { vertex } => effects.push(Effect::Enqueue {
+                            vertex: regs[*vertex as usize].clone(),
+                            guard: Some(k),
+                        }),
+                        _ => return None,
+                    }
+                }
+                pc = *target;
+                continue;
+            }
+            Instr::Ret => break,
+            // Stores, globals, calls, degrees, loops, unary ops: out of
+            // the modeled subset — the interpreter handles these.
+            _ => return None,
+        }
+        pc += 1;
+    }
+    Some((effects, u.ret_reg.map(|r| regs[r as usize].clone())))
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bodies.
+// ---------------------------------------------------------------------------
+
+/// The per-edge operator of a kernel.
+trait KOp: Send + Sync + 'static {
+    fn apply(&self, props: &PropertyStorage, src: u32, dst: u32, w: i64, out: &mut BufferedOutput);
+}
+
+/// `CAS(prop[dst], expected, src)`, enqueueing `dst` on success (BFS
+/// parent-claim, as lowered by the tracking pass).
+struct CasClaim {
+    prop: PropId,
+    expected: Value,
+    enqueue: bool,
+}
+
+impl KOp for CasClaim {
+    #[inline]
+    fn apply(
+        &self,
+        props: &PropertyStorage,
+        src: u32,
+        dst: u32,
+        _w: i64,
+        out: &mut BufferedOutput,
+    ) {
+        if props.cas(self.prop, dst, self.expected, Value::Int(src as i64)) && self.enqueue {
+            out.enqueue(dst);
+        }
+    }
+}
+
+/// `dst_prop[dst] op= src_prop[src]`, optionally enqueueing `dst` when the
+/// cell changed (CC label-min, PageRank rank-sum, BC path/deps-sum).
+struct PropReduce {
+    dst_prop: PropId,
+    src_prop: PropId,
+    op: ReduceOp,
+    atomic: bool,
+    enqueue: bool,
+}
+
+impl KOp for PropReduce {
+    #[inline]
+    fn apply(
+        &self,
+        props: &PropertyStorage,
+        src: u32,
+        dst: u32,
+        _w: i64,
+        out: &mut BufferedOutput,
+    ) {
+        let v = props.read(self.src_prop, src);
+        let (changed, _) = if self.atomic {
+            props.reduce(self.dst_prop, dst, self.op, v)
+        } else {
+            props.reduce_relaxed(self.dst_prop, dst, self.op, v)
+        };
+        if changed && self.enqueue {
+            out.enqueue(dst);
+        }
+    }
+}
+
+/// `pq.updatePriorityMin(dst, dist[src] + weight)` (SSSP relaxation).
+struct RelaxMin {
+    queue: usize,
+    qprop: PropId,
+    dist: PropId,
+    atomic: bool,
+}
+
+impl KOp for RelaxMin {
+    #[inline]
+    fn apply(&self, props: &PropertyStorage, src: u32, dst: u32, w: i64, out: &mut BufferedOutput) {
+        let nd = props.read(self.dist, src).as_int() + w;
+        let v = Value::Int(nd);
+        let (changed, _) = if self.atomic {
+            props.reduce(self.qprop, dst, ReduceOp::Min, v)
+        } else {
+            props.reduce_relaxed(self.qprop, dst, ReduceOp::Min, v)
+        };
+        if changed {
+            out.priority_changed(self.queue, dst, nd);
+        }
+    }
+}
+
+/// A vertex filter, monomorphized so the no-filter case compiles away.
+trait KFilter: Send + Sync + 'static {
+    const ACTIVE: bool;
+    fn pass(&self, props: &PropertyStorage, v: u32) -> bool;
+}
+
+/// No filter: always passes.
+struct NoFilter;
+
+impl KFilter for NoFilter {
+    const ACTIVE: bool = false;
+    #[inline]
+    fn pass(&self, _props: &PropertyStorage, _v: u32) -> bool {
+        true
+    }
+}
+
+/// `prop[v] == const` as a raw bit comparison (valid for non-float cells
+/// whose literal matches the cell type — checked at recognition time).
+struct EqConst {
+    prop: PropId,
+    bits: u64,
+}
+
+impl KFilter for EqConst {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn pass(&self, props: &PropertyStorage, v: u32) -> bool {
+        props.read_bits(self.prop, v) == self.bits
+    }
+}
+
+/// One monomorphized traversal: operator × source filter × dst filter.
+struct Kernel<O: KOp, SF: KFilter, DF: KFilter> {
+    op: O,
+    sf: SF,
+    df: DF,
+    name: &'static str,
+}
+
+impl<O: KOp, SF: KFilter, DF: KFilter> EdgeKernel for Kernel<O, SF, DF> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run_push(
+        &self,
+        io: &Io<'_>,
+        members: &[u32],
+        range: Range<usize>,
+        out: &mut BufferedOutput,
+    ) {
+        for &src in &members[range] {
+            if !self.sf.pass(io.props, src) {
+                continue;
+            }
+            let weights = io.csr.neighbor_weights(src);
+            for (k, &dst) in io.csr.neighbors(src).iter().enumerate() {
+                if !self.df.pass(io.props, dst) {
+                    continue;
+                }
+                let w = weights.map_or(1, |ws| ws[k]) as i64;
+                self.op.apply(io.props, src, dst, w, out);
+            }
+        }
+    }
+
+    fn run_pull(
+        &self,
+        io: &Io<'_>,
+        membership: Option<&VertexSet>,
+        range: Range<usize>,
+        out: &mut BufferedOutput,
+    ) {
+        for dst in range {
+            let dst = dst as u32;
+            if !self.df.pass(io.props, dst) {
+                continue;
+            }
+            let weights = io.csr.neighbor_weights(dst);
+            for (k, &src) in io.csr.neighbors(dst).iter().enumerate() {
+                if let Some(m) = membership {
+                    if !m.contains(src) {
+                        continue;
+                    }
+                }
+                if !self.sf.pass(io.props, src) {
+                    continue;
+                }
+                let w = weights.map_or(1, |ws| ws[k]) as i64;
+                self.op.apply(io.props, src, dst, w, out);
+                // Direction-optimizing early exit, same as the interpreter.
+                if DF::ACTIVE && !self.df.pass(io.props, dst) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_push_block(
+        &self,
+        io: &Io<'_>,
+        members: &[u32],
+        range: Range<usize>,
+        lo: u32,
+        hi: u32,
+        out: &mut BufferedOutput,
+    ) {
+        for &src in &members[range] {
+            if !self.sf.pass(io.props, src) {
+                continue;
+            }
+            let neigh = io.csr.neighbors(src);
+            let weights = io.csr.neighbor_weights(src);
+            let start = neigh.partition_point(|&d| d < lo);
+            for k in start..neigh.len() {
+                let dst = neigh[k];
+                if dst >= hi {
+                    break;
+                }
+                if !self.df.pass(io.props, dst) {
+                    continue;
+                }
+                let w = weights.map_or(1, |ws| ws[k]) as i64;
+                self.op.apply(io.props, src, dst, w, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching and construction.
+// ---------------------------------------------------------------------------
+
+fn is_src(s: &Sym) -> bool {
+    matches!(s, Sym::Param(0))
+}
+
+fn is_dst(s: &Sym) -> bool {
+    matches!(s, Sym::Param(1))
+}
+
+/// Recognizes a `prop[v] == const` filter whose bit comparison coincides
+/// with the interpreter's `Eq`: non-float cells, literal variant matching
+/// the cell type (float bit-equality diverges on NaN and -0.0).
+fn recognize_filter(u: &UdfProgram, props: &PropertyStorage) -> Option<EqConst> {
+    if u.num_params != 1 {
+        return None;
+    }
+    let (effects, ret) = symexec(u)?;
+    if !effects.is_empty() {
+        return None;
+    }
+    let Some(Sym::Eq(a, b)) = ret else {
+        return None;
+    };
+    let (prop, lit) = match (&*a, &*b) {
+        (Sym::Load(p, i), Sym::Lit(c)) if matches!(**i, Sym::Param(0)) => (*p, *c),
+        (Sym::Lit(c), Sym::Load(p, i)) if matches!(**i, Sym::Param(0)) => (*p, *c),
+        _ => return None,
+    };
+    let bits_safe = match (props.ty(prop), lit) {
+        (Type::Float, _) => false,
+        (Type::Bool, Value::Bool(_)) => true,
+        (Type::Bool, _) => false,
+        (_, Value::Int(_)) => true,
+        _ => false,
+    };
+    bits_safe.then(|| EqConst {
+        prop,
+        bits: props.bits_of(prop, lit),
+    })
+}
+
+/// Builds the kernel object once both filters resolved.
+fn assemble<O: KOp>(
+    op: O,
+    name: &'static str,
+    sf: Option<EqConst>,
+    df: Option<EqConst>,
+) -> Arc<dyn EdgeKernel> {
+    match (sf, df) {
+        (None, None) => Arc::new(Kernel {
+            op,
+            sf: NoFilter,
+            df: NoFilter,
+            name,
+        }),
+        (Some(sf), None) => Arc::new(Kernel {
+            op,
+            sf,
+            df: NoFilter,
+            name,
+        }),
+        (None, Some(df)) => Arc::new(Kernel {
+            op,
+            sf: NoFilter,
+            df,
+            name,
+        }),
+        (Some(sf), Some(df)) => Arc::new(Kernel { op, sf, df, name }),
+    }
+}
+
+/// Recognizes the apply UDF + filters of one edge traversal and builds the
+/// specialized kernel, or returns `None` for a deliberate interpreter
+/// fallback.
+pub fn recognize(
+    udfs: &UdfSet,
+    props: &PropertyStorage,
+    udf: UdfId,
+    src_filter: Option<UdfId>,
+    dst_filter: Option<UdfId>,
+) -> Option<Arc<dyn EdgeKernel>> {
+    let u = udfs.get(udf);
+    if !(u.num_params == 2 || u.num_params == 3) || u.ret_reg.is_some() {
+        return None;
+    }
+    let (effects, _) = symexec(u)?;
+    let weight_like =
+        |s: &Sym| matches!(s, Sym::Weight) || (u.num_params == 3 && matches!(s, Sym::Param(2)));
+
+    // Resolve filters first: an unrecognized filter forces the fallback
+    // even when the apply itself is specializable.
+    let sf = match src_filter {
+        None => None,
+        Some(f) => Some(recognize_filter(udfs.get(f), props)?),
+    };
+    let df = match dst_filter {
+        None => None,
+        Some(f) => Some(recognize_filter(udfs.get(f), props)?),
+    };
+
+    match &effects[..] {
+        // BFS-style parent claim, with or without tracked enqueue.
+        [Effect::Cas {
+            prop,
+            idx,
+            expected,
+            new,
+        }, rest @ ..]
+            if is_dst(idx) && is_src(new) && matches!(expected, Sym::Lit(_)) =>
+        {
+            let enqueue = match rest {
+                [] => false,
+                [Effect::Enqueue {
+                    vertex,
+                    guard: Some(0),
+                }] if is_dst(vertex) => true,
+                _ => return None,
+            };
+            let Sym::Lit(expected) = expected else {
+                return None;
+            };
+            Some(assemble(
+                CasClaim {
+                    prop: *prop,
+                    expected: *expected,
+                    enqueue,
+                },
+                "cas_claim",
+                sf,
+                df,
+            ))
+        }
+        // CC / PageRank / BC style reduction, optionally with tracked
+        // enqueue.
+        [Effect::Reduce {
+            prop,
+            idx,
+            op,
+            val,
+            atomic,
+        }, rest @ ..]
+            if is_dst(idx) && matches!(val, Sym::Load(_, i) if is_src(i)) =>
+        {
+            let enqueue = match rest {
+                [] => false,
+                [Effect::Enqueue {
+                    vertex,
+                    guard: Some(0),
+                }] if is_dst(vertex) => true,
+                _ => return None,
+            };
+            let Sym::Load(src_prop, _) = val else {
+                return None;
+            };
+            Some(assemble(
+                PropReduce {
+                    dst_prop: *prop,
+                    src_prop: *src_prop,
+                    op: *op,
+                    atomic: *atomic,
+                    enqueue,
+                },
+                match op {
+                    ReduceOp::Sum => "reduce_sum",
+                    ReduceOp::Min => "reduce_min",
+                    ReduceOp::Max => "reduce_max",
+                    ReduceOp::Or => "reduce_or",
+                },
+                sf,
+                df,
+            ))
+        }
+        // SSSP min-relaxation into a priority queue. Min only: the
+        // interpreter re-reads the cell for Sum notifications, a semantic
+        // the closed-form kernel does not reproduce.
+        [Effect::UpdatePrio {
+            queue,
+            vertex,
+            op: ReduceOp::Min,
+            val: Sym::Add(a, b),
+            atomic,
+        }] if is_dst(vertex) => {
+            let dist = match (&**a, &**b) {
+                (Sym::Load(d, i), other) if is_src(i) && weight_like(other) => *d,
+                (other, Sym::Load(d, i)) if is_src(i) && weight_like(other) => *d,
+                _ => return None,
+            };
+            // `as_int` on the loaded operand must match the interpreter's
+            // integer add: any non-float cell qualifies.
+            if props.ty(dist) == Type::Float {
+                return None;
+            }
+            Some(assemble(
+                RelaxMin {
+                    queue: *queue,
+                    qprop: udfs.queue_props[*queue],
+                    dist,
+                    atomic: *atomic,
+                },
+                "relax_min",
+                sf,
+                df,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Recognition without property arrays: builds a throwaway
+/// [`PropertyStorage`] carrying only the declared types, for callers (the
+/// C++ emitter) that reason about programs before any graph is loaded.
+/// Returns the kernel name, or `None` for fallback.
+pub fn recognize_name(
+    prog: &ugc_graphir::ir::Program,
+    udfs: &UdfSet,
+    udf: UdfId,
+    src_filter: Option<UdfId>,
+    dst_filter: Option<UdfId>,
+) -> Option<&'static str> {
+    let mut props = PropertyStorage::new(0);
+    for p in &prog.properties {
+        props.add(p.name.clone(), p.ty, Value::zero_of(p.ty));
+    }
+    recognize(udfs, &props, udf, src_filter, dst_filter).map(|k| k.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugc_graphir::ir::{Expr, Function, LValue, Param, Program, Stmt, StmtKind};
+    use ugc_graphir::keys;
+    use ugc_runtime::bytecode::{binding_of, compile_udfs};
+
+    fn props_of(prog: &Program, n: usize) -> PropertyStorage {
+        let mut props = PropertyStorage::new(n);
+        for p in &prog.properties {
+            let init = match &p.init.kind {
+                ugc_graphir::ir::ExprKind::Int(v) => Value::Int(*v),
+                ugc_graphir::ir::ExprKind::Float(v) => Value::Float(*v),
+                ugc_graphir::ir::ExprKind::Bool(v) => Value::Bool(*v),
+                _ => Value::zero_of(p.ty),
+            };
+            props.add(p.name.clone(), p.ty, init);
+        }
+        props
+    }
+
+    fn bfs_program() -> Program {
+        let mut p = Program::new();
+        p.add_property("parent", Type::Vertex, Expr::int(-1));
+        let mut f = Function::new(
+            "updateEdge",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut cas = Expr::cas("parent", Expr::var("dst"), Expr::int(-1), Expr::var("src"));
+        cas.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(Stmt::new(StmtKind::VarDecl {
+            name: "enq".into(),
+            ty: Type::Bool,
+            init: Some(cas),
+        }));
+        f.body.push(Stmt::new(StmtKind::If {
+            cond: Expr::var("enq"),
+            then_body: vec![Stmt::new(StmtKind::EnqueueVertex {
+                set: None,
+                vertex: Expr::var("dst"),
+            })],
+            else_body: vec![],
+        }));
+        p.add_function(f);
+        let mut filt = Function::new(
+            "toFilter",
+            vec![Param::new("v", Type::Vertex)],
+            Some(Param::new("output", Type::Bool)),
+        );
+        filt.body.push(Stmt::new(StmtKind::Assign {
+            target: LValue::Var("output".into()),
+            value: Expr::bin(
+                BinOp::Eq,
+                Expr::prop("parent", Expr::var("v")),
+                Expr::int(-1),
+            ),
+        }));
+        p.add_function(filt);
+        p
+    }
+
+    #[test]
+    fn recognizes_bfs_cas_claim_with_filter() {
+        let prog = bfs_program();
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).unwrap();
+        let props = props_of(&prog, 4);
+        let k = recognize(
+            &udfs,
+            &props,
+            udfs.id_of("updateEdge").unwrap(),
+            None,
+            Some(udfs.id_of("toFilter").unwrap()),
+        )
+        .expect("BFS shape must specialize");
+        assert_eq!(k.name(), "cas_claim");
+    }
+
+    #[test]
+    fn cas_claim_kernel_matches_semantics() {
+        let prog = bfs_program();
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).unwrap();
+        let props = props_of(&prog, 4);
+        let graph = ugc_graph::Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2)]);
+        let k = recognize(&udfs, &props, udfs.id_of("updateEdge").unwrap(), None, None).unwrap();
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0, 1], 0..2, &mut out);
+        // Vertex 2 claimed exactly once (second CAS fails), 1 claimed by 0.
+        assert_eq!(out.enqueued, vec![1, 2]);
+        let parent = props.id_of("parent").unwrap();
+        assert_eq!(props.read(parent, 2), Value::Int(0));
+    }
+
+    #[test]
+    fn float_filter_falls_back() {
+        let mut p = Program::new();
+        p.add_property("rank", Type::Float, Expr::float(0.0));
+        p.add_property("acc", Type::Float, Expr::float(0.0));
+        let mut f = Function::new(
+            "upd",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut red = Stmt::new(StmtKind::Reduce {
+            target: LValue::prop("acc", Expr::var("dst")),
+            op: ReduceOp::Sum,
+            value: Expr::prop("rank", Expr::var("src")),
+            tracking: None,
+        });
+        red.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(red);
+        p.add_function(f);
+        let mut filt = Function::new(
+            "floatFilter",
+            vec![Param::new("v", Type::Vertex)],
+            Some(Param::new("output", Type::Bool)),
+        );
+        filt.body.push(Stmt::new(StmtKind::Assign {
+            target: LValue::Var("output".into()),
+            value: Expr::bin(
+                BinOp::Eq,
+                Expr::prop("rank", Expr::var("v")),
+                Expr::float(0.0),
+            ),
+        }));
+        p.add_function(filt);
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 4);
+        // Bare reduction specializes…
+        assert!(recognize(&udfs, &props, udfs.id_of("upd").unwrap(), None, None).is_some());
+        // …but a float-equality filter must force the fallback.
+        assert!(recognize(
+            &udfs,
+            &props,
+            udfs.id_of("upd").unwrap(),
+            None,
+            Some(udfs.id_of("floatFilter").unwrap()),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn opaque_udf_falls_back() {
+        let mut p = Program::new();
+        p.add_property("x", Type::Int, Expr::int(0));
+        let mut f = Function::new(
+            "storeUdf",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        // Plain (untracked) store: outside the modeled subset.
+        f.body.push(Stmt::new(StmtKind::Assign {
+            target: LValue::prop("x", Expr::var("dst")),
+            value: Expr::var("src"),
+        }));
+        p.add_function(f);
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 4);
+        assert!(recognize(&udfs, &props, udfs.id_of("storeUdf").unwrap(), None, None).is_none());
+    }
+
+    #[test]
+    fn cache_memoizes_fallback_and_hit() {
+        let prog = bfs_program();
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).unwrap();
+        let props = props_of(&prog, 4);
+        let cache = KernelCache::default();
+        let key = KernelKey {
+            point: SchedulePoint::default(),
+            udf: udfs.id_of("updateEdge").unwrap(),
+            src_filter: None,
+            dst_filter: None,
+            weighted: false,
+        };
+        let mut builds = 0;
+        for _ in 0..3 {
+            let k = cache.resolve(key, || {
+                builds += 1;
+                recognize(&udfs, &props, key.udf, None, None)
+            });
+            assert!(k.is_some());
+        }
+        assert_eq!(builds, 1, "recognition must run once per key");
+    }
+}

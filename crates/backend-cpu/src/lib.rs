@@ -27,9 +27,11 @@
 
 pub mod emitter;
 pub mod executor;
+pub mod kernels;
 pub mod schedule;
 pub mod vm;
 
 pub use executor::{CpuAttribution, CpuExecutor};
+pub use kernels::{EdgeKernel, KernelKey};
 pub use schedule::{CpuSchedule, CpuScheduleSpace};
 pub use vm::{CpuGraphVm, Execution};

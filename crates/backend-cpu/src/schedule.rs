@@ -53,7 +53,7 @@ impl Default for CpuSchedule {
             dedup: false,
             delta: 1,
             hybrid_threshold: 0.15,
-            serial_threshold: 512,
+            serial_threshold: ugc_runtime::pool::SERIAL_DISPATCH_THRESHOLD,
             cache_blocking: false,
         }
     }

@@ -77,6 +77,15 @@ impl CpuGraphVm {
         }
     }
 
+    /// Enables or disables compiled edge kernels for this VM's runs
+    /// (overriding the `UGC_CPU_KERNELS` process default). With kernels
+    /// off every traversal goes through the interpreter — the
+    /// differential oracle the kernel library is tested against.
+    pub fn with_kernels(mut self, on: bool) -> Self {
+        self.executor.use_kernels = on;
+        self
+    }
+
     /// Executes a program (already lowered and passed through the midend)
     /// on `graph`, binding extern consts from `externs`.
     ///

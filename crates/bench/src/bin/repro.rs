@@ -174,6 +174,7 @@ fn profile(targets: &[Target], scale: Scale) {
             target.name(),
             scale.name()
         ));
+        let col = ugc_telemetry::Collector::start();
         let (attr, delta) = profile_backend(target, scale);
         print!("{}", attr.render());
         consistent &= attr.is_consistent();
@@ -183,6 +184,28 @@ fn profile(targets: &[Target], scale: Scale) {
             scale.name()
         ));
         lines.push_str(&delta.to_json_lines());
+        if target == Target::Cpu {
+            // Kernel selection + pool chunk feedback: the two knobs the
+            // compiled-kernel path adds to the CPU hot loop. Pool counters
+            // live outside the `cpu.` prefix, so read them from a full
+            // collector delta spanning the same window.
+            let pool = col.snapshot();
+            println!(
+                "kernel dispatch: {} specialized, {} interpreter fallback",
+                delta.value("cpu.kernel.specialized"),
+                delta.value("cpu.kernel.fallback"),
+            );
+            if let Some(mean) = pool.histogram_mean("pool.chunk_size") {
+                println!(
+                    "pool chunk feedback: mean executed chunk {mean:.0} items over {} chunks",
+                    pool.value("pool.chunk_size.count")
+                );
+                lines.push_str(&format!(
+                    "{{\"histogram_mean\":\"pool.chunk_size\",\"value\":{mean:.3}}}\n"
+                ));
+            }
+            lines.push_str(&pool.filter_prefix("pool.").to_json_lines());
+        }
     }
     use std::io::Write;
     match std::fs::OpenOptions::new()

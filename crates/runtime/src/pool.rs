@@ -22,9 +22,12 @@
 //!   `parallel_for` issued from inside a running task executes inline
 //!   (serially) on the calling worker — no deadlock, no re-entry.
 //! * **Per-worker chunk queues with stealing.** Each participant owns a
-//!   contiguous block of the iteration space and hands out `chunk_hint`
-//!   sized pieces from its front; an idle participant steals the upper
-//!   half of the largest remaining victim block. Degree-skewed ranges can
+//!   contiguous block of the iteration space and hands out chunk-sized
+//!   pieces from its front (the size chosen by the [`chunk_feedback`]
+//!   controller, with the caller's `chunk_hint` as a floor); an idle
+//!   participant steals the upper half of the largest remaining victim
+//!   block. Totals at or under [`SERIAL_DISPATCH_THRESHOLD`] never
+//!   dispatch at all — the handoff round-trip costs more than the loop. Degree-skewed ranges can
 //!   also be pre-split by the caller ([`parallel_for_chunks_with_local`])
 //!   so each worker starts with an explicit queue of uneven chunks and
 //!   steals whole chunks from the back of other queues.
@@ -59,6 +62,14 @@ use ugc_telemetry::{Counter, Histogram, Span};
 /// Hard cap on persistent worker threads (a runaway-request backstop far
 /// above any real machine this targets).
 pub const MAX_WORKERS: usize = 128;
+
+/// Below this many items a `parallel_for` call never dispatches to the
+/// pool: the parking/handoff round-trip costs ~100ns while a tiny loop
+/// finishes in ~10ns (BENCH_3 `pool_dispatch/n=64`). Mirrors the CPU
+/// schedule's default serial threshold
+/// (`ugc_backend_cpu::CpuSchedule::serial_threshold`), applied here so
+/// every call site is protected, not just the executor's.
+pub const SERIAL_DISPATCH_THRESHOLD: usize = 512;
 
 /// Number of worker threads used by default: `UGC_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism.
@@ -326,6 +337,111 @@ fn clamp_participants(requested: usize) -> usize {
     capped.clamp(1, MAX_WORKERS + 1)
 }
 
+/// Feedback-driven chunk sizing.
+///
+/// The fixed `chunk_hint` policy is what lost `pool_dispatch/n=1M` to
+/// naive spawn in BENCH_3: 16384 hint-sized handoffs swamped the
+/// scheduling win. The pool now treats the caller's hint as a floor and
+/// picks the executed chunk per size class (log2 of `total`) from
+/// feedback: the first job in a class runs a probe policy (enough chunks
+/// per participant for stealing, few enough to amortize handoff), and
+/// every dispatched job reports its throughput back, hill-climbing the
+/// class's chunk between jobs. The executed sizes land in the
+/// `pool.chunk_size` telemetry histogram (via [`count_chunk`]), so the
+/// distribution `repro --profile` reports *is* the controller's output;
+/// the controller itself stays live even under `UGC_TELEMETRY=0`.
+mod chunk_feedback {
+    use super::lock;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Aim for at least this many chunks per participant so idle workers
+    /// always find something to steal.
+    const MIN_CHUNKS_PER_WORKER: usize = 4;
+    /// Probe policy: start with this many chunks per participant.
+    const PROBE_CHUNKS_PER_WORKER: usize = 8;
+    /// One state per log2(total) size class.
+    const CLASSES: usize = (usize::BITS + 1) as usize;
+
+    #[derive(Clone, Copy)]
+    struct Class {
+        /// Chunk to try on the next job (0 = no feedback yet; probe).
+        next: usize,
+        /// Best observed ns/item and the chunk that achieved it.
+        best_ns_per_item: f64,
+        best_chunk: usize,
+        /// Current exploration direction (grow = fewer handoffs).
+        grow: bool,
+    }
+
+    const FRESH: Class = Class {
+        next: 0,
+        best_ns_per_item: 0.0,
+        best_chunk: 0,
+        grow: true,
+    };
+
+    fn classes() -> &'static Mutex<[Class; CLASSES]> {
+        static STATE: OnceLock<Mutex<[Class; CLASSES]>> = OnceLock::new();
+        STATE.get_or_init(|| Mutex::new([FRESH; CLASSES]))
+    }
+
+    fn class_of(total: usize) -> usize {
+        (usize::BITS - total.leading_zeros()) as usize
+    }
+
+    /// Clamps a candidate chunk into the legal band for this job: never
+    /// below the caller's hint (their granularity floor), never so large
+    /// that participants fall under [`MIN_CHUNKS_PER_WORKER`] chunks.
+    fn clamp(candidate: usize, total: usize, t: usize, hint: usize) -> usize {
+        let max_chunk = (total / (t * MIN_CHUNKS_PER_WORKER)).max(1);
+        candidate.clamp(1, max_chunk).max(hint)
+    }
+
+    /// The chunk size a dispatched job over `total` items on `t`
+    /// participants should use.
+    pub(super) fn effective(total: usize, t: usize, hint: usize) -> usize {
+        let tuned = lock(classes())[class_of(total)].next;
+        let candidate = if tuned != 0 {
+            tuned
+        } else {
+            // First-pass probe for this size class.
+            hint.max(total / (t * PROBE_CHUNKS_PER_WORKER).max(1))
+        };
+        clamp(candidate, total, t, hint)
+    }
+
+    /// Reports a finished job's wall time back to its size class.
+    pub(super) fn observe(total: usize, chunk: usize, elapsed_ns: u64) {
+        if total == 0 {
+            return;
+        }
+        let ns_per_item = elapsed_ns as f64 / total as f64;
+        let c = &mut lock(classes())[class_of(total)];
+        if c.best_chunk == 0 || ns_per_item < c.best_ns_per_item {
+            // New best: remember it and keep exploring the same way.
+            c.best_ns_per_item = ns_per_item;
+            c.best_chunk = chunk;
+            c.next = if c.grow {
+                chunk.saturating_mul(2)
+            } else {
+                chunk / 2
+            };
+        } else {
+            // Worse than the incumbent: flip direction, restart from the
+            // best, and decay the incumbent so a stale lucky sample
+            // cannot pin the class forever.
+            c.grow = !c.grow;
+            c.next = if c.grow {
+                c.best_chunk.saturating_mul(2)
+            } else {
+                c.best_chunk / 2
+            };
+            c.best_ns_per_item *= 1.05;
+        }
+        c.next = c.next.max(1);
+    }
+}
+
 /// One participant's share of a block-partitioned iteration space.
 /// `next..end` is still unclaimed; owners take `chunk`-sized pieces from
 /// the front, thieves take the upper half from the back.
@@ -421,10 +537,12 @@ impl BlockQueues {
 /// Runs `f(thread_id, start..end)` over chunks of `0..total` on up to
 /// `num_threads` participants of the persistent pool, with work stealing.
 ///
-/// `f` must be safe to call concurrently. Chunk size is
-/// `max(chunk_hint, 1)`. Runs inline (serially) when one participant
-/// suffices, when called from inside a pool task, or under
-/// `UGC_THREADS=1`.
+/// `f` must be safe to call concurrently. `chunk_hint` is the caller's
+/// granularity floor; the executed chunk size is chosen by the
+/// [`chunk_feedback`] controller. Runs inline (serially) when one
+/// participant suffices, when `total` is at or under
+/// [`SERIAL_DISPATCH_THRESHOLD`], when called from inside a pool task,
+/// or under `UGC_THREADS=1`.
 ///
 /// # Example
 ///
@@ -445,15 +563,18 @@ where
     if total == 0 {
         return;
     }
-    let chunk = chunk_hint.max(1);
-    let t = clamp_participants(num_threads.max(1).min(total.div_ceil(chunk)));
-    if t <= 1 || in_pool_job() {
+    let hint = chunk_hint.max(1);
+    let t = clamp_participants(num_threads.max(1).min(total.div_ceil(hint)));
+    if t <= 1 || total <= SERIAL_DISPATCH_THRESHOLD || in_pool_job() {
         counters().serial_runs.incr();
         f(0, 0..total);
         return;
     }
+    let chunk = chunk_feedback::effective(total, t, hint);
     let queues = BlockQueues::new(total, t, chunk);
+    let t0 = std::time::Instant::now();
     run_job(t, &|tid| queues.work(tid, &f));
+    chunk_feedback::observe(total, chunk, t0.elapsed().as_nanos() as u64);
 }
 
 /// Runs `f(thread_id, start..end, &mut local)` like [`parallel_for`] but
@@ -476,16 +597,18 @@ where
     if total == 0 {
         return Vec::new();
     }
-    let chunk = chunk_hint.max(1);
-    let t = clamp_participants(num_threads.max(1).min(total.div_ceil(chunk)));
-    if t <= 1 || in_pool_job() {
+    let hint = chunk_hint.max(1);
+    let t = clamp_participants(num_threads.max(1).min(total.div_ceil(hint)));
+    if t <= 1 || total <= SERIAL_DISPATCH_THRESHOLD || in_pool_job() {
         counters().serial_runs.incr();
         let mut local = T::default();
         f(0, 0..total, &mut local);
         return vec![local];
     }
+    let chunk = chunk_feedback::effective(total, t, hint);
     let queues = BlockQueues::new(total, t, chunk);
     let results: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(t));
+    let t0 = std::time::Instant::now();
     run_job(t, &|tid| {
         let mut local = T::default();
         loop {
@@ -497,6 +620,7 @@ where
         }
         lock(&results).push(local);
     });
+    chunk_feedback::observe(total, chunk, t0.elapsed().as_nanos() as u64);
     results.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 

@@ -123,6 +123,19 @@ impl PropertyStorage {
         Value::from_bits(a.data[idx as usize].load(Ordering::Relaxed), a.ty)
     }
 
+    /// Raw 64-bit cell read: the stored bit pattern, relaxed. Compiled
+    /// kernels compare cells against precomputed constants ([`Self::bits_of`])
+    /// without constructing a [`Value`].
+    pub fn read_bits(&self, id: PropId, idx: u32) -> u64 {
+        self.arrays[id.0].data[idx as usize].load(Ordering::Relaxed)
+    }
+
+    /// The bit pattern `v` occupies in property `id`'s cells (the encoding
+    /// [`Self::write`] would store).
+    pub fn bits_of(&self, id: PropId, v: Value) -> u64 {
+        v.to_bits(self.arrays[id.0].ty)
+    }
+
     /// Plain write.
     pub fn write(&self, id: PropId, idx: u32, v: Value) {
         let a = &self.arrays[id.0];

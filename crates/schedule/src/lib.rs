@@ -223,6 +223,54 @@ impl ScheduleRef {
     }
 }
 
+/// The hardware-independent *schedule point* of one edge traversal: the
+/// subset of a schedule that selects a specialized kernel.
+///
+/// Backends that compile monomorphized traversal kernels (rather than
+/// interpreting GraphIR per edge) key their kernel tables on this value
+/// plus operator-level facts only they can see (UDF shape, property
+/// widths, weightedness). Deriving the point here — next to the schedule
+/// types themselves — keeps the key space in one place: a new knob on
+/// [`SimpleSchedule`] that affects traversal must be added to this struct
+/// before any backend can specialize on it.
+///
+/// The point is `Copy`, `Eq` and `Hash` so it can be used directly as (part
+/// of) a `HashMap` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SchedulePoint {
+    /// Traversal direction. `Hybrid` only appears when the point is taken
+    /// before the hardware-independent compiler lowers direction choice to
+    /// a runtime branch; post-midend statements carry `Push` or `Pull`.
+    pub direction: SchedDirection,
+    /// Parallelization scheme.
+    pub parallelization: Parallelization,
+    /// Whether the output frontier must be deduplicated.
+    pub deduplication: bool,
+    /// Pull-side input frontier representation.
+    pub pull_frontier: PullFrontierRepr,
+}
+
+impl SchedulePoint {
+    /// The point of a concrete schedule.
+    pub fn of(sched: &dyn SimpleSchedule) -> Self {
+        SchedulePoint {
+            direction: sched.direction(),
+            parallelization: sched.parallelization(),
+            deduplication: sched.deduplication(),
+            pull_frontier: sched.pull_frontier(),
+        }
+    }
+
+    /// The point of the statement's attached schedule (its representative
+    /// leaf for composites), or the baseline point when none is attached.
+    pub fn of_stmt(stmt: &Stmt) -> Self {
+        match schedule_of(stmt) {
+            Some(r) => Self::of(r.representative().as_ref()),
+            None => Self::of(&DefaultSchedule),
+        }
+    }
+}
+
 /// The default (baseline) schedule used when none is supplied — the paper's
 /// "baseline, unoptimized code generated by applying the default schedule":
 /// push direction, vertex-based parallelism, no deduplication, ∆ = 1.
@@ -475,6 +523,24 @@ mod tests {
             panic!()
         };
         assert!(schedule_of(&body[0]).is_none());
+    }
+
+    #[test]
+    fn schedule_point_mirrors_schedule_and_defaults() {
+        let mut p = program_with_loop();
+        apply_schedule(&mut p, "s0:s1", ScheduleRef::simple(PullSchedule)).unwrap();
+        let StmtKind::While { body, .. } = &p.main[0].kind else {
+            panic!()
+        };
+        let point = SchedulePoint::of_stmt(&body[0]);
+        assert_eq!(point.direction, SchedDirection::Pull);
+        assert!(point.deduplication);
+        // Unscheduled statement: the baseline point.
+        assert_eq!(SchedulePoint::of_stmt(&p.main[0]), SchedulePoint::default());
+        assert_eq!(
+            SchedulePoint::default(),
+            SchedulePoint::of(&DefaultSchedule)
+        );
     }
 
     #[test]

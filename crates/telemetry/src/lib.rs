@@ -319,6 +319,20 @@ impl Snapshot {
             .sum()
     }
 
+    /// Mean of the samples recorded into histogram `name`
+    /// (`<name>.sum / <name>.count`), or `None` when the histogram is
+    /// absent or empty. This is the read side of [`Histogram`]'s
+    /// aggregate counters — profile reports use it to summarize e.g.
+    /// the executed `pool.chunk_size` distribution in one number.
+    pub fn histogram_mean(&self, name: &str) -> Option<f64> {
+        let count = self.get(&format!("{name}.count"))?;
+        if count == 0 {
+            return None;
+        }
+        let sum = self.get(&format!("{name}.sum")).unwrap_or(0);
+        Some(sum as f64 / count as f64)
+    }
+
     /// The entries whose names start with `prefix`, as a new snapshot.
     pub fn filter_prefix(&self, prefix: &str) -> Snapshot {
         Snapshot {
@@ -497,6 +511,21 @@ mod tests {
         } else {
             assert_eq!(h.count(), 0);
         }
+    }
+
+    #[test]
+    fn histogram_mean_derives_from_aggregates() {
+        let h = Histogram::new("telemetry_test.mean_hist");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        if enabled() {
+            assert_eq!(snap.histogram_mean("telemetry_test.mean_hist"), Some(20.0));
+        } else {
+            assert_eq!(snap.histogram_mean("telemetry_test.mean_hist"), None);
+        }
+        assert_eq!(snap.histogram_mean("telemetry_test.no_such_hist"), None);
     }
 
     #[test]

@@ -43,6 +43,14 @@ run_bench fig8_speedups cpu/
 echo "== pool dispatch microbenchmark" >&2
 run_bench pool_dispatch
 
+# Headline comparison the ROADMAP tracks: at n=1M the persistent pool must
+# beat (or at least match) spawn-per-call dispatch. Extract both medians
+# from the bench lines so the snapshot itself records the verdict.
+spawn_1m=$(awk -F'"median_ns":' \
+  '/"group":"pool_dispatch\/n=1048576"/ && /"label":"spawn"/ {split($2,a,","); print a[1]; exit}' "$TMP")
+pool_1m=$(awk -F'"median_ns":' \
+  '/"group":"pool_dispatch\/n=1048576"/ && /"label":"pool"/ {split($2,a,","); print a[1]; exit}' "$TMP")
+
 # Assemble a single JSON document: metadata + the individual bench lines.
 {
   printf '{\n'
@@ -50,10 +58,18 @@ run_bench pool_dispatch
   printf '  "host_threads": %s,\n' "$(nproc 2>/dev/null || echo 1)"
   printf '  "samples": %s,\n' "$UGC_BENCH_SAMPLES"
   printf '  "warmup": %s,\n' "$UGC_BENCH_WARMUP"
+  if [ -n "$spawn_1m" ] && [ -n "$pool_1m" ]; then
+    printf '  "pool_vs_spawn_1m": {"spawn_ns": %s, "pool_ns": %s, "pool_wins": %s},\n' \
+      "$spawn_1m" "$pool_1m" \
+      "$(awk -v s="$spawn_1m" -v p="$pool_1m" 'BEGIN{print (p <= s) ? "true" : "false"}')"
+  fi
   printf '  "benches": [\n'
   sed '$!s/$/,/; s/^/    /' "$TMP"
   printf '  ]\n'
   printf '}\n'
 } >"$OUT"
 
+if [ -n "$spawn_1m" ] && [ -n "$pool_1m" ]; then
+  echo "pool vs spawn @1M: pool ${pool_1m} ns vs spawn ${spawn_1m} ns" >&2
+fi
 echo "wrote $OUT ($(grep -c '"group"' "$OUT") bench entries)" >&2

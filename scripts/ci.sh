@@ -52,6 +52,31 @@ grep -q '"counter":"sim_gpu.cycles.total"' target/ci-profile-smoke.json || {
   exit 1
 }
 
+echo "== kernel dispatch smoke (compiled kernels engage; fallback env honored)"
+# A default CPU profile run must dispatch through the compiled kernel
+# library (nonzero cpu.kernel.specialized in the snapshot); the same run
+# under UGC_CPU_KERNELS=0 must go entirely through the interpreter —
+# the specialized counter never moves, the fallback counter does.
+rm -f target/ci-kernels-on.json target/ci-kernels-off.json
+UGC_BENCH_OUT=target/ci-kernels-on.json \
+  cargo run --release --offline -q -p ugc-bench --bin repro -- --scale tiny --profile cpu \
+  > /dev/null
+grep -Eq '"counter":"cpu.kernel.specialized","value":[1-9]' target/ci-kernels-on.json || {
+  echo "kernel smoke: cpu.kernel.specialized is zero/absent on a default run" >&2
+  exit 1
+}
+UGC_CPU_KERNELS=0 UGC_BENCH_OUT=target/ci-kernels-off.json \
+  cargo run --release --offline -q -p ugc-bench --bin repro -- --scale tiny --profile cpu \
+  > /dev/null
+if grep -Eq '"counter":"cpu.kernel.specialized","value":[1-9]' target/ci-kernels-off.json; then
+  echo "kernel smoke: UGC_CPU_KERNELS=0 still dispatched compiled kernels" >&2
+  exit 1
+fi
+grep -Eq '"counter":"cpu.kernel.fallback","value":[1-9]' target/ci-kernels-off.json || {
+  echo "kernel smoke: forced-fallback run recorded no interpreter dispatches" >&2
+  exit 1
+}
+
 echo "== telemetry centralization gate"
 # Every perf counter lives in crates/telemetry. No other crate may
 # declare a raw `static ... AtomicU64` counter — property storage

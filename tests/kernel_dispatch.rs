@@ -1,0 +1,270 @@
+//! Compiled kernel dispatch: the CPU executor's monomorphized edge
+//! kernels versus the interpreter they replace.
+//!
+//! Two guarantees:
+//!
+//! 1. **Total dispatch** — every reachable point of the CPU schedule
+//!    space, applied to every algorithm, yields edge traversals that
+//!    either resolve to a *named* compiled kernel or deliberately fall
+//!    back to the interpreter. Recognition is a closed decision, never a
+//!    crash, and every resolved name comes from the known kernel library.
+//! 2. **Differential equality** — with a single thread the kernel path
+//!    and the interpreter path visit edges in the same order, so every
+//!    result property must be *bit-identical* between a `with_kernels`
+//!    run and an interpreter-forced run, across the whole graph
+//!    menagerie. Multi-threaded runs agree on the race-free derived
+//!    results (BFS levels, SSSP distances).
+
+use ugc_algorithms::Algorithm;
+use ugc_backend_cpu::{kernels, CpuGraphVm, CpuSchedule, CpuScheduleSpace};
+use ugc_graphir::ir::{Program, Stmt, StmtKind};
+use ugc_integration::{compile, externs_for, test_graphs, validate};
+use ugc_runtime::bytecode::{binding_of, compile_udfs, UdfSet};
+use ugc_schedule::space::{PointIter, ScheduleSpace, SpaceParams};
+use ugc_schedule::{Parallelization, SchedDirection, ScheduleRef};
+
+/// Every kernel the library can assemble. A recognized name outside this
+/// set means the executor dispatch table and this test have diverged.
+const KNOWN_KERNELS: &[&str] = &[
+    "cas_claim",
+    "reduce_sum",
+    "reduce_min",
+    "reduce_max",
+    "reduce_or",
+    "relax_min",
+];
+
+/// Collects every edge traversal in a statement tree.
+fn edge_iterators(stmts: &[Stmt], out: &mut Vec<ugc_graphir::ir::EdgeSetIteratorData>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::EdgeSetIterator(d) => out.push(d.clone()),
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                edge_iterators(then_body, out);
+                edge_iterators(else_body, out);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                edge_iterators(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn all_edge_iterators(prog: &Program) -> Vec<ugc_graphir::ir::EdgeSetIteratorData> {
+    let mut iters = Vec::new();
+    edge_iterators(&prog.main, &mut iters);
+    for f in &prog.functions {
+        edge_iterators(&f.body, &mut iters);
+    }
+    iters
+}
+
+/// `(kernel name | None)` for each edge traversal of a compiled program,
+/// resolved exactly the way the executor's dispatch table does.
+fn resolutions(prog: &Program, udfs: &UdfSet) -> Vec<Option<&'static str>> {
+    all_edge_iterators(prog)
+        .iter()
+        .map(|d| {
+            let apply = udfs
+                .id_of(&d.apply)
+                .unwrap_or_else(|| panic!("apply UDF `{}` missing", d.apply));
+            let sf = d.src_filter.as_ref().map(|n| {
+                udfs.id_of(n)
+                    .unwrap_or_else(|| panic!("src filter `{n}` missing"))
+            });
+            let df = d.dst_filter.as_ref().map(|n| {
+                udfs.id_of(n)
+                    .unwrap_or_else(|| panic!("dst filter `{n}` missing"))
+            });
+            kernels::recognize_name(prog, udfs, apply, sf, df)
+        })
+        .collect()
+}
+
+/// Guarantee 1: the whole reachable schedule space dispatches cleanly.
+#[test]
+fn every_schedule_point_resolves_or_deliberately_falls_back() {
+    let mut specialized = 0usize;
+    let mut fallback = 0usize;
+    for algo in Algorithm::ALL {
+        let params = SpaceParams {
+            ordered: matches!(algo, Algorithm::Sssp),
+            data_driven: matches!(algo, Algorithm::Bfs | Algorithm::Bc),
+            num_vertices: 64,
+        };
+        let dims = CpuScheduleSpace.dimensions(&params);
+        for pt in PointIter::new(&dims) {
+            let Some(sched) = CpuScheduleSpace.materialize(&params, &pt) else {
+                continue;
+            };
+            let prog = compile(algo, Some(sched));
+            let udfs = compile_udfs(&prog, &binding_of(&prog))
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            let res = resolutions(&prog, &udfs);
+            assert!(
+                !res.is_empty(),
+                "{} at point {pt:?}: no edge traversal found",
+                algo.name()
+            );
+            for r in res {
+                match r {
+                    Some(name) => {
+                        assert!(
+                            KNOWN_KERNELS.contains(&name),
+                            "{} at point {pt:?}: unknown kernel `{name}`",
+                            algo.name()
+                        );
+                        specialized += 1;
+                    }
+                    None => fallback += 1,
+                }
+            }
+        }
+    }
+    // The library must actually engage somewhere — an all-fallback space
+    // would silently reintroduce the interpreter tax this PR removes.
+    assert!(
+        specialized > 0,
+        "no schedule point resolved to a compiled kernel ({fallback} fallbacks)"
+    );
+}
+
+/// The core frontier algorithms must hit compiled kernels under their
+/// default schedules — these are exactly the hot loops of the fig8 CPU
+/// cells this PR speeds up.
+#[test]
+fn default_schedules_of_frontier_algorithms_specialize() {
+    for algo in [Algorithm::Bfs, Algorithm::Cc, Algorithm::Sssp] {
+        let prog = compile(algo, None);
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).expect("udfs compile");
+        let res = resolutions(&prog, &udfs);
+        assert!(
+            res.iter().any(Option::is_some),
+            "{}: default schedule never reaches a compiled kernel: {res:?}",
+            algo.name()
+        );
+    }
+}
+
+/// The primary result property of each algorithm, with its comparison
+/// domain (ints or float bits — both exact).
+fn result_bits(run: &ugc_backend_cpu::Execution<'_>, algo: Algorithm) -> Vec<u64> {
+    match algo {
+        Algorithm::Bfs => run
+            .property_ints("parent")
+            .iter()
+            .map(|&v| v as u64)
+            .collect(),
+        Algorithm::Sssp => run
+            .property_ints("dist")
+            .iter()
+            .map(|&v| v as u64)
+            .collect(),
+        Algorithm::Cc => run.property_ints("IDs").iter().map(|&v| v as u64).collect(),
+        Algorithm::PageRank => run
+            .property_floats("old_rank")
+            .iter()
+            .map(|&v| v.to_bits())
+            .collect(),
+        Algorithm::Bc => run
+            .property_floats("centrality")
+            .iter()
+            .map(|&v| v.to_bits())
+            .collect(),
+    }
+}
+
+/// The schedules the differential sweep runs per algorithm. Pull and
+/// cache blocking only where the correctness suite exercises them.
+fn differential_scheds(algo: Algorithm) -> Vec<Option<ScheduleRef>> {
+    let mut scheds: Vec<Option<ScheduleRef>> = vec![
+        None,
+        Some(ScheduleRef::simple(
+            CpuSchedule::new()
+                .with_serial_threshold(0)
+                .with_parallelization(Parallelization::EdgeAwareVertexBased),
+        )),
+        Some(ScheduleRef::simple(
+            CpuSchedule::new().with_deduplication(true),
+        )),
+    ];
+    if matches!(algo, Algorithm::Bfs | Algorithm::PageRank) {
+        scheds.push(Some(ScheduleRef::simple(
+            CpuSchedule::new().with_direction(SchedDirection::Pull),
+        )));
+        scheds.push(Some(ScheduleRef::simple(
+            CpuSchedule::new().with_cache_blocking(true),
+        )));
+    }
+    scheds
+}
+
+/// Guarantee 2 (serial): kernels on vs interpreter-forced, one thread,
+/// bit-identical results everywhere — and both valid against the
+/// sequential reference.
+#[test]
+fn kernels_are_bit_identical_to_interpreter_single_threaded() {
+    for algo in Algorithm::ALL {
+        for sched in differential_scheds(algo) {
+            for (gname, graph) in test_graphs() {
+                let run = |kernels_on: bool| {
+                    let prog = compile(algo, sched.clone());
+                    CpuGraphVm::with_threads(1)
+                        .with_kernels(kernels_on)
+                        .execute(prog, &graph, &externs_for(algo, 0))
+                        .unwrap_or_else(|e| panic!("{} on {gname}: {e}", algo.name()))
+                };
+                let kernel_run = run(true);
+                let interp_run = run(false);
+                assert_eq!(
+                    result_bits(&kernel_run, algo),
+                    result_bits(&interp_run, algo),
+                    "{} on {gname}: kernel result diverges from interpreter",
+                    algo.name()
+                );
+                validate(algo, &graph, 0, &|p| kernel_run.property_ints(p), &|p| {
+                    kernel_run.property_floats(p)
+                });
+            }
+        }
+    }
+}
+
+/// Guarantee 2 (parallel): under real threads the kernel path agrees with
+/// the interpreter on the race-free derived answers.
+#[test]
+fn kernels_match_interpreter_under_threads() {
+    let graph = ugc_graph::generators::rmat(9, 6, 13, true);
+    let sched = ScheduleRef::simple(CpuSchedule::new().with_serial_threshold(0));
+    for kernels_on in [true, false] {
+        let bfs = CpuGraphVm::with_threads(8)
+            .with_kernels(kernels_on)
+            .execute(
+                compile(Algorithm::Bfs, Some(sched.clone())),
+                &graph,
+                &externs_for(Algorithm::Bfs, 0),
+            )
+            .expect("bfs runs");
+        ugc_algorithms::validate::check_bfs_parents(&graph, 0, &bfs.property_ints("parent"))
+            .expect("valid BFS tree");
+    }
+    // SSSP distances converge to the unique shortest-path fixpoint under
+    // any interleaving: exact equality across both dispatch modes.
+    let dist_of = |kernels_on: bool| {
+        CpuGraphVm::with_threads(8)
+            .with_kernels(kernels_on)
+            .execute(
+                compile(Algorithm::Sssp, Some(sched.clone())),
+                &graph,
+                &externs_for(Algorithm::Sssp, 0),
+            )
+            .expect("sssp runs")
+            .property_ints("dist")
+    };
+    assert_eq!(dist_of(true), dist_of(false));
+}
