@@ -19,6 +19,7 @@
 //! assert_eq!(reference::bfs_levels(&g, 0), vec![0, 1, 2, 3]);
 //! ```
 
+pub mod multi_source;
 pub mod reference;
 pub mod sources;
 pub mod validate;

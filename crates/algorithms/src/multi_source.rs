@@ -1,0 +1,311 @@
+//! Multi-source traversals: the batching engine behind `ugc-serve`.
+//!
+//! Concurrent BFS/SSSP queries against the same graph are coalesced into
+//! **one** traversal that carries a state *lane* per source (MS-BFS style:
+//! a `u64` bitmask per vertex tracks which lanes have discovered it, so a
+//! vertex's neighbor list is scanned once per round for *all* lanes instead
+//! of once per query). The answers these functions produce are the unique
+//! fixpoints of their problems — BFS *levels* (not parent trees, which are
+//! tie-broken by visit order) and shortest-path *distances* — so a batched
+//! run is bit-equal to running each source on its own, which is what the
+//! `tests/serve.rs` differential suite asserts.
+//!
+//! Every entry point reports [`TraversalStats`] with the number of
+//! neighbor-list edge scans performed, the currency in which batching wins
+//! are measured: `ms_bfs_levels(&[a, b])` scans each shared frontier vertex
+//! once where two single-source runs scan it twice.
+
+use ugc_graph::{Graph, VertexId};
+
+use crate::reference::INF;
+
+/// Lanes per traversal wave: one bit of a `u64` mask per source. Batches
+/// larger than this are processed in consecutive waves over the same
+/// graph (stats accumulate across waves).
+pub const MAX_LANES: usize = 64;
+
+/// Work accounting for one (possibly multi-wave) traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Edges examined: every time a vertex's neighbor list is walked, its
+    /// degree is added once — regardless of how many lanes rode the scan.
+    pub edge_scans: u64,
+    /// Frontier rounds executed (summed across waves).
+    pub rounds: u64,
+}
+
+impl TraversalStats {
+    fn absorb(&mut self, other: TraversalStats) {
+        self.edge_scans += other.edge_scans;
+        self.rounds += other.rounds;
+    }
+}
+
+/// BFS levels from every source, batched: `result[i][v]` is the depth of
+/// `v` from `sources[i]`, `-1` when unreachable — bit-equal to
+/// [`crate::reference::bfs_levels`] per lane.
+///
+/// # Panics
+///
+/// Panics if any source is out of range (callers validate requests first).
+pub fn ms_bfs_levels(g: &Graph, sources: &[VertexId]) -> (Vec<Vec<i64>>, TraversalStats) {
+    let mut out = Vec::with_capacity(sources.len());
+    let mut stats = TraversalStats::default();
+    for wave in sources.chunks(MAX_LANES) {
+        let (levels, s) = bfs_wave(g, wave);
+        out.extend(levels);
+        stats.absorb(s);
+    }
+    (out, stats)
+}
+
+fn bfs_wave(g: &Graph, wave: &[VertexId]) -> (Vec<Vec<i64>>, TraversalStats) {
+    let n = g.num_vertices();
+    let mut levels: Vec<Vec<i64>> = wave.iter().map(|_| vec![-1i64; n]).collect();
+    let mut visited = vec![0u64; n];
+    let mut frontier = vec![0u64; n];
+    let mut stats = TraversalStats::default();
+    for (lane, &s) in wave.iter().enumerate() {
+        assert!((s as usize) < n, "source {s} out of range (n={n})");
+        // Identical sources share a lane's trajectory but keep their own
+        // answer vector; the bitmask simply ORs their bits together.
+        frontier[s as usize] |= 1 << lane;
+        visited[s as usize] |= 1 << lane;
+        levels[lane][s as usize] = 0;
+    }
+    let mut depth = 0i64;
+    let mut any = !wave.is_empty();
+    while any {
+        any = false;
+        let mut next = vec![0u64; n];
+        stats.rounds += 1;
+        for v in 0..n {
+            let bits = frontier[v];
+            if bits == 0 {
+                continue;
+            }
+            // One scan of v's neighbor list serves every lane in `bits`.
+            stats.edge_scans += g.out_degree(v as u32) as u64;
+            for &u in g.out_neighbors(v as u32) {
+                let fresh = bits & !visited[u as usize];
+                if fresh == 0 {
+                    continue;
+                }
+                visited[u as usize] |= fresh;
+                next[u as usize] |= fresh;
+                let mut m = fresh;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    levels[lane][u as usize] = depth + 1;
+                    m &= m - 1;
+                }
+                any = true;
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    (levels, stats)
+}
+
+/// Shortest-path distances from every source, batched: `result[i][v]` is
+/// the distance from `sources[i]` to `v`, [`INF`] when unreachable —
+/// bit-equal to [`crate::reference::dijkstra`] per lane (weights are
+/// non-negative, so the frontier-driven relaxation converges to the same
+/// unique fixpoint).
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn ms_sssp_distances(g: &Graph, sources: &[VertexId]) -> (Vec<Vec<i64>>, TraversalStats) {
+    let mut out = Vec::with_capacity(sources.len());
+    let mut stats = TraversalStats::default();
+    for wave in sources.chunks(MAX_LANES) {
+        let (dists, s) = sssp_wave(g, wave);
+        out.extend(dists);
+        stats.absorb(s);
+    }
+    (out, stats)
+}
+
+fn sssp_wave(g: &Graph, wave: &[VertexId]) -> (Vec<Vec<i64>>, TraversalStats) {
+    let n = g.num_vertices();
+    let mut dist: Vec<Vec<i64>> = wave.iter().map(|_| vec![INF; n]).collect();
+    let mut active = vec![0u64; n];
+    let mut stats = TraversalStats::default();
+    let mut any = false;
+    for (lane, &s) in wave.iter().enumerate() {
+        assert!((s as usize) < n, "source {s} out of range (n={n})");
+        dist[lane][s as usize] = 0;
+        active[s as usize] |= 1 << lane;
+        any = true;
+    }
+    while any {
+        any = false;
+        stats.rounds += 1;
+        let mut next = vec![0u64; n];
+        for v in 0..n {
+            let bits = active[v];
+            if bits == 0 {
+                continue;
+            }
+            // One scan of v's adjacency relaxes every active lane.
+            stats.edge_scans += g.out_degree(v as u32) as u64;
+            let weights = g.out_csr().neighbor_weights(v as u32);
+            for (k, &u) in g.out_neighbors(v as u32).iter().enumerate() {
+                let w = weights.map_or(1, |ws| ws[k]) as i64;
+                let mut m = bits;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let nd = dist[lane][v] + w;
+                    if nd < dist[lane][u as usize] {
+                        dist[lane][u as usize] = nd;
+                        next[u as usize] |= 1 << lane;
+                        any = true;
+                    }
+                }
+            }
+        }
+        active = next;
+    }
+    (dist, stats)
+}
+
+/// Single-source BFS levels with the same work accounting as the batched
+/// engine — `ugc-serve`'s single-query fast path (no lane masks, no
+/// per-vertex bit scans).
+pub fn bfs_levels_counted(g: &Graph, src: VertexId) -> (Vec<i64>, TraversalStats) {
+    use std::collections::VecDeque;
+    let n = g.num_vertices();
+    assert!((src as usize) < n, "source {src} out of range (n={n})");
+    let mut level = vec![-1i64; n];
+    let mut q = VecDeque::new();
+    level[src as usize] = 0;
+    q.push_back(src);
+    let mut stats = TraversalStats {
+        edge_scans: 0,
+        rounds: 1,
+    };
+    while let Some(v) = q.pop_front() {
+        stats.edge_scans += g.out_degree(v) as u64;
+        for &u in g.out_neighbors(v) {
+            if level[u as usize] == -1 {
+                level[u as usize] = level[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    (level, stats)
+}
+
+/// Single-source shortest paths with the batched engine's work accounting
+/// (frontier relaxation, one lane) — the SSSP single-query fast path.
+pub fn sssp_distances_counted(g: &Graph, src: VertexId) -> (Vec<i64>, TraversalStats) {
+    let (mut d, stats) = sssp_wave(g, &[src]);
+    (d.pop().expect("one lane"), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn graphs() -> Vec<(&'static str, Graph)> {
+        vec![
+            ("two_communities", ugc_graph::generators::two_communities()),
+            (
+                "road_8x8",
+                ugc_graph::generators::road_grid(8, 8, 0.05, 3, true),
+            ),
+            ("rmat_7", ugc_graph::generators::rmat(7, 4, 5, true)),
+            (
+                "uniform_100",
+                ugc_graph::generators::uniform_random(100, 300, 5, true),
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_bfs_levels_match_reference() {
+        for (name, g) in graphs() {
+            let sources: Vec<u32> = vec![0, 1, 0, (g.num_vertices() as u32) - 1];
+            let (batched, _) = ms_bfs_levels(&g, &sources);
+            for (lane, &s) in sources.iter().enumerate() {
+                assert_eq!(
+                    batched[lane],
+                    reference::bfs_levels(&g, s),
+                    "{name}: lane {lane} (source {s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sssp_distances_match_dijkstra() {
+        for (name, g) in graphs() {
+            let sources: Vec<u32> = vec![0, 2, 0];
+            let (batched, _) = ms_sssp_distances(&g, &sources);
+            for (lane, &s) in sources.iter().enumerate() {
+                assert_eq!(
+                    batched[lane],
+                    reference::dijkstra(&g, s),
+                    "{name}: lane {lane} (source {s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_batched_lanes() {
+        for (name, g) in graphs() {
+            let (levels, _) = bfs_levels_counted(&g, 1);
+            assert_eq!(levels, reference::bfs_levels(&g, 1), "{name}");
+            let (dist, _) = sssp_distances_counted(&g, 1);
+            assert_eq!(dist, reference::dijkstra(&g, 1), "{name}");
+        }
+    }
+
+    #[test]
+    fn coalesced_pair_scans_fewer_edges_than_two_runs() {
+        for (name, g) in graphs() {
+            let (_, solo) = ms_bfs_levels(&g, &[0]);
+            let (_, pair) = ms_bfs_levels(&g, &[0, 0]);
+            // A repeated source shares every scan: the pair costs exactly
+            // one traversal where two sequential runs cost two.
+            assert_eq!(pair.edge_scans, solo.edge_scans, "{name}");
+            assert!(
+                pair.edge_scans < 2 * solo.edge_scans.max(1),
+                "{name}: batching saved no work"
+            );
+            // Distinct sources still never exceed the sequential cost.
+            let (_, a) = ms_bfs_levels(&g, &[0]);
+            let (_, b) = ms_bfs_levels(&g, &[1]);
+            let (_, both) = ms_bfs_levels(&g, &[0, 1]);
+            assert!(
+                both.edge_scans <= a.edge_scans + b.edge_scans,
+                "{name}: batched pair scanned more than sequential runs"
+            );
+        }
+    }
+
+    #[test]
+    fn wave_overflow_spills_to_second_wave() {
+        let g = ugc_graph::generators::uniform_random(80, 240, 5, true);
+        let sources: Vec<u32> = (0..(MAX_LANES as u32 + 5)).map(|i| i % 80).collect();
+        let (batched, stats) = ms_bfs_levels(&g, &sources);
+        assert_eq!(batched.len(), sources.len());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(batched[lane], reference::bfs_levels(&g, s), "lane {lane}");
+        }
+        assert!(stats.rounds > 0 && stats.edge_scans > 0);
+    }
+
+    #[test]
+    fn empty_source_list_is_empty() {
+        let g = ugc_graph::generators::two_communities();
+        let (levels, stats) = ms_bfs_levels(&g, &[]);
+        assert!(levels.is_empty());
+        assert_eq!(stats.edge_scans, 0);
+    }
+}

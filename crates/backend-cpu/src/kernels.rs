@@ -369,26 +369,39 @@ impl KOp for PropReduce {
     }
 }
 
-/// `pq.updatePriorityMin(dst, dist[src] + weight)` (SSSP relaxation).
-struct RelaxMin {
+/// Priority-queue relaxation: `pq.updatePriorityMin(dst, prop[src] + weight)`
+/// (SSSP) or `pq.updatePrioritySum(dst, prop[src] [+ weight])` (delta-sum
+/// accumulation).
+struct RelaxPrio {
     queue: usize,
     qprop: PropId,
-    dist: PropId,
+    prop: PropId,
+    add_weight: bool,
+    op: ReduceOp,
     atomic: bool,
 }
 
-impl KOp for RelaxMin {
+impl KOp for RelaxPrio {
     #[inline]
     fn apply(&self, props: &PropertyStorage, src: u32, dst: u32, w: i64, out: &mut BufferedOutput) {
-        let nd = props.read(self.dist, src).as_int() + w;
+        let mut nd = props.read(self.prop, src).as_int();
+        if self.add_weight {
+            nd += w;
+        }
         let v = Value::Int(nd);
         let (changed, _) = if self.atomic {
-            props.reduce(self.qprop, dst, ReduceOp::Min, v)
+            props.reduce(self.qprop, dst, self.op, v)
         } else {
-            props.reduce_relaxed(self.qprop, dst, ReduceOp::Min, v)
+            props.reduce_relaxed(self.qprop, dst, self.op, v)
         };
         if changed {
-            out.priority_changed(self.queue, dst, nd);
+            // The interpreter notifies Sum updates with the post-reduce cell
+            // value (a re-read), and every other op with the proposed value.
+            let newp = match self.op {
+                ReduceOp::Sum => props.read(self.qprop, dst).as_int(),
+                _ => nd,
+            };
+            out.priority_changed(self.queue, dst, newp);
         }
     }
 }
@@ -410,18 +423,33 @@ impl KFilter for NoFilter {
     }
 }
 
-/// `prop[v] == const` as a raw bit comparison (valid for non-float cells
-/// whose literal matches the cell type — checked at recognition time).
+/// How an [`EqConst`] filter compares the cell against its literal.
+#[derive(Clone, Copy)]
+enum EqCmp {
+    /// Raw bit comparison (int/bool/vertex cells with a matching literal).
+    Bits(u64),
+    /// IEEE-754 `==` on the decoded float cell, matching the interpreter's
+    /// `Eq`: a NaN literal matches nothing, and `-0.0 == 0.0` admits both
+    /// zero encodings (see DESIGN.md, "Float equality and NaN policy").
+    Float(f64),
+}
+
+/// `prop[v] == const`, with the comparison mode fixed at recognition time
+/// so it coincides exactly with the interpreter's `Eq`.
 struct EqConst {
     prop: PropId,
-    bits: u64,
+    cmp: EqCmp,
 }
 
 impl KFilter for EqConst {
     const ACTIVE: bool = true;
     #[inline]
     fn pass(&self, props: &PropertyStorage, v: u32) -> bool {
-        props.read_bits(self.prop, v) == self.bits
+        let cell = props.read_bits(self.prop, v);
+        match self.cmp {
+            EqCmp::Bits(bits) => cell == bits,
+            EqCmp::Float(c) => f64::from_bits(cell) == c,
+        }
     }
 }
 
@@ -535,9 +563,11 @@ fn is_dst(s: &Sym) -> bool {
     matches!(s, Sym::Param(1))
 }
 
-/// Recognizes a `prop[v] == const` filter whose bit comparison coincides
-/// with the interpreter's `Eq`: non-float cells, literal variant matching
-/// the cell type (float bit-equality diverges on NaN and -0.0).
+/// Recognizes a `prop[v] == const` filter whose comparison coincides with
+/// the interpreter's `Eq`: bit equality for int/bool/vertex cells with a
+/// matching literal, IEEE `==` for float cells (int literals widen, exactly
+/// like `as_float`). An int cell against a float literal stays on the
+/// fallback: the kernel cannot widen the cell without decoding it.
 fn recognize_filter(u: &UdfProgram, props: &PropertyStorage) -> Option<EqConst> {
     if u.num_params != 1 {
         return None;
@@ -554,17 +584,15 @@ fn recognize_filter(u: &UdfProgram, props: &PropertyStorage) -> Option<EqConst> 
         (Sym::Lit(c), Sym::Load(p, i)) if matches!(**i, Sym::Param(0)) => (*p, *c),
         _ => return None,
     };
-    let bits_safe = match (props.ty(prop), lit) {
-        (Type::Float, _) => false,
-        (Type::Bool, Value::Bool(_)) => true,
-        (Type::Bool, _) => false,
-        (_, Value::Int(_)) => true,
-        _ => false,
+    let cmp = match (props.ty(prop), lit) {
+        (Type::Float, Value::Float(c)) => EqCmp::Float(c),
+        (Type::Float, Value::Int(c)) => EqCmp::Float(c as f64),
+        (Type::Bool, Value::Bool(_)) => EqCmp::Bits(props.bits_of(prop, lit)),
+        (Type::Bool, _) => return None,
+        (_, Value::Int(_)) => EqCmp::Bits(props.bits_of(prop, lit)),
+        _ => return None,
     };
-    bits_safe.then(|| EqConst {
-        prop,
-        bits: props.bits_of(prop, lit),
-    })
+    Some(EqConst { prop, cmp })
 }
 
 /// Builds the kernel object once both filters resolved.
@@ -698,34 +726,43 @@ pub fn recognize(
                 df,
             ))
         }
-        // SSSP min-relaxation into a priority queue. Min only: the
-        // interpreter re-reads the cell for Sum notifications, a semantic
-        // the closed-form kernel does not reproduce.
+        // Priority-queue relaxation: SSSP min over `prop[src] + weight`, or
+        // delta-sum accumulation over `prop[src] [+ weight]`. The Sum kernel
+        // replicates the interpreter's re-read-after-reduce notification.
         [Effect::UpdatePrio {
             queue,
             vertex,
-            op: ReduceOp::Min,
-            val: Sym::Add(a, b),
+            op: op @ (ReduceOp::Min | ReduceOp::Sum),
+            val,
             atomic,
         }] if is_dst(vertex) => {
-            let dist = match (&**a, &**b) {
-                (Sym::Load(d, i), other) if is_src(i) && weight_like(other) => *d,
-                (other, Sym::Load(d, i)) if is_src(i) && weight_like(other) => *d,
+            let (prop, add_weight) = match val {
+                Sym::Add(a, b) => match (&**a, &**b) {
+                    (Sym::Load(d, i), other) if is_src(i) && weight_like(other) => (*d, true),
+                    (other, Sym::Load(d, i)) if is_src(i) && weight_like(other) => (*d, true),
+                    _ => return None,
+                },
+                Sym::Load(d, i) if is_src(&**i) => (*d, false),
                 _ => return None,
             };
             // `as_int` on the loaded operand must match the interpreter's
-            // integer add: any non-float cell qualifies.
-            if props.ty(dist) == Type::Float {
+            // integer arithmetic: any non-float cell qualifies.
+            if props.ty(prop) == Type::Float {
                 return None;
             }
             Some(assemble(
-                RelaxMin {
+                RelaxPrio {
                     queue: *queue,
                     qprop: udfs.queue_props[*queue],
-                    dist,
+                    prop,
+                    add_weight,
+                    op: *op,
                     atomic: *atomic,
                 },
-                "relax_min",
+                match op {
+                    ReduceOp::Min => "relax_min",
+                    _ => "relax_sum",
+                },
                 sf,
                 df,
             ))
@@ -852,8 +889,7 @@ mod tests {
         assert_eq!(props.read(parent, 2), Value::Int(0));
     }
 
-    #[test]
-    fn float_filter_falls_back() {
+    fn float_filter_program(literal: Expr) -> Program {
         let mut p = Program::new();
         p.add_property("rank", Type::Float, Expr::float(0.0));
         p.add_property("acc", Type::Float, Expr::float(0.0));
@@ -881,26 +917,215 @@ mod tests {
         );
         filt.body.push(Stmt::new(StmtKind::Assign {
             target: LValue::Var("output".into()),
-            value: Expr::bin(
-                BinOp::Eq,
-                Expr::prop("rank", Expr::var("v")),
-                Expr::float(0.0),
-            ),
+            value: Expr::bin(BinOp::Eq, Expr::prop("rank", Expr::var("v")), literal),
         }));
         p.add_function(filt);
+        p
+    }
+
+    #[test]
+    fn float_filter_specializes_with_ieee_semantics() {
+        let p = float_filter_program(Expr::float(0.0));
         let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
-        let props = props_of(&p, 4);
-        // Bare reduction specializes…
-        assert!(recognize(&udfs, &props, udfs.id_of("upd").unwrap(), None, None).is_some());
-        // …but a float-equality filter must force the fallback.
-        assert!(recognize(
+        let props = props_of(&p, 5);
+        let k = recognize(
             &udfs,
             &props,
             udfs.id_of("upd").unwrap(),
             None,
             Some(udfs.id_of("floatFilter").unwrap()),
         )
+        .expect("float-equality filter must specialize under IEEE ==");
+        assert_eq!(k.name(), "reduce_sum");
+
+        // Drive the kernel over cells {0.0, -0.0, NaN, 1.0} and check the
+        // filter against the interpreter's own Eq on the same operands.
+        let rank = props.id_of("rank").unwrap();
+        let acc = props.id_of("acc").unwrap();
+        let cells = [(1u32, 0.0_f64), (2, -0.0), (3, f64::NAN), (4, 1.0)];
+        props.write(rank, 0, Value::Float(2.5));
+        for &(v, c) in &cells {
+            props.write(rank, v, Value::Float(c));
+        }
+        let graph = ugc_graph::Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0], 0..1, &mut out);
+        for &(v, c) in &cells {
+            let reference = Value::bin(BinOp::Eq, Value::Float(c), Value::Float(0.0)).as_bool();
+            let kernel_passed = props.read(acc, v) != Value::Float(0.0);
+            assert_eq!(
+                kernel_passed, reference,
+                "cell {c} must match the interpreter's Eq"
+            );
+        }
+        // IEEE: -0.0 == 0.0 admits both zero encodings, NaN never matches.
+        assert_eq!(props.read(acc, 1), Value::Float(2.5));
+        assert_eq!(props.read(acc, 2), Value::Float(2.5));
+        assert_eq!(props.read(acc, 3), Value::Float(0.0));
+        assert_eq!(props.read(acc, 4), Value::Float(0.0));
+    }
+
+    #[test]
+    fn nan_literal_matches_nothing() {
+        let p = float_filter_program(Expr::float(f64::NAN));
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 3);
+        let rank = props.id_of("rank").unwrap();
+        let acc = props.id_of("acc").unwrap();
+        props.write(rank, 0, Value::Float(1.0));
+        props.write(rank, 2, Value::Float(f64::NAN));
+        let k = recognize(
+            &udfs,
+            &props,
+            udfs.id_of("upd").unwrap(),
+            None,
+            Some(udfs.id_of("floatFilter").unwrap()),
+        )
+        .unwrap();
+        let graph = ugc_graph::Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0], 0..1, &mut out);
+        // Not even a bit-identical NaN cell passes `rank[v] == NaN`.
+        assert_eq!(props.read(acc, 1), Value::Float(0.0));
+        assert_eq!(props.read(acc, 2), Value::Float(0.0));
+    }
+
+    #[test]
+    fn int_literal_widens_against_float_cell() {
+        let p = float_filter_program(Expr::int(0));
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 2);
+        props.write(props.id_of("rank").unwrap(), 0, Value::Float(3.0));
+        let k = recognize(
+            &udfs,
+            &props,
+            udfs.id_of("upd").unwrap(),
+            None,
+            Some(udfs.id_of("floatFilter").unwrap()),
+        )
+        .expect("int literal widens to float, like the interpreter");
+        let graph = ugc_graph::Graph::from_edges(2, &[(0, 1)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0], 0..1, &mut out);
+        // rank[1] is 0.0 == 0 → passes; acc[1] accumulates rank[0].
+        assert_eq!(
+            props.read(props.id_of("acc").unwrap(), 1),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn int_cell_against_float_literal_falls_back() {
+        let mut p = Program::new();
+        p.add_property("x", Type::Int, Expr::int(0));
+        let mut f = Function::new(
+            "upd",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut red = Stmt::new(StmtKind::Reduce {
+            target: LValue::prop("x", Expr::var("dst")),
+            op: ReduceOp::Sum,
+            value: Expr::prop("x", Expr::var("src")),
+            tracking: None,
+        });
+        red.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(red);
+        p.add_function(f);
+        let mut filt = Function::new(
+            "mixedFilter",
+            vec![Param::new("v", Type::Vertex)],
+            Some(Param::new("output", Type::Bool)),
+        );
+        filt.body.push(Stmt::new(StmtKind::Assign {
+            target: LValue::Var("output".into()),
+            value: Expr::bin(BinOp::Eq, Expr::prop("x", Expr::var("v")), Expr::float(0.0)),
+        }));
+        p.add_function(filt);
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 2);
+        // The interpreter widens the int cell to float; the bit kernel
+        // cannot, so this shape stays on the fallback.
+        assert!(recognize(
+            &udfs,
+            &props,
+            udfs.id_of("upd").unwrap(),
+            None,
+            Some(udfs.id_of("mixedFilter").unwrap()),
+        )
         .is_none());
+    }
+
+    fn prio_sum_program() -> Program {
+        let mut p = Program::new();
+        p.add_property("delta", Type::Int, Expr::int(0));
+        p.add_property("prio", Type::Int, Expr::int(0));
+        p.add_queue("pq", "prio", Expr::int(0));
+        let mut f = Function::new(
+            "updDelta",
+            vec![
+                Param::new("src", Type::Vertex),
+                Param::new("dst", Type::Vertex),
+            ],
+            None,
+        );
+        let mut upd = Stmt::new(StmtKind::UpdatePriority {
+            queue: "pq".into(),
+            vertex: Expr::var("dst"),
+            op: ReduceOp::Sum,
+            value: Expr::prop("delta", Expr::var("src")),
+        });
+        upd.meta.set(keys::IS_ATOMIC, true);
+        f.body.push(upd);
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn recognizes_update_prio_sum() {
+        let p = prio_sum_program();
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 3);
+        let k = recognize(&udfs, &props, udfs.id_of("updDelta").unwrap(), None, None)
+            .expect("UpdatePrio Sum must specialize");
+        assert_eq!(k.name(), "relax_sum");
+    }
+
+    #[test]
+    fn relax_sum_notifies_post_reduce_value() {
+        let p = prio_sum_program();
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 3);
+        let delta = props.id_of("delta").unwrap();
+        props.write(delta, 0, Value::Int(5));
+        props.write(delta, 1, Value::Int(7));
+        let k = recognize(&udfs, &props, udfs.id_of("updDelta").unwrap(), None, None).unwrap();
+        let graph = ugc_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0, 1], 0..2, &mut out);
+        // Sum notifications carry the accumulated cell (interpreter re-read
+        // semantics): 0+5 = 5, then 5+7 = 12 — not the increment 7.
+        assert_eq!(out.priority_updates, vec![(0, 2, 5), (0, 2, 12)]);
+        assert_eq!(props.read(props.id_of("prio").unwrap(), 2), Value::Int(12));
     }
 
     #[test]

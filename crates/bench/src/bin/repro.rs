@@ -30,7 +30,10 @@ use ugc_sim_swarm::SwarmConfig;
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
                      <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|all> \
                      | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
-                     | --profile <cpu|gpu|swarm|hb|all>\n\
+                     | --profile <cpu|gpu|swarm|hb|all|serve> \
+                     | serve [--port N | --socket PATH] [--admit N] [--queue N] [--batch-max N] \
+                     [--batch-window-ms N] \
+                     | client <unix:PATH|HOST:PORT> <request words...>\n\
                      env: UGC_FAULTS=<gpu|swarm|hb>:<kind>:p=<prob>:seed=<N>[,...] \
                      UGC_BUDGET_MS=<N> UGC_BUDGET_CYCLES=<N> UGC_FALLBACK=<cpu,seq,...|none>";
 
@@ -58,10 +61,18 @@ fn validate_supervisor_env() {
 fn main() {
     validate_supervisor_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve` and `client` own the rest of the argument list (their flags
+    // are not the experiment flags below).
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_cmd(&args[1..]),
+        Some("client") => return client_cmd(&args[1..]),
+        _ => {}
+    }
     let mut scale = Scale::Tiny;
     let mut tuner = Tuner::default();
     let mut use_cache = true;
     let mut profile_targets: Option<Vec<Target>> = None;
+    let mut profile_serve_flag = false;
     let mut what = Vec::new();
     let mut i = 0;
     let flag_value = |args: &[String], i: usize| -> String {
@@ -92,8 +103,12 @@ fn main() {
                 i += 1;
             }
             "--profile" => {
-                profile_targets =
-                    Some(parse_profile(&flag_value(&args, i)).unwrap_or_else(|e| usage_error(&e)));
+                let v = flag_value(&args, i);
+                if v == "serve" {
+                    profile_serve_flag = true;
+                } else {
+                    profile_targets = Some(parse_profile(&v).unwrap_or_else(|e| usage_error(&e)));
+                }
                 i += 2;
             }
             _ => {
@@ -101,6 +116,13 @@ fn main() {
                 i += 1;
             }
         }
+    }
+    if profile_serve_flag {
+        if !what.is_empty() || profile_targets.is_some() {
+            usage_error("--profile serve runs on its own; drop the other words");
+        }
+        profile_serve(scale);
+        return;
     }
     if let Some(targets) = profile_targets {
         if !what.is_empty() {
@@ -221,6 +243,208 @@ fn profile(targets: &[Target], scale: Scale) {
     }
     if !consistent {
         eprintln!("repro: attribution components do not sum to the reported total");
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve`: run the `ugc-serve` daemon until a client sends
+/// `shutdown`. Flag and configuration errors exit 2 with usage; runtime
+/// bind failures exit 1.
+fn serve_cmd(args: &[String]) {
+    let mut config = ugc_serve::ServeConfig {
+        bind: ugc_serve::Bind::Tcp(7411),
+        policy: ugc::Policy::from_env().unwrap_or_else(|e| usage_error(&e)),
+        ..ugc_serve::ServeConfig::default()
+    };
+    let flag_value = |args: &[String], i: usize| -> String {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("flag `{}` needs a value", args[i])))
+    };
+    let parse_count = |flag: &str, v: &str| -> usize {
+        v.parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} expects an integer, got `{v}`")))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                let v = flag_value(args, i);
+                let port: u16 = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "--port expects an integer in 0..=65535, got `{v}`"
+                    ))
+                });
+                config.bind = ugc_serve::Bind::Tcp(port);
+                i += 2;
+            }
+            "--socket" => {
+                config.bind = ugc_serve::Bind::Unix(flag_value(args, i).into());
+                i += 2;
+            }
+            "--admit" => {
+                config.admit = parse_count("--admit", &flag_value(args, i));
+                i += 2;
+            }
+            "--queue" => {
+                config.queue_cap = parse_count("--queue", &flag_value(args, i));
+                i += 2;
+            }
+            "--batch-max" => {
+                config.batch_max = parse_count("--batch-max", &flag_value(args, i));
+                i += 2;
+            }
+            "--batch-window-ms" => {
+                config.batch_window = std::time::Duration::from_millis(parse_count(
+                    "--batch-window-ms",
+                    &flag_value(args, i),
+                ) as u64);
+                i += 2;
+            }
+            other => usage_error(&format!("unknown serve flag `{other}`")),
+        }
+    }
+    if let Err(e) = config.validate() {
+        usage_error(&e);
+    }
+    match ugc_serve::Server::start(config) {
+        Ok(handle) => {
+            use std::io::Write;
+            println!("ugc-serve listening on {}", handle.addr());
+            let _ = std::io::stdout().flush();
+            handle.join();
+            println!("ugc-serve: shutdown complete");
+        }
+        Err(e) => {
+            eprintln!("repro: serve failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro client`: send one protocol line to a running daemon and print
+/// the response. Exits 0 on an `ok` reply, 1 otherwise.
+fn client_cmd(args: &[String]) {
+    if args.len() < 2 {
+        usage_error("client needs <unix:PATH|HOST:PORT> <request words...>");
+    }
+    let line = args[1..].join(" ");
+    match client_send(&args[0], &line) {
+        Ok(reply) => {
+            println!("{reply}");
+            if !reply.starts_with("ok") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("repro: client: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One protocol round trip: connect, send `line`, read one reply line.
+fn client_send(addr: &str, line: &str) -> Result<String, String> {
+    fn roundtrip<S: std::io::Read + std::io::Write>(
+        mut s: S,
+        line: &str,
+    ) -> Result<String, String> {
+        use std::io::BufRead;
+        writeln!(s, "{line}").map_err(|e| e.to_string())?;
+        s.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        std::io::BufReader::new(s)
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?;
+        if reply.is_empty() {
+            return Err("connection closed without a reply".into());
+        }
+        Ok(reply.trim_end().to_string())
+    }
+    if let Some(path) = addr.strip_prefix("unix:") {
+        let s = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| format!("connect {path}: {e}"))?;
+        roundtrip(s, line)
+    } else {
+        let s = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        roundtrip(s, line)
+    }
+}
+
+/// `repro --profile serve`: in-process serving smoke — a coalesced pair of
+/// same-source BFS queries plus one degenerate single, with the `serve.`
+/// telemetry delta printed (and appended as JSON lines like the backend
+/// profiles).
+fn profile_serve(scale: Scale) {
+    if !ugc_telemetry::enabled() {
+        eprintln!("repro: --profile needs telemetry (run without UGC_TELEMETRY=0)");
+        std::process::exit(2);
+    }
+    banner(&format!(
+        "Profile: ugc-serve — coalesced BFS pair + degenerate single on RN (scale {})",
+        scale.name()
+    ));
+    let col = ugc_telemetry::Collector::start();
+    let config = ugc_serve::ServeConfig {
+        bind: ugc_serve::Bind::Tcp(0),
+        admit: 1,
+        batch_max: 2,
+        batch_window: std::time::Duration::from_millis(500),
+        ..ugc_serve::ServeConfig::default()
+    };
+    let handle = ugc_serve::Server::start(config).unwrap_or_else(|e| {
+        eprintln!("repro: serve failed to start: {e}");
+        std::process::exit(1);
+    });
+    let addr = handle.addr().to_string();
+    let addr = addr.strip_prefix("tcp ").unwrap_or(&addr).to_string();
+    let query = format!("query bfs RN source=0 scale={}", scale.name());
+    let pair: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let query = query.clone();
+            std::thread::spawn(move || client_send(&addr, &query))
+        })
+        .collect();
+    for t in pair {
+        match t.join().expect("client thread") {
+            Ok(reply) => println!("{reply}"),
+            Err(e) => {
+                eprintln!("repro: client: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match client_send(&addr, &query) {
+        Ok(reply) => println!("{reply}"),
+        Err(e) => {
+            eprintln!("repro: client: {e}");
+            std::process::exit(1);
+        }
+    }
+    match client_send(&addr, "stats") {
+        Ok(reply) => println!("{reply}"),
+        Err(e) => {
+            eprintln!("repro: client: {e}");
+            std::process::exit(1);
+        }
+    }
+    let coalesced = handle.counters().coalesced.get();
+    handle.shutdown();
+    handle.join();
+    let delta = col.snapshot().filter_prefix("serve.");
+    print!("{}", delta.to_json_lines());
+    let out_path = std::env::var("UGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_profile.json".into());
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+    {
+        let _ = f.write_all(delta.to_json_lines().as_bytes());
+    }
+    if coalesced == 0 {
+        eprintln!("repro: serve profile ran but no query coalescing happened");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,122 @@
+//! The shared immutable graph cache.
+//!
+//! Every `(dataset, scale)` pair is generated at most once, on first
+//! touch, and then served to all requests behind an `Arc`. Amortizing
+//! graph construction is the first half of the serving story (the second
+//! is batching the traversals themselves): dataset generation dominates
+//! per-query cost for everything but the largest traversals.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use ugc_graph::{Dataset, Graph, Scale};
+
+use crate::Stat;
+
+/// Build-once, share-forever store of generated datasets.
+///
+/// The outer map lock is held only long enough to fetch the per-key cell;
+/// the (potentially slow) generation runs inside the cell's `OnceLock`,
+/// so concurrent builders of *different* graphs never serialize and
+/// concurrent requesters of the *same* graph build it exactly once.
+pub struct GraphCache {
+    map: Mutex<HashMap<(Dataset, Scale), Arc<OnceLock<Arc<Graph>>>>>,
+    builds: Stat,
+    hits: Stat,
+}
+
+impl Default for GraphCache {
+    fn default() -> Self {
+        GraphCache::new()
+    }
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> GraphCache {
+        GraphCache {
+            map: Mutex::new(HashMap::new()),
+            builds: Stat::new("serve.cache.builds"),
+            hits: Stat::new("serve.cache.hits"),
+        }
+    }
+
+    /// The graph for `(dataset, scale)`, generating it on first touch.
+    pub fn get(&self, dataset: Dataset, scale: Scale) -> Arc<Graph> {
+        let cell = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry((dataset, scale))
+            .or_default()
+            .clone();
+        if let Some(g) = cell.get() {
+            self.hits.incr();
+            return g.clone();
+        }
+        // Losers of the init race block here until the winner's build
+        // finishes; neither counts a hit (both had to wait for the build).
+        cell.get_or_init(|| {
+            self.builds.incr();
+            Arc::new(dataset.generate(scale))
+        })
+        .clone()
+    }
+
+    /// Graphs built so far (cache misses).
+    pub fn builds(&self) -> u64 {
+        self.builds.get()
+    }
+
+    /// Lookups served from an already-built graph.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Distinct `(dataset, scale)` entries resident.
+    pub fn resident(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let cache = GraphCache::new();
+        let a = cache.get(Dataset::RoadNetCa, Scale::Tiny);
+        let b = cache.get(Dataset::RoadNetCa, Scale::Tiny);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_exactly_once() {
+        let cache = Arc::new(GraphCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = cache.clone();
+                std::thread::spawn(move || c.get(Dataset::Pokec, Scale::Tiny).num_vertices())
+            })
+            .collect();
+        let sizes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.builds(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_graphs() {
+        let cache = GraphCache::new();
+        cache.get(Dataset::RoadNetCa, Scale::Tiny);
+        cache.get(Dataset::Pokec, Scale::Tiny);
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.resident(), 2);
+    }
+}

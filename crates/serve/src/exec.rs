@@ -1,0 +1,231 @@
+//! Batch execution: turns a [`Pending`] batch into response lines.
+//!
+//! Batchable queries (BFS/SSSP) run on the multi-source engine
+//! ([`ugc_algorithms::multi_source`]) — one traversal, one answer lane per
+//! query — inside a containment boundary with the per-request watchdog
+//! budget. Transient failures retry with the supervisor's deterministic
+//! backoff; a failing multi-query batch **degrades to singles** (so one
+//! poisoned query cannot take its batch-mates down), and a failing single
+//! falls through to [`Compiler::run_with_policy`], whose fallback chain
+//! (CPU backend, then sequential reference) is the same supervisor every
+//! other entry point of the workspace uses. Non-batchable queries
+//! (PR/CC/BC) take that supervised path directly, exercising the shared
+//! thread pool.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ugc::{Algorithm, Compiler, Policy, Target};
+use ugc_algorithms::multi_source::{self as ms, TraversalStats};
+use ugc_algorithms::reference::INF;
+use ugc_graph::Graph;
+use ugc_resilience::{backoff_ms, budget, count_fallback, count_retry, ErrorClass};
+use ugc_runtime::{contain, ExecError};
+
+use crate::cache::GraphCache;
+use crate::gate::Pending;
+use crate::protocol::{checksum_floats, checksum_ints, err_line, QuerySpec};
+use crate::ServeCounters;
+
+/// Shared execution context handed to every worker thread.
+pub struct Executor {
+    /// The build-once graph store.
+    pub cache: Arc<GraphCache>,
+    /// Per-request supervisor policy (budgets, retries, fallback chain).
+    pub policy: Policy,
+    /// The server's counters.
+    pub counters: Arc<ServeCounters>,
+}
+
+impl Executor {
+    /// Runs one batch to completion, answering every member.
+    pub fn run_batch(&self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        let spec0 = batch[0].spec;
+        let graph = self.cache.get(spec0.dataset, spec0.scale);
+        let n = graph.num_vertices();
+        let mut valid = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.spec.algo.needs_start_vertex() && p.spec.source as usize >= n {
+                let msg = format!(
+                    "source {} out of range (graph has {n} vertices)",
+                    p.spec.source
+                );
+                self.respond(p, err_line(ErrorClass::Permanent.label(), &msg));
+            } else {
+                valid.push(p);
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        if spec0.batchable() {
+            self.counters.batch_size.record(valid.len() as u64);
+            self.run_traversal(&graph, valid);
+        } else {
+            for p in valid {
+                self.counters.batch_size.record(1);
+                self.run_supervised(&graph, p);
+            }
+        }
+    }
+
+    /// Multi-source (or single fast-path) traversal for a BFS/SSSP batch.
+    fn run_traversal(&self, graph: &Arc<Graph>, batch: Vec<Pending>) {
+        if batch.len() > 1 {
+            self.counters.batches.incr();
+            self.counters.coalesced.add(batch.len() as u64 - 1);
+        }
+        let spec0 = batch[0].spec;
+        let sources: Vec<u32> = batch.iter().map(|p| p.spec.source).collect();
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let result = {
+                let _watchdog = budget::scope(self.policy.wall_budget, self.policy.cycle_budget);
+                let g = graph.clone();
+                let srcs = sources.clone();
+                contain(std::panic::AssertUnwindSafe(move || {
+                    let out = traverse(&g, spec0.algo, &srcs);
+                    if let Some(msg) = budget::wall_exceeded() {
+                        return Err(ExecError::classified(ErrorClass::Budget, msg));
+                    }
+                    Ok(out)
+                }))
+            };
+            match result {
+                Ok(out) => break Ok(out),
+                Err(e) if e.class == ErrorClass::Transient && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    count_retry();
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match outcome {
+            Ok((lanes, stats)) => {
+                let ms_elapsed = started.elapsed().as_secs_f64() * 1e3;
+                self.counters.work.add(stats.edge_scans);
+                let batch_len = batch.len();
+                for (lane, p) in batch.into_iter().enumerate() {
+                    let line =
+                        traversal_ok_line(&p.spec, &lanes[lane], batch_len, &stats, ms_elapsed);
+                    self.respond(p, line);
+                }
+            }
+            Err(_) if batch.len() > 1 => {
+                // Degrade: split the batch and give every member its own
+                // (still supervised) run.
+                count_fallback();
+                self.counters.degraded.incr();
+                for p in batch {
+                    self.run_traversal(graph, vec![p]);
+                }
+            }
+            Err(_) => {
+                // Single query: hand it to the full supervisor chain (CPU
+                // backend, then the sequential reference).
+                count_fallback();
+                let p = batch.into_iter().next().expect("single");
+                self.run_supervised(graph, p);
+            }
+        }
+    }
+
+    /// One query through the workspace supervisor ([`Compiler::run_with_policy`]).
+    fn run_supervised(&self, graph: &Arc<Graph>, p: Pending) {
+        let spec = p.spec;
+        let mut c = Compiler::new(spec.algo);
+        if spec.algo.needs_start_vertex() {
+            c.start_vertex(spec.source);
+        }
+        let line = match c.run_with_policy(Target::Cpu, graph, &self.policy) {
+            Ok(r) => {
+                let checksum = match spec.algo {
+                    Algorithm::Bfs => checksum_ints(r.property_ints("parent")),
+                    Algorithm::Sssp => checksum_ints(r.property_ints("dist")),
+                    Algorithm::Cc => checksum_ints(r.property_ints("IDs")),
+                    Algorithm::PageRank => checksum_floats(r.property_floats("old_rank")),
+                    Algorithm::Bc => checksum_floats(r.property_floats("centrality")),
+                };
+                let mut line = format!(
+                    "ok algo={} dataset={} scale={} source={} n={} checksum={checksum:#018x} \
+                     batch=1 attempts={} ms={:.3}",
+                    spec.algo.name(),
+                    spec.dataset.abbrev(),
+                    spec.scale.name(),
+                    spec.source,
+                    graph.num_vertices(),
+                    r.attempts,
+                    r.time_ms,
+                );
+                if let Some(d) = &r.degraded_to {
+                    line.push_str(&format!(" degraded={d}"));
+                }
+                line
+            }
+            Err(e) => err_line(e.class.label(), &e.message),
+        };
+        self.respond(p, line);
+    }
+
+    /// Sends the response, settling the ok/error counters and the
+    /// end-to-end latency histogram.
+    fn respond(&self, p: Pending, line: String) {
+        if line.starts_with("ok") {
+            self.counters.ok.incr();
+        } else {
+            self.counters.errors.incr();
+        }
+        self.counters
+            .latency
+            .record(p.enqueued.elapsed().as_micros() as u64);
+        // A handler that gave up (dropped connection) is not an error.
+        let _ = p.reply.send(line);
+    }
+}
+
+/// The traversal itself: single-query fast path or multi-source lanes.
+fn traverse(g: &Graph, algo: Algorithm, sources: &[u32]) -> (Vec<Vec<i64>>, TraversalStats) {
+    match (algo, sources) {
+        (Algorithm::Bfs, [s]) => {
+            let (levels, stats) = ms::bfs_levels_counted(g, *s);
+            (vec![levels], stats)
+        }
+        (Algorithm::Bfs, _) => ms::ms_bfs_levels(g, sources),
+        (Algorithm::Sssp, [s]) => {
+            let (dist, stats) = ms::sssp_distances_counted(g, *s);
+            (vec![dist], stats)
+        }
+        (Algorithm::Sssp, _) => ms::ms_sssp_distances(g, sources),
+        (other, _) => unreachable!("{} is not batchable", other.name()),
+    }
+}
+
+fn traversal_ok_line(
+    spec: &QuerySpec,
+    lane: &[i64],
+    batch: usize,
+    stats: &TraversalStats,
+    ms_elapsed: f64,
+) -> String {
+    let reached = match spec.algo {
+        Algorithm::Bfs => lane.iter().filter(|&&l| l >= 0).count(),
+        _ => lane.iter().filter(|&&d| d < INF).count(),
+    };
+    format!(
+        "ok algo={} dataset={} scale={} source={} n={} reached={reached} \
+         checksum={:#018x} batch={batch} work={} rounds={} ms={ms_elapsed:.3}",
+        spec.algo.name(),
+        spec.dataset.abbrev(),
+        spec.scale.name(),
+        spec.source,
+        lane.len(),
+        checksum_ints(lane),
+        stats.edge_scans,
+        stats.rounds,
+    )
+}

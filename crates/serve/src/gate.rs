@@ -1,0 +1,229 @@
+//! Admission control: a bounded queue feeding a fixed set of worker
+//! threads, with opportunistic batch formation at the head.
+//!
+//! In-flight work is bounded by the worker count (one batch per worker);
+//! waiting work is bounded by the queue capacity, beyond which
+//! [`Gate::submit`] rejects and the connection handler replies `err busy`
+//! — backpressure the client can see instead of an unbounded pile-up.
+//!
+//! When a worker pops a batchable head query (BFS/SSSP), it lingers for
+//! the *batch window*, collecting queries that
+//! [coalesce](crate::protocol::QuerySpec::coalesces_with) with it (same
+//! traversal, same cached graph) up to the batch cap. The window is the
+//! latency price of coalescing and is deliberately small; a window of
+//! zero degrades to strict one-query-per-traversal service.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::protocol::QuerySpec;
+
+/// One admitted query waiting for (or riding) a traversal.
+pub struct Pending {
+    /// What to run.
+    pub spec: QuerySpec,
+    /// Where the response line goes (the connection handler blocks on the
+    /// other end).
+    pub reply: Sender<String>,
+    /// Admission time, for the end-to-end latency histogram.
+    pub enqueued: Instant,
+}
+
+struct GateState {
+    queue: VecDeque<Pending>,
+    open: bool,
+}
+
+/// The admission gate shared by connection handlers (producers) and
+/// workers (consumers).
+pub struct Gate {
+    state: Mutex<GateState>,
+    ready: Condvar,
+    queue_cap: usize,
+    batch_max: usize,
+    batch_window: Duration,
+}
+
+impl Gate {
+    /// A gate holding at most `queue_cap` waiting queries and forming
+    /// batches of at most `batch_max` over a `batch_window` linger.
+    pub fn new(queue_cap: usize, batch_max: usize, batch_window: Duration) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            queue_cap,
+            batch_max,
+            batch_window,
+        }
+    }
+
+    /// Admits a query, returning the queue depth after admission.
+    ///
+    /// # Errors
+    ///
+    /// Hands the query back when the queue is full or the gate is closed
+    /// (shutting down); the caller replies `err busy`.
+    pub fn submit(&self, p: Pending) -> Result<usize, Pending> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.open || st.queue.len() >= self.queue_cap {
+            return Err(p);
+        }
+        st.queue.push_back(p);
+        let depth = st.queue.len();
+        // All waiters: an idle worker needs the new head, and a worker
+        // lingering in a batch window needs to re-scan for a joiner.
+        self.ready.notify_all();
+        Ok(depth)
+    }
+
+    /// Stops admission; workers drain what is already queued, then their
+    /// [`Gate::next_batch`] calls return `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.open = false;
+        self.ready.notify_all();
+    }
+
+    /// Queries currently waiting (excludes in-flight batches).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Blocks for the next unit of work: one query, plus every queued
+    /// query that coalesces with it (collected over the batch window).
+    /// Returns `None` once the gate is closed *and* drained.
+    pub fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let head = loop {
+            if let Some(head) = st.queue.pop_front() {
+                break head;
+            }
+            if !st.open {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        };
+        let mut batch = vec![head];
+        if batch[0].spec.batchable() && self.batch_max > 1 {
+            let deadline = Instant::now() + self.batch_window;
+            loop {
+                let mut i = 0;
+                while i < st.queue.len() && batch.len() < self.batch_max {
+                    if batch[0].spec.coalesces_with(&st.queue[i].spec) {
+                        batch.push(st.queue.remove(i).expect("index in range"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                if batch.len() >= self.batch_max || !st.open {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timed_out) = self
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+                if timed_out.timed_out() {
+                    // One final drain pass happens at the top of the loop;
+                    // the deadline check then exits.
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+    use ugc::Algorithm;
+    use ugc_graph::{Dataset, Scale};
+
+    fn pending(algo: Algorithm, source: u32) -> Pending {
+        // The receiver is dropped: these unit tests only exercise queueing.
+        let (tx, _rx) = channel();
+        Pending {
+            spec: QuerySpec {
+                algo,
+                dataset: Dataset::RoadNetCa,
+                scale: Scale::Tiny,
+                source,
+            },
+            reply: tx,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn rejects_when_full_and_when_closed() {
+        let gate = Gate::new(2, 4, Duration::ZERO);
+        assert!(gate.submit(pending(Algorithm::Bfs, 0)).is_ok());
+        assert!(gate.submit(pending(Algorithm::Bfs, 1)).is_ok());
+        assert!(gate.submit(pending(Algorithm::Bfs, 2)).is_err());
+        gate.close();
+        assert!(gate.submit(pending(Algorithm::Bfs, 3)).is_err());
+        assert_eq!(gate.depth(), 2);
+    }
+
+    #[test]
+    fn coalesces_compatible_queue_entries() {
+        let gate = Gate::new(16, 8, Duration::ZERO);
+        gate.submit(pending(Algorithm::Bfs, 0)).ok().unwrap();
+        gate.submit(pending(Algorithm::Cc, 0)).ok().unwrap();
+        gate.submit(pending(Algorithm::Bfs, 5)).ok().unwrap();
+        let batch = gate.next_batch().unwrap();
+        let sources: Vec<u32> = batch.iter().map(|p| p.spec.source).collect();
+        assert_eq!(sources, vec![0, 5], "bfs pair coalesces around the cc");
+        let batch = gate.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].spec.algo, Algorithm::Cc);
+    }
+
+    #[test]
+    fn window_waits_for_a_late_joiner() {
+        let gate = Arc::new(Gate::new(16, 8, Duration::from_millis(200)));
+        let g = gate.clone();
+        let joiner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            g.submit(pending(Algorithm::Bfs, 7)).ok().unwrap();
+        });
+        gate.submit(pending(Algorithm::Bfs, 0)).ok().unwrap();
+        let batch = gate.next_batch().unwrap();
+        joiner.join().unwrap();
+        assert_eq!(batch.len(), 2, "late joiner rode the window");
+    }
+
+    #[test]
+    fn drains_after_close_then_ends() {
+        let gate = Gate::new(16, 8, Duration::from_millis(50));
+        gate.submit(pending(Algorithm::PageRank, 0)).ok().unwrap();
+        gate.close();
+        assert_eq!(gate.next_batch().unwrap().len(), 1);
+        assert!(gate.next_batch().is_none());
+    }
+
+    #[test]
+    fn batch_cap_is_respected() {
+        let gate = Gate::new(64, 3, Duration::ZERO);
+        for s in 0..5 {
+            gate.submit(pending(Algorithm::Sssp, s)).ok().unwrap();
+        }
+        assert_eq!(gate.next_batch().unwrap().len(), 3);
+        assert_eq!(gate.next_batch().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,563 @@
+//! `ugc-serve` — a long-lived graph-analytics query daemon.
+//!
+//! The rest of the workspace is a one-shot batch pipeline: build a graph,
+//! compile a program, run it, exit. This crate adds the resident form the
+//! ROADMAP's north star asks for: a std-only TCP/unix-socket daemon that
+//! loads each dataset once into a shared [`cache::GraphCache`], bounds
+//! concurrent work behind an admission [`gate::Gate`], and **coalesces**
+//! concurrent BFS/SSSP queries against the same graph into one
+//! multi-source traversal ([`ugc_algorithms::multi_source`]) with one
+//! answer lane per query.
+//!
+//! The protocol is one line per request ([`protocol`]); `repro serve`
+//! launches the daemon and `repro client` speaks to it. Request metrics
+//! (latency, queue depth, batch size, coalescing) flow through
+//! [`ugc_telemetry`] under the `serve.` prefix and are also readable over
+//! the wire via `stats`.
+//!
+//! ```no_run
+//! use ugc_serve::{Bind, ServeConfig, Server};
+//!
+//! let mut config = ServeConfig::default();
+//! config.bind = Bind::Tcp(0); // ephemeral port
+//! let handle = Server::start(config).unwrap();
+//! println!("serving on {}", handle.addr());
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ugc::Policy;
+use ugc_telemetry::{Counter, Histogram};
+
+pub mod cache;
+pub mod exec;
+pub mod gate;
+pub mod protocol;
+
+pub use cache::GraphCache;
+pub use protocol::{QuerySpec, Request};
+
+use gate::{Gate, Pending};
+use protocol::err_line;
+
+/// A monotone counter that is readable locally (`stats` must work even
+/// with telemetry disabled) and mirrored into the [`ugc_telemetry`]
+/// registry for `repro --profile`.
+pub struct Stat {
+    raw: AtomicU64,
+    tele: Counter,
+}
+
+impl Stat {
+    fn new(name: &str) -> Stat {
+        Stat {
+            raw: AtomicU64::new(0),
+            tele: Counter::new(name),
+        }
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.raw.fetch_add(n, Ordering::Relaxed);
+        self.tele.add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.raw.load(Ordering::Relaxed)
+    }
+}
+
+/// All serving counters, shared by handlers, workers, and `stats`.
+pub struct ServeCounters {
+    /// Queries received (parsed successfully).
+    pub queries: Stat,
+    /// Queries answered `ok`.
+    pub ok: Stat,
+    /// Queries answered `err` (including protocol errors).
+    pub errors: Stat,
+    /// Queries refused by admission control (`err busy`).
+    pub rejected: Stat,
+    /// Multi-query batches executed.
+    pub batches: Stat,
+    /// Queries that rode another query's traversal (batch size minus one,
+    /// summed) — the headline coalescing win.
+    pub coalesced: Stat,
+    /// Batches that failed and were degraded to single-query runs.
+    pub degraded: Stat,
+    /// Edge scans performed by the traversal engine.
+    pub work: Stat,
+    /// Batch sizes at execution time.
+    pub batch_size: Histogram,
+    /// Queue depth observed at each admission.
+    pub queue_depth: Histogram,
+    /// End-to-end request latency in microseconds (admission to reply).
+    pub latency: Histogram,
+}
+
+impl Default for ServeCounters {
+    fn default() -> Self {
+        ServeCounters::new()
+    }
+}
+
+impl ServeCounters {
+    /// Fresh counters registered under the `serve.` telemetry prefix.
+    pub fn new() -> ServeCounters {
+        ServeCounters {
+            queries: Stat::new("serve.queries"),
+            ok: Stat::new("serve.ok"),
+            errors: Stat::new("serve.errors"),
+            rejected: Stat::new("serve.rejected"),
+            batches: Stat::new("serve.batches"),
+            coalesced: Stat::new("serve.batch.coalesced"),
+            degraded: Stat::new("serve.batch.degraded"),
+            work: Stat::new("serve.work.edge_scans"),
+            batch_size: Histogram::new("serve.batch.size"),
+            queue_depth: Histogram::new("serve.queue.depth"),
+            latency: Histogram::new("serve.latency_us"),
+        }
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// TCP on 127.0.0.1; port 0 picks an ephemeral port.
+    Tcp(u16),
+    /// A unix-domain socket at this path (created on start, removed on
+    /// clean shutdown).
+    Unix(PathBuf),
+}
+
+/// Daemon configuration; [`ServeConfig::validate`] is what `repro serve`
+/// flag errors come from.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Worker threads = maximum batches in flight (the admission limit).
+    pub admit: usize,
+    /// Maximum queries waiting behind the in-flight ones; submissions
+    /// beyond this are answered `err busy`.
+    pub queue_cap: usize,
+    /// Maximum queries coalesced into one traversal.
+    pub batch_max: usize,
+    /// How long a worker lingers collecting batch-mates for a batchable
+    /// head query.
+    pub batch_window: Duration,
+    /// Per-request supervisor policy (watchdog budgets, retries,
+    /// fallback chain).
+    pub policy: Policy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: Bind::Tcp(0),
+            admit: 2,
+            queue_cap: 64,
+            batch_max: 16,
+            batch_window: Duration::from_millis(5),
+            policy: Policy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Rejects nonsensical configurations with a message naming the
+    /// offending knob.
+    ///
+    /// # Errors
+    ///
+    /// Non-positive admission limit, queue, or batch cap; a batch cap
+    /// beyond the lane budget; a unix socket path that already exists or
+    /// whose parent directory does not.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.admit == 0 {
+            return Err("admission limit must be positive (--admit)".into());
+        }
+        if self.queue_cap == 0 {
+            return Err("queue capacity must be positive (--queue)".into());
+        }
+        if self.batch_max == 0 {
+            return Err("batch cap must be positive (--batch-max)".into());
+        }
+        if self.batch_max > ugc_algorithms::multi_source::MAX_LANES {
+            return Err(format!(
+                "batch cap {} exceeds the {}-lane traversal budget (--batch-max)",
+                self.batch_max,
+                ugc_algorithms::multi_source::MAX_LANES
+            ));
+        }
+        if let Bind::Unix(path) = &self.bind {
+            if path.as_os_str().is_empty() {
+                return Err("socket path must not be empty (--socket)".into());
+            }
+            if path.exists() {
+                return Err(format!(
+                    "socket path {} already exists (stale socket? remove it first)",
+                    path.display()
+                ));
+            }
+            let parent = if path.parent().map_or(true, |p| p.as_os_str().is_empty()) {
+                PathBuf::from(".")
+            } else {
+                path.parent().expect("checked").to_path_buf()
+            };
+            if !parent.is_dir() {
+                return Err(format!(
+                    "socket directory {} does not exist (--socket)",
+                    parent.display()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The daemon's resolved listen address.
+#[derive(Debug, Clone)]
+pub enum ServeAddr {
+    /// Bound TCP address (with the resolved ephemeral port).
+    Tcp(SocketAddr),
+    /// Bound unix socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeAddr::Tcp(a) => write!(f, "tcp {a}"),
+            ServeAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl ListenerKind {
+    fn accept(&self) -> std::io::Result<StreamKind> {
+        match self {
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| StreamKind::Tcp(s)),
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| StreamKind::Unix(s)),
+        }
+    }
+}
+
+/// One accepted client connection (TCP or unix), unified for the handler.
+pub enum StreamKind {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-socket connection.
+    Unix(UnixStream),
+}
+
+impl StreamKind {
+    fn try_clone(&self) -> std::io::Result<StreamKind> {
+        match self {
+            StreamKind::Tcp(s) => s.try_clone().map(StreamKind::Tcp),
+            StreamKind::Unix(s) => s.try_clone().map(StreamKind::Unix),
+        }
+    }
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.read(buf),
+            StreamKind::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.write(buf),
+            StreamKind::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.flush(),
+            StreamKind::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Shared state every connection handler sees.
+struct Shared {
+    gate: Gate,
+    counters: Arc<ServeCounters>,
+    cache: Arc<GraphCache>,
+    shutting_down: AtomicBool,
+    addr: ServeAddr,
+    started: Instant,
+}
+
+impl Shared {
+    /// The one-line `stats` response. `pool_workers` is the shared thread
+    /// pool's lifetime worker count — the CI smoke asserts it is stable
+    /// across queries to prove the daemon leaks no background threads.
+    fn stats_line(&self) -> String {
+        let c = &self.counters;
+        let pool = ugc_runtime::pool::telemetry();
+        format!(
+            "ok stats uptime_ms={} queries={} ok={} errors={} rejected={} queued={} \
+             batches={} coalesced={} degraded={} work={} cache_builds={} cache_hits={} \
+             resident_graphs={} pool_workers={}",
+            self.started.elapsed().as_millis(),
+            c.queries.get(),
+            c.ok.get(),
+            c.errors.get(),
+            c.rejected.get(),
+            self.gate.depth(),
+            c.batches.get(),
+            c.coalesced.get(),
+            c.degraded.get(),
+            c.work.get(),
+            self.cache.builds(),
+            self.cache.hits(),
+            self.cache.resident(),
+            pool.workers_spawned,
+        )
+    }
+
+    /// Stops admission and unblocks the accept loop. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.gate.close();
+        // A throwaway self-connection unblocks the blocking accept().
+        match &self.addr {
+            ServeAddr::Tcp(a) => drop(TcpStream::connect(a)),
+            ServeAddr::Unix(p) => drop(UnixStream::connect(p)),
+        }
+    }
+}
+
+/// The daemon. [`Server::start`] spawns the accept loop and worker
+/// threads and returns a handle.
+pub struct Server;
+
+/// A running daemon: its address, counters, and join/shutdown controls.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sock_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Validates the configuration, binds the listener, and spawns the
+    /// accept loop plus `config.admit` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Configuration rejections ([`ServeConfig::validate`]), bind
+    /// failures, and malformed supervisor environment (`UGC_FAULTS`).
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, String> {
+        config.validate()?;
+        ugc_resilience::fault::init_from_env()?;
+        let (listener, addr, sock_path) = match &config.bind {
+            Bind::Tcp(port) => {
+                let l = TcpListener::bind(("127.0.0.1", *port))
+                    .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+                let a = l.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+                (ListenerKind::Tcp(l), ServeAddr::Tcp(a), None)
+            }
+            Bind::Unix(path) => {
+                let l = UnixListener::bind(path)
+                    .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+                (
+                    ListenerKind::Unix(l),
+                    ServeAddr::Unix(path.clone()),
+                    Some(path.clone()),
+                )
+            }
+        };
+        let counters = Arc::new(ServeCounters::new());
+        let cache = Arc::new(GraphCache::new());
+        let shared = Arc::new(Shared {
+            gate: Gate::new(config.queue_cap, config.batch_max, config.batch_window),
+            counters: counters.clone(),
+            cache: cache.clone(),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+        });
+        let workers = (0..config.admit)
+            .map(|i| {
+                let sh = shared.clone();
+                let executor = exec::Executor {
+                    cache: cache.clone(),
+                    policy: config.policy.clone(),
+                    counters: counters.clone(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("ugc-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = sh.gate.next_batch() {
+                            executor.run_batch(batch);
+                        }
+                    })
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let accept = {
+            let sh = shared.clone();
+            std::thread::Builder::new()
+                .name("ugc-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &sh))
+                .map_err(|e| format!("cannot spawn accept loop: {e}"))?
+        };
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+            sock_path,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The resolved listen address (ephemeral TCP ports included).
+    pub fn addr(&self) -> &ServeAddr {
+        &self.shared.addr
+    }
+
+    /// The live counters (for in-process tests and `repro --profile`).
+    pub fn counters(&self) -> &ServeCounters {
+        &self.shared.counters
+    }
+
+    /// Requests shutdown, as the wire `shutdown` command does: admission
+    /// closes, queued work drains, threads exit.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the accept loop and all workers, then removes the unix
+    /// socket file. Returns only after a shutdown was requested.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(p) = &self.sock_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn accept_loop(listener: &ListenerKind, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let sh = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("ugc-serve-conn".into())
+            .spawn(move || handle_conn(stream, &sh));
+        drop(spawned);
+    }
+}
+
+/// One connection: read request lines, write one response line each.
+/// Returns (closing the connection) on `shutdown`, read errors, or EOF.
+fn handle_conn(stream: StreamKind, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut close_after = false;
+        let reply = match protocol::parse_request(&line) {
+            Err(e) => {
+                shared.counters.errors.incr();
+                err_line("protocol", &e)
+            }
+            Ok(Request::Stats) => shared.stats_line(),
+            Ok(Request::Shutdown) => {
+                close_after = true;
+                "ok shutdown".to_string()
+            }
+            Ok(Request::Query(spec)) => {
+                shared.counters.queries.incr();
+                let (tx, rx) = mpsc::channel();
+                let pending = Pending {
+                    spec,
+                    reply: tx,
+                    enqueued: Instant::now(),
+                };
+                match shared.gate.submit(pending) {
+                    Ok(depth) => {
+                        shared.counters.queue_depth.record(depth as u64);
+                        match rx.recv() {
+                            Ok(answer) => answer,
+                            Err(_) => {
+                                shared.counters.errors.incr();
+                                err_line("internal", "worker dropped the reply channel")
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        shared.counters.rejected.incr();
+                        shared.counters.errors.incr();
+                        err_line(
+                            "busy",
+                            "admission queue full or server shutting down; retry later",
+                        )
+                    }
+                }
+            }
+        };
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if close_after {
+            shared.begin_shutdown();
+            break;
+        }
+    }
+}

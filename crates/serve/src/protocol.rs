@@ -1,0 +1,239 @@
+//! The line-oriented wire protocol.
+//!
+//! Requests, one per line:
+//!
+//! ```text
+//! query <algo> <dataset> [source=N] [scale=tiny|small|medium]
+//! stats
+//! shutdown
+//! ```
+//!
+//! `<algo>` is one of `pr bfs sssp cc bc`, `<dataset>` a Table-8
+//! abbreviation (`RN RC RU PK HW LJ OK IC TW SW`); both are
+//! case-insensitive. `source` defaults to 0 and `scale` to `tiny`.
+//!
+//! Responses, one line per request: `ok key=value ...` on success, or
+//! `err <kind>: <message>` where `<kind>` is `protocol` (unparsable
+//! request), `busy` (admission queue full — retry later), or a workspace
+//! [`ErrorClass`](ugc_resilience::ErrorClass) label (`permanent`,
+//! `transient`, `budget`, `invariant`) for execution failures.
+
+use ugc::Algorithm;
+use ugc_graph::{Dataset, Scale};
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a query.
+    Query(QuerySpec),
+    /// Report server counters.
+    Stats,
+    /// Stop accepting work, drain, and exit.
+    Shutdown,
+}
+
+/// A fully-resolved query: what to run, on which cached graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Algorithm to run.
+    pub algo: Algorithm,
+    /// Dataset (graph is built once per (dataset, scale) and cached).
+    pub dataset: Dataset,
+    /// Generation scale.
+    pub scale: Scale,
+    /// Source vertex for BFS/SSSP/BC (ignored by PR/CC).
+    pub source: u32,
+}
+
+impl QuerySpec {
+    /// Whether queries of this algorithm can ride a shared multi-source
+    /// traversal (their canonical answers — levels/distances — are
+    /// batch-order independent).
+    pub fn batchable(&self) -> bool {
+        matches!(self.algo, Algorithm::Bfs | Algorithm::Sssp)
+    }
+
+    /// Whether `other` may join this query's batch: same traversal kind
+    /// over the identical cached graph.
+    pub fn coalesces_with(&self, other: &QuerySpec) -> bool {
+        self.batchable()
+            && self.algo == other.algo
+            && self.dataset == other.dataset
+            && self.scale == other.scale
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the first offending token.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or("empty request")?;
+    match verb.to_ascii_lowercase().as_str() {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "query" => {
+            let algo = parse_algo(words.next().ok_or("query needs <algo> <dataset>")?)?;
+            let dataset = parse_dataset(words.next().ok_or("query needs <algo> <dataset>")?)?;
+            let mut spec = QuerySpec {
+                algo,
+                dataset,
+                scale: Scale::Tiny,
+                source: 0,
+            };
+            for kv in words {
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got `{kv}`"))?;
+                match key {
+                    "source" => {
+                        spec.source = value.parse().map_err(|_| {
+                            format!("source must be a non-negative integer, got `{value}`")
+                        })?;
+                    }
+                    "scale" => spec.scale = parse_scale(value)?,
+                    other => return Err(format!("unknown query argument `{other}`")),
+                }
+            }
+            Ok(Request::Query(spec))
+        }
+        other => Err(format!(
+            "unknown command `{other}` (expected query/stats/shutdown)"
+        )),
+    }
+}
+
+/// Parses an algorithm short name (`pr bfs sssp cc bc`).
+///
+/// # Errors
+///
+/// Names the unknown algorithm.
+pub fn parse_algo(s: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown algorithm `{s}` (expected pr/bfs/sssp/cc/bc)"))
+}
+
+/// Parses a dataset abbreviation (`RN RC RU PK HW LJ OK IC TW SW`).
+///
+/// # Errors
+///
+/// Names the unknown dataset.
+pub fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.abbrev().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown dataset `{s}` (expected a Table-8 abbreviation)"))
+}
+
+/// Parses a scale name.
+///
+/// # Errors
+///
+/// Names the unknown scale.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    [Scale::Tiny, Scale::Small, Scale::Medium]
+        .into_iter()
+        .find(|sc| sc.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown scale `{s}` (expected tiny/small/medium)"))
+}
+
+/// Formats an error response line.
+pub fn err_line(kind: &str, msg: &str) -> String {
+    format!("err {kind}: {msg}")
+}
+
+/// FNV-1a over 64-bit words (little-endian bytes): the result checksum
+/// clients compare against locally-computed references.
+pub fn fnv1a64(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Checksum of an integer result vector (bit-exact).
+pub fn checksum_ints(vals: &[i64]) -> u64 {
+    fnv1a64(vals.iter().map(|&v| v as u64))
+}
+
+/// Checksum of a float result vector (bit-exact, not epsilon).
+pub fn checksum_floats(vals: &[f64]) -> u64 {
+    fnv1a64(vals.iter().map(|&v| v.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_with_defaults() {
+        let r = parse_request("query bfs RN").unwrap();
+        let Request::Query(spec) = r else {
+            panic!("expected query")
+        };
+        assert_eq!(spec.algo, Algorithm::Bfs);
+        assert_eq!(spec.dataset, Dataset::RoadNetCa);
+        assert_eq!(spec.scale, Scale::Tiny);
+        assert_eq!(spec.source, 0);
+    }
+
+    #[test]
+    fn parses_query_arguments_case_insensitively() {
+        let r = parse_request("QUERY sssp pk source=7 scale=small").unwrap();
+        let Request::Query(spec) = r else {
+            panic!("expected query")
+        };
+        assert_eq!(spec.algo, Algorithm::Sssp);
+        assert_eq!(spec.dataset, Dataset::Pokec);
+        assert_eq!(spec.scale, Scale::Small);
+        assert_eq!(spec.source, 7);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "flarp",
+            "query",
+            "query bfs",
+            "query nosuch RN",
+            "query bfs ZZ",
+            "query bfs RN source=minus",
+            "query bfs RN scale=galactic",
+            "query bfs RN bogus=1",
+        ] {
+            assert!(parse_request(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn coalescing_rules() {
+        let spec = |algo, dataset| QuerySpec {
+            algo,
+            dataset,
+            scale: Scale::Tiny,
+            source: 0,
+        };
+        let bfs = spec(Algorithm::Bfs, Dataset::RoadNetCa);
+        assert!(bfs.coalesces_with(&QuerySpec { source: 9, ..bfs }));
+        assert!(!bfs.coalesces_with(&spec(Algorithm::Bfs, Dataset::Pokec)));
+        assert!(!bfs.coalesces_with(&spec(Algorithm::Sssp, Dataset::RoadNetCa)));
+        assert!(!spec(Algorithm::PageRank, Dataset::RoadNetCa)
+            .coalesces_with(&spec(Algorithm::PageRank, Dataset::RoadNetCa)));
+    }
+
+    #[test]
+    fn checksums_are_bit_sensitive() {
+        assert_ne!(checksum_ints(&[1, 2, 3]), checksum_ints(&[1, 2, 4]));
+        assert_ne!(checksum_floats(&[0.0]), checksum_floats(&[-0.0]));
+        assert_eq!(checksum_ints(&[]), checksum_floats(&[]));
+    }
+}

@@ -142,6 +142,54 @@ grep -q "winner profile:" target/ci-tune-rerun.txt || {
   exit 1
 }
 
+echo "== serve smoke (unix socket; pair coalesces; no thread leak; clean shutdown)"
+# Boot the daemon on a unix socket, run a batched pair (two concurrent BFS
+# clients against a single admission slot and a wide batch window, so the
+# late arrival coalesces) plus one degenerate non-batchable query, then
+# assert from `stats` that coalescing happened and that the pool worker
+# count is identical across two captures — serving must not leak threads.
+repro_bin="target/release/repro"
+serve_sock="target/ci-serve.sock"
+rm -f "$serve_sock"
+"$repro_bin" serve --socket "$serve_sock" --admit 1 --batch-max 8 --batch-window-ms 500 \
+  > target/ci-serve-daemon.txt 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$serve_sock" ] && break
+  sleep 0.1
+done
+if ! [ -S "$serve_sock" ]; then
+  echo "serve smoke: daemon never bound $serve_sock" >&2
+  kill "$serve_pid" 2> /dev/null || true
+  exit 1
+fi
+"$repro_bin" client "unix:$serve_sock" query bfs RN source=0 > target/ci-serve-q1.txt &
+client_a=$!
+"$repro_bin" client "unix:$serve_sock" query bfs RN source=7 > target/ci-serve-q2.txt &
+client_b=$!
+wait "$client_a"
+wait "$client_b"
+workers_before="$("$repro_bin" client "unix:$serve_sock" stats \
+  | grep -o 'pool_workers=[0-9]*')"
+"$repro_bin" client "unix:$serve_sock" query cc RN > target/ci-serve-q3.txt
+stats_out="$("$repro_bin" client "unix:$serve_sock" stats)"
+coalesced="$(printf '%s\n' "$stats_out" | grep -o 'coalesced=[0-9]*' | cut -d= -f2)"
+if [ "${coalesced:-0}" -eq 0 ]; then
+  echo "serve smoke: concurrent BFS pair never coalesced: $stats_out" >&2
+  exit 1
+fi
+workers_after="$(printf '%s\n' "$stats_out" | grep -o 'pool_workers=[0-9]*')"
+if [ "$workers_before" != "$workers_after" ]; then
+  echo "serve smoke: pool worker count drifted ($workers_before -> $workers_after)" >&2
+  exit 1
+fi
+"$repro_bin" client "unix:$serve_sock" shutdown > /dev/null
+wait "$serve_pid"
+grep -q "shutdown complete" target/ci-serve-daemon.txt || {
+  echo "serve smoke: daemon did not report a clean shutdown" >&2
+  exit 1
+}
+
 echo "== bench snapshot smoke (tiny, output under target/)"
 # Exercise the snapshot pipeline end to end without touching the tracked
 # BENCH_<n>.json: one sample per bench, output redirected to target/.

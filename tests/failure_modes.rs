@@ -311,4 +311,38 @@ mod repro_cli {
             "error must name the telemetry switch, got: {stderr}"
         );
     }
+
+    // ---- `serve` / `client` argument validation --------------------------
+    // All of these fail before a listener is bound, so no daemon is ever
+    // left behind.
+
+    #[test]
+    fn serve_bad_port_exits_with_usage() {
+        assert_usage_failure(&["serve", "--port", "notaport"]);
+        assert_usage_failure(&["serve", "--port", "70000"]);
+    }
+
+    #[test]
+    fn serve_non_positive_admission_limit_exits_with_usage() {
+        assert_usage_failure(&["serve", "--admit", "0"]);
+        assert_usage_failure(&["serve", "--admit", "-3"]);
+        assert_usage_failure(&["serve", "--queue", "0"]);
+        assert_usage_failure(&["serve", "--batch-max", "0"]);
+    }
+
+    #[test]
+    fn serve_unknown_socket_directory_exits_with_usage() {
+        assert_usage_failure(&["serve", "--socket", "/no/such/dir/ugc.sock"]);
+    }
+
+    #[test]
+    fn serve_unknown_flag_exits_with_usage() {
+        assert_usage_failure(&["serve", "--frobnicate"]);
+    }
+
+    #[test]
+    fn client_without_request_exits_with_usage() {
+        assert_usage_failure(&["client"]);
+        assert_usage_failure(&["client", "unix:/tmp/nowhere.sock"]);
+    }
 }

@@ -32,6 +32,7 @@ const KNOWN_KERNELS: &[&str] = &[
     "reduce_max",
     "reduce_or",
     "relax_min",
+    "relax_sum",
 ];
 
 /// Collects every edge traversal in a statement tree.
@@ -267,4 +268,196 @@ fn kernels_match_interpreter_under_threads() {
             .property_ints("dist")
     };
     assert_eq!(dist_of(true), dist_of(false));
+}
+
+// ---------------------------------------------------------------------------
+// Widened recognizer coverage: UpdatePrio Sum and float-equality filters.
+// ---------------------------------------------------------------------------
+
+/// Compiles DSL source through the full hardware-independent pipeline,
+/// with no schedules attached.
+fn compile_source(src: &str) -> Program {
+    let mut prog = ugc_midend::frontend_to_ir(src).expect("source compiles");
+    ugc_midend::run_passes(&mut prog).expect("midend passes run");
+    prog
+}
+
+/// Delta-accumulation over a priority queue: `updatePrioritySum` of a bare
+/// property load — the re-read-after-reduce shape the recognizer now
+/// specializes as `relax_sum`.
+const DELTA_SUM_SRC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const heat : vector{Vertex}(int) = 0;
+const start_vertex : Vertex;
+const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(heat, start_vertex);
+
+func updateEdge(src : Vertex, dst : Vertex)
+    pq.updatePrioritySum(dst, heat[src]);
+end
+
+func main()
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end
+"#;
+
+/// The weighted variant: `updatePrioritySum` of `heat[src] + weight`.
+const DELTA_SUM_WEIGHTED_SRC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex,int) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const heat : vector{Vertex}(int) = 0;
+const start_vertex : Vertex;
+const pq : priority_queue{Vertex}(int) = new priority_queue{Vertex}(int)(heat, start_vertex);
+
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var bump : int = heat[src] + weight;
+    pq.updatePrioritySum(dst, bump);
+end
+
+func main()
+    #s0# while (pq.finished() == false)
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end
+"#;
+
+/// A float-equality vertex filter over exact cell values: specializes under
+/// the recognizer's IEEE `==` comparison (DESIGN.md NaN policy).
+const FLOAT_FILTER_SRC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const rank : vector{Vertex}(float) = 0.0;
+const acc : vector{Vertex}(float) = 0.0;
+
+func init(v : Vertex)
+    rank[v] = to_float(v) - 1.0;
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    acc[dst] += rank[src];
+end
+
+func isCold(v : Vertex) -> output : bool
+    output = (rank[v] == 0.0);
+end
+
+func main()
+    vertices.apply(init);
+    var n : int = vertices.size();
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(n);
+    #s1# edges.from(frontier).to(isCold).apply(updateEdge);
+    delete frontier;
+end
+"#;
+
+/// Both `updatePrioritySum` shapes (bare load, load + weight) must resolve
+/// to the `relax_sum` kernel rather than falling back.
+#[test]
+fn update_priority_sum_specializes_to_relax_sum() {
+    for src in [DELTA_SUM_SRC, DELTA_SUM_WEIGHTED_SRC] {
+        let prog = compile_source(src);
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).expect("udfs compile");
+        let res = resolutions(&prog, &udfs);
+        assert_eq!(
+            res,
+            vec![Some("relax_sum")],
+            "updatePrioritySum must specialize"
+        );
+    }
+}
+
+/// The `relax_sum` kernel must reproduce the interpreter's notification
+/// semantics exactly — Sum updates re-read the accumulated cell — so a
+/// full delta-accumulation run is bit-identical across dispatch modes.
+/// Forward-only edges keep the accumulation finite: the start's seed
+/// priority is 0, each relaxation pushes `heat[src] + weight >= 1`
+/// downstream, and nothing ever flows back.
+#[test]
+fn relax_sum_matches_interpreter_on_dag() {
+    let mut b = ugc_graph::GraphBuilder::new(8);
+    for (s, d, w) in [
+        (0, 1, 1),
+        (1, 2, 2),
+        (2, 3, 1),
+        (3, 4, 3),
+        (4, 5, 1),
+        (5, 6, 2),
+        (6, 7, 1),
+        (0, 2, 4),
+        (1, 4, 1),
+        (2, 5, 2),
+        (3, 7, 5),
+    ] {
+        b.add_weighted_edge(s, d, w);
+    }
+    let graph = b.into_graph();
+    let mut externs = std::collections::HashMap::new();
+    externs.insert(
+        "start_vertex".to_string(),
+        ugc_runtime::value::Value::Int(0),
+    );
+    let heat_of = |kernels_on: bool| {
+        CpuGraphVm::with_threads(1)
+            .with_kernels(kernels_on)
+            .execute(compile_source(DELTA_SUM_WEIGHTED_SRC), &graph, &externs)
+            .expect("delta-sum runs")
+            .property_ints("heat")
+    };
+    let kernel_heat = heat_of(true);
+    let interp_heat = heat_of(false);
+    assert_eq!(
+        kernel_heat, interp_heat,
+        "relax_sum diverges from the interpreter"
+    );
+    // Heat actually flowed down the DAG: the sink accumulated something.
+    assert!(
+        kernel_heat[7] > 0,
+        "no heat reached the sink: {kernel_heat:?}"
+    );
+}
+
+/// A float-equality filter engages the compiled kernel (no fallback) and
+/// the filtered traversal stays bit-identical to the interpreter across
+/// the graph menagerie.
+#[test]
+fn float_filter_specializes_and_matches_interpreter() {
+    let prog = compile_source(FLOAT_FILTER_SRC);
+    let udfs = compile_udfs(&prog, &binding_of(&prog)).expect("udfs compile");
+    assert_eq!(
+        resolutions(&prog, &udfs),
+        vec![Some("reduce_sum")],
+        "float-equality filter must not force a fallback"
+    );
+    let externs = std::collections::HashMap::new();
+    for (gname, graph) in test_graphs() {
+        let bits_of = |kernels_on: bool| {
+            let run = CpuGraphVm::with_threads(1)
+                .with_kernels(kernels_on)
+                .execute(compile_source(FLOAT_FILTER_SRC), &graph, &externs)
+                .unwrap_or_else(|e| panic!("float filter on {gname}: {e}"));
+            let acc: Vec<u64> = run
+                .property_floats("acc")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            acc
+        };
+        assert_eq!(
+            bits_of(true),
+            bits_of(false),
+            "{gname}: filtered kernel diverges from interpreter"
+        );
+    }
 }

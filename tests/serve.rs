@@ -1,0 +1,335 @@
+//! The `ugc-serve` daemon: batching correctness, admission behavior, and
+//! protocol round-trips over a live server.
+//!
+//! Three guarantees:
+//!
+//! 1. **Batching is invisible** — a multi-source traversal answers every
+//!    lane bit-identically to the per-request single-source runs, across
+//!    the graph menagerie, and a live server returns the same checksum for
+//!    a query whether it was coalesced into a batch or served alone.
+//! 2. **Batching saves work** — a coalesced pair scans measurably fewer
+//!    edges than two sequential runs of the same traversal.
+//! 3. **Concurrency is safe** — N client threads × M queries all receive
+//!    reference-equal answers, and the daemon shuts down cleanly.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ugc_algorithms::multi_source::{
+    bfs_levels_counted, ms_bfs_levels, ms_sssp_distances, sssp_distances_counted,
+};
+use ugc_integration::test_graphs;
+use ugc_serve::{Bind, ServeConfig, Server, ServerHandle};
+
+// ---------------------------------------------------------------------------
+// Guarantee 1a: the multi-source engine against per-request traversals.
+// ---------------------------------------------------------------------------
+
+/// Batched BFS levels and SSSP distances are bit-equal to the per-request
+/// single-source answers, lane by lane, across the whole menagerie.
+#[test]
+fn batched_traversals_bit_equal_per_request_across_menagerie() {
+    for (gname, graph) in test_graphs() {
+        let n = graph.num_vertices() as u32;
+        let sources: Vec<u32> = [0u32, 1, n / 2, n - 1]
+            .iter()
+            .copied()
+            .filter(|&s| s < n)
+            .collect();
+        let (batched_bfs, _) = ms_bfs_levels(&graph, &sources);
+        let (batched_sssp, _) = ms_sssp_distances(&graph, &sources);
+        for (lane, &src) in sources.iter().enumerate() {
+            let (single_bfs, _) = bfs_levels_counted(&graph, src);
+            assert_eq!(
+                batched_bfs[lane], single_bfs,
+                "{gname}: BFS lane for source {src} diverges from the single-source run"
+            );
+            let (single_sssp, _) = sssp_distances_counted(&graph, src);
+            assert_eq!(
+                batched_sssp[lane], single_sssp,
+                "{gname}: SSSP lane for source {src} diverges from the single-source run"
+            );
+        }
+    }
+}
+
+/// Guarantee 2: a coalesced pair traverses fewer edges than the two
+/// sequential runs it replaces — the whole point of MS-BFS batching.
+#[test]
+fn batched_pair_does_less_work_than_two_sequential_runs() {
+    for (gname, graph) in test_graphs() {
+        let n = graph.num_vertices() as u32;
+        let (a, b) = (0u32, n / 2);
+        let (_, batched) = ms_bfs_levels(&graph, &[a, b]);
+        let (_, first) = bfs_levels_counted(&graph, a);
+        let (_, second) = bfs_levels_counted(&graph, b);
+        assert!(
+            batched.edge_scans < first.edge_scans + second.edge_scans,
+            "{gname}: batched pair scanned {} edges, sequential pair {} + {}",
+            batched.edge_scans,
+            first.edge_scans,
+            second.edge_scans
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server helpers.
+// ---------------------------------------------------------------------------
+
+fn start_server(config: ServeConfig) -> (ServerHandle, std::net::SocketAddr) {
+    let handle = Server::start(config).expect("server starts");
+    let addr = match handle.addr() {
+        ugc_serve::ServeAddr::Tcp(a) => *a,
+        other => panic!("expected a TCP server, bound {other}"),
+    };
+    (handle, addr)
+}
+
+/// One request → one reply line over a fresh connection.
+fn roundtrip(addr: std::net::SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("reply");
+    reply.trim_end().to_string()
+}
+
+/// Extracts a `key=value` field from a reply line.
+fn field<'a>(reply: &'a str, key: &str) -> &'a str {
+    reply
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+        .unwrap_or_else(|| panic!("no `{key}=` field in reply: {reply}"))
+}
+
+// ---------------------------------------------------------------------------
+// Guarantee 1b: a live server answers coalesced queries identically to
+// sequential ones.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn coalesced_replies_match_sequential_replies() {
+    let (handle, addr) = start_server(ServeConfig {
+        bind: Bind::Tcp(0),
+        admit: 1,
+        batch_max: 8,
+        batch_window: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+
+    // Sequential reference pass: batch_window only lingers when a second
+    // batchable query is pending, so these resolve as singletons.
+    let sources = [0u32, 1, 2, 3];
+    let mut reference = HashMap::new();
+    for &s in &sources {
+        let reply = roundtrip(addr, &format!("query bfs RN source={s}"));
+        assert!(reply.starts_with("ok "), "reference query failed: {reply}");
+        reference.insert(s, field(&reply, "checksum").to_string());
+    }
+
+    // Concurrent pass: all four released together against a single worker,
+    // so late arrivals coalesce into the in-flight batch window.
+    let barrier = Arc::new(Barrier::new(sources.len()));
+    let replies: Vec<String> = sources
+        .iter()
+        .map(|&s| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                roundtrip(addr, &format!("query bfs RN source={s}"))
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    for reply in &replies {
+        assert!(reply.starts_with("ok "), "concurrent query failed: {reply}");
+        let s: u32 = field(reply, "source").parse().expect("source field");
+        assert_eq!(
+            field(reply, "checksum"),
+            reference[&s],
+            "source {s}: coalesced answer diverges from the sequential one"
+        );
+    }
+
+    let stats = roundtrip(addr, "stats");
+    assert!(stats.starts_with("ok stats"), "stats failed: {stats}");
+    let coalesced: u64 = field(&stats, "coalesced").parse().expect("coalesced");
+    assert!(
+        coalesced > 0,
+        "no queries were coalesced under a single worker: {stats}"
+    );
+
+    assert_eq!(roundtrip(addr, "shutdown"), "ok shutdown");
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Guarantee 3: concurrent-clients soak.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_soak_reference_equal() {
+    const CLIENTS: usize = 6;
+    const QUERIES: usize = 8;
+
+    let (handle, addr) = start_server(ServeConfig {
+        bind: Bind::Tcp(0),
+        admit: 2,
+        queue_cap: 64,
+        batch_max: 8,
+        batch_window: Duration::from_millis(2),
+        ..ServeConfig::default()
+    });
+
+    // The request mix: batchable traversals plus a supervised non-batchable
+    // algorithm, over two datasets so the cache serves more than one graph.
+    let requests = [
+        "query bfs RN source=0",
+        "query bfs RN source=5",
+        "query sssp RN source=0",
+        "query bfs PK source=1",
+        "query cc RN",
+    ];
+    let mut reference = HashMap::new();
+    for req in requests {
+        let reply = roundtrip(addr, req);
+        assert!(
+            reply.starts_with("ok "),
+            "reference `{req}` failed: {reply}"
+        );
+        reference.insert(req, field(&reply, "checksum").to_string());
+    }
+    let reference = Arc::new(reference);
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for q in 0..QUERIES {
+                    let req = requests[(c + q) % requests.len()];
+                    let reply = roundtrip(addr, req);
+                    assert!(
+                        reply.starts_with("ok "),
+                        "client {c} query {q} `{req}` failed: {reply}"
+                    );
+                    assert_eq!(
+                        field(&reply, "checksum"),
+                        reference[req],
+                        "client {c} query {q} `{req}`: answer diverges from reference"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("soak client");
+    }
+
+    let stats = roundtrip(addr, "stats");
+    let queries: u64 = field(&stats, "queries").parse().expect("queries");
+    let ok: u64 = field(&stats, "ok").parse().expect("ok");
+    let expected = (CLIENTS * QUERIES + requests.len()) as u64;
+    assert_eq!(queries, expected, "query count drifted: {stats}");
+    assert_eq!(ok, expected, "some queries failed silently: {stats}");
+    let errors: u64 = field(&stats, "errors").parse().expect("errors");
+    assert_eq!(errors, 0, "soak produced errors: {stats}");
+
+    assert_eq!(roundtrip(addr, "shutdown"), "ok shutdown");
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol edges over a live server.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_errors_and_domain_validation() {
+    let (handle, addr) = start_server(ServeConfig {
+        bind: Bind::Tcp(0),
+        ..ServeConfig::default()
+    });
+
+    // Unknown verb, unknown algorithm, unknown dataset, malformed arg.
+    for (req, kind) in [
+        ("frobnicate", "err protocol"),
+        ("query nosuchalgo RN", "err protocol"),
+        ("query bfs NOPE", "err protocol"),
+        ("query bfs RN source=banana", "err protocol"),
+        ("query bfs RN scale=cosmic", "err protocol"),
+    ] {
+        let reply = roundtrip(addr, req);
+        assert!(
+            reply.starts_with(kind),
+            "`{req}` must answer `{kind} …`, got: {reply}"
+        );
+    }
+
+    // A source beyond the dataset's vertex count is a permanent error, not
+    // a panic or a hang.
+    let reply = roundtrip(addr, "query bfs RN source=999999999");
+    assert!(
+        reply.starts_with("err permanent"),
+        "out-of-range source must be a permanent error, got: {reply}"
+    );
+
+    // Errors must not poison the next request on a fresh connection.
+    let reply = roundtrip(addr, "query bfs RN source=0");
+    assert!(
+        reply.starts_with("ok "),
+        "server wedged after errors: {reply}"
+    );
+
+    assert_eq!(roundtrip(addr, "shutdown"), "ok shutdown");
+    handle.join();
+}
+
+/// One connection can issue several requests; `stats` reflects them; the
+/// cache builds each dataset once.
+#[test]
+fn single_connection_pipelining_and_cache_reuse() {
+    let (handle, addr) = start_server(ServeConfig {
+        bind: Bind::Tcp(0),
+        ..ServeConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ask = |line: &str| -> String {
+        writeln!(stream, "{line}").expect("send");
+        stream.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    };
+
+    let first = ask("query bfs RN source=0");
+    let second = ask("query bfs RN source=0");
+    // Timing fields differ run to run; the answer itself must not.
+    assert_eq!(
+        field(&first, "checksum"),
+        field(&second, "checksum"),
+        "same query must answer identically: {first} vs {second}"
+    );
+    let third = ask("query sssp RN source=0");
+    assert!(third.starts_with("ok "), "sssp over same graph: {third}");
+
+    let stats = ask("stats");
+    let builds: u64 = field(&stats, "cache_builds").parse().expect("builds");
+    assert_eq!(builds, 1, "RN tiny must be built exactly once: {stats}");
+    let hits: u64 = field(&stats, "cache_hits").parse().expect("hits");
+    assert!(hits >= 2, "repeat queries must hit the cache: {stats}");
+
+    assert_eq!(ask("shutdown"), "ok shutdown");
+    handle.join();
+}
