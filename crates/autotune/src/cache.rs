@@ -4,6 +4,13 @@
 //! (target, algorithm, dataset fingerprint, scale) key. The workspace is
 //! hermetic, so the (de)serializer is hand-rolled for exactly the flat
 //! record shape below — it is not a general JSON parser.
+//!
+//! Schema version 2 adds the structural [`GraphShape`] (degree-histogram
+//! shares + density + weightedness) to every entry, which
+//! [`TuningCache::nearest`] uses to warm-start greedy descent on graphs
+//! the cache has never seen exactly. Version-1 lines lack the shape and
+//! are rejected as malformed (counted under `autotune.cache.malformed`),
+//! degrading to a re-tune — never silently reused with a missing shape.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -57,6 +64,60 @@ pub fn graph_fingerprint(g: &Graph) -> u64 {
     acc
 }
 
+/// A coarse structural description of a graph, used to find the *nearest*
+/// cached tuning problem when the exact [`graph_fingerprint`] misses.
+/// Unlike the fingerprint (which is content-exact by design), the shape
+/// only keeps what correlates with schedule choice: the log2
+/// out-degree-distribution profile, average degree, and weightedness.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphShape {
+    /// Per-mille share of vertices in each power-of-two out-degree bucket
+    /// (bucket 0 = degrees 0–1, bucket *i* = degrees in `[2^i, 2^(i+1))`),
+    /// trailing zero buckets trimmed. Normalizing by |V| makes same-family
+    /// graphs of different sizes near neighbours.
+    pub hist: Vec<u16>,
+    /// Average out-degree in thousandths (`1000 * |E| / |V|`).
+    pub avg_degree_millis: u64,
+    /// Whether the graph carries edge weights.
+    pub weighted: bool,
+}
+
+impl GraphShape {
+    /// Computes the shape of `g`.
+    pub fn of(g: &Graph) -> GraphShape {
+        let n = g.num_vertices().max(1);
+        let mut hist: Vec<u16> = ugc_graph::stats::degree_histogram(g)
+            .iter()
+            .map(|&count| ((count * 1000) / n) as u16)
+            .collect();
+        while hist.last() == Some(&0) {
+            hist.pop();
+        }
+        GraphShape {
+            hist,
+            avg_degree_millis: (g.num_edges() as u64 * 1000) / n as u64,
+            weighted: g.is_weighted(),
+        }
+    }
+
+    /// Structural distance to `other`: the L1 distance between the
+    /// (zero-padded) histogram profiles plus a relative average-degree
+    /// term. Weighted and unweighted graphs are never neighbours — their
+    /// winners tune different algorithms' ∆ axes.
+    pub fn distance(&self, other: &GraphShape) -> u64 {
+        if self.weighted != other.weighted {
+            return u64::MAX;
+        }
+        let buckets = self.hist.len().max(other.hist.len());
+        let at = |h: &[u16], i: usize| *h.get(i).unwrap_or(&0) as i64;
+        let l1: u64 = (0..buckets)
+            .map(|i| (at(&self.hist, i) - at(&other.hist, i)).unsigned_abs())
+            .sum();
+        let (a, b) = (self.avg_degree_millis, other.avg_degree_millis);
+        l1 + (a.abs_diff(b) * 1000) / (a + b).max(1)
+    }
+}
+
 /// Identifies one tuning problem instance.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -101,6 +162,9 @@ pub struct CacheEntry {
     /// empty for entries written before profiles existed or with
     /// telemetry disabled.
     pub profile: String,
+    /// Structural shape of the tuned graph, for nearest-neighbour
+    /// warm-start lookups.
+    pub shape: GraphShape,
 }
 
 impl CacheEntry {
@@ -111,11 +175,19 @@ impl CacheEntry {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let hist = self
+            .shape
+            .hist
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
-                "{{\"target\":\"{}\",\"algo\":\"{}\",\"fingerprint\":\"{:016x}\",",
+                "{{\"v\":2,\"target\":\"{}\",\"algo\":\"{}\",\"fingerprint\":\"{:016x}\",",
                 "\"scale\":\"{}\",\"winner\":\"{}\",\"point\":[{}],\"time_ms\":{},",
-                "\"cycles\":{},\"explored\":{},\"seed\":{},\"profile\":\"{}\"}}"
+                "\"cycles\":{},\"explored\":{},\"seed\":{},\"profile\":\"{}\",",
+                "\"fphist\":[{}],\"fpdeg\":{},\"fpw\":{}}}"
             ),
             escape(&self.key.target),
             escape(&self.key.algo),
@@ -128,10 +200,18 @@ impl CacheEntry {
             self.explored,
             self.seed,
             escape(&self.profile),
+            hist,
+            self.shape.avg_degree_millis,
+            u8::from(self.shape.weighted),
         )
     }
 
     fn from_json_line(line: &str) -> Option<CacheEntry> {
+        // Version gate: v1 lines carry no graph shape, so reusing them
+        // would silently disable warm-starts — reject instead.
+        if field_raw(line, "v")? != "2" {
+            return None;
+        }
         let target = field_str(line, "target")?;
         let algo = field_str(line, "algo")?;
         let fingerprint = u64::from_str_radix(&field_str(line, "fingerprint")?, 16).ok()?;
@@ -142,8 +222,17 @@ impl CacheEntry {
         let cycles = field_raw(line, "cycles")?.parse().ok()?;
         let explored = field_raw(line, "explored")?.parse().ok()?;
         let seed = field_raw(line, "seed")?.parse().ok()?;
-        // Absent in cache files written before profiles existed.
-        let profile = field_str(line, "profile").unwrap_or_default();
+        let profile = field_str(line, "profile")?;
+        let hist = field_usize_array(line, "fphist")?
+            .into_iter()
+            .map(|h| u16::try_from(h).ok())
+            .collect::<Option<Vec<u16>>>()?;
+        let avg_degree_millis = field_raw(line, "fpdeg")?.parse().ok()?;
+        let weighted = match field_raw(line, "fpw")? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
         Some(CacheEntry {
             key: CacheKey {
                 target,
@@ -158,6 +247,11 @@ impl CacheEntry {
             explored,
             seed,
             profile,
+            shape: GraphShape {
+                hist,
+                avg_degree_millis,
+                weighted,
+            },
         })
     }
 }
@@ -293,6 +387,26 @@ impl TuningCache {
         Ok(())
     }
 
+    /// The cached entry (same target and algorithm) whose graph shape is
+    /// structurally nearest to `shape` — the warm-start donor for a graph
+    /// the cache has never seen exactly. Entries at [`u64::MAX`] distance
+    /// (weightedness mismatch) never qualify. Ties break on the smaller
+    /// key string so the choice is deterministic across runs.
+    pub fn nearest(&self, target: &str, algo: &str, shape: &GraphShape) -> Option<&CacheEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.key.target == target && e.key.algo == algo)
+            .filter_map(|e| {
+                let d = shape.distance(&e.shape);
+                (d != u64::MAX).then_some((d, e))
+            })
+            .min_by(|(da, ea), (db, eb)| {
+                da.cmp(db)
+                    .then_with(|| ea.key.to_string().cmp(&eb.key.to_string()))
+            })
+            .map(|(_, e)| e)
+    }
+
     /// Number of distinct cached keys.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -328,6 +442,11 @@ mod tests {
             explored: 17,
             seed: 7,
             profile: "mem_stall 60% of 4096 cycles".to_string(),
+            shape: GraphShape {
+                hist: vec![120, 400, 300, 180],
+                avg_degree_millis: 3300,
+                weighted: false,
+            },
         }
     }
 
@@ -339,13 +458,41 @@ mod tests {
     }
 
     #[test]
-    fn pre_profile_cache_lines_still_parse() {
-        let mut e = entry("gpu", 9);
+    fn v1_lines_without_shape_are_rejected_as_malformed() {
+        // A v1 line is a v2 line without the version tag and shape
+        // fields. Reusing it would silently disable warm-starts, so the
+        // parser must reject it (the open path counts it as malformed).
+        let e = entry("gpu", 9);
         let line = e.to_json_line();
-        let legacy = line.replace(&format!(",\"profile\":\"{}\"", e.profile), "");
-        assert!(legacy.ends_with("\"seed\":7}"), "{legacy}");
-        e.profile = String::new();
-        assert_eq!(CacheEntry::from_json_line(&legacy), Some(e));
+        let v1 = line.replace("\"v\":2,", "").replace(
+            &format!(
+                ",\"fphist\":[120,400,300,180],\"fpdeg\":{},\"fpw\":0",
+                e.shape.avg_degree_millis
+            ),
+            "",
+        );
+        assert!(!v1.contains("\"v\":"), "{v1}");
+        assert!(!v1.contains("fphist"), "{v1}");
+        assert_eq!(CacheEntry::from_json_line(&v1), None);
+        // The current schema still parses, so the gate is version-driven.
+        assert_eq!(CacheEntry::from_json_line(&line), Some(e));
+    }
+
+    #[test]
+    fn v1_lines_in_a_file_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join("ugc-autotune-cache-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuning-cache-v1.jsonl");
+        let good = entry("hb", 4).to_json_line();
+        let v1 = good.replace("\"v\":2,", "");
+        fs::write(&path, format!("{v1}\n{good}\n")).unwrap();
+        let before = malformed_counter().get();
+        let cache = TuningCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        if ugc_telemetry::enabled() {
+            assert_eq!(malformed_counter().get() - before, 1);
+        }
+        let _ = fs::remove_file(&path);
     }
 
     #[test]
@@ -407,6 +554,79 @@ mod tests {
         if ugc_telemetry::enabled() {
             assert_eq!(malformed_counter().get() - before, 3);
         }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_normalizes_and_measures_distance() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let shape = GraphShape::of(&path);
+        // All four vertices have out-degree ≤ 1: one bucket, 1000‰.
+        assert_eq!(shape.hist, vec![1000]);
+        assert_eq!(shape.avg_degree_millis, 750);
+        assert!(!shape.weighted);
+        assert_eq!(shape.distance(&shape), 0);
+
+        // A same-family graph (twice the size, same structure) is much
+        // nearer than a dense clique.
+        let path2 = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let mut clique_edges = Vec::new();
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if u != v {
+                    clique_edges.push((u, v));
+                }
+            }
+        }
+        let clique = Graph::from_edges(8, &clique_edges);
+        assert!(shape.distance(&GraphShape::of(&path2)) < shape.distance(&GraphShape::of(&clique)));
+
+        // Weightedness is a hard wall.
+        let weighted = Graph::from_weighted_edges(4, &[(0, 1, 5), (1, 2, 9), (2, 3, 1)]);
+        assert_eq!(shape.distance(&GraphShape::of(&weighted)), u64::MAX);
+    }
+
+    #[test]
+    fn nearest_picks_the_structural_neighbour() {
+        let dir = std::env::temp_dir().join("ugc-autotune-cache-test");
+        let path = dir.join("tuning-cache-nearest.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut cache = TuningCache::open(&path).unwrap();
+
+        let mut sparse = entry("gpu", 1);
+        sparse.winner = "sparse_winner".to_string();
+        sparse.shape = GraphShape {
+            hist: vec![900, 100],
+            avg_degree_millis: 1500,
+            weighted: false,
+        };
+        let mut dense = entry("gpu", 2);
+        dense.key.scale = "small".to_string();
+        dense.winner = "dense_winner".to_string();
+        dense.shape = GraphShape {
+            hist: vec![50, 100, 250, 600],
+            avg_degree_millis: 9000,
+            weighted: false,
+        };
+        cache.put(sparse).unwrap();
+        cache.put(dense).unwrap();
+
+        let probe = GraphShape {
+            hist: vec![850, 150],
+            avg_degree_millis: 1800,
+            weighted: false,
+        };
+        let hit = cache.nearest("gpu", "BFS", &probe).unwrap();
+        assert_eq!(hit.winner, "sparse_winner");
+        // Wrong target or algorithm: no donor.
+        assert!(cache.nearest("cpu", "BFS", &probe).is_none());
+        assert!(cache.nearest("gpu", "PR", &probe).is_none());
+        // A weighted probe cannot borrow unweighted winners.
+        let weighted_probe = GraphShape {
+            weighted: true,
+            ..probe
+        };
+        assert!(cache.nearest("gpu", "BFS", &weighted_probe).is_none());
         let _ = fs::remove_file(&path);
     }
 

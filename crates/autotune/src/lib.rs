@@ -25,8 +25,11 @@
 pub mod cache;
 pub mod search;
 
-pub use cache::{graph_fingerprint, CacheEntry, CacheKey, TuningCache};
-pub use search::{tune, Ranked, Sample, Strategy, TuneError, TuneOutcome, Tuner};
+pub use cache::{graph_fingerprint, CacheEntry, CacheKey, GraphShape, TuningCache};
+pub use search::{
+    dominant_component, tune, tune_warm, AxisPrune, Ranked, Sample, Strategy, TuneError,
+    TuneOutcome, Tuner, DOMINANCE_THRESHOLD,
+};
 
 use ugc::{Algorithm, Compiler, Target};
 use ugc_backend_cpu::CpuScheduleSpace;
@@ -117,8 +120,10 @@ impl Tuned {
 }
 
 /// Tunes with an optional persistent cache: a hit returns the stored
-/// winner without invoking `eval` at all; a miss runs [`search::tune`]
-/// and stores the winner under `key`.
+/// winner without invoking `eval` at all; a miss runs [`search::tune_warm`]
+/// — warm-started from the cached winner of the nearest-[`GraphShape`]
+/// neighbour under the same (target, algorithm), when one exists — and
+/// stores the winner under `key` together with `shape`.
 ///
 /// # Errors
 ///
@@ -132,6 +137,7 @@ pub fn tune_cached<E>(
     tuner: &Tuner,
     mut cache: Option<&mut TuningCache>,
     key: &CacheKey,
+    shape: &GraphShape,
     eval: E,
 ) -> Result<Tuned, TuneError>
 where
@@ -158,7 +164,15 @@ where
         }
     }
 
-    let outcome = tune(space, params, pinned, tuner, eval)?;
+    // Exact key missed: borrow the nearest structural neighbour's winner
+    // as the warm-start point (greedy descent validates it).
+    let warm = cache.as_deref().and_then(|c| {
+        c.nearest(&key.target, &key.algo, shape)
+            .filter(|e| !e.point.is_empty())
+            .map(|e| e.point.clone())
+    });
+
+    let outcome = tune_warm(space, params, pinned, tuner, warm.as_deref(), eval)?;
     if let Some(cache) = cache.as_deref_mut() {
         let w = outcome.winner();
         cache
@@ -171,6 +185,7 @@ where
                 explored: outcome.explored,
                 seed: tuner.seed,
                 profile: w.sample.profile.clone(),
+                shape: shape.clone(),
             })
             .map_err(TuneError::Cache)?;
     }
@@ -261,8 +276,19 @@ mod tests {
             })
         };
 
+        let shape = GraphShape::of(&g);
         let mut cache = TuningCache::open(&path).unwrap();
-        let first = tune_cached(space, &p, &[], &tuner, Some(&mut cache), &key, fake_eval).unwrap();
+        let first = tune_cached(
+            space,
+            &p,
+            &[],
+            &tuner,
+            Some(&mut cache),
+            &key,
+            &shape,
+            fake_eval,
+        )
+        .unwrap();
         assert!(matches!(first, Tuned::Fresh(_)));
         let measured = evals.get();
         assert!(measured > 0);
@@ -270,14 +296,23 @@ mod tests {
         // Re-open (fresh process simulation) and tune again: cache hit,
         // zero evaluations.
         let mut cache = TuningCache::open(&path).unwrap();
-        let second = tune_cached(space, &p, &[], &tuner, Some(&mut cache), &key, |s| {
-            evals.set(evals.get() + 1);
-            Ok(Sample {
-                time_ms: 1.0 + s.representative().delta() as f64,
-                cycles: 1,
-                ..Sample::default()
-            })
-        })
+        let second = tune_cached(
+            space,
+            &p,
+            &[],
+            &tuner,
+            Some(&mut cache),
+            &key,
+            &shape,
+            |s| {
+                evals.set(evals.get() + 1);
+                Ok(Sample {
+                    time_ms: 1.0 + s.representative().delta() as f64,
+                    cycles: 1,
+                    ..Sample::default()
+                })
+            },
+        )
         .unwrap();
         assert_eq!(evals.get(), measured, "cache hit must not re-measure");
         match &second {

@@ -14,15 +14,56 @@
 //! Cost comes from a caller-supplied evaluator (the bench harness passes
 //! its `measure`: wall time on CPU, simulated cycles elsewhere). Evaluated
 //! points are memoized, so the budget counts *distinct* measurements.
+//!
+//! On top of the blind strategies sits the **cost model** (on by default,
+//! [`Tuner::cost_model`]): after each measured candidate, the incumbent's
+//! dominant attribution component (parsed from [`Sample::profile`]) is
+//! matched against the backend's declared
+//! [`PruneRule`](ugc_schedule::space::PruneRule) table, and coordinate
+//! sweeps along axes that cannot move that component are skipped. Every
+//! skip is recorded as an [`AxisPrune`] — the measured budget saved and
+//! the component that justified it — so `repro tune --explain` can print
+//! a balanced budget report. [`tune_warm`] additionally accepts a
+//! warm-start point (the cached winner of the nearest-fingerprint graph)
+//! that replaces the first random restart.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use ugc_graph::prng::Prng;
 use ugc_schedule::space::{
     cardinality, point_label, Dimension, PointIter, ScheduleSpace, SpaceParams,
 };
 use ugc_schedule::ScheduleRef;
+use ugc_telemetry::Counter;
+
+/// A component must hold at least this share of the attribution total
+/// before the cost model treats it as dominant and prunes on it.
+pub const DOMINANCE_THRESHOLD: u32 = 50;
+
+/// Counts coordinate-axis sweeps skipped by the cost model.
+fn prune_axes_counter() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| Counter::new("autotune.prune.axes"))
+}
+
+/// Counts candidate measurements the cost model avoided.
+fn prune_saved_counter() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| Counter::new("autotune.prune.saved"))
+}
+
+/// Parses the dominant attribution component out of a profile summary
+/// line (`"mem_stall 70% + compute 25% of 4096 cycles"`), returning the
+/// component name and its percentage share. `None` when the profile is
+/// empty (telemetry off) or not in summary form.
+pub fn dominant_component(profile: &str) -> Option<(&str, u32)> {
+    let mut words = profile.split_whitespace();
+    let comp = words.next()?;
+    let share = words.next()?.strip_suffix('%')?.parse().ok()?;
+    Some((comp, share))
+}
 
 /// Cost of one measured candidate: the target-appropriate time plus the
 /// simulator counters recorded for explainability.
@@ -52,6 +93,23 @@ pub struct Ranked {
     pub sample: Sample,
 }
 
+/// One cost-model pruning decision, aggregated per (axis, component):
+/// which axis was skipped, which dominant component justified it, and how
+/// many candidate measurements the skip saved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisPrune {
+    /// The pruned dimension's name.
+    pub axis: &'static str,
+    /// The dominant attribution component that triggered the rule.
+    pub component: String,
+    /// The component's share (%) when the rule first fired.
+    pub share: u32,
+    /// The backend's declared justification.
+    pub reason: &'static str,
+    /// Unmeasured candidate points the skipped sweeps would have visited.
+    pub saved: usize,
+}
+
 /// The result of a tuning run: every measured candidate, best first.
 #[derive(Debug, Clone)]
 pub struct TuneOutcome {
@@ -64,6 +122,10 @@ pub struct TuneOutcome {
     pub cardinality: u64,
     /// Which strategy ran: `"exhaustive"` or `"greedy"`.
     pub strategy: &'static str,
+    /// Cost-model pruning decisions (empty for blind/exhaustive runs).
+    pub pruned: Vec<AxisPrune>,
+    /// The warm-start point's label when one seeded the first restart.
+    pub warm_start: Option<String>,
 }
 
 impl TuneOutcome {
@@ -79,6 +141,11 @@ impl TuneOutcome {
     /// The ranked entry with the given name, if it was measured.
     pub fn find(&self, name: &str) -> Option<&Ranked> {
         self.ranked.iter().find(|r| r.name == name)
+    }
+
+    /// Total candidate measurements the cost model avoided.
+    pub fn saved(&self) -> usize {
+        self.pruned.iter().map(|p| p.saved).sum()
     }
 }
 
@@ -105,6 +172,11 @@ pub struct Tuner {
     pub strategy: Strategy,
     /// Random restarts for greedy descent.
     pub restarts: usize,
+    /// Attribution-guided pruning: skip coordinate sweeps the backend's
+    /// [`PruneRule`] table says cannot move the incumbent's dominant
+    /// component. Only affects greedy descent; inert when profiles are
+    /// empty (telemetry off) or the backend declares no rules.
+    pub cost_model: bool,
 }
 
 impl Default for Tuner {
@@ -114,6 +186,7 @@ impl Default for Tuner {
             budget: 64,
             strategy: Strategy::Auto,
             restarts: 3,
+            cost_model: true,
         }
     }
 }
@@ -213,6 +286,52 @@ where
             }
         }
     }
+
+    /// The incumbent point's dominant attribution component, if its
+    /// measured profile shows one above [`DOMINANCE_THRESHOLD`].
+    fn dominant_of(&self, pt: &[usize]) -> Option<(String, u32)> {
+        let idx = (*self.memo.get(pt)?)?;
+        let (comp, share) = dominant_component(&self.ranked[idx].sample.profile)?;
+        (share >= DOMINANCE_THRESHOLD).then(|| (comp.to_string(), share))
+    }
+
+    /// How many unmeasured candidates a sweep of dimension `d` from `pt`
+    /// would visit — the honest budget saved by skipping it.
+    fn sweep_cost(&self, pt: &[usize], d: usize) -> usize {
+        (0..self.dims[d].levels.len())
+            .filter(|&level| level != pt[d])
+            .filter(|&level| {
+                let mut cand = pt.to_vec();
+                cand[d] = level;
+                !self.memo.contains_key(&cand)
+            })
+            .count()
+    }
+}
+
+/// Aggregates one skip into the per-(axis, component) prune records.
+fn record_prune(
+    prunes: &mut Vec<AxisPrune>,
+    axis: &'static str,
+    component: &str,
+    share: u32,
+    reason: &'static str,
+    saved: usize,
+) {
+    if let Some(p) = prunes
+        .iter_mut()
+        .find(|p| p.axis == axis && p.component == component)
+    {
+        p.saved += saved;
+    } else {
+        prunes.push(AxisPrune {
+            axis,
+            component: component.to_string(),
+            share,
+            reason,
+            saved,
+        });
+    }
 }
 
 /// Searches `space` for the fastest schedule under `eval`, additionally
@@ -229,6 +348,31 @@ pub fn tune<E>(
     params: &SpaceParams,
     pinned: &[(String, ScheduleRef)],
     tuner: &Tuner,
+    eval: E,
+) -> Result<TuneOutcome, TuneError>
+where
+    E: FnMut(&ScheduleRef) -> Result<Sample, String>,
+{
+    tune_warm(space, params, pinned, tuner, None, eval)
+}
+
+/// [`tune`] with an optional warm-start point: when `warm` names a valid
+/// point of the space, it replaces the first random restart of greedy
+/// descent, so a search seeded from a near-optimal cached winner (the
+/// nearest-fingerprint graph's schedule) converges in far fewer
+/// measurements than a cold one. An invalid or stale point (wrong shape
+/// for the current space, alias, failed evaluation) falls back to the
+/// normal random start — never an error.
+///
+/// # Errors
+///
+/// Same as [`tune`].
+pub fn tune_warm<E>(
+    space: &dyn ScheduleSpace,
+    params: &SpaceParams,
+    pinned: &[(String, ScheduleRef)],
+    tuner: &Tuner,
+    warm: Option<&[usize]>,
     mut eval: E,
 ) -> Result<TuneOutcome, TuneError>
 where
@@ -268,6 +412,11 @@ where
         Strategy::Auto => card as usize <= st.budget,
     };
 
+    let rules = space.prune_rules();
+    let use_cost_model = tuner.cost_model && !rules.is_empty();
+    let mut prunes: Vec<AxisPrune> = Vec::new();
+    let mut warm_used: Option<String> = None;
+
     if exhaustive {
         for pt in PointIter::new(&dims) {
             if st.exhausted() {
@@ -277,20 +426,36 @@ where
         }
     } else if !dims.is_empty() {
         let mut rng = Prng::new(tuner.seed);
-        'restarts: for _ in 0..tuner.restarts.max(1) {
-            // A random valid starting point.
+        'restarts: for restart in 0..tuner.restarts.max(1) {
+            // A starting point: the warm-start candidate replaces the
+            // first restart's random draw when it is a valid point of
+            // this space and evaluates.
             let mut current: Option<(Vec<usize>, f64)> = None;
-            for _ in 0..64 {
-                let pt: Vec<usize> = dims
-                    .iter()
-                    .map(|d| rng.gen_range(0..d.levels.len()))
-                    .collect();
-                if let Some(t) = st.eval_point(&pt) {
-                    current = Some((pt, t));
-                    break;
+            if restart == 0 {
+                if let Some(w) = warm {
+                    let shape_ok = w.len() == dims.len()
+                        && w.iter().zip(&dims).all(|(&l, d)| l < d.levels.len());
+                    if shape_ok {
+                        if let Some(t) = st.eval_point(w) {
+                            warm_used = Some(point_label(&dims, w));
+                            current = Some((w.to_vec(), t));
+                        }
+                    }
                 }
-                if st.exhausted() {
-                    break 'restarts;
+            }
+            if current.is_none() {
+                for _ in 0..64 {
+                    let pt: Vec<usize> = dims
+                        .iter()
+                        .map(|d| rng.gen_range(0..d.levels.len()))
+                        .collect();
+                    if let Some(t) = st.eval_point(&pt) {
+                        current = Some((pt, t));
+                        break;
+                    }
+                    if st.exhausted() {
+                        break 'restarts;
+                    }
                 }
             }
             let Some((mut pt, mut best)) = current else {
@@ -300,6 +465,29 @@ where
             loop {
                 let mut improved = false;
                 for d in 0..dims.len() {
+                    // Cost model: when the incumbent's dominant
+                    // attribution component cannot be moved by this
+                    // axis (per the backend's table), skip the sweep
+                    // and record the measurements it would have cost.
+                    if use_cost_model {
+                        if let Some((comp, share)) = st.dominant_of(&pt) {
+                            if let Some(rule) = rules
+                                .iter()
+                                .find(|r| r.component == comp && r.axis == dims[d].name)
+                            {
+                                let saved = st.sweep_cost(&pt, d);
+                                record_prune(
+                                    &mut prunes,
+                                    rule.axis,
+                                    &comp,
+                                    share,
+                                    rule.reason,
+                                    saved,
+                                );
+                                continue;
+                            }
+                        }
+                    }
                     let original = pt[d];
                     for level in 0..dims[d].levels.len() {
                         if level == original {
@@ -367,18 +555,26 @@ where
             .then_with(|| a.name.cmp(&b.name))
     });
 
+    if !prunes.is_empty() {
+        prune_axes_counter().add(prunes.len() as u64);
+        let saved: usize = prunes.iter().map(|p| p.saved).sum();
+        prune_saved_counter().add(saved as u64);
+    }
+
     Ok(TuneOutcome {
         ranked,
         explored,
         cardinality: card,
         strategy: if exhaustive { "exhaustive" } else { "greedy" },
+        pruned: prunes,
+        warm_start: warm_used,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ugc_schedule::space::Dimension;
+    use ugc_schedule::space::{Dimension, PruneRule};
     use ugc_schedule::DefaultSchedule;
 
     /// A synthetic 3×4×5 space whose cost is a separable function of the
@@ -472,6 +668,7 @@ mod tests {
             seed: 99,
             strategy: Strategy::GreedyDescent,
             restarts: 2,
+            cost_model: true,
         };
         let (a, b) = (run(&t), run(&t));
         assert_eq!(a.explored, b.explored);
@@ -488,6 +685,7 @@ mod tests {
             strategy: Strategy::GreedyDescent,
             restarts: 5,
             seed: 5,
+            cost_model: true,
         });
         assert!(out.explored <= 7, "explored {}", out.explored);
         // Every ranked space point is distinct (memoization worked).
@@ -608,6 +806,169 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn dominant_component_parses_summary_lines() {
+        assert_eq!(
+            dominant_component("mem_stall 70% + compute 25% of 4096 cycles"),
+            Some(("mem_stall", 70))
+        );
+        assert_eq!(
+            dominant_component("commit 100% of 10 cycles"),
+            Some(("commit", 100))
+        );
+        assert_eq!(dominant_component(""), None);
+        assert_eq!(dominant_component("no samples"), None);
+    }
+
+    /// The synthetic space with a declared prune table: the `b` axis is
+    /// declared unable to move the `stalled` component.
+    #[derive(Debug)]
+    struct SyntheticPruned;
+
+    impl ScheduleSpace for SyntheticPruned {
+        fn target_name(&self) -> &'static str {
+            "synthetic_pruned"
+        }
+        fn dimensions(&self, p: &SpaceParams) -> Vec<Dimension> {
+            Synthetic.dimensions(p)
+        }
+        fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef> {
+            Synthetic.materialize(p, point)
+        }
+        fn prune_rules(&self) -> &'static [PruneRule] {
+            &[PruneRule {
+                component: "stalled",
+                axis: "b",
+                reason: "b cannot move stalls",
+            }]
+        }
+    }
+
+    fn run_pruned(tuner: &Tuner) -> TuneOutcome {
+        tune(&SyntheticPruned, &params(), &[], tuner, |s| {
+            Ok(Sample {
+                time_ms: cost_of(s),
+                cycles: 100,
+                profile: "stalled 90% + other 10% of 100 cycles".to_string(),
+            })
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_model_prunes_declared_axes_and_accounts_budget() {
+        let t = Tuner {
+            budget: 40,
+            seed: 7,
+            strategy: Strategy::GreedyDescent,
+            restarts: 2,
+            cost_model: true,
+        };
+        let guided = run_pruned(&t);
+        assert!(
+            !guided.pruned.is_empty(),
+            "a fully-stalled profile must trigger the declared b-axis rule"
+        );
+        for p in &guided.pruned {
+            assert_eq!(p.axis, "b");
+            assert_eq!(p.component, "stalled");
+            assert_eq!(p.share, 90);
+            assert!(p.saved > 0, "aggregated prune must have saved measurements");
+        }
+        let blind = run_pruned(&Tuner {
+            cost_model: false,
+            ..t
+        });
+        assert!(blind.pruned.is_empty(), "blind search records no prunes");
+        assert!(
+            guided.explored < blind.explored,
+            "pruning must spend less budget ({} vs {})",
+            guided.explored,
+            blind.explored
+        );
+    }
+
+    #[test]
+    fn cost_model_is_inert_without_profiles() {
+        // Same space and rules, but the evaluator reports no profile
+        // (telemetry off): nothing may be pruned.
+        let out = tune(
+            &SyntheticPruned,
+            &params(),
+            &[],
+            &Tuner {
+                budget: 40,
+                seed: 7,
+                strategy: Strategy::GreedyDescent,
+                restarts: 2,
+                cost_model: true,
+            },
+            |s| {
+                Ok(Sample {
+                    time_ms: cost_of(s),
+                    cycles: 0,
+                    ..Sample::default()
+                })
+            },
+        )
+        .unwrap();
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.winner().point, Some(vec![2, 0, 4]));
+    }
+
+    #[test]
+    fn warm_start_seeds_first_restart() {
+        let t = Tuner {
+            budget: 30,
+            seed: 3,
+            strategy: Strategy::GreedyDescent,
+            restarts: 1,
+            cost_model: true,
+        };
+        let eval = |s: &ScheduleRef| {
+            Ok(Sample {
+                time_ms: cost_of(s),
+                cycles: 0,
+                ..Sample::default()
+            })
+        };
+        // Warm-start one step from the optimum: descent converges in a
+        // single sweep instead of climbing from a random point.
+        let warm = tune_warm(&Synthetic, &params(), &[], &t, Some(&[2, 1, 4]), eval).unwrap();
+        assert_eq!(warm.warm_start.as_deref(), Some("a=a2,b=b1,c=c4"));
+        assert_eq!(warm.winner().point, Some(vec![2, 0, 4]));
+        let cold = tune_warm(&Synthetic, &params(), &[], &t, None, eval).unwrap();
+        assert!(cold.warm_start.is_none());
+        assert!(
+            warm.explored < cold.explored,
+            "warm start must converge in fewer measurements ({} vs {})",
+            warm.explored,
+            cold.explored
+        );
+    }
+
+    #[test]
+    fn invalid_warm_point_falls_back_to_random_start() {
+        let t = Tuner {
+            budget: 30,
+            seed: 3,
+            strategy: Strategy::GreedyDescent,
+            restarts: 1,
+            cost_model: true,
+        };
+        let eval = |s: &ScheduleRef| {
+            Ok(Sample {
+                time_ms: cost_of(s),
+                cycles: 0,
+                ..Sample::default()
+            })
+        };
+        // Wrong shape (stale cache from an older space layout).
+        let out = tune_warm(&Synthetic, &params(), &[], &t, Some(&[9, 9]), eval).unwrap();
+        assert!(out.warm_start.is_none());
+        assert_eq!(out.winner().point, Some(vec![2, 0, 4]));
     }
 
     #[test]

@@ -432,6 +432,10 @@ enum EqCmp {
     /// `Eq`: a NaN literal matches nothing, and `-0.0 == 0.0` admits both
     /// zero encodings (see DESIGN.md, "Float equality and NaN policy").
     Float(f64),
+    /// IEEE-754 `==` on an int/vertex cell widened to float, matching the
+    /// interpreter's mixed-type `Eq` (`as_float` widens the int side). A
+    /// NaN literal matches nothing here too.
+    IntWiden(f64),
 }
 
 /// `prop[v] == const`, with the comparison mode fixed at recognition time
@@ -449,6 +453,7 @@ impl KFilter for EqConst {
         match self.cmp {
             EqCmp::Bits(bits) => cell == bits,
             EqCmp::Float(c) => f64::from_bits(cell) == c,
+            EqCmp::IntWiden(c) => (cell as i64) as f64 == c,
         }
     }
 }
@@ -565,9 +570,10 @@ fn is_dst(s: &Sym) -> bool {
 
 /// Recognizes a `prop[v] == const` filter whose comparison coincides with
 /// the interpreter's `Eq`: bit equality for int/bool/vertex cells with a
-/// matching literal, IEEE `==` for float cells (int literals widen, exactly
-/// like `as_float`). An int cell against a float literal stays on the
-/// fallback: the kernel cannot widen the cell without decoding it.
+/// matching literal, IEEE `==` for float cells (int literals widen,
+/// exactly like `as_float`), and IEEE `==` with the cell widened for an
+/// int/vertex cell against a float literal (the interpreter's mixed-type
+/// promotion). Only bool cells against non-bool literals fall back.
 fn recognize_filter(u: &UdfProgram, props: &PropertyStorage) -> Option<EqConst> {
     if u.num_params != 1 {
         return None;
@@ -590,6 +596,7 @@ fn recognize_filter(u: &UdfProgram, props: &PropertyStorage) -> Option<EqConst> 
         (Type::Bool, Value::Bool(_)) => EqCmp::Bits(props.bits_of(prop, lit)),
         (Type::Bool, _) => return None,
         (_, Value::Int(_)) => EqCmp::Bits(props.bits_of(prop, lit)),
+        (_, Value::Float(c)) => EqCmp::IntWiden(c),
         _ => return None,
     };
     Some(EqConst { prop, cmp })
@@ -1026,8 +1033,9 @@ mod tests {
         );
     }
 
-    #[test]
-    fn int_cell_against_float_literal_falls_back() {
+    /// A program with an int property `x`, a Reduce-Sum `upd`, and a
+    /// `mixedFilter` comparing `x[v]` against the given float literal.
+    fn mixed_filter_program(literal: f64) -> Program {
         let mut p = Program::new();
         p.add_property("x", Type::Int, Expr::int(0));
         let mut f = Function::new(
@@ -1054,21 +1062,87 @@ mod tests {
         );
         filt.body.push(Stmt::new(StmtKind::Assign {
             target: LValue::Var("output".into()),
-            value: Expr::bin(BinOp::Eq, Expr::prop("x", Expr::var("v")), Expr::float(0.0)),
+            value: Expr::bin(
+                BinOp::Eq,
+                Expr::prop("x", Expr::var("v")),
+                Expr::float(literal),
+            ),
         }));
         p.add_function(filt);
+        p
+    }
+
+    #[test]
+    fn int_cell_against_float_literal_specializes_and_matches_interpreter() {
+        let p = mixed_filter_program(1.0);
         let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
-        let props = props_of(&p, 2);
-        // The interpreter widens the int cell to float; the bit kernel
-        // cannot, so this shape stays on the fallback.
-        assert!(recognize(
+        let props = props_of(&p, 5);
+        let x = props.id_of("x").unwrap();
+        let k = recognize(
             &udfs,
             &props,
             udfs.id_of("upd").unwrap(),
             None,
             Some(udfs.id_of("mixedFilter").unwrap()),
         )
-        .is_none());
+        .expect("int cell vs float literal must widen like the interpreter");
+        assert_eq!(k.name(), "reduce_sum");
+
+        // Differential oracle: drive the kernel over int cells
+        // {1, 0, -1, 7} and check each dst's pass/fail against the
+        // interpreter's own mixed-type Eq on the same operands.
+        let cells = [(1u32, 1i64), (2, 0), (3, -1), (4, 7)];
+        props.write(x, 0, Value::Int(10));
+        for &(v, c) in &cells {
+            props.write(x, v, Value::Int(c));
+        }
+        let graph = ugc_graph::Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0], 0..1, &mut out);
+        for &(v, c) in &cells {
+            let reference = Value::bin(BinOp::Eq, Value::Int(c), Value::Float(1.0)).as_bool();
+            let kernel_passed = props.read(x, v) != Value::Int(c);
+            assert_eq!(
+                kernel_passed, reference,
+                "int cell {c} vs float literal 1.0 must match the interpreter's Eq"
+            );
+        }
+        // Only x[1] == 1 widens to 1.0 and passes the dst filter.
+        assert_eq!(props.read(x, 1), Value::Int(11));
+        assert_eq!(props.read(x, 2), Value::Int(0));
+        assert_eq!(props.read(x, 3), Value::Int(-1));
+        assert_eq!(props.read(x, 4), Value::Int(7));
+    }
+
+    #[test]
+    fn nan_float_literal_never_matches_int_cells() {
+        let p = mixed_filter_program(f64::NAN);
+        let udfs = compile_udfs(&p, &binding_of(&p)).unwrap();
+        let props = props_of(&p, 3);
+        let x = props.id_of("x").unwrap();
+        props.write(x, 0, Value::Int(5));
+        let k = recognize(
+            &udfs,
+            &props,
+            udfs.id_of("upd").unwrap(),
+            None,
+            Some(udfs.id_of("mixedFilter").unwrap()),
+        )
+        .unwrap();
+        let graph = ugc_graph::Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let io = Io {
+            props: &props,
+            csr: graph.out_csr(),
+        };
+        let mut out = BufferedOutput::default();
+        k.run_push(&io, &[0], 0..1, &mut out);
+        // `x[v] == NaN` is false for every widened int, as in `Value::bin`.
+        assert_eq!(props.read(x, 1), Value::Int(0));
+        assert_eq!(props.read(x, 2), Value::Int(0));
     }
 
     fn prio_sum_program() -> Program {

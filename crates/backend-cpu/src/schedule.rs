@@ -2,7 +2,9 @@
 
 use std::any::Any;
 
-use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::space::{
+    delta_dimension, delta_value, Dimension, PruneRule, ScheduleSpace, SpaceParams,
+};
 use ugc_schedule::{
     Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
 };
@@ -161,6 +163,33 @@ impl SimpleSchedule for CpuSchedule {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CpuScheduleSpace;
 
+/// Cost-model pruning table, keyed by the CPU attribution components
+/// (`edge_push` / `edge_pull` / `vertex_apply` / `other`). Each row names
+/// an axis that cannot move its dominant component, so guided search may
+/// skip its sweep.
+pub const CPU_PRUNE_RULES: &[PruneRule] = &[
+    PruneRule {
+        component: "vertex_apply",
+        axis: "dir",
+        reason: "direction reorders edge traversal; per-vertex apply work is direction-blind",
+    },
+    PruneRule {
+        component: "vertex_apply",
+        axis: "dedup",
+        reason: "dedup filters duplicate frontier pushes; apply-bound time has none to filter",
+    },
+    PruneRule {
+        component: "vertex_apply",
+        axis: "blocking",
+        reason: "cache blocking tiles edge access; apply-bound loops touch no edges",
+    },
+    PruneRule {
+        component: "edge_pull",
+        axis: "dedup",
+        reason: "dedup suppresses duplicate push-side enqueues; pull traversal reads instead",
+    },
+];
+
 impl ScheduleSpace for CpuScheduleSpace {
     fn target_name(&self) -> &'static str {
         "cpu"
@@ -208,6 +237,10 @@ impl ScheduleSpace for CpuScheduleSpace {
             s = s.with_delta(delta_value(point[5]));
         }
         Some(ScheduleRef::simple(s))
+    }
+
+    fn prune_rules(&self) -> &'static [PruneRule] {
+        CPU_PRUNE_RULES
     }
 }
 

@@ -3,7 +3,9 @@
 
 use std::any::Any;
 
-use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::space::{
+    delta_dimension, delta_value, Dimension, PruneRule, ScheduleSpace, SpaceParams,
+};
 use ugc_schedule::{
     Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
 };
@@ -219,6 +221,31 @@ const LB_LEVELS: [(&str, LoadBalance); 6] = [
     ("etwc", LoadBalance::Etwc),
 ];
 
+/// Cost-model pruning table, keyed by the GPU attribution components
+/// (`compute` / `divergence` / `mem_stall` / `launch` / `host`).
+pub const GPU_PRUNE_RULES: &[PruneRule] = &[
+    PruneRule {
+        component: "launch",
+        axis: "eb",
+        reason: "edge blocking tiles DRAM traffic; launch overhead needs kernel fusion instead",
+    },
+    PruneRule {
+        component: "compute",
+        axis: "eb",
+        reason: "edge blocking targets memory locality; compute-bound kernels gain nothing from tiling",
+    },
+    PruneRule {
+        component: "mem_stall",
+        axis: "fusion",
+        reason: "fusion removes kernel launches; DRAM stalls persist across fused kernels",
+    },
+    PruneRule {
+        component: "divergence",
+        axis: "frontier",
+        reason: "frontier representation changes allocation traffic, not warp divergence; rebalance with lb",
+    },
+];
+
 impl ScheduleSpace for GpuScheduleSpace {
     fn target_name(&self) -> &'static str {
         "gpu"
@@ -277,6 +304,10 @@ impl ScheduleSpace for GpuScheduleSpace {
             s = s.with_delta(delta_value(point[6]));
         }
         Some(ScheduleRef::simple(s))
+    }
+
+    fn prune_rules(&self) -> &'static [PruneRule] {
+        GPU_PRUNE_RULES
     }
 }
 

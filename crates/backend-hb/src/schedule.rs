@@ -3,7 +3,9 @@
 
 use std::any::Any;
 
-use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::space::{
+    delta_dimension, delta_value, Dimension, PruneRule, ScheduleSpace, SpaceParams,
+};
 use ugc_schedule::{
     Parallelization, PullFrontierRepr, SchedDirection, ScheduleRef, SimpleSchedule,
 };
@@ -155,6 +157,29 @@ impl SimpleSchedule for HbSchedule {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HbScheduleSpace;
 
+/// Cost-model pruning table, keyed by the HammerBlade attribution
+/// components (`compute` / `llc_access` / `dram_stall` / `bank` /
+/// `barrier` / `host`). Blocked scratchpad access exists to tile DRAM
+/// traffic, so compute- or barrier-bound runs cannot be helped by it.
+pub const HB_PRUNE_RULES: &[PruneRule] = &[
+    PruneRule {
+        component: "compute",
+        axis: "blocked",
+        reason:
+            "scratchpad blocking tiles DRAM traffic; compute-bound kernels are not memory limited",
+    },
+    PruneRule {
+        component: "compute",
+        axis: "bsize",
+        reason: "block size shapes memory tiling; compute-bound kernels are not memory limited",
+    },
+    PruneRule {
+        component: "barrier",
+        axis: "bsize",
+        reason: "block size shapes memory tiling, not the barrier count between traversal phases",
+    },
+];
+
 impl ScheduleSpace for HbScheduleSpace {
     fn target_name(&self) -> &'static str {
         "hb"
@@ -209,6 +234,10 @@ impl ScheduleSpace for HbScheduleSpace {
             s = s.with_delta(delta_value(point[4]));
         }
         Some(ScheduleRef::simple(s))
+    }
+
+    fn prune_rules(&self) -> &'static [PruneRule] {
+        HB_PRUNE_RULES
     }
 }
 

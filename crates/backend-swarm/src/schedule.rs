@@ -3,7 +3,9 @@
 
 use std::any::Any;
 
-use ugc_schedule::space::{delta_dimension, delta_value, Dimension, ScheduleSpace, SpaceParams};
+use ugc_schedule::space::{
+    delta_dimension, delta_value, Dimension, PruneRule, ScheduleSpace, SpaceParams,
+};
 use ugc_schedule::{Parallelization, SchedDirection, ScheduleRef, SimpleSchedule};
 
 /// Task granularity for edge processing.
@@ -172,6 +174,34 @@ impl SimpleSchedule for SwarmSchedule {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SwarmScheduleSpace;
 
+/// Cost-model pruning table, keyed by the Swarm attribution components
+/// (`commit` / `abort` / `idle_no_task` / `idle_cq_full` / `spill` /
+/// `host`). Hints and privatization exist to cut conflict aborts, so a
+/// run dominated by useful commits or task starvation cannot be helped by
+/// sweeping them.
+pub const SWARM_PRUNE_RULES: &[PruneRule] = &[
+    PruneRule {
+        component: "commit",
+        axis: "hints",
+        reason: "spatial hints steer conflicting tasks apart; commit-bound runs have no conflicts to avoid",
+    },
+    PruneRule {
+        component: "commit",
+        axis: "privatize",
+        reason: "privatization splits shared counters to cut aborts; commit-dominated runs abort rarely",
+    },
+    PruneRule {
+        component: "idle_no_task",
+        axis: "privatize",
+        reason: "starved cores need more tasks (frontiers/gran), not fewer conflicts",
+    },
+    PruneRule {
+        component: "idle_no_task",
+        axis: "hints",
+        reason: "hints serialize same-vertex tasks; starvation needs more parallelism, not less",
+    },
+];
+
 impl ScheduleSpace for SwarmScheduleSpace {
     fn target_name(&self) -> &'static str {
         "swarm"
@@ -205,6 +235,10 @@ impl ScheduleSpace for SwarmScheduleSpace {
             s = s.with_delta(delta_value(point[4]));
         }
         Some(ScheduleRef::simple(s))
+    }
+
+    fn prune_rules(&self) -> &'static [PruneRule] {
+        SWARM_PRUNE_RULES
     }
 }
 

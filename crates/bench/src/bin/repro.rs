@@ -29,7 +29,7 @@ use ugc_sim_swarm::SwarmConfig;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
                      <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|all> \
-                     | tune <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
+                     | tune [--explain] <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
                      | --profile <cpu|gpu|swarm|hb|all|serve> \
                      | serve [--port N | --socket PATH] [--admit N] [--queue N] [--batch-max N] \
                      [--batch-window-ms N] \
@@ -71,6 +71,7 @@ fn main() {
     let mut scale = Scale::Tiny;
     let mut tuner = Tuner::default();
     let mut use_cache = true;
+    let mut explain = false;
     let mut profile_targets: Option<Vec<Target>> = None;
     let mut profile_serve_flag = false;
     let mut what = Vec::new();
@@ -100,6 +101,10 @@ fn main() {
             }
             "--no-cache" => {
                 use_cache = false;
+                i += 1;
+            }
+            "--explain" => {
+                explain = true;
                 i += 1;
             }
             "--profile" => {
@@ -134,6 +139,9 @@ fn main() {
     if what.is_empty() {
         what.push("all".to_string());
     }
+    if explain && !what.iter().any(|w| w == "tune") {
+        usage_error("--explain only applies to `tune`");
+    }
     let mut w = 0;
     while w < what.len() {
         match what[w].as_str() {
@@ -157,7 +165,7 @@ fn main() {
                 let target = parse_target(&what[w + 1]).unwrap_or_else(|e| usage_error(&e));
                 let algo = parse_algo(&what[w + 2]).unwrap_or_else(|e| usage_error(&e));
                 let dataset = parse_dataset(&what[w + 3]).unwrap_or_else(|e| usage_error(&e));
-                tune(target, algo, dataset, scale, &tuner, use_cache);
+                tune(target, algo, dataset, scale, &tuner, use_cache, explain);
                 w += 3;
             }
             "all" => {
@@ -458,6 +466,7 @@ fn tune(
     scale: Scale,
     tuner: &Tuner,
     use_cache: bool,
+    explain: bool,
 ) {
     banner(&format!(
         "Autotune: {} / {} / {} (scale {}, seed {}, budget {})",
@@ -486,6 +495,9 @@ fn tune(
             );
             if !entry.profile.is_empty() {
                 println!("winner profile: {}", entry.profile);
+            }
+            if explain {
+                println!("explain: cache hit — no search ran, nothing was pruned");
             }
             println!("(delete the cache file or pass --no-cache to re-measure)");
         }
@@ -521,12 +533,45 @@ fn tune(
                     hand.sample.time_ms / winner.sample.time_ms.max(1e-12)
                 );
             }
+            if explain {
+                explain_report(&out);
+            }
         }
         Err(e) => {
             eprintln!("repro: autotuning failed: {e}");
             std::process::exit(1);
         }
     }
+}
+
+/// The `tune --explain` report: what the cost model pruned, which
+/// attribution component justified each skip, where the search started,
+/// and a balanced budget line (`measured + pruned == considered`).
+fn explain_report(out: &ugc_autotune::TuneOutcome) {
+    match &out.warm_start {
+        Some(label) => println!("warm start: `{label}` (nearest-fingerprint cached winner)"),
+        None => println!("warm start: none (cold random restarts)"),
+    }
+    if out.pruned.is_empty() {
+        println!(
+            "pruned axes: none (no dominant component ≥{}% matched a prune rule)",
+            ugc_autotune::DOMINANCE_THRESHOLD
+        );
+    } else {
+        for p in &out.pruned {
+            println!(
+                "pruned axis `{}`: dominant `{}` ({}%) — {} (saved {} measurements)",
+                p.axis, p.component, p.share, p.reason, p.saved
+            );
+        }
+    }
+    let saved = out.saved();
+    println!(
+        "budget: measured={} pruned={} considered={}",
+        out.explored,
+        saved,
+        out.explored + saved
+    );
 }
 
 /// `repro chaos`: seeded fault-injection smoke. Runs BFS and SSSP on

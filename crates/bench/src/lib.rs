@@ -20,7 +20,8 @@ use std::path::Path;
 
 use ugc::{Algorithm, Compiler, Target};
 use ugc_autotune::{
-    graph_fingerprint, space_for, space_params, tune_cached, CacheKey, Sample, TuningCache,
+    graph_fingerprint, space_for, space_params, tune_cached, tune_warm, CacheKey, GraphShape,
+    Sample, TuningCache,
 };
 use ugc_backend_cpu::CpuSchedule;
 use ugc_backend_gpu::{FrontierCreation, GpuSchedule, LoadBalance};
@@ -356,6 +357,33 @@ pub fn autotune(
     })
 }
 
+/// [`autotune`] with an explicit warm-start point: the entry point for
+/// fingerprint-transfer experiments, where the caller carries a donor
+/// graph's winner over directly instead of going through a cache file.
+/// An invalid point falls back to a cold random restart (the search
+/// validates it), so a stale donor can never break the run.
+///
+/// # Errors
+///
+/// Returns [`TuneError`] if the space is empty or every candidate fails.
+pub fn autotune_warm(
+    target: Target,
+    algo: Algorithm,
+    graph: &Graph,
+    tuner: &Tuner,
+    warm: Option<&[usize]>,
+) -> Result<TuneOutcome, TuneError> {
+    let params = space_params(algo, graph);
+    let pinned = pinned_candidates(target, algo, graph);
+    tune_warm(space_for(target), &params, &pinned, tuner, warm, |sched| {
+        try_measure_profiled(target, algo, graph, sched.clone(), 2).map(|(m, profile)| Sample {
+            time_ms: m.time_ms,
+            cycles: m.cycles,
+            profile,
+        })
+    })
+}
+
 /// Cache-aware autotuning of a generated dataset: a second call with the
 /// same (target, algo, dataset, scale) and cache file returns the stored
 /// winner without re-measuring anything.
@@ -381,6 +409,7 @@ pub fn tune_dataset(
         fingerprint: graph_fingerprint(&graph),
         scale: scale.name().to_string(),
     };
+    let shape = GraphShape::of(&graph);
     let mut cache = match cache_path {
         Some(p) => Some(TuningCache::open(p).map_err(TuneError::Cache)?),
         None => None,
@@ -392,6 +421,7 @@ pub fn tune_dataset(
         tuner,
         cache.as_mut(),
         &key,
+        &shape,
         |sched| {
             try_measure_profiled(target, algo, &graph, sched.clone(), 2).map(|(m, profile)| {
                 Sample {

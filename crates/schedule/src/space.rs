@@ -66,6 +66,26 @@ impl Dimension {
     }
 }
 
+/// One row of a backend's cost-model pruning table: when a candidate's
+/// dominant attribution component is `component`, sweeping `axis` cannot
+/// move that component, so a guided search may skip it.
+///
+/// Rules are declarative and live next to each backend's
+/// [`ScheduleSpace`] (the backend knows which knobs touch which hardware
+/// resource); the search engine in `ugc-autotune` consults them after
+/// every measured candidate. `reason` is the human-readable justification
+/// `repro tune --explain` prints — every pruned axis must be explainable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneRule {
+    /// Dominant attribution component (a key of the backend's attribution
+    /// table, e.g. `"mem_stall"`) that triggers this rule.
+    pub component: &'static str,
+    /// The [`Dimension::name`] whose sweep cannot move that component.
+    pub axis: &'static str,
+    /// Why the axis cannot help, for the `--explain` report.
+    pub reason: &'static str,
+}
+
 /// A backend-declared schedule search space.
 ///
 /// Implementations declare their tunable [`Dimension`]s for a given
@@ -79,6 +99,9 @@ impl Dimension {
 ///   produce validator-correct results.
 /// * `dimensions` and `materialize` are pure functions of their inputs, so
 ///   search is deterministic and cached points can be re-materialized.
+/// * `prune_rules` only names axes that genuinely cannot move their
+///   component: pruning must change search *cost*, not winner *quality*
+///   (beyond noise) — the guided-vs-blind property test enforces this.
 pub trait ScheduleSpace: Send + Sync {
     /// Display name of the backend, e.g. `"gpu"`.
     fn target_name(&self) -> &'static str;
@@ -90,6 +113,12 @@ pub trait ScheduleSpace: Send + Sync {
     /// order as [`ScheduleSpace::dimensions`]). Returns `None` for
     /// redundant-alias points.
     fn materialize(&self, p: &SpaceParams, point: &[usize]) -> Option<ScheduleRef>;
+
+    /// The backend's cost-model pruning table. Empty by default: a space
+    /// without rules is searched blind.
+    fn prune_rules(&self) -> &'static [PruneRule] {
+        &[]
+    }
 }
 
 /// Number of raw points in the cross-product (before alias removal),

@@ -25,6 +25,7 @@ use ugc_runtime::{contain, ExecError};
 use crate::cache::GraphCache;
 use crate::gate::Pending;
 use crate::protocol::{checksum_floats, checksum_ints, err_line, QuerySpec};
+use crate::tuned::{TuneJob, TunedSchedules};
 use crate::ServeCounters;
 
 /// Shared execution context handed to every worker thread.
@@ -35,6 +36,10 @@ pub struct Executor {
     pub policy: Policy,
     /// The server's counters.
     pub counters: Arc<ServeCounters>,
+    /// Background-tuned schedules per (dataset, scale, algorithm).
+    pub tuned: Arc<TunedSchedules>,
+    /// Where first-touch tuning jobs go (the background tuner thread).
+    pub tuner_tx: std::sync::mpsc::Sender<TuneJob>,
 }
 
 impl Executor {
@@ -45,6 +50,23 @@ impl Executor {
         }
         let spec0 = batch[0].spec;
         let graph = self.cache.get(spec0.dataset, spec0.scale);
+        // First query of a (dataset, scale, algorithm) triple: enqueue a
+        // background tuning job on the now-resident graph. A dead tuner
+        // (send error) is fine — the triple just stays untuned.
+        let key = (spec0.dataset, spec0.scale, spec0.algo);
+        if self.tuned.mark_pending(key) {
+            self.counters.tuned_pending.incr();
+            let job = TuneJob {
+                dataset: spec0.dataset,
+                scale: spec0.scale,
+                algo: spec0.algo,
+                graph: graph.clone(),
+            };
+            if self.tuner_tx.send(job).is_err() {
+                self.tuned.store(key, None);
+                self.counters.tuned_pending.dec();
+            }
+        }
         let n = graph.num_vertices();
         let mut valid = Vec::with_capacity(batch.len());
         for p in batch {
@@ -135,10 +157,15 @@ impl Executor {
         }
     }
 
-    /// One query through the workspace supervisor ([`Compiler::run_with_policy`]).
+    /// One query through the workspace supervisor ([`Compiler::run_with_policy`]),
+    /// under the background-tuned schedule when one has resolved.
     fn run_supervised(&self, graph: &Arc<Graph>, p: Pending) {
         let spec = p.spec;
         let mut c = Compiler::new(spec.algo);
+        if let Some(sched) = self.tuned.lookup((spec.dataset, spec.scale, spec.algo)) {
+            c.schedule(spec.algo.schedule_path(), sched);
+            self.counters.tuned_hits.incr();
+        }
         if spec.algo.needs_start_vertex() {
             c.start_vertex(spec.source);
         }

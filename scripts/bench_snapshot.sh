@@ -43,6 +43,9 @@ run_bench fig8_speedups cpu/
 echo "== pool dispatch microbenchmark" >&2
 run_bench pool_dispatch
 
+echo "== guided vs blind autotuning (all targets, tiny scale)" >&2
+run_bench guided_tuning
+
 # Headline comparison the ROADMAP tracks: at n=1M the persistent pool must
 # beat (or at least match) spawn-per-call dispatch. Extract both medians
 # from the bench lines so the snapshot itself records the verdict.
@@ -50,6 +53,17 @@ spawn_1m=$(awk -F'"median_ns":' \
   '/"group":"pool_dispatch\/n=1048576"/ && /"label":"spawn"/ {split($2,a,","); print a[1]; exit}' "$TMP")
 pool_1m=$(awk -F'"median_ns":' \
   '/"group":"pool_dispatch\/n=1048576"/ && /"label":"pool"/ {split($2,a,","); print a[1]; exit}' "$TMP")
+
+# Second headline: across the guided_tuning suite, the cost-model-pruned
+# + warm-started search must spend several times fewer measurements than
+# the blind greedy search it replaced. Summed over the simulated targets
+# only — their cycle counts are deterministic, so the ratio is exactly
+# reproducible; the CPU cells (wall-clock, noisy greedy paths) stay in
+# the bench lines but out of the headline.
+meas_blind=$(awk -F'"measurements":' \
+  '/"group":"guided_tuning\// && !/"group":"guided_tuning\/CPU\// && /"label":"blind"/ {split($2,a,","); s+=a[1]} END {print s+0}' "$TMP")
+meas_guided=$(awk -F'"measurements":' \
+  '/"group":"guided_tuning\// && !/"group":"guided_tuning\/CPU\// && /"label":"guided"/ {split($2,a,","); s+=a[1]} END {print s+0}' "$TMP")
 
 # Assemble a single JSON document: metadata + the individual bench lines.
 {
@@ -63,6 +77,11 @@ pool_1m=$(awk -F'"median_ns":' \
       "$spawn_1m" "$pool_1m" \
       "$(awk -v s="$spawn_1m" -v p="$pool_1m" 'BEGIN{print (p <= s) ? "true" : "false"}')"
   fi
+  if [ "${meas_guided:-0}" -gt 0 ]; then
+    printf '  "guided_vs_blind": {"measurements_blind": %s, "measurements_guided": %s, "budget_ratio": %s, "simulated_targets_only": true},\n' \
+      "$meas_blind" "$meas_guided" \
+      "$(awk -v b="$meas_blind" -v g="$meas_guided" 'BEGIN{printf "%.2f", b / g}')"
+  fi
   printf '  "benches": [\n'
   sed '$!s/$/,/; s/^/    /' "$TMP"
   printf '  ]\n'
@@ -71,5 +90,8 @@ pool_1m=$(awk -F'"median_ns":' \
 
 if [ -n "$spawn_1m" ] && [ -n "$pool_1m" ]; then
   echo "pool vs spawn @1M: pool ${pool_1m} ns vs spawn ${spawn_1m} ns" >&2
+fi
+if [ "${meas_guided:-0}" -gt 0 ]; then
+  echo "guided vs blind tuning (sim targets): ${meas_guided} vs ${meas_blind} measurements" >&2
 fi
 echo "wrote $OUT ($(grep -c '"group"' "$OUT") bench entries)" >&2

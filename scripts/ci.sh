@@ -142,6 +142,30 @@ grep -q "winner profile:" target/ci-tune-rerun.txt || {
   exit 1
 }
 
+echo "== tune --explain smoke (cost model must prune and account its budget)"
+# A fresh guided GPU tune at a budget that lets the cost model engage:
+# the report must name at least one pruned axis with its dominant
+# component, and the measured/pruned/considered budget line must balance.
+cargo run --release --offline -q -p ugc-bench --bin repro -- \
+  --scale tiny --seed 7 --budget 24 --no-cache tune --explain gpu bfs PK \
+  > target/ci-tune-explain.txt
+grep -q 'pruned axis `' target/ci-tune-explain.txt || {
+  echo "explain smoke: no pruned axis reported" >&2
+  cat target/ci-tune-explain.txt >&2
+  exit 1
+}
+awk -F'[= ]' '/^budget: /{
+  for (i = 1; i <= NF; i++) {
+    if ($i == "measured") m = $(i+1)
+    if ($i == "pruned") p = $(i+1)
+    if ($i == "considered") c = $(i+1)
+  }
+  if (m + p != c) { print "explain smoke: budget line does not balance: " $0 > "/dev/stderr"; exit 1 }
+  found = 1
+}
+END { if (!found) { print "explain smoke: no budget line" > "/dev/stderr"; exit 1 } }' \
+  target/ci-tune-explain.txt
+
 echo "== serve smoke (unix socket; pair coalesces; no thread leak; clean shutdown)"
 # Boot the daemon on a unix socket, run a batched pair (two concurrent BFS
 # clients against a single admission slot and a wide batch window, so the
@@ -181,6 +205,23 @@ fi
 workers_after="$(printf '%s\n' "$stats_out" | grep -o 'pool_workers=[0-9]*')"
 if [ "$workers_before" != "$workers_after" ]; then
   echo "serve smoke: pool worker count drifted ($workers_before -> $workers_after)" >&2
+  exit 1
+fi
+# Background tuning: the first PR query enqueues a tune job; once the
+# gate goes idle the tuner resolves it and every later supervised PR
+# query must run under the tuned schedule (tuned_hits > 0). Poll with a
+# bounded retry loop — the tuner deliberately waits for idle.
+tuned_hits=0
+for _ in $(seq 1 60); do
+  "$repro_bin" client "unix:$serve_sock" query pr RN > /dev/null
+  tuned_hits="$("$repro_bin" client "unix:$serve_sock" stats \
+    | grep -o 'tuned_hits=[0-9]*' | cut -d= -f2)"
+  [ "${tuned_hits:-0}" -gt 0 ] && break
+  sleep 0.2
+done
+if [ "${tuned_hits:-0}" -eq 0 ]; then
+  echo "serve smoke: background tuner never produced a tuned-schedule hit" >&2
+  "$repro_bin" client "unix:$serve_sock" stats >&2 || true
   exit 1
 fi
 "$repro_bin" client "unix:$serve_sock" shutdown > /dev/null

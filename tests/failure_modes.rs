@@ -298,6 +298,53 @@ mod repro_cli {
     }
 
     #[test]
+    fn tune_explain_with_unknown_backend_or_dataset_exits_with_usage() {
+        assert_usage_failure(&["tune", "--explain", "zz", "pr", "RN"]);
+        assert_usage_failure(&["tune", "--explain", "cpu", "pr", "nosuchdataset"]);
+    }
+
+    #[test]
+    fn explain_without_tune_exits_with_usage() {
+        // Alone (defaults to `all`) and next to a non-tune experiment.
+        assert_usage_failure(&["--explain"]);
+        assert_usage_failure(&["--explain", "fig8"]);
+    }
+
+    #[test]
+    fn malformed_tuning_cache_lines_never_panic_the_tuner() {
+        // A v1 entry (no schema version, no fingerprint shape), plain
+        // garbage, and a truncated v2 line: `tune` must treat all three
+        // as cache misses — rejected and counted, never a panic or a
+        // silently reused stale winner.
+        let dir = std::env::temp_dir().join(format!("ugc-bad-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tuning-cache.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                r#"{"target":"gpu","algo":"bfs","fingerprint":"n=96;m=320;w=1","scale":"tiny","label":"eb=8","point":[1],"time_ms":1.0,"cycles":100,"profile":""}"#,
+                "\n",
+                "not json at all\n",
+                r#"{"v":2,"target":"gpu","algo":"bfs""#,
+                "\n",
+            ),
+        )
+        .expect("write cache");
+        let out = run_repro(
+            &[
+                "--scale", "tiny", "--budget", "6", "tune", "gpu", "bfs", "RN",
+            ],
+            &[("UGC_TUNE_CACHE", path.to_str().expect("utf8 path"))],
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "tune over a corrupt cache must still succeed, stderr: {stderr}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn profile_with_telemetry_disabled_exits_nonzero() {
         let out = run_repro(&["--profile", "cpu"], &[("UGC_TELEMETRY", "0")]);
         assert!(
