@@ -24,7 +24,9 @@ pub mod reference;
 pub mod sources;
 pub mod validate;
 
-/// The five algorithms of the paper's evaluation.
+/// The evaluation algorithms: the paper's original five plus the scenario
+/// suite (TC, k-core, LP) that exercises neighbor intersection, active-set
+/// peeling, and non-monotone convergence detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// PageRank, 20 damped iterations.
@@ -37,11 +39,31 @@ pub enum Algorithm {
     Cc,
     /// Betweenness centrality from `start_vertex` (single source).
     Bc,
+    /// Triangle counting by sorted-neighbor intersection.
+    Tc,
+    /// K-core decomposition by iterative peeling.
+    KCore,
+    /// Synchronous label propagation with seeded rotation init.
+    Lp,
 }
 
 impl Algorithm {
-    /// All five, in the paper's column order (PR, BFS, SSSP, CC, BC).
-    pub const ALL: [Algorithm; 5] = [
+    /// Every algorithm, paper order first (PR, BFS, SSSP, CC, BC), then
+    /// the scenario suite (TC, KCORE, LP).
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::PageRank,
+        Algorithm::Bfs,
+        Algorithm::Sssp,
+        Algorithm::Cc,
+        Algorithm::Bc,
+        Algorithm::Tc,
+        Algorithm::KCore,
+        Algorithm::Lp,
+    ];
+
+    /// The paper's original five, in its column order — the set the
+    /// external GPU-framework baselines (fig. 9) report numbers for.
+    pub const PAPER_FIVE: [Algorithm; 5] = [
         Algorithm::PageRank,
         Algorithm::Bfs,
         Algorithm::Sssp,
@@ -57,6 +79,9 @@ impl Algorithm {
             Algorithm::Sssp => sources::SSSP_DELTA,
             Algorithm::Cc => sources::CC,
             Algorithm::Bc => sources::BC,
+            Algorithm::Tc => sources::TC,
+            Algorithm::KCore => sources::KCORE,
+            Algorithm::Lp => sources::LP,
         }
     }
 
@@ -68,12 +93,15 @@ impl Algorithm {
             Algorithm::Sssp => "SSSP",
             Algorithm::Cc => "CC",
             Algorithm::Bc => "BC",
+            Algorithm::Tc => "TC",
+            Algorithm::KCore => "KCORE",
+            Algorithm::Lp => "LP",
         }
     }
 
     /// Whether the algorithm needs a `start_vertex` extern binding.
     pub fn needs_start_vertex(self) -> bool {
-        !matches!(self, Algorithm::PageRank | Algorithm::Cc)
+        matches!(self, Algorithm::Bfs | Algorithm::Sssp | Algorithm::Bc)
     }
 
     /// Whether the algorithm requires edge weights.
@@ -81,14 +109,83 @@ impl Algorithm {
         matches!(self, Algorithm::Sssp)
     }
 
-    /// The label of the edge-traversal statement to schedule (the paper's
-    /// `"s0:s1"` path works for all five sources).
-    pub fn schedule_path(self) -> &'static str {
+    /// Extern bindings the source requires beyond `start_vertex`, with
+    /// defaults (name, value). The host seeds these before binding
+    /// user-supplied overrides.
+    pub fn default_externs(self) -> &'static [(&'static str, i64)] {
         match self {
-            Algorithm::PageRank => "s1",
-            Algorithm::Bfs | Algorithm::Sssp | Algorithm::Cc | Algorithm::Bc => "s0:s1",
+            Algorithm::Lp => &[("max_iters", 20), ("lp_seed", 1)],
+            _ => &[],
         }
     }
+
+    /// The label of the edge-traversal statement to schedule. TC is a
+    /// single all-edges pass like PR's inner traversal; the rest sit in
+    /// a labeled `s0` loop.
+    pub fn schedule_path(self) -> &'static str {
+        match self {
+            Algorithm::PageRank | Algorithm::Tc => "s1",
+            Algorithm::Bfs
+            | Algorithm::Sssp
+            | Algorithm::Cc
+            | Algorithm::Bc
+            | Algorithm::KCore
+            | Algorithm::Lp => "s0:s1",
+        }
+    }
+
+    /// Every CLI spelling accepted for an algorithm, shared by the `repro`
+    /// binary and the serve wire protocol.
+    pub const CLI_SPELLINGS: [(&'static str, Algorithm); 11] = [
+        ("pr", Algorithm::PageRank),
+        ("pagerank", Algorithm::PageRank),
+        ("bfs", Algorithm::Bfs),
+        ("sssp", Algorithm::Sssp),
+        ("cc", Algorithm::Cc),
+        ("bc", Algorithm::Bc),
+        ("tc", Algorithm::Tc),
+        ("triangles", Algorithm::Tc),
+        ("kcore", Algorithm::KCore),
+        ("k-core", Algorithm::KCore),
+        ("lp", Algorithm::Lp),
+    ];
+
+    /// Resolves a CLI spelling (case-insensitive).
+    pub fn from_cli_name(s: &str) -> Option<Algorithm> {
+        let lower = s.to_ascii_lowercase();
+        Self::CLI_SPELLINGS
+            .iter()
+            .find(|(name, _)| *name == lower)
+            .map(|(_, a)| *a)
+    }
+
+    /// The closest known spelling within edit distance 2, for did-you-mean
+    /// hints on unknown algorithm names.
+    pub fn suggest_cli_name(s: &str) -> Option<&'static str> {
+        let lower = s.to_ascii_lowercase();
+        Self::CLI_SPELLINGS
+            .iter()
+            .map(|(name, _)| (*name, edit_distance(&lower, name)))
+            .filter(|(_, d)| *d <= 2)
+            .min_by_key(|(_, d)| *d)
+            .map(|(name, _)| name)
+    }
+}
+
+/// Levenshtein distance over chars (one-row DP).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = (prev + usize::from(ca != cb)).min(cur + 1).min(row[j] + 1);
+            prev = cur;
+        }
+    }
+    row[b.len()]
 }
 
 #[cfg(test)]
@@ -118,5 +215,26 @@ mod tests {
         assert!(!Algorithm::PageRank.needs_start_vertex());
         assert!(Algorithm::Sssp.needs_weights());
         assert_eq!(Algorithm::PageRank.schedule_path(), "s1");
+        assert!(!Algorithm::Tc.needs_start_vertex());
+        assert!(!Algorithm::KCore.needs_weights());
+        assert_eq!(Algorithm::Tc.schedule_path(), "s1");
+        assert_eq!(Algorithm::KCore.schedule_path(), "s0:s1");
+        assert_eq!(
+            Algorithm::Lp.default_externs(),
+            &[("max_iters", 20), ("lp_seed", 1)]
+        );
+        assert!(Algorithm::Bfs.default_externs().is_empty());
+    }
+
+    #[test]
+    fn cli_spellings_resolve_and_suggest() {
+        assert_eq!(Algorithm::from_cli_name("KCORE"), Some(Algorithm::KCore));
+        assert_eq!(Algorithm::from_cli_name("k-core"), Some(Algorithm::KCore));
+        assert_eq!(Algorithm::from_cli_name("tc"), Some(Algorithm::Tc));
+        assert_eq!(Algorithm::from_cli_name("nope"), None);
+        // One transposition away from a known spelling.
+        assert_eq!(Algorithm::suggest_cli_name("kcoer"), Some("kcore"));
+        assert_eq!(Algorithm::suggest_cli_name("pagernak"), Some("pagerank"));
+        assert_eq!(Algorithm::suggest_cli_name("zzzzzzzz"), None);
     }
 }

@@ -160,6 +160,81 @@ pub fn bc_dependencies(g: &Graph, src: VertexId) -> Vec<f64> {
     delta
 }
 
+/// Per-vertex triangle counts mirroring the TC source exactly: every
+/// directed edge `(s, d)` adds `|N_out(s) ∩ N_out(d)|` to `tri[d]`, via
+/// the same [`ugc_graph::Csr::intersect_count`] merge the runtime uses —
+/// bit-identical by construction, including duplicate-edge pairing.
+pub fn triangle_counts(g: &Graph) -> Vec<i64> {
+    let mut tri = vec![0i64; g.num_vertices()];
+    for (s, d, _) in g.out_csr().iter_edges() {
+        tri[d as usize] += g.intersect_count(s, d) as i64;
+    }
+    tri
+}
+
+/// Total triangles on a symmetric simple graph: each triangle is counted
+/// once per direction of each of its three edges in [`triangle_counts`].
+pub fn total_triangles(g: &Graph) -> i64 {
+    triangle_counts(g).iter().sum::<i64>() / 6
+}
+
+/// Coreness of every vertex, mirroring the KCORE source's peeling order:
+/// degrees start at out-degree, a vertex killed while `cur_k` is the
+/// active stage gets coreness `cur_k - 1`, and each kill decrements the
+/// degree of every out-neighbor (multi-edges decrement repeatedly).
+pub fn coreness(g: &Graph) -> Vec<i64> {
+    let n = g.num_vertices();
+    let mut deg: Vec<i64> = (0..n as VertexId).map(|v| g.out_degree(v) as i64).collect();
+    let mut core = vec![0i64; n];
+    let mut alive = vec![true; n];
+    let mut remaining = n;
+    let mut cur_k = 1i64;
+    while remaining > 0 {
+        let peel: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| alive[v as usize] && deg[v as usize] < cur_k)
+            .collect();
+        if peel.is_empty() {
+            cur_k += 1;
+            continue;
+        }
+        for &v in &peel {
+            alive[v as usize] = false;
+            core[v as usize] = cur_k - 1;
+        }
+        for &v in &peel {
+            for &u in g.out_neighbors(v) {
+                deg[u as usize] -= 1;
+            }
+        }
+        remaining -= peel.len();
+    }
+    core
+}
+
+/// Labels after synchronous min-label propagation, mirroring the LP
+/// source: init `labels[v] = (v + seed) mod n`, then up to `max_iters`
+/// rounds of `next[d] = min(labels[d], min over in-edges of labels[s])`
+/// adopted synchronously, stopping when a round changes nothing.
+pub fn label_propagation(g: &Graph, max_iters: i64, seed: i64) -> Vec<i64> {
+    let n = g.num_vertices() as i64;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Truncated `%`, matching the runtime's `BinOp::Mod` exactly.
+    let mut labels: Vec<i64> = (0..n).map(|v| (v + seed) % n).collect();
+    for _ in 0..max_iters {
+        let mut next = labels.clone();
+        for (s, d, _) in g.out_csr().iter_edges() {
+            next[d as usize] = next[d as usize].min(labels[s as usize]);
+        }
+        if next == labels {
+            break;
+        }
+        labels = next;
+    }
+    labels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +302,70 @@ mod tests {
         let d = bc_dependencies(&g, 0);
         // delta[2] = 1 (for 3), delta[1] = 1*(1+1) = 2, delta[0] = 3.
         assert_eq!(d, vec![3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn triangles_on_cliques_and_bipartite() {
+        // K4 has C(4,3) = 4 triangles; three disjoint K4s have 12.
+        let g = generators::clique_batch(3, 4);
+        assert_eq!(total_triangles(&g), 12);
+        // Each vertex of a K4 is in C(3,2) = 3 triangles; tri[v] counts
+        // each twice per incident edge pair: 6 per vertex here.
+        assert!(triangle_counts(&g).iter().all(|&t| t == 6));
+        // Complete bipartite graphs are triangle-free.
+        let b = generators::bipartite(3, 4);
+        assert_eq!(total_triangles(&b), 0);
+        assert!(triangle_counts(&b).iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn coreness_on_barbell_and_path() {
+        // Two K5s bridged by 3 path vertices: clique vertices sit in the
+        // 4-core; the bridge (and the clique endpoints' bridge edges)
+        // peel at coreness <= 2.
+        let g = generators::barbell(5, 3);
+        let c = coreness(&g);
+        for v in [0usize, 1, 2, 3] {
+            assert_eq!(c[v], 4, "clique interior {v}: {c:?}");
+        }
+        for v in [5usize, 6, 7] {
+            assert!(c[v] <= 2, "bridge {v}: {c:?}");
+        }
+        // A symmetric path is entirely coreness 1.
+        let mut edges = Vec::new();
+        for v in 0..5u32 {
+            edges.push((v, v + 1));
+            edges.push((v + 1, v));
+        }
+        let p = ugc_graph::Graph::from_edges(6, &edges);
+        let cp = coreness(&p);
+        assert!(cp.iter().all(|&k| k == 1), "{cp:?}");
+    }
+
+    #[test]
+    fn lp_converges_to_component_minimum() {
+        // With seed 0 the init is the identity labeling, so the fixpoint
+        // is the component-min — CC's answer.
+        let g = generators::two_communities();
+        assert_eq!(label_propagation(&g, 50, 0), cc_labels(&g));
+        // Seed rotation relabels but preserves the partition.
+        let rotated = label_propagation(&g, 50, 3);
+        let cc = cc_labels(&g);
+        let n = g.num_vertices();
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    rotated[a] == rotated[b],
+                    cc[a] == cc[b],
+                    "partition mismatch at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lp_zero_iters_is_initial_labeling() {
+        let g = generators::path(4);
+        assert_eq!(label_propagation(&g, 0, 1), vec![1, 2, 3, 0]);
     }
 }

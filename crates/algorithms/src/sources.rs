@@ -211,6 +211,135 @@ func main()
 end
 "#;
 
+/// Triangle counting by sorted-neighbor intersection: every directed edge
+/// `(src, dst)` contributes `|N(src) ∩ N(dst)|` to `tri[dst]`. On a
+/// symmetric graph the vector sums to 6× the triangle count (each triangle
+/// is seen from both directions of its three edges).
+pub const TC: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const tri : vector{Vertex}(int) = 0;
+
+func countEdge(src : Vertex, dst : Vertex)
+    tri[dst] += intersect_count(src, dst);
+end
+
+func main()
+    #s1# edges.apply(countEdge);
+end
+"#;
+
+/// K-core decomposition by iterative peeling: at stage `cur_k`, vertices
+/// whose remaining degree is below `cur_k` are stripped (coreness
+/// `cur_k - 1`) and their neighbors' degrees decremented, cascading until
+/// the stage drains; then `cur_k` advances.
+pub const KCORE: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const deg : vector{Vertex}(int) = 0;
+const core : vector{Vertex}(int) = 0;
+const alive : vector{Vertex}(bool) = true;
+const cur_k : int = 0;
+
+func initDeg(v : Vertex)
+    deg[v] = out_degree(v);
+end
+
+func belowK(v : Vertex) -> output : bool
+    output = false;
+    if alive[v] == true
+        if deg[v] < cur_k
+            output = true;
+        end
+    end
+end
+
+func killVertex(v : Vertex)
+    alive[v] = false;
+    core[v] = cur_k - 1;
+end
+
+func decDeg(src : Vertex, dst : Vertex)
+    deg[dst] += -1;
+end
+
+func main()
+    vertices.apply(initDeg);
+    var remaining : int = vertices.size();
+    cur_k = 1;
+    #s0# while (remaining > 0)
+        var peel : vertexset{Vertex} = vertices.filter(belowK);
+        if peel.getVertexSetSize() == 0
+            cur_k = cur_k + 1;
+        else
+            peel.apply(killVertex);
+            #s1# edges.from(peel).apply(decDeg);
+            remaining = remaining - peel.getVertexSetSize();
+        end
+        delete peel;
+    end
+end
+"#;
+
+/// Synchronous min-label propagation with double buffering and explicit
+/// convergence counting. Unlike CC's monotone in-place `min=`, each round
+/// resets the scratch buffer from the current labels, so a vertex's
+/// working label is *not* monotone across rounds — convergence must be
+/// detected by the `num_changed` global reduction, not modified-tracking.
+/// `lp_seed` rotates the initial labeling (extern, default 1); `max_iters`
+/// bounds the rounds (extern, default 20).
+pub const LP: &str = r#"
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex,Vertex) = load(argv_1);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const nv : int = vertices.size();
+const labels : vector{Vertex}(int) = 0;
+const next_label : vector{Vertex}(int) = 0;
+const max_iters : int;
+const lp_seed : int;
+const num_changed : int = 0;
+
+func initLabel(v : Vertex)
+    labels[v] = (v + lp_seed) %% nv;
+end
+
+func resetNext(v : Vertex)
+    next_label[v] = labels[v];
+end
+
+func propagate(src : Vertex, dst : Vertex)
+    next_label[dst] min= labels[src];
+end
+
+func adopt(v : Vertex)
+    if next_label[v] != labels[v]
+        labels[v] = next_label[v];
+        num_changed += 1;
+    end
+end
+
+func main()
+    vertices.apply(initLabel);
+    var iter : int = 0;
+    num_changed = 1;
+    #s0# while (num_changed != 0)
+        if iter >= max_iters
+            break;
+        end
+        num_changed = 0;
+        vertices.apply(resetNext);
+        #s1# edges.apply(propagate);
+        vertices.apply(adopt);
+        iter = iter + 1;
+    end
+end
+"#;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -221,6 +350,9 @@ mod tests {
             ("SSSP", super::SSSP_DELTA),
             ("CC", super::CC),
             ("BC", super::BC),
+            ("TC", super::TC),
+            ("KCORE", super::KCORE),
+            ("LP", super::LP),
         ] {
             assert!(src.contains("#s1#"), "{name} missing schedule label");
             assert!(src.contains("func main()"), "{name} missing main");

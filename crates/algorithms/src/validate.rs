@@ -128,6 +128,87 @@ pub fn check_bc(g: &Graph, src: VertexId, scores: &[f64], tol: f64) -> Result<()
     Ok(())
 }
 
+/// Validates per-vertex triangle counts: must match the reference
+/// intersection-count accumulation exactly (integer arithmetic).
+///
+/// # Errors
+///
+/// Returns the first mismatching vertex.
+pub fn check_triangle_counts(g: &Graph, tri: &[i64]) -> Result<(), String> {
+    let expect = reference::triangle_counts(g);
+    for v in 0..expect.len() {
+        if tri[v] != expect[v] {
+            return Err(format!(
+                "vertex {v}: triangle count {} but reference says {}",
+                tri[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a coreness vector against the reference peeling.
+///
+/// # Errors
+///
+/// Returns the first mismatching vertex.
+pub fn check_coreness(g: &Graph, core: &[i64]) -> Result<(), String> {
+    let expect = reference::coreness(g);
+    for v in 0..expect.len() {
+        if core[v] != expect[v] {
+            return Err(format!(
+                "vertex {v}: coreness {} but reference peeling says {}",
+                core[v], expect[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates LP labels up to *label-partition equivalence*: two labelings
+/// agree when they induce the same partition of the vertices (same-label
+/// pairs coincide), regardless of which representative each class uses.
+///
+/// # Errors
+///
+/// Returns the first vertex pair grouped differently from the reference.
+pub fn check_lp_labels(g: &Graph, labels: &[i64], max_iters: i64, seed: i64) -> Result<(), String> {
+    let expect = reference::label_propagation(g, max_iters, seed);
+    if labels.len() != expect.len() {
+        return Err(format!(
+            "label array has {} entries for {} vertices",
+            labels.len(),
+            expect.len()
+        ));
+    }
+    // Map each reference label to the first observed label of its class;
+    // a second observation with a different label breaks the partition.
+    let mut seen: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    let mut rev: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    for v in 0..expect.len() {
+        match seen.get(&expect[v]) {
+            Some(&l) if l != labels[v] => {
+                return Err(format!(
+                    "vertex {v}: label {} splits reference class {} (expected label {l})",
+                    labels[v], expect[v]
+                ));
+            }
+            Some(_) => {}
+            None => {
+                if let Some(&other) = rev.get(&labels[v]) {
+                    return Err(format!(
+                        "vertex {v}: label {} merges reference classes {other} and {}",
+                        labels[v], expect[v]
+                    ));
+                }
+                seen.insert(expect[v], labels[v]);
+                rev.insert(labels[v], expect[v]);
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +257,38 @@ mod tests {
         let g = generators::two_communities();
         let l = reference::cc_labels(&g);
         check_cc_labels(&g, &l).unwrap();
+    }
+
+    #[test]
+    fn tc_and_kcore_validators_exact() {
+        let g = generators::clique_batch(2, 4);
+        check_triangle_counts(&g, &reference::triangle_counts(&g)).unwrap();
+        let mut bad = reference::triangle_counts(&g);
+        bad[0] += 1;
+        assert!(check_triangle_counts(&g, &bad).is_err());
+        let b = generators::barbell(4, 2);
+        check_coreness(&b, &reference::coreness(&b)).unwrap();
+        let mut badc = reference::coreness(&b);
+        badc[0] -= 1;
+        assert!(check_coreness(&b, &badc).is_err());
+    }
+
+    #[test]
+    fn lp_validator_is_partition_equivalence() {
+        // Two components plus an isolated vertex: three label classes.
+        let g = ugc_graph::Graph::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let l = reference::label_propagation(&g, 50, 1);
+        check_lp_labels(&g, &l, 50, 1).unwrap();
+        // Any consistent relabeling of the classes is accepted...
+        let relabeled: Vec<i64> = l.iter().map(|&x| x * 10 + 7).collect();
+        check_lp_labels(&g, &relabeled, 50, 1).unwrap();
+        // ...but splitting a class is rejected,
+        let mut split = l.clone();
+        split[1] = 999;
+        assert!(check_lp_labels(&g, &split, 50, 1).is_err());
+        // ...and merging all classes is rejected.
+        let merged = vec![0i64; l.len()];
+        assert!(check_lp_labels(&g, &merged, 50, 1).is_err());
     }
 
     #[test]

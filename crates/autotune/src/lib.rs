@@ -56,6 +56,9 @@ pub fn space_for(target: Target) -> &'static dyn ScheduleSpace {
 pub fn space_params(algo: Algorithm, graph: &Graph) -> SpaceParams {
     SpaceParams {
         ordered: matches!(algo, Algorithm::Sssp),
+        // TC and LP are topology-driven full sweeps, and k-core's peel
+        // sets are filter products rather than tracked frontiers, so all
+        // three prune the frontier-representation dimensions like PR/CC.
         data_driven: matches!(algo, Algorithm::Bfs | Algorithm::Bc),
         num_vertices: graph.num_vertices(),
     }

@@ -594,6 +594,65 @@ impl OperatorExecutor for CpuExecutor {
         }
         Ok(())
     }
+
+    fn vertex_filter(
+        &mut self,
+        state: &mut ProgramState<'_>,
+        _stmt: &Stmt,
+        input: Option<&str>,
+        filter: &str,
+    ) -> Result<VertexSet, ExecError> {
+        let t0 = ugc_telemetry::enabled().then(Instant::now);
+        let udf = state
+            .udfs
+            .id_of(filter)
+            .ok_or_else(|| ExecError::new(format!("unknown filter function `{filter}`")))?;
+        let n = state.graph.num_vertices();
+        let candidates: Vec<u32> = match input {
+            None => (0..n as u32).collect(),
+            Some(name) => state
+                .env
+                .set(name)
+                .ok_or_else(|| ExecError::new(format!("set `{name}` is not bound")))?
+                .members_in_order(),
+        };
+        let ev = Evaluator::new(&state.udfs, &state.props, &state.globals, state.graph);
+        let keep = |v: u32| {
+            ev.call(
+                udf,
+                &[Value::Int(v as i64)],
+                EdgeCtx::default(),
+                &mut NullOutput,
+                &mut NullMemory,
+            )
+            .map(|r| r.as_bool())
+            .unwrap_or(false)
+        };
+        let members: Vec<u32> = if candidates.len() < 512 {
+            candidates.iter().copied().filter(|&v| keep(v)).collect()
+        } else {
+            let locals = parallel_for_with_local(
+                self.num_threads,
+                candidates.len(),
+                256,
+                |_tid, range, local: &mut Vec<u32>| {
+                    local.extend(candidates[range].iter().copied().filter(|&v| keep(v)));
+                },
+            );
+            // Workers steal chunks dynamically, so locals interleave;
+            // restore ascending order for a canonical sparse set.
+            let mut all: Vec<u32> = locals.into_iter().flatten().collect();
+            all.sort_unstable();
+            all
+        };
+        let out = VertexSet::from_members(n, members);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.phase_ns.apply += ns;
+            counters().vertex_apply.record_ns(ns);
+        }
+        Ok(out)
+    }
 }
 
 /// EdgeBlocking (cache-blocked) all-edges push traversal: destinations are

@@ -40,5 +40,11 @@ fn main() {
         bench_cell(&h, target, Algorithm::PageRank, Dataset::Pokec);
         bench_cell(&h, target, Algorithm::Cc, Dataset::Pokec);
         bench_cell(&h, target, Algorithm::Bc, Dataset::Pokec);
+        // The expanded suite on its most-interesting graph class: TC and
+        // k-core are degenerate on road grids (≈no triangles, coreness ≤3),
+        // so the social representative carries their signal.
+        bench_cell(&h, target, Algorithm::Tc, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::KCore, Dataset::Pokec);
+        bench_cell(&h, target, Algorithm::Lp, Dataset::Pokec);
     }
 }

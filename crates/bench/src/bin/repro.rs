@@ -29,7 +29,8 @@ use ugc_sim_swarm::SwarmConfig;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
                      <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|all> \
-                     | tune [--explain] <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc> <dataset> \
+                     | tune [--explain] <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc|tc|kcore|lp> <dataset> \
+                     | run [--k N] [--max-iters N] <cpu|gpu|swarm|hb> <algo> <dataset> \
                      | --profile <cpu|gpu|swarm|hb|all|serve> \
                      | serve [--port N | --socket PATH] [--admit N] [--queue N] [--batch-max N] \
                      [--batch-window-ms N] \
@@ -74,6 +75,8 @@ fn main() {
     let mut explain = false;
     let mut profile_targets: Option<Vec<Target>> = None;
     let mut profile_serve_flag = false;
+    let mut kcore_k: Option<i64> = None;
+    let mut lp_max_iters: Option<i64> = None;
     let mut what = Vec::new();
     let mut i = 0;
     let flag_value = |args: &[String], i: usize| -> String {
@@ -102,6 +105,26 @@ fn main() {
             "--no-cache" => {
                 use_cache = false;
                 i += 1;
+            }
+            "--k" => {
+                let v: i64 = flag_value(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--k expects an integer"));
+                if v < 1 {
+                    usage_error(&format!("--k must be a positive integer, got {v}"));
+                }
+                kcore_k = Some(v);
+                i += 2;
+            }
+            "--max-iters" => {
+                let v: i64 = flag_value(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--max-iters expects an integer"));
+                if v < 1 {
+                    usage_error(&format!("--max-iters must be at least 1, got {v}"));
+                }
+                lp_max_iters = Some(v);
+                i += 2;
             }
             "--explain" => {
                 explain = true;
@@ -166,6 +189,23 @@ fn main() {
                 let algo = parse_algo(&what[w + 2]).unwrap_or_else(|e| usage_error(&e));
                 let dataset = parse_dataset(&what[w + 3]).unwrap_or_else(|e| usage_error(&e));
                 tune(target, algo, dataset, scale, &tuner, use_cache, explain);
+                w += 3;
+            }
+            "run" => {
+                // `run` consumes the next three words.
+                if what.len() - w < 4 {
+                    usage_error("run needs <target> <algo> <dataset>");
+                }
+                let target = parse_target(&what[w + 1]).unwrap_or_else(|e| usage_error(&e));
+                let algo = parse_algo(&what[w + 2]).unwrap_or_else(|e| usage_error(&e));
+                let dataset = parse_dataset(&what[w + 3]).unwrap_or_else(|e| usage_error(&e));
+                if kcore_k.is_some() && algo != Algorithm::KCore {
+                    usage_error("--k only applies to kcore");
+                }
+                if lp_max_iters.is_some() && algo != Algorithm::Lp {
+                    usage_error("--max-iters only applies to lp");
+                }
+                run_one(target, algo, dataset, scale, kcore_k, lp_max_iters);
                 w += 3;
             }
             "all" => {
@@ -689,10 +729,12 @@ fn fig8(scale: Scale) {
 }
 
 /// Fig. 9: UGC's GPU GraphVM vs the best of Gunrock/GSwitch/SEP-Graph.
+/// The framework baselines only model the paper's five algorithms, so the
+/// comparison stays restricted to [`Algorithm::PAPER_FIVE`].
 fn fig9(scale: Scale) {
     banner("Figure 9: GPU GraphVM speedup over the next-best framework (>1 = UGC wins)");
     print!("{:<6}", "");
-    for a in Algorithm::ALL {
+    for a in Algorithm::PAPER_FIVE {
         print!("{:>10}", a.name());
     }
     println!("   (negative column entries mean the framework named wins)");
@@ -702,11 +744,14 @@ fn fig9(scale: Scale) {
         Algorithm::Sssp => "sssp",
         Algorithm::Cc => "cc",
         Algorithm::Bc => "bc",
+        Algorithm::Tc | Algorithm::KCore | Algorithm::Lp => {
+            unreachable!("no framework baseline models {}", a.name())
+        }
     };
     for d in Dataset::ALL {
         let graph = d.generate(scale);
         print!("{:<6}", d.abbrev());
-        for a in Algorithm::ALL {
+        for a in Algorithm::PAPER_FIVE {
             let ugc_ms = measure(
                 Target::Gpu,
                 a,
@@ -1036,6 +1081,70 @@ fn configs() {
     println!("GPU     : {:?}\n", GpuConfig::default());
     println!("Swarm   : {:?}\n", SwarmConfig::default());
     println!("HB      : {:?}", ugc_sim_hb::HbConfig::default());
+}
+
+/// `repro run <target> <algo> <dataset>`: one tuned-schedule run with a
+/// per-algorithm result summary. `--k` (kcore) additionally reports the
+/// k-core membership count at that level; `--max-iters` (lp) overrides the
+/// round bound.
+fn run_one(
+    target: Target,
+    algo: Algorithm,
+    dataset: Dataset,
+    scale: Scale,
+    k: Option<i64>,
+    max_iters: Option<i64>,
+) {
+    banner(&format!(
+        "Run: {} on {} GraphVM, {} (scale {})",
+        algo.name(),
+        target.name(),
+        dataset.abbrev(),
+        scale.name()
+    ));
+    let graph = dataset.generate(scale);
+    let mut c = Compiler::new(algo);
+    c.schedule(
+        algo.schedule_path(),
+        ugc_bench::tuned_schedule_for(target, algo, &graph),
+    );
+    if algo.needs_start_vertex() {
+        c.start_vertex(0);
+    }
+    if let Some(mi) = max_iters {
+        c.bind("max_iters", ugc_runtime::value::Value::Int(mi));
+    }
+    let r = c.run(target, &graph).unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "n={} time_ms={:.3} cycles={}",
+        graph.num_vertices(),
+        r.time_ms,
+        r.cycles
+    );
+    match algo {
+        Algorithm::Tc => {
+            // Each triangle is seen from both directions of its 3 edges.
+            let total: i64 = r.property_ints("tri").iter().sum();
+            println!("triangles={}", total / 6);
+        }
+        Algorithm::KCore => {
+            let core = r.property_ints("core");
+            println!("max_coreness={}", core.iter().max().copied().unwrap_or(0));
+            if let Some(k) = k {
+                let size = core.iter().filter(|&&c| c >= k).count();
+                println!("kcore_size[k={k}]={size}");
+            }
+        }
+        Algorithm::Lp => {
+            let labels = r.property_ints("labels");
+            let classes: std::collections::HashSet<i64> = labels.iter().copied().collect();
+            println!("label_classes={}", classes.len());
+        }
+        _ => {}
+    }
 }
 
 fn externs(algo: Algorithm) -> std::collections::HashMap<String, ugc_runtime::value::Value> {

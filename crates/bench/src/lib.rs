@@ -85,36 +85,54 @@ fn tuned_schedule_sized(
     let social = profile == DegreeProfile::PowerLaw;
     match target {
         Target::Cpu => {
-            let s = match algo {
-                Algorithm::Bfs | Algorithm::Bc => {
-                    if social {
-                        CpuSchedule::new()
-                            .with_direction(SchedDirection::Hybrid)
-                            .with_parallelization(Parallelization::EdgeAwareVertexBased)
-                    } else {
-                        CpuSchedule::new().with_serial_threshold(2048)
+            let s =
+                match algo {
+                    Algorithm::Bfs | Algorithm::Bc => {
+                        if social {
+                            CpuSchedule::new()
+                                .with_direction(SchedDirection::Hybrid)
+                                .with_parallelization(Parallelization::EdgeAwareVertexBased)
+                        } else {
+                            CpuSchedule::new().with_serial_threshold(2048)
+                        }
                     }
-                }
-                Algorithm::PageRank => CpuSchedule::new()
-                    .with_cache_blocking(true)
-                    .with_parallelization(Parallelization::EdgeAwareVertexBased),
-                Algorithm::Cc => {
-                    CpuSchedule::new().with_parallelization(Parallelization::EdgeAwareVertexBased)
-                }
-                Algorithm::Sssp => {
-                    if social {
-                        // Low-diameter graphs want fine buckets (measured:
-                        // larger ∆ only adds re-relaxation work on CPUs).
-                        CpuSchedule::new()
-                            .with_delta(1)
-                            .with_parallelization(Parallelization::EdgeAwareVertexBased)
-                    } else {
-                        CpuSchedule::new()
-                            .with_delta(64)
-                            .with_serial_threshold(4096)
+                    Algorithm::PageRank => CpuSchedule::new()
+                        .with_cache_blocking(true)
+                        .with_parallelization(Parallelization::EdgeAwareVertexBased),
+                    Algorithm::Cc => CpuSchedule::new()
+                        .with_parallelization(Parallelization::EdgeAwareVertexBased),
+                    Algorithm::Sssp => {
+                        if social {
+                            // Low-diameter graphs want fine buckets (measured:
+                            // larger ∆ only adds re-relaxation work on CPUs).
+                            CpuSchedule::new()
+                                .with_delta(1)
+                                .with_parallelization(Parallelization::EdgeAwareVertexBased)
+                        } else {
+                            CpuSchedule::new()
+                                .with_delta(64)
+                                .with_serial_threshold(4096)
+                        }
                     }
-                }
-            };
+                    // Per-edge intersection cost scales with the endpoint degree
+                    // sum, so skewed graphs need edge-aware chunking.
+                    Algorithm::Tc => CpuSchedule::new()
+                        .with_parallelization(Parallelization::EdgeAwareVertexBased),
+                    // Peel frontiers are small; serialize them below threshold
+                    // on bounded-degree graphs, balance by edges on skewed ones.
+                    Algorithm::KCore => {
+                        if social {
+                            CpuSchedule::new()
+                                .with_parallelization(Parallelization::EdgeAwareVertexBased)
+                        } else {
+                            CpuSchedule::new().with_serial_threshold(2048)
+                        }
+                    }
+                    // Topology-driven full sweeps, same shape as PageRank.
+                    Algorithm::Lp => CpuSchedule::new()
+                        .with_cache_blocking(true)
+                        .with_parallelization(Parallelization::EdgeAwareVertexBased),
+                };
             ScheduleRef::simple(s)
         }
         Target::Gpu => {
@@ -157,6 +175,16 @@ fn tuned_schedule_sized(
                         GpuSchedule::new().with_delta(64).with_kernel_fusion(true)
                     }
                 }
+                // Intersection work per edge is degree-sum-skewed: TWC
+                // binning keeps warps off the heavy tails.
+                Algorithm::Tc => GpuSchedule::new().with_load_balance(LoadBalance::Twc),
+                // Many tiny peel rounds: fused frontier creation, and fuse
+                // kernels outright when the graph is launch-bound.
+                Algorithm::KCore => GpuSchedule::new()
+                    .with_frontier_creation(FrontierCreation::Fused)
+                    .with_kernel_fusion(launch_bound),
+                // Full-sweep label exchange, same regime as CC.
+                Algorithm::Lp => GpuSchedule::new().with_load_balance(LoadBalance::Etwc),
             };
             ScheduleRef::simple(s)
         }
@@ -186,6 +214,22 @@ fn tuned_schedule_sized(
                 Algorithm::Bc => {
                     SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained)
                 }
+                // Intersection tasks are heavy and uneven on skewed graphs;
+                // bounded-degree graphs keep coarse tasks.
+                Algorithm::Tc => {
+                    if social {
+                        SwarmSchedule::new().with_task_granularity(TaskGranularity::FineGrained)
+                    } else {
+                        SwarmSchedule::new()
+                    }
+                }
+                // Peel sets are natural task sources.
+                Algorithm::KCore => SwarmSchedule::new()
+                    .with_frontiers(Frontiers::VertexsetToTasks)
+                    .with_task_granularity(TaskGranularity::FineGrained),
+                // Tiny label updates don't repay splitting (same finding as
+                // CC above).
+                Algorithm::Lp => SwarmSchedule::new(),
             };
             ScheduleRef::simple(s)
         }
@@ -216,6 +260,26 @@ fn tuned_schedule_sized(
                     .with_blocked_access(true)
                     .with_block_size(64)
                     .with_delta(if social { 8 } else { 32 }),
+                // Adjacency-merge work per edge varies wildly; edge-based
+                // chunks balance the manycore tiles.
+                Algorithm::Tc => HbSchedule::new().with_load_balance(HbLoadBalance::EdgeBased),
+                Algorithm::KCore => {
+                    // Peel rounds shrink fast; aligned blocks only pay off
+                    // once there are enough surviving vertices per round.
+                    // Below that the default balancer already wins —
+                    // edge-based chunking just adds bookkeeping.
+                    let lb = if num_vertices >= 4096 {
+                        HbLoadBalance::Aligned
+                    } else {
+                        HbLoadBalance::default()
+                    };
+                    HbSchedule::new().with_load_balance(lb)
+                }
+                // Regular full sweeps benefit from blocked vector access,
+                // same as PageRank.
+                Algorithm::Lp => HbSchedule::new()
+                    .with_blocked_access(true)
+                    .with_block_size(64),
             };
             ScheduleRef::simple(s)
         }
@@ -467,22 +531,21 @@ pub fn parse_target(s: &str) -> Result<Target, String> {
     }
 }
 
-/// Parses an algorithm name as spelled on the `repro -- tune` CLI.
+/// Parses an algorithm name as spelled on the `repro -- tune` CLI. Unknown
+/// spellings get a did-you-mean suggestion when one is close.
 ///
 /// # Errors
 ///
 /// Returns a usage message naming the accepted values.
 pub fn parse_algo(s: &str) -> Result<Algorithm, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "pr" | "pagerank" => Ok(Algorithm::PageRank),
-        "bfs" => Ok(Algorithm::Bfs),
-        "sssp" => Ok(Algorithm::Sssp),
-        "cc" => Ok(Algorithm::Cc),
-        "bc" => Ok(Algorithm::Bc),
-        other => Err(format!(
-            "unknown algorithm `{other}` (expected pr|bfs|sssp|cc|bc)"
-        )),
+    if let Some(algo) = Algorithm::from_cli_name(s) {
+        return Ok(algo);
     }
+    let mut msg = format!("unknown algorithm `{s}` (expected pr|bfs|sssp|cc|bc|tc|kcore|lp)");
+    if let Some(hint) = Algorithm::suggest_cli_name(s) {
+        msg.push_str(&format!("; did you mean `{hint}`?"));
+    }
+    Err(msg)
 }
 
 /// Parses the `--profile` flag value: one backend name or `all`.

@@ -294,12 +294,18 @@ pub struct Compiler {
 }
 
 impl Compiler {
-    /// A pipeline for one of the five paper algorithms.
+    /// A pipeline for a known [`Algorithm`]. Extern consts the source
+    /// requires beyond `start_vertex` (e.g. LP's `max_iters`/`lp_seed`)
+    /// are pre-bound to their defaults; [`Compiler::bind`] overrides them.
     pub fn new(algo: Algorithm) -> Self {
+        let mut externs = HashMap::new();
+        for (name, v) in algo.default_externs() {
+            externs.insert((*name).to_string(), Value::Int(*v));
+        }
         Compiler {
             source: algo.source().to_string(),
             schedules: Vec::new(),
-            externs: HashMap::new(),
+            externs,
             algo: Some(algo),
         }
     }
@@ -503,6 +509,25 @@ impl Compiler {
                     floats.insert(
                         "centrality".to_string(),
                         reference::bc_dependencies(graph, start),
+                    );
+                }
+                Algorithm::Tc => {
+                    ints.insert("tri".to_string(), reference::triangle_counts(graph));
+                }
+                Algorithm::KCore => {
+                    ints.insert("core".to_string(), reference::coreness(graph));
+                }
+                Algorithm::Lp => {
+                    let arg = |name: &str, default: i64| {
+                        self.externs.get(name).map_or(default, |v| v.as_int())
+                    };
+                    ints.insert(
+                        "labels".to_string(),
+                        reference::label_propagation(
+                            graph,
+                            arg("max_iters", 20),
+                            arg("lp_seed", 1),
+                        ),
                     );
                 }
             }

@@ -433,6 +433,16 @@ impl<'a> Checker<'a> {
                 }
                 return Ty::Int;
             }
+            "intersect_count" => {
+                self.expect_args(span, callee, args, 2);
+                for a in args {
+                    let t = self.check_expr(a);
+                    if !int_like(t) {
+                        self.err(span, format!("{callee} expects vertices, found {t}"));
+                    }
+                }
+                return Ty::Int;
+            }
             "to_float" => {
                 self.expect_args(span, callee, args, 1);
                 for a in args {
@@ -577,6 +587,11 @@ impl<'a> Checker<'a> {
                 self.expect_args(span, method, args, 1);
                 self.expect_func_arg(span, method, &args[0]);
                 Ty::Void
+            }
+            (Ty::VertexSet, "filter") => {
+                self.expect_args(span, method, args, 1);
+                self.expect_func_arg(span, method, &args[0]);
+                Ty::VertexSet
             }
             (Ty::PrioQueue, "finished") => {
                 self.expect_args(span, method, args, 0);

@@ -140,6 +140,32 @@ impl Csr {
         &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
     }
 
+    /// Size of the sorted-merge intersection of the neighbor lists of `a`
+    /// and `b`. Duplicate entries (multi-edges) pair up positionally, so
+    /// the count is deterministic for any CSR. This is the single shared
+    /// definition of "common neighbors" used by both the triangle-counting
+    /// runtime intrinsic and the sequential reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn intersect_count(&self, a: VertexId, b: VertexId) -> usize {
+        let (na, nb) = (self.neighbors(a), self.neighbors(b));
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
     /// Weight slice parallel to [`Csr::neighbors`], or `None` if unweighted.
     pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
         self.weights
@@ -348,6 +374,12 @@ impl Graph {
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
         self.in_csr().neighbors(v)
     }
+
+    /// Number of common out-neighbors of `a` and `b` — see
+    /// [`Csr::intersect_count`].
+    pub fn intersect_count(&self, a: VertexId, b: VertexId) -> usize {
+        self.out.intersect_count(a, b)
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +405,23 @@ mod tests {
     fn csr_sorts_neighbors() {
         let c = Csr::from_edges(3, &[(0, 2), (0, 1)]);
         assert_eq!(c.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn intersect_count_merges_sorted_lists() {
+        let c = diamond();
+        // N(0) = {1,2}, N(1) = {3}: disjoint.
+        assert_eq!(c.intersect_count(0, 1), 0);
+        // N(1) = {3}, N(2) = {3}: one common neighbor.
+        assert_eq!(c.intersect_count(1, 2), 1);
+        assert_eq!(c.intersect_count(1, 1), 1);
+    }
+
+    #[test]
+    fn intersect_count_pairs_up_duplicates() {
+        // Multi-edges: N(0) = [2,2], N(1) = [2,2,3].
+        let c = Csr::from_edges(4, &[(0, 2), (0, 2), (1, 2), (1, 2), (1, 3)]);
+        assert_eq!(c.intersect_count(0, 1), 2);
     }
 
     #[test]

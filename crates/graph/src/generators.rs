@@ -189,6 +189,66 @@ pub fn complete(n: usize) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
+/// A batch of `count` disjoint `k`-cliques (each symmetric, no self
+/// loops). Maximizes triangles per edge: every clique contributes
+/// `C(k,3)` triangles, and every vertex has coreness `k-1`.
+pub fn clique_batch(count: usize, k: usize) -> Graph {
+    let mut edges = Vec::new();
+    for c in 0..count {
+        let base = c * k;
+        for s in 0..k {
+            for d in 0..k {
+                if s != d {
+                    edges.push(((base + s) as VertexId, (base + d) as VertexId));
+                }
+            }
+        }
+    }
+    Graph::from_edges(count * k, &edges)
+}
+
+/// A barbell: two `k`-cliques joined by a path of `bridge` vertices.
+/// The k-core peeling cascade strips the bridge (coreness 1 or 2) before
+/// settling the cliques at coreness `k-1`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    let n = 2 * k + bridge;
+    let mut el = EdgeList::new(n);
+    let undirected = |el: &mut EdgeList, s: usize, d: usize| {
+        el.push(s as VertexId, d as VertexId);
+        el.push(d as VertexId, s as VertexId);
+    };
+    for base in [0, k + bridge] {
+        for s in 0..k {
+            for d in (s + 1)..k {
+                undirected(&mut el, base + s, base + d);
+            }
+        }
+    }
+    // Chain: last vertex of clique A — bridge vertices — first of clique B.
+    let mut prev = k - 1;
+    for b in 0..bridge {
+        undirected(&mut el, prev, k + b);
+        prev = k + b;
+    }
+    undirected(&mut el, prev, k + bridge);
+    el.into_graph()
+}
+
+/// A complete bipartite graph `K(left, right)` (symmetric). Triangle-free
+/// by construction, and its connected LP fixpoints are two-colorings:
+/// the adversarial case for label-propagation oscillation.
+pub fn bipartite(left: usize, right: usize) -> Graph {
+    let mut edges = Vec::new();
+    for l in 0..left {
+        for r in 0..right {
+            let (a, b) = (l as VertexId, (left + r) as VertexId);
+            edges.push((a, b));
+            edges.push((b, a));
+        }
+    }
+    Graph::from_edges(left + right, &edges)
+}
+
 /// A small fixed 8-vertex graph with two communities joined by a bridge —
 /// handy in unit tests where exact results are asserted.
 ///
@@ -306,6 +366,40 @@ mod tests {
         let g = complete(4);
         assert_eq!(g.num_edges(), 12);
         assert_eq!(g.out_degree(2), 3);
+    }
+
+    #[test]
+    fn clique_batch_shape() {
+        let g = clique_batch(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // 3 cliques × k(k-1) directed edges.
+        assert_eq!(g.num_edges(), 3 * 12);
+        assert!(g.out_neighbors(0).contains(&3));
+        assert!(!g.out_neighbors(0).contains(&4));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.num_vertices(), 10);
+        // Clique members have degree 3 (+1 for the attachment points).
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_degree(3), 4);
+        // Bridge vertices have degree 2.
+        assert_eq!(g.out_degree(4), 2);
+        assert_eq!(g.out_degree(5), 2);
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let g = bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 2 * 12);
+        for v in 0..g.num_vertices() as VertexId {
+            for &u in g.out_neighbors(v) {
+                assert_eq!(g.out_csr().intersect_count(v, u), 0);
+            }
+        }
     }
 
     #[test]

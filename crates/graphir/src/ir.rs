@@ -336,6 +336,17 @@ pub enum StmtKind {
         /// The vertex UDF.
         apply: String,
     },
+    /// Build a new vertex set from the vertices of `input` (or all
+    /// vertices) satisfying a boolean filter UDF — the active-set peeling
+    /// primitive (k-core's per-round "vertices below the threshold").
+    VertexSetFilter {
+        /// Input set name; `None` means all vertices.
+        input: Option<String>,
+        /// Output set variable to create.
+        out: String,
+        /// The boolean vertex filter UDF.
+        filter: String,
+    },
     /// Append a vertex to a frontier being constructed. `set` of `None`
     /// targets the enclosing `EdgeSetIterator`'s output frontier.
     EnqueueVertex {

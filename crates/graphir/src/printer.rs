@@ -226,6 +226,17 @@ pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 set.clone().unwrap_or_else(|| "ALL".into())
             );
         }
+        StmtKind::VertexSetFilter {
+            input,
+            out: o,
+            filter,
+        } => {
+            let _ = writeln!(
+                out,
+                "VertexSetFilter{m}({}, {o}, {filter})",
+                input.clone().unwrap_or_else(|| "ALL".into())
+            );
+        }
         StmtKind::EnqueueVertex { set, vertex } => {
             let _ = writeln!(
                 out,

@@ -230,6 +230,9 @@ pub enum Intrinsic {
     ListSize,
     /// `Abs(x)` — absolute value (float result), the DSL's `fabs`.
     Abs,
+    /// `IntersectCount(graph, a, b)` — number of common out-neighbors of
+    /// `a` and `b` (sorted-merge count; the triangle-counting primitive).
+    IntersectCount,
     /// `NewVertexSet(count)` — allocate a vertex set containing vertices
     /// `0..count` (0 = empty set).
     NewVertexSet,
@@ -254,6 +257,7 @@ impl fmt::Display for Intrinsic {
             Intrinsic::DequeueReadySet => "DequeueReadySet",
             Intrinsic::ListSize => "ListSize",
             Intrinsic::Abs => "Abs",
+            Intrinsic::IntersectCount => "IntersectCount",
             Intrinsic::NewVertexSet => "NewVertexSet",
             Intrinsic::NewFrontierList => "NewFrontierList",
             Intrinsic::StartTimer => "StartTimer",

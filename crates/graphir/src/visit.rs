@@ -79,6 +79,7 @@ pub fn stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
         StmtKind::Break
         | StmtKind::EdgeSetIterator(_)
         | StmtKind::VertexSetIterator { .. }
+        | StmtKind::VertexSetFilter { .. }
         | StmtKind::VertexSetDedup { .. }
         | StmtKind::ListAppend { .. }
         | StmtKind::ListPopBack { .. }
@@ -152,6 +153,7 @@ pub fn stmt_exprs_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
         StmtKind::Break
         | StmtKind::EdgeSetIterator(_)
         | StmtKind::VertexSetIterator { .. }
+        | StmtKind::VertexSetFilter { .. }
         | StmtKind::VertexSetDedup { .. }
         | StmtKind::ListAppend { .. }
         | StmtKind::ListPopBack { .. }

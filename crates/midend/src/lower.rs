@@ -368,6 +368,46 @@ impl Lowerer {
         }
     }
 
+    /// Detects `set.filter(pred)` — receiver a vertexset variable or an
+    /// all-vertices alias, `pred` a declared function — and builds the
+    /// filter statement writing into `out_name`.
+    fn as_vertex_filter(&self, e: &AExpr, out_name: &str, label: Option<String>) -> Option<Stmt> {
+        let AExprKind::MethodCall {
+            receiver,
+            method,
+            args,
+        } = &e.kind
+        else {
+            return None;
+        };
+        if method != "filter" {
+            return None;
+        }
+        let AExprKind::Ident(recv) = &receiver.kind else {
+            return None;
+        };
+        let AExprKind::Ident(f) = &args.first()?.kind else {
+            return None;
+        };
+        if !self.is_func(f) || self.graph_vars.contains_key(recv) {
+            return None;
+        }
+        let input = if self.is_all_vertices(recv) {
+            None
+        } else {
+            Some(recv.clone())
+        };
+        Some(Stmt {
+            kind: StmtKind::VertexSetFilter {
+                input,
+                out: out_name.to_string(),
+                filter: f.clone(),
+            },
+            label,
+            meta: Default::default(),
+        })
+    }
+
     fn chain_to_stmt(
         &self,
         info: ChainInfo,
@@ -421,6 +461,10 @@ impl Lowerer {
                     Some(e) => {
                         if let Some(chain) = self.as_chain(e)? {
                             out.push(self.chain_to_stmt(chain, Some(name.clone()), label));
+                            return Ok(());
+                        }
+                        if let Some(st) = self.as_vertex_filter(e, name, label.clone()) {
+                            out.push(st);
                             return Ok(());
                         }
                         match &e.kind {
@@ -550,6 +594,10 @@ impl Lowerer {
                 if let AExprKind::Ident(name) = &target.kind {
                     if let Some(chain) = self.as_chain(value)? {
                         out.push(self.chain_to_stmt(chain, Some(name.clone()), label));
+                        return Ok(());
+                    }
+                    if let Some(st) = self.as_vertex_filter(value, name, label.clone()) {
+                        out.push(st);
                         return Ok(());
                     }
                 }
@@ -802,6 +850,14 @@ impl Lowerer {
                     vec![
                         Expr::var(self.graph_expr_name()),
                         self.lower_expr(&args[0])?,
+                    ],
+                )),
+                "intersect_count" => Ok(Expr::intrinsic(
+                    Intrinsic::IntersectCount,
+                    vec![
+                        Expr::var(self.graph_expr_name()),
+                        self.lower_expr(&args[0])?,
+                        self.lower_expr(&args[1])?,
                     ],
                 )),
                 "to_float" => Ok(Expr::un(

@@ -88,6 +88,8 @@ pub enum Instr {
     InDegree { dst: Reg, v: Reg },
     /// `dst = weight of the edge being applied`
     EdgeWeight { dst: Reg },
+    /// `dst = |N_out(a) ∩ N_out(b)|` — sorted-neighbor merge intersection.
+    Intersect { dst: Reg, a: Reg, b: Reg },
     /// Call another UDF.
     Call {
         dst: Option<Reg>,
@@ -658,6 +660,18 @@ impl FnCompiler<'_> {
                 Intrinsic::EdgeWeight => {
                     let r = self.alloc();
                     self.instrs.push(Instr::EdgeWeight { dst: r });
+                    Ok(r)
+                }
+                Intrinsic::IntersectCount => {
+                    if args.len() < 2 {
+                        return self.err("intersect_count needs two vertices".to_string());
+                    }
+                    // Like degree intrinsics, the graph operand (if any) is
+                    // implicit; compile the last two args as the vertices.
+                    let a = self.expr(&args[args.len() - 2])?;
+                    let b = self.expr(&args[args.len() - 1])?;
+                    let r = self.alloc();
+                    self.instrs.push(Instr::Intersect { dst: r, a, b });
                     Ok(r)
                 }
                 Intrinsic::Abs => {

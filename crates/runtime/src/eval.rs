@@ -284,6 +284,14 @@ impl<'a> Evaluator<'a> {
                     regs[*dst as usize] = Value::Int(ctx.weight);
                     compute_steps += 1;
                 }
+                Instr::Intersect { dst, a, b } => {
+                    let va = regs[*a as usize].as_int() as u32;
+                    let vb = regs[*b as usize].as_int() as u32;
+                    regs[*dst as usize] = Value::Int(self.graph.intersect_count(va, vb) as i64);
+                    // A sorted merge touches both adjacency lists once.
+                    let work = self.graph.out_degree(va) + self.graph.out_degree(vb);
+                    compute_steps += (work as u32).max(1);
+                }
                 Instr::Call { dst, udf, args } => {
                     let vals: Vec<Value> = args.iter().map(|r| regs[*r as usize]).collect();
                     let ret = self.call(*udf, &vals, ctx, out, mem);

@@ -109,6 +109,26 @@ pub trait OperatorExecutor {
         apply: &str,
     ) -> Result<(), ExecError>;
 
+    /// Executes a `VertexSetFilter`: evaluates the boolean `filter` UDF on
+    /// every candidate vertex (the members of `input`, or all vertices)
+    /// and returns the passing subset. The default runs sequentially on
+    /// the host — correct for every backend (the simulators treat it as
+    /// host coordination); the CPU backend overrides it with a
+    /// pool-parallel sweep.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures (unbound sets, unknown UDFs).
+    fn vertex_filter(
+        &mut self,
+        state: &mut ProgramState<'_>,
+        _stmt: &Stmt,
+        input: Option<&str>,
+        filter: &str,
+    ) -> Result<VertexSet, ExecError> {
+        sequential_vertex_filter(state, input, filter)
+    }
+
     /// Offered every `While` loop before generic interpretation; return
     /// `true` if the backend executed the whole loop itself (GPU kernel
     /// fusion, Swarm vertex-set→tasks).
@@ -119,6 +139,50 @@ pub trait OperatorExecutor {
     fn try_loop(&mut self, _state: &mut ProgramState<'_>, _stmt: &Stmt) -> Result<bool, ExecError> {
         Ok(false)
     }
+}
+
+/// The sequential host-side filter sweep behind the default
+/// [`OperatorExecutor::vertex_filter`].
+///
+/// # Errors
+///
+/// Fails on an unknown filter UDF or an unbound input set.
+pub fn sequential_vertex_filter(
+    state: &mut ProgramState<'_>,
+    input: Option<&str>,
+    filter: &str,
+) -> Result<VertexSet, ExecError> {
+    let id = state
+        .udfs
+        .id_of(filter)
+        .ok_or_else(|| ExecError::new(format!("unknown filter function `{filter}`")))?;
+    let n = state.graph.num_vertices();
+    let candidates: Vec<u32> = match input {
+        Some(name) => state
+            .env
+            .set(name)
+            .ok_or_else(|| ExecError::new(format!("set `{name}` is not bound")))?
+            .members_in_order(),
+        None => (0..n as u32).collect(),
+    };
+    let ev = crate::eval::Evaluator::new(&state.udfs, &state.props, &state.globals, state.graph);
+    let mut members = Vec::new();
+    for v in candidates {
+        let keep = ev
+            .call(
+                id,
+                &[Value::Int(v as i64)],
+                crate::eval::EdgeCtx::default(),
+                &mut crate::eval::NullOutput,
+                &mut crate::eval::NullMemory,
+            )
+            .map(|r| r.as_bool())
+            .unwrap_or(false);
+        if keep {
+            members.push(v);
+        }
+    }
+    Ok(VertexSet::from_members(n, members))
 }
 
 /// All mutable state of one program execution.
@@ -322,6 +386,13 @@ impl<'g> ProgramState<'g> {
                 Intrinsic::Abs => {
                     let v = self.eval_host(&args[0])?;
                     Ok(Value::Float(v.as_float().abs()))
+                }
+                Intrinsic::IntersectCount => {
+                    let a = self.eval_host(&args[args.len() - 2])?.as_int() as u32;
+                    let b = self
+                        .eval_host(args.last().expect("intersect arg"))?
+                        .as_int() as u32;
+                    Ok(Value::Int(self.graph.intersect_count(a, b) as i64))
                 }
                 other => Err(ExecError::new(format!(
                     "intrinsic {other} not valid in host expressions"
@@ -601,6 +672,13 @@ fn exec_stmt(
         }
         StmtKind::VertexSetIterator { set, apply } => {
             exec.vertex_iterator(state, s, set.as_deref(), apply)?;
+            Ok(Flow::Normal)
+        }
+        StmtKind::VertexSetFilter { input, out, filter } => {
+            let set = exec.vertex_filter(state, s, input.as_deref(), filter)?;
+            if state.env.assign(out, HostValue::Set(set.clone())).is_err() {
+                state.env.declare(out.clone(), HostValue::Set(set));
+            }
             Ok(Flow::Normal)
         }
         StmtKind::EnqueueVertex { set, vertex } => {

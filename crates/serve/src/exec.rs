@@ -169,6 +169,9 @@ impl Executor {
         if spec.algo.needs_start_vertex() {
             c.start_vertex(spec.source);
         }
+        if let Some(mi) = spec.max_iters {
+            c.bind("max_iters", ugc_runtime::value::Value::Int(mi));
+        }
         let line = match c.run_with_policy(Target::Cpu, graph, &self.policy) {
             Ok(r) => {
                 let checksum = match spec.algo {
@@ -177,6 +180,9 @@ impl Executor {
                     Algorithm::Cc => checksum_ints(r.property_ints("IDs")),
                     Algorithm::PageRank => checksum_floats(r.property_floats("old_rank")),
                     Algorithm::Bc => checksum_floats(r.property_floats("centrality")),
+                    Algorithm::Tc => checksum_ints(r.property_ints("tri")),
+                    Algorithm::KCore => checksum_ints(r.property_ints("core")),
+                    Algorithm::Lp => checksum_ints(r.property_ints("labels")),
                 };
                 let mut line = format!(
                     "ok algo={} dataset={} scale={} source={} n={} checksum={checksum:#018x} \
@@ -191,6 +197,12 @@ impl Executor {
                 );
                 if let Some(d) = &r.degraded_to {
                     line.push_str(&format!(" degraded={d}"));
+                }
+                // The k= argument reports the membership count at level k
+                // on top of the full coreness checksum.
+                if let (Algorithm::KCore, Some(k)) = (spec.algo, spec.k) {
+                    let size = r.property_ints("core").iter().filter(|&&c| c >= k).count();
+                    line.push_str(&format!(" kcore_size={size}"));
                 }
                 line
             }

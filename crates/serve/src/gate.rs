@@ -163,6 +163,8 @@ mod tests {
                 dataset: Dataset::RoadNetCa,
                 scale: Scale::Tiny,
                 source,
+                k: None,
+                max_iters: None,
             },
             reply: tx,
             enqueued: Instant::now(),

@@ -3,14 +3,18 @@
 //! Requests, one per line:
 //!
 //! ```text
-//! query <algo> <dataset> [source=N] [scale=tiny|small|medium]
+//! query <algo> <dataset> [source=N] [scale=tiny|small|medium] [k=N] [max_iters=N]
 //! stats
 //! shutdown
 //! ```
 //!
-//! `<algo>` is one of `pr bfs sssp cc bc`, `<dataset>` a Table-8
-//! abbreviation (`RN RC RU PK HW LJ OK IC TW SW`); both are
+//! `<algo>` is one of `pr bfs sssp cc bc tc kcore lp`, `<dataset>` a
+//! Table-8 abbreviation (`RN RC RU PK HW LJ OK IC TW SW`); both are
 //! case-insensitive. `source` defaults to 0 and `scale` to `tiny`.
+//! `k=` (kcore only, ≥1) asks for the k-core size at that level;
+//! `max_iters=` (lp only, ≥1) overrides LP's round bound. Argument
+//! validation failures are `err protocol:` replies — the connection
+//! stays open.
 //!
 //! Responses, one line per request: `ok key=value ...` on success, or
 //! `err <kind>: <message>` where `<kind>` is `protocol` (unparsable
@@ -43,6 +47,12 @@ pub struct QuerySpec {
     pub scale: Scale,
     /// Source vertex for BFS/SSSP/BC (ignored by PR/CC).
     pub source: u32,
+    /// K-core membership threshold (`k=` — KCORE only): the reply reports
+    /// the size of the k-core at this level alongside the coreness
+    /// checksum.
+    pub k: Option<i64>,
+    /// Round bound override (`max_iters=` — LP only).
+    pub max_iters: Option<i64>,
 }
 
 impl QuerySpec {
@@ -82,6 +92,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 dataset,
                 scale: Scale::Tiny,
                 source: 0,
+                k: None,
+                max_iters: None,
             };
             for kv in words {
                 let (key, value) = kv
@@ -94,6 +106,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         })?;
                     }
                     "scale" => spec.scale = parse_scale(value)?,
+                    "k" => {
+                        if algo != Algorithm::KCore {
+                            return Err(format!("k= only applies to kcore, not {}", algo.name()));
+                        }
+                        let k: i64 = value
+                            .parse()
+                            .map_err(|_| format!("k must be an integer, got `{value}`"))?;
+                        if k < 1 {
+                            return Err(format!("k must be at least 1, got {k}"));
+                        }
+                        spec.k = Some(k);
+                    }
+                    "max_iters" => {
+                        if algo != Algorithm::Lp {
+                            return Err(format!(
+                                "max_iters= only applies to lp, not {}",
+                                algo.name()
+                            ));
+                        }
+                        let mi: i64 = value
+                            .parse()
+                            .map_err(|_| format!("max_iters must be an integer, got `{value}`"))?;
+                        if mi < 1 {
+                            return Err(format!("max_iters must be at least 1, got {mi}"));
+                        }
+                        spec.max_iters = Some(mi);
+                    }
                     other => return Err(format!("unknown query argument `{other}`")),
                 }
             }
@@ -105,16 +144,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Parses an algorithm short name (`pr bfs sssp cc bc`).
+/// Parses an algorithm short name (`pr bfs sssp cc bc tc kcore lp`), with
+/// a did-you-mean hint on near-miss spellings.
 ///
 /// # Errors
 ///
 /// Names the unknown algorithm.
 pub fn parse_algo(s: &str) -> Result<Algorithm, String> {
-    Algorithm::ALL
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(s))
-        .ok_or_else(|| format!("unknown algorithm `{s}` (expected pr/bfs/sssp/cc/bc)"))
+    Algorithm::from_cli_name(s).ok_or_else(|| {
+        let mut msg = format!("unknown algorithm `{s}` (expected pr/bfs/sssp/cc/bc/tc/kcore/lp)");
+        if let Some(hint) = Algorithm::suggest_cli_name(s) {
+            msg.push_str(&format!("; did you mean `{hint}`?"));
+        }
+        msg
+    })
 }
 
 /// Parses a dataset abbreviation (`RN RC RU PK HW LJ OK IC TW SW`).
@@ -209,9 +252,40 @@ mod tests {
             "query bfs RN source=minus",
             "query bfs RN scale=galactic",
             "query bfs RN bogus=1",
+            // Per-algorithm arguments: wrong algorithm or out-of-range.
+            "query bfs RN k=2",
+            "query kcore RN k=0",
+            "query kcore RN k=-3",
+            "query kcore RN k=two",
+            "query lp RN max_iters=0",
+            "query lp RN max_iters=-1",
+            "query tc RN max_iters=5",
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn parses_per_algorithm_arguments() {
+        let Request::Query(kc) = parse_request("query kcore PK k=3").unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!(kc.algo, Algorithm::KCore);
+        assert_eq!(kc.k, Some(3));
+        let Request::Query(lp) = parse_request("query lp PK max_iters=7").unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!(lp.algo, Algorithm::Lp);
+        assert_eq!(lp.max_iters, Some(7));
+        // New algorithms never coalesce into traversal batches.
+        assert!(!kc.batchable());
+        assert!(!lp.batchable());
+    }
+
+    #[test]
+    fn unknown_algorithm_gets_a_suggestion() {
+        let e = parse_request("query kcoer PK").unwrap_err();
+        assert!(e.contains("did you mean `kcore`?"), "{e}");
     }
 
     #[test]
@@ -221,6 +295,8 @@ mod tests {
             dataset,
             scale: Scale::Tiny,
             source: 0,
+            k: None,
+            max_iters: None,
         };
         let bfs = spec(Algorithm::Bfs, Dataset::RoadNetCa);
         assert!(bfs.coalesces_with(&QuerySpec { source: 9, ..bfs }));

@@ -103,6 +103,50 @@ if [ "$recovered" -ne 8 ]; then
   exit 1
 fi
 
+echo "== algorithm suite differential smoke (tc/kcore/lp across all four backends)"
+# Each new algorithm's headline scalar must exist and agree across every
+# backend at tiny scale: the triangle total, the maximum coreness, and the
+# number of label classes are all backend-independent facts about the
+# graph, so any divergence is a wrong answer, not noise.
+for spec in "tc triangles" "kcore max_coreness" "lp label_classes"; do
+  algo="${spec% *}"
+  key="${spec#* }"
+  want=""
+  for target in cpu gpu swarm hb; do
+    run_out="$(cargo run --release --offline -q -p ugc-bench --bin repro -- \
+      --scale tiny run "$target" "$algo" RN)"
+    val="$(printf '%s\n' "$run_out" | grep -o "${key}=[0-9]*" | head -1 | cut -d= -f2)"
+    if [ -z "$val" ]; then
+      echo "algorithm smoke: $target/$algo printed no ${key}=: $run_out" >&2
+      exit 1
+    fi
+    if [ -z "$want" ]; then
+      want="$val"
+    elif [ "$val" != "$want" ]; then
+      echo "algorithm smoke: $target/$algo ${key}=$val diverges from $want" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "== algorithm conformance gate (every registered algorithm is differentially tested)"
+# The frontend registry (Algorithm::ALL) is the source of truth: every
+# variant listed there must appear in the cross-backend differential
+# conformance suite. Adding an algorithm without conformance coverage
+# fails the gate.
+registry="$(awk '/pub const ALL/,/\];/' crates/algorithms/src/lib.rs \
+  | grep -o 'Algorithm::[A-Za-z]*' | sort -u)"
+if [ "$(printf '%s\n' "$registry" | wc -l)" -lt 8 ]; then
+  echo "conformance gate: failed to extract the algorithm registry" >&2
+  exit 1
+fi
+for variant in $registry; do
+  grep -q "$variant\b" tests/differential_backends.rs || {
+    echo "conformance gate: $variant is registered but missing from tests/differential_backends.rs" >&2
+    exit 1
+  }
+done
+
 echo "== backend VM containment gate"
 # GraphVM execute paths must surface failures as classed errors through
 # the contain() boundary — never unwrap or panic in production code. Test

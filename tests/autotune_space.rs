@@ -5,7 +5,10 @@
 //!
 //! One property per target; each case draws a fresh tiny weighted graph
 //! and sweeps the full space for BFS (data-driven), SSSP (ordered, with ∆
-//! sweeps) and PageRank (topology-driven).
+//! sweeps), PageRank (topology-driven), and the expanded suite — TC
+//! (intersection sweeps), k-core (filter-driven peeling), and LP
+//! (min-reduction exchange) — all three pruned like PR but exercising
+//! different operators under every schedule point.
 
 use ugc::{Algorithm, Compiler, Target};
 use ugc_autotune::{space_for, space_params};
@@ -14,7 +17,14 @@ use ugc_schedule::space::PointIter;
 use ugc_testkit::{check, Config, Prng};
 
 const START: u32 = 0;
-const ALGOS: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank];
+const ALGOS: [Algorithm; 6] = [
+    Algorithm::Bfs,
+    Algorithm::Sssp,
+    Algorithm::PageRank,
+    Algorithm::Tc,
+    Algorithm::KCore,
+    Algorithm::Lp,
+];
 
 fn tiny_graph(seed: u64) -> ugc_graph::Graph {
     // Symmetric-ish random graph, weighted so SSSP is runnable.

@@ -70,6 +70,11 @@ fn check_against_reference(algo: Algorithm, graph: &Graph, r: &RunResult) -> Res
         Algorithm::Cc => validate::check_cc_labels(graph, r.property_ints("IDs")),
         Algorithm::PageRank => validate::check_pagerank(graph, r.property_floats("old_rank"), 1e-6),
         Algorithm::Bc => validate::check_bc(graph, 0, r.property_floats("centrality"), 1e-6),
+        Algorithm::Tc => validate::check_triangle_counts(graph, r.property_ints("tri")),
+        Algorithm::KCore => validate::check_coreness(graph, r.property_ints("core")),
+        // Default externs (max_iters 20, seed 1) — what `Compiler::new`
+        // seeds when the caller doesn't override them.
+        Algorithm::Lp => validate::check_lp_labels(graph, r.property_ints("labels"), 20, 1),
     }
 }
 

@@ -40,17 +40,37 @@ pub fn compile_with(algo: Algorithm, scheds: &[(String, ScheduleRef)]) -> Progra
     prog
 }
 
-/// The extern bindings an algorithm needs (`start_vertex`).
+/// The extern bindings an algorithm needs: `start_vertex` when required,
+/// plus the algorithm's default extern consts (e.g. LP's
+/// `max_iters`/`lp_seed`).
 pub fn externs_for(algo: Algorithm, start: u32) -> HashMap<String, Value> {
     let mut m = HashMap::new();
+    for (name, v) in algo.default_externs() {
+        m.insert((*name).to_string(), Value::Int(*v));
+    }
     if algo.needs_start_vertex() {
         m.insert("start_vertex".to_string(), Value::Int(start as i64));
     }
     m
 }
 
+/// A symmetric path graph (both directions of each chain edge) — unlike
+/// `generators::path`, which is directed. Entirely coreness 1.
+pub fn sym_path(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for v in 0..n.saturating_sub(1) as u32 {
+        edges.push((v, v + 1));
+        edges.push((v + 1, v));
+    }
+    Graph::from_edges(n, &edges)
+}
+
 /// The small graph menagerie used across backend correctness tests.
-/// All are symmetric (CC-safe) and weighted where relevant.
+/// All are symmetric (CC-safe) and weighted where relevant. The last four
+/// are adversarial shapes for the scenario suite: disjoint cliques
+/// (maximum triangle density), a long path (coreness 1 everywhere), a
+/// barbell (k-core peeling cascade across the bridge), and a complete
+/// bipartite graph (zero triangles; LP two-coloring oscillation bait).
 pub fn test_graphs() -> Vec<(&'static str, Graph)> {
     vec![
         ("two_communities", ugc_graph::generators::two_communities()),
@@ -63,6 +83,10 @@ pub fn test_graphs() -> Vec<(&'static str, Graph)> {
             "uniform_200",
             ugc_graph::generators::uniform_random(200, 600, 5, true),
         ),
+        ("clique_batch", ugc_graph::generators::clique_batch(3, 5)),
+        ("long_path", sym_path(24)),
+        ("barbell", ugc_graph::generators::barbell(5, 3)),
+        ("bipartite", ugc_graph::generators::bipartite(4, 5)),
     ]
 }
 
@@ -91,6 +115,15 @@ pub fn validate(
         }
         Algorithm::Bc => {
             ugc_algorithms::validate::check_bc(graph, start, &floats("centrality"), 1e-6).unwrap()
+        }
+        Algorithm::Tc => {
+            ugc_algorithms::validate::check_triangle_counts(graph, &ints("tri")).unwrap()
+        }
+        Algorithm::KCore => ugc_algorithms::validate::check_coreness(graph, &ints("core")).unwrap(),
+        // Matches the default externs seeded by `externs_for` /
+        // `Compiler::new`: labels are compared up to partition equivalence.
+        Algorithm::Lp => {
+            ugc_algorithms::validate::check_lp_labels(graph, &ints("labels"), 20, 1).unwrap()
         }
     }
 }

@@ -89,7 +89,41 @@ fn cases() -> Vec<Case> {
         seed: 17,
         graph: ugc_graph::generators::uniform_random(150, 450, 17, true),
     });
+    // Adversarial shapes for the scenario suite (TC/k-core/LP): maximum
+    // triangle density, a triangle-free bipartite shape, a coreness-1
+    // path, and a barbell whose bridge peels in a cascade.
+    v.push(Case {
+        name: "clique_batch",
+        seed: 0,
+        graph: ugc_graph::generators::clique_batch(3, 5),
+    });
+    v.push(Case {
+        name: "bipartite",
+        seed: 0,
+        graph: ugc_graph::generators::bipartite(4, 5),
+    });
+    v.push(Case {
+        name: "long_path",
+        seed: 0,
+        graph: sym_path(24),
+    });
+    v.push(Case {
+        name: "barbell",
+        seed: 0,
+        graph: ugc_graph::generators::barbell(5, 3),
+    });
     v
+}
+
+/// Symmetric path (both directions per chain edge); hand-built, so the
+/// edge list here is the reproducer.
+fn sym_path(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for v in 0..n.saturating_sub(1) as u32 {
+        edges.push((v, v + 1));
+        edges.push((v + 1, v));
+    }
+    Graph::from_edges(n, &edges)
 }
 
 fn run_backend(target: Target, algo: Algorithm, graph: &Graph) -> Result<RunResult, UgcError> {
@@ -295,6 +329,32 @@ fn differential(algo: Algorithm, case: &Case) {
                 );
             }
         }
+        Algorithm::Tc => {
+            // Integer arithmetic: counts must match the reference exactly,
+            // including duplicate-edge and self-loop contributions.
+            let reference = reference::triangle_counts(&case.graph);
+            for (t, run) in &ok {
+                assert_int_match(case, algo, t.name(), run.property_ints("tri"), &reference);
+            }
+        }
+        Algorithm::KCore => {
+            // The coreness vector is canonical (peeling order does not
+            // affect it), so the comparison is exact.
+            let reference = reference::coreness(&case.graph);
+            for (t, run) in &ok {
+                assert_int_match(case, algo, t.name(), run.property_ints("core"), &reference);
+            }
+        }
+        Algorithm::Lp => {
+            // Label values are representation-dependent; the induced
+            // partition is canonical. Rewriting every label to the
+            // smallest vertex id carrying it compares partitions exactly.
+            let reference = canonical_labels(&reference::label_propagation(&case.graph, 20, 1));
+            for (t, run) in &ok {
+                let canon = canonical_labels(run.property_ints("labels"));
+                assert_int_match(case, algo, t.name(), &canon, &reference);
+            }
+        }
     }
 }
 
@@ -327,6 +387,21 @@ fn differential_cc() {
 #[test]
 fn differential_bc() {
     run_algo_over_all_cases(Algorithm::Bc);
+}
+
+#[test]
+fn differential_tc() {
+    run_algo_over_all_cases(Algorithm::Tc);
+}
+
+#[test]
+fn differential_kcore() {
+    run_algo_over_all_cases(Algorithm::KCore);
+}
+
+#[test]
+fn differential_lp() {
+    run_algo_over_all_cases(Algorithm::Lp);
 }
 
 #[test]

@@ -359,6 +359,54 @@ mod repro_cli {
         );
     }
 
+    // ---- algorithm spelling and per-algorithm arguments ------------------
+
+    #[test]
+    fn unknown_algorithm_suggests_a_spelling() {
+        // A near-miss gets a did-you-mean hint alongside the usage text;
+        // gibberish gets the plain unknown-algorithm error.
+        let out = run_repro(&["tune", "cpu", "kcoer", "RN"], &[]);
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("did you mean `kcore`?"),
+            "near-miss must be suggested, got: {stderr}"
+        );
+        let out = run_repro(&["run", "cpu", "pagernak", "RN"], &[]);
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("did you mean `pagerank`?"),
+            "near-miss must be suggested, got: {stderr}"
+        );
+        let out = run_repro(&["run", "cpu", "zzzzzzzz", "RN"], &[]);
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown algorithm") && !stderr.contains("did you mean"),
+            "gibberish must not get a bogus suggestion, got: {stderr}"
+        );
+    }
+
+    #[test]
+    fn non_positive_algorithm_arguments_exit_with_usage() {
+        assert_usage_failure(&["--k", "0", "run", "cpu", "kcore", "RN"]);
+        assert_usage_failure(&["--k", "-3", "run", "cpu", "kcore", "RN"]);
+        assert_usage_failure(&["--max-iters", "0", "run", "cpu", "lp", "RN"]);
+        assert_usage_failure(&["--max-iters", "nope", "run", "cpu", "lp", "RN"]);
+        assert_usage_failure(&["--k"]);
+        assert_usage_failure(&["--max-iters"]);
+    }
+
+    #[test]
+    fn algorithm_arguments_only_apply_to_their_algorithm() {
+        // --k is a k-core argument, --max-iters a label-propagation one;
+        // attaching either to a different algorithm is a usage error, not
+        // a silently ignored flag.
+        assert_usage_failure(&["--k", "2", "run", "cpu", "tc", "RN"]);
+        assert_usage_failure(&["--max-iters", "5", "run", "cpu", "bfs", "RN"]);
+    }
+
     // ---- `serve` / `client` argument validation --------------------------
     // All of these fail before a listener is bound, so no daemon is ever
     // left behind.

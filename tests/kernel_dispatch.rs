@@ -177,6 +177,17 @@ fn result_bits(run: &ugc_backend_cpu::Execution<'_>, algo: Algorithm) -> Vec<u64
             .iter()
             .map(|&v| v.to_bits())
             .collect(),
+        Algorithm::Tc => run.property_ints("tri").iter().map(|&v| v as u64).collect(),
+        Algorithm::KCore => run
+            .property_ints("core")
+            .iter()
+            .map(|&v| v as u64)
+            .collect(),
+        Algorithm::Lp => run
+            .property_ints("labels")
+            .iter()
+            .map(|&v| v as u64)
+            .collect(),
     }
 }
 
@@ -203,6 +214,62 @@ fn differential_scheds(algo: Algorithm) -> Vec<Option<ScheduleRef>> {
         )));
     }
     scheds
+}
+
+/// The recognizer's decision on each new scenario algorithm is deliberate,
+/// not accidental:
+///
+/// - **LP** (`next_label[dst] min= labels[src]`) is exactly the CC
+///   reduction shape and must specialize to `reduce_min`. (Bit-identity
+///   with the interpreter is covered by the `Algorithm::ALL` sweep above.)
+/// - **TC** (`tri[dst] += intersect_count(src, dst)`) must fall back: the
+///   kernel library only specializes reductions whose value is a plain
+///   property load of `src`, and has no kernel for intrinsic-valued
+///   (adjacency-intersection) work. The fallback is *counted* under
+///   `cpu.kernel.fallback`, never silent.
+/// - **k-core** (`deg[dst] += -1`) must fall back for the same reason: a
+///   literal-valued reduction has no specialized kernel yet.
+#[test]
+fn new_algorithms_dispatch_deliberately() {
+    let resolutions_of = |algo: Algorithm| {
+        let prog = compile(algo, None);
+        let udfs = compile_udfs(&prog, &binding_of(&prog)).expect("udfs compile");
+        resolutions(&prog, &udfs)
+    };
+    assert_eq!(
+        resolutions_of(Algorithm::Lp),
+        vec![Some("reduce_min")],
+        "LP's propagate is the CC shape and must specialize"
+    );
+    assert_eq!(
+        resolutions_of(Algorithm::Tc),
+        vec![None],
+        "TC must (deliberately) fall back — no intersection kernel exists"
+    );
+    assert_eq!(
+        resolutions_of(Algorithm::KCore),
+        vec![None],
+        "k-core must (deliberately) fall back — no literal-valued reduction kernel"
+    );
+    // Fallbacks are counted, not silent: a kernels-enabled TC run bumps
+    // `cpu.kernel.fallback` (when telemetry is collected at all).
+    if ugc_telemetry::enabled() {
+        let col = ugc_telemetry::Collector::start();
+        let graph = ugc_graph::generators::clique_batch(2, 4);
+        CpuGraphVm::with_threads(1)
+            .with_kernels(true)
+            .execute(
+                compile(Algorithm::Tc, None),
+                &graph,
+                &externs_for(Algorithm::Tc, 0),
+            )
+            .expect("tc runs");
+        let snap = col.snapshot();
+        assert!(
+            snap.get("cpu.kernel.fallback").unwrap_or(0) > 0,
+            "TC fallback was not counted: {snap:?}"
+        );
+    }
 }
 
 /// Guarantee 2 (serial): kernels on vs interpreter-forced, one thread,

@@ -46,7 +46,18 @@ fn attribution_components_sum_to_each_backends_total() {
     let graph = workload_graph();
     for target in Target::ALL {
         let col = Collector::start();
-        for algo in [Algorithm::PageRank, Algorithm::Bfs, Algorithm::Sssp] {
+        // The mix spans every operator family: push/pull traversals (BFS,
+        // SSSP), dense sweeps (PR), neighbor intersection (TC), active-set
+        // peeling via vertex filters (k-core), and min-reduction label
+        // exchange (LP) — so attribution must balance for all of them.
+        for algo in [
+            Algorithm::PageRank,
+            Algorithm::Bfs,
+            Algorithm::Sssp,
+            Algorithm::Tc,
+            Algorithm::KCore,
+            Algorithm::Lp,
+        ] {
             run_workload(target, algo, &graph);
         }
         let attr = attribution_from(target, &col.snapshot());
