@@ -28,15 +28,16 @@ use ugc_sim_gpu::GpuConfig;
 use ugc_sim_swarm::SwarmConfig;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|medium] [--seed N] [--budget N] [--no-cache] \
-                     <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|all> \
+                     <fig8|fig9|fig10a|fig10b|fig11|fig12|table3|table8|table9|table10|configs|chaos|chaos-serve|all> \
                      | tune [--explain] <cpu|gpu|swarm|hb> <pr|bfs|sssp|cc|bc|tc|kcore|lp> <dataset> \
                      | run [--k N] [--max-iters N] <cpu|gpu|swarm|hb> <algo> <dataset> \
                      | --profile <cpu|gpu|swarm|hb|all|serve> \
                      | serve [--port N | --socket PATH] [--admit N] [--queue N] [--batch-max N] \
-                     [--batch-window-ms N] \
+                     [--batch-window-ms N] [--drain-ms N] [--deadline-ms N] \
                      | client <unix:PATH|HOST:PORT> <request words...>\n\
-                     env: UGC_FAULTS=<gpu|swarm|hb>:<kind>:p=<prob>:seed=<N>[,...] \
-                     UGC_BUDGET_MS=<N> UGC_BUDGET_CYCLES=<N> UGC_FALLBACK=<cpu,seq,...|none>";
+                     env: UGC_FAULTS=<gpu|swarm|hb|serve>:<kind>:p=<prob>:seed=<N>[,...] \
+                     UGC_BUDGET_MS=<N> UGC_BUDGET_CYCLES=<N> UGC_FALLBACK=<cpu,seq,...|none> \
+                     UGC_CACHE_BYTES=<bytes>";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -180,6 +181,7 @@ fn main() {
             "table10" => table10(scale),
             "configs" => configs(),
             "chaos" => chaos(scale),
+            "chaos-serve" => chaos_serve(scale),
             "tune" => {
                 // `tune` consumes the next three words.
                 if what.len() - w < 4 {
@@ -302,6 +304,11 @@ fn serve_cmd(args: &[String]) {
     let mut config = ugc_serve::ServeConfig {
         bind: ugc_serve::Bind::Tcp(7411),
         policy: ugc::Policy::from_env().unwrap_or_else(|e| usage_error(&e)),
+        cache_bytes: ugc_serve::ServeConfig::cache_bytes_from_env()
+            .unwrap_or_else(|e| usage_error(&e)),
+        // The standalone daemon is the one place that owns its process:
+        // SIGTERM triggers the same graceful drain as the wire `shutdown`.
+        install_sigterm: true,
         ..ugc_serve::ServeConfig::default()
     };
     let flag_value = |args: &[String], i: usize| -> String {
@@ -347,6 +354,21 @@ fn serve_cmd(args: &[String]) {
                     "--batch-window-ms",
                     &flag_value(args, i),
                 ) as u64);
+                i += 2;
+            }
+            "--drain-ms" => {
+                config.drain = std::time::Duration::from_millis(parse_count(
+                    "--drain-ms",
+                    &flag_value(args, i),
+                ) as u64);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                config.default_deadline = Some(std::time::Duration::from_millis(parse_count(
+                    "--deadline-ms",
+                    &flag_value(args, i),
+                )
+                    as u64));
                 i += 2;
             }
             other => usage_error(&format!("unknown serve flag `{other}`")),
@@ -692,6 +714,308 @@ fn chaos(scale: Scale) {
     }
     if wrong > 0 {
         eprintln!("repro: {wrong} chaos run(s) returned a silent wrong answer");
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `key=<u64>` from a `stats` reply; missing keys exit 1 (the
+/// daemon's stats line is part of its contract).
+fn stat_field(stats: &str, key: &str) -> u64 {
+    let prefix = format!("{key}=");
+    stats
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("repro: stats reply missing `{key}=`: {stats}");
+            std::process::exit(1);
+        })
+}
+
+/// `repro chaos-serve`: daemon chaos smoke. Boots an in-process
+/// `ugc-serve` on a unix socket with the `UGC_FAULTS` schedule from the
+/// environment and drives it through healthy traffic, a circuit-breaker
+/// trip, deadline sheds under a jammed worker, and fuzzed protocol
+/// frames, then drains it. Every connection must end in a typed reply or
+/// a clean close; exits 1 unless at least one circuit opened, at least
+/// one request was deadline-shed, the accounting balances
+/// (ok + errored + shed = admitted), and the worker pool stayed intact.
+fn chaos_serve(scale: Scale) {
+    let spec = std::env::var("UGC_FAULTS").unwrap_or_default();
+    if spec.trim().is_empty() {
+        usage_error("chaos-serve needs UGC_FAULTS (e.g. serve:batch_abort:p=0.9:seed=7)");
+    }
+    banner(&format!(
+        "Chaos-serve: daemon under injected faults (UGC_FAULTS={spec}, scale {})",
+        scale.name()
+    ));
+    let sock = std::env::temp_dir().join(format!("ugc-chaos-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let config = ugc_serve::ServeConfig {
+        bind: ugc_serve::Bind::Unix(sock.clone()),
+        admit: 1,
+        queue_cap: 32,
+        batch_max: 4,
+        batch_window: std::time::Duration::from_millis(5),
+        drain: std::time::Duration::from_millis(500),
+        read_timeout: Some(std::time::Duration::from_secs(5)),
+        policy: ugc::Policy::from_env().unwrap_or_else(|e| usage_error(&e)),
+        ..ugc_serve::ServeConfig::default()
+    };
+    let handle = ugc_serve::Server::start(config).unwrap_or_else(|e| {
+        eprintln!("repro: chaos-serve failed to start: {e}");
+        std::process::exit(1);
+    });
+    let addr = format!("unix:{}", sock.display());
+    let mut failures = 0usize;
+
+    // 1. Healthy traffic under the fault schedule: injected batch aborts
+    // must be retried/degraded into `ok` replies, never surfaced.
+    for i in 0..6u32 {
+        let q = format!("query bfs RN source={i} scale={}", scale.name());
+        match client_send(&addr, &q) {
+            Ok(r) if r.starts_with("ok") => {}
+            Ok(r) => {
+                println!("healthy query answered `{r}`");
+                failures += 1;
+            }
+            Err(e) => {
+                println!("healthy query failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    let pool_before = match client_send(&addr, "stats") {
+        Ok(s) => stat_field(&s, "pool_workers"),
+        Err(e) => {
+            eprintln!("repro: chaos-serve stats failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // 2. Trip a circuit: repeated permanent failures on one
+    // (algo, dataset, scale) key must open its breaker and fail fast.
+    let mut circuit_open_replies = 0usize;
+    for _ in 0..8 {
+        let q = format!("query bfs PK source=999999999 scale={}", scale.name());
+        match client_send(&addr, &q) {
+            Ok(r) if r.starts_with("err circuit_open") => circuit_open_replies += 1,
+            Ok(r) if r.starts_with("err") => {}
+            Ok(r) => {
+                println!("poisoned query answered `{r}` instead of a typed error");
+                failures += 1;
+            }
+            Err(e) => {
+                println!("poisoned query failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    println!("circuit breaker: {circuit_open_replies} fast-failed replies");
+
+    // 3. Deadline sheds: jam the single worker with a cold-cache build,
+    // then queue tight-deadline queries behind it.
+    let jam = {
+        let addr = addr.clone();
+        std::thread::spawn(move || client_send(&addr, "query pr RN scale=small"))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let tight: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let q = format!("query bfs LJ source=0 deadline_ms=1 scale={}", scale.name());
+            std::thread::spawn(move || client_send(&addr, &q))
+        })
+        .collect();
+    let mut deadline_sheds = 0usize;
+    for t in tight {
+        match t.join().expect("deadline client thread") {
+            Ok(r) if r.starts_with("err deadline") => deadline_sheds += 1,
+            Ok(_) => {}
+            Err(e) => {
+                println!("deadline query failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let _ = jam.join().expect("jam client thread");
+    println!("deadline propagation: {deadline_sheds} queries shed in queue");
+
+    // 4. Fuzzed frames: every hostile connection must end in a typed
+    // protocol error or a clean close — never a hang or a dead daemon.
+    let fuzz_conn = |frames: &[&[u8]]| -> Result<Vec<String>, String> {
+        use std::io::{BufRead, ErrorKind, Write};
+        // The daemon may hang up on a hostile frame before we finish
+        // sending; a write-side "peer closed" is a clean close, not a bug.
+        let peer_closed = |e: &std::io::Error| {
+            matches!(
+                e.kind(),
+                ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::NotConnected
+            )
+        };
+        let mut s =
+            std::os::unix::net::UnixStream::connect(&sock).map_err(|e| format!("connect: {e}"))?;
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        for f in frames {
+            if let Err(e) = s.write_all(f) {
+                if peer_closed(&e) {
+                    break;
+                }
+                return Err(format!("write: {e}"));
+            }
+        }
+        if let Err(e) = s.flush() {
+            if !peer_closed(&e) {
+                return Err(e.to_string());
+            }
+        }
+        if let Err(e) = s.shutdown(std::net::Shutdown::Write) {
+            if !peer_closed(&e) {
+                return Err(e.to_string());
+            }
+        }
+        let mut replies = Vec::new();
+        let mut reader = std::io::BufReader::new(s);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => replies.push(line.trim_end().to_string()),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        Ok(replies)
+    };
+    let oversize = vec![b'a'; ugc_serve::MAX_LINE_BYTES + 1024];
+    let mut garbage = Vec::new();
+    let mut state = 0x5EEDu64;
+    for _ in 0..256 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        garbage.push((state >> 33) as u8);
+    }
+    garbage.retain(|&b| b != b'\n');
+    garbage.push(b'\n');
+    let cases: Vec<(&str, Vec<Vec<u8>>)> = vec![
+        ("oversize line", vec![oversize, b"\n".to_vec()]),
+        ("interior NUL", vec![b"query bfs\0RN\n".to_vec()]),
+        ("truncated frame", vec![b"query bf".to_vec()]),
+        ("seeded garbage", vec![garbage]),
+    ];
+    for (name, frames) in &cases {
+        let borrowed: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        match fuzz_conn(&borrowed) {
+            Ok(replies) => {
+                let clean = replies.iter().all(|r| r.starts_with("err"));
+                println!(
+                    "fuzz `{name}`: {} ({} repl{})",
+                    if clean {
+                        "typed error / clean close"
+                    } else {
+                        "UNEXPECTED REPLY"
+                    },
+                    replies.len(),
+                    if replies.len() == 1 { "y" } else { "ies" }
+                );
+                if !clean {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("fuzz `{name}`: connection error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    match client_send(
+        &addr,
+        &format!("query bfs RN source=0 scale={}", scale.name()),
+    ) {
+        Ok(r) if r.starts_with("ok") => println!("daemon alive after fuzzing"),
+        other => {
+            println!("daemon unhealthy after fuzzing: {other:?}");
+            failures += 1;
+        }
+    }
+
+    // 5. Accounting and pool invariants from the wire-visible stats.
+    let stats = match client_send(&addr, "stats") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro: chaos-serve stats failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{stats}");
+    let admitted = stat_field(&stats, "admitted");
+    let ok = stat_field(&stats, "ok");
+    let errored = stat_field(&stats, "errored");
+    let shed = stat_field(&stats, "shed_deadline")
+        + stat_field(&stats, "shed_overload")
+        + stat_field(&stats, "shed_drain");
+    if ok + errored + shed != admitted {
+        println!(
+            "accounting IMBALANCE: ok {ok} + errored {errored} + shed {shed} != admitted {admitted}"
+        );
+        failures += 1;
+    }
+    let pool_after = stat_field(&stats, "pool_workers");
+    if pool_after != pool_before {
+        println!("pool worker count drifted under chaos ({pool_before} -> {pool_after})");
+        failures += 1;
+    }
+    let open_now = stat_field(&stats, "circuit_open");
+    if circuit_open_replies == 0 && open_now == 0 {
+        println!("no circuit ever opened");
+        failures += 1;
+    }
+    if deadline_sheds == 0 && stat_field(&stats, "shed_deadline") == 0 {
+        println!("no request was deadline-shed");
+        failures += 1;
+    }
+
+    // 6. Graceful drain: wire shutdown, idempotent handle shutdown, join.
+    match client_send(&addr, "shutdown") {
+        Ok(r) if r.starts_with("ok") => {}
+        other => {
+            println!("shutdown reply: {other:?}");
+            failures += 1;
+        }
+    }
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_file(&sock);
+    println!("drain complete");
+
+    if ugc_telemetry::enabled() {
+        let snap = ugc_telemetry::snapshot();
+        let activity: u64 = [
+            "resilience.faults_injected",
+            "resilience.retries",
+            "resilience.fallbacks",
+            "resilience.budget_kills",
+        ]
+        .iter()
+        .map(|k| snap.get(k).unwrap_or(0))
+        .sum();
+        println!(
+            "resilience: injected {}, retries {}, breaker opened {}",
+            snap.get("resilience.faults_injected").unwrap_or(0),
+            snap.get("resilience.retries").unwrap_or(0),
+            snap.get("resilience.breaker.opened").unwrap_or(0),
+        );
+        if activity == 0 {
+            eprintln!(
+                "repro: chaos-serve ran but no resilience counter moved — fault spec never fired"
+            );
+            std::process::exit(1);
+        }
+    }
+    if failures > 0 {
+        eprintln!("repro: chaos-serve found {failures} violation(s)");
         std::process::exit(1);
     }
 }

@@ -443,8 +443,11 @@ impl Compiler {
                         if e.class == ErrorClass::Transient && retries < policy.max_retries {
                             retries += 1;
                             ugc_resilience::count_retry();
+                            // Salt 0: the batch supervisor has no
+                            // concurrent lanes to desynchronize, and a
+                            // fixed stream keeps reruns replayable.
                             std::thread::sleep(Duration::from_millis(ugc_resilience::backoff_ms(
-                                retries,
+                                retries, 0,
                             )));
                             continue;
                         }

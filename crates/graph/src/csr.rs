@@ -203,6 +203,18 @@ impl Csr {
         self.weights.as_ref().map_or(1, |w| w[i])
     }
 
+    /// Heap bytes held by the flat arrays (offsets + targets + weights).
+    /// Element counts × element sizes; capacity slack is not counted —
+    /// builders shrink-to-fit by construction.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
+    }
+
     /// The reverse graph: every edge `(s, d)` becomes `(d, s)`.
     pub fn transpose(&self) -> Csr {
         let n = self.num_vertices();
@@ -353,6 +365,15 @@ impl Graph {
     /// The in-edge CSR (transpose), materialized on first call.
     pub fn in_csr(&self) -> &Csr {
         self.inn.get_or_init(|| self.out.transpose())
+    }
+
+    /// The worst-case heap bytes this graph can come to hold: out-CSR
+    /// plus its (same-sized) transpose, whether or not the transpose is
+    /// materialized yet. Cache byte-accounting must use the *eventual*
+    /// footprint — the transpose materializes lazily behind a shared
+    /// `Arc<Graph>`, long after admission decisions were made.
+    pub fn resident_bytes(&self) -> usize {
+        2 * self.out.resident_bytes()
     }
 
     /// Out-degree of `v`.

@@ -1,0 +1,347 @@
+//! Per-key circuit breakers: fail fast on poisoned work instead of
+//! burning retry budget for every caller.
+//!
+//! `ugc-serve` keys circuits by `(algorithm, dataset, scale)` — a combo
+//! that keeps failing with `Permanent`/`Invariant` errors (a poisoned
+//! dataset, a broken kernel for one algorithm) should reject immediately
+//! with `err circuit_open` rather than re-execute, re-classify, and
+//! re-fallback on every request that touches it.
+//!
+//! The state machine is **count-based and deterministic** — no clocks,
+//! so chaos tests replay exactly:
+//!
+//! * **Closed** — outcomes feed a sliding window of the last
+//!   [`BreakerConfig::window`] calls. When the window holds
+//!   [`BreakerConfig::failure_threshold`] failures, the circuit opens.
+//! * **Open** — the next [`BreakerConfig::cooldown`] admissions are
+//!   rejected outright. The admission after that is the half-open probe.
+//! * **HalfOpen** — exactly one in-flight probe ([`Admission::Probe`]);
+//!   concurrent admissions are rejected while it runs. A successful
+//!   probe closes the circuit (window cleared); a failed probe reopens
+//!   it for a fresh cooldown.
+//!
+//! Only failures the *caller* decides are circuit-worthy should be
+//! recorded via [`Breaker::record_failure`] — for serve that means
+//! `Permanent` and `Invariant` classes. Transient and budget failures
+//! are the retry/fallback machinery's job, not the breaker's.
+//!
+//! Telemetry (`resilience.breaker.{opened,closed,rejected,probes}`) is
+//! registered lazily on the first breaker event, matching the crate-wide
+//! rule that fault-free runs leave no trace in snapshots.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::{Mutex, OnceLock};
+
+use ugc_telemetry::Counter;
+
+/// Breaker tuning. All counts, no durations: the machine advances only
+/// on admissions and recorded outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Failures within the window that trip the circuit.
+    pub failure_threshold: u32,
+    /// Sliding outcome-window length (calls, not time).
+    pub window: u32,
+    /// Admissions rejected while open before the half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            window: 8,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Circuit state for one key, as reported by [`Breaker::state_counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Calls flow; outcomes feed the window.
+    Closed,
+    /// Calls rejected until the cooldown elapses.
+    Open,
+    /// One probe in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// The admission decision for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Circuit closed: run the call, record its outcome.
+    Allow,
+    /// Circuit half-open: run the call as the single probe and *must*
+    /// record its outcome, or the circuit wedges half-open.
+    Probe,
+    /// Circuit open: fail fast, record nothing.
+    Reject,
+}
+
+struct Circuit {
+    state: State,
+    /// Closed-state sliding window; `true` = failure.
+    recent: VecDeque<bool>,
+    /// Open-state admissions rejected so far this cooldown.
+    rejections: u32,
+}
+
+impl Circuit {
+    fn new() -> Self {
+        Circuit {
+            state: State::Closed,
+            recent: VecDeque::new(),
+            rejections: 0,
+        }
+    }
+}
+
+struct BreakerCounters {
+    opened: Counter,
+    closed: Counter,
+    rejected: Counter,
+    probes: Counter,
+}
+
+fn breaker_counters() -> &'static BreakerCounters {
+    static C: OnceLock<BreakerCounters> = OnceLock::new();
+    C.get_or_init(|| BreakerCounters {
+        opened: Counter::new("resilience.breaker.opened"),
+        closed: Counter::new("resilience.breaker.closed"),
+        rejected: Counter::new("resilience.breaker.rejected"),
+        probes: Counter::new("resilience.breaker.probes"),
+    })
+}
+
+/// A family of independent circuits, one per key.
+///
+/// Keys are cheap copies (serve uses `(Algorithm, Dataset, Scale)`).
+/// All methods take `&self`; a single mutex guards the map — admission
+/// is two orders of magnitude cheaper than the graph traversals behind
+/// it, so contention is not a concern at serve's pool sizes.
+pub struct Breaker<K> {
+    config: BreakerConfig,
+    circuits: Mutex<HashMap<K, Circuit>>,
+}
+
+impl<K: Eq + Hash + Copy> Breaker<K> {
+    /// A breaker family with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            circuits: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<K, Circuit>> {
+        self.circuits.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Decides whether a call keyed `key` may run now.
+    ///
+    /// [`Admission::Probe`] hands the caller the half-open probe: its
+    /// outcome *must* be recorded (success or failure) or the circuit
+    /// stays half-open and keeps rejecting everyone else.
+    pub fn admit(&self, key: K) -> Admission {
+        let mut map = self.lock();
+        let c = map.entry(key).or_insert_with(Circuit::new);
+        match c.state {
+            State::Closed => Admission::Allow,
+            State::HalfOpen => {
+                breaker_counters().rejected.incr();
+                Admission::Reject
+            }
+            State::Open => {
+                if c.rejections < self.config.cooldown {
+                    c.rejections += 1;
+                    breaker_counters().rejected.incr();
+                    Admission::Reject
+                } else {
+                    c.state = State::HalfOpen;
+                    breaker_counters().probes.incr();
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Records a successful outcome for `key`.
+    pub fn record_success(&self, key: K) {
+        let mut map = self.lock();
+        let c = map.entry(key).or_insert_with(Circuit::new);
+        match c.state {
+            State::Closed => {
+                c.recent.push_back(false);
+                if c.recent.len() > self.config.window as usize {
+                    c.recent.pop_front();
+                }
+            }
+            State::HalfOpen => {
+                // Probe succeeded: close with a clean window.
+                c.state = State::Closed;
+                c.recent.clear();
+                c.rejections = 0;
+                breaker_counters().closed.incr();
+            }
+            // A straggler admitted before the trip finished after it;
+            // the open circuit's cooldown is unaffected.
+            State::Open => {}
+        }
+    }
+
+    /// Records a circuit-worthy failure for `key`. Callers filter by
+    /// error class first; transient faults should not reach here.
+    pub fn record_failure(&self, key: K) {
+        let mut map = self.lock();
+        let c = map.entry(key).or_insert_with(Circuit::new);
+        match c.state {
+            State::Closed => {
+                c.recent.push_back(true);
+                if c.recent.len() > self.config.window as usize {
+                    c.recent.pop_front();
+                }
+                let failures = c.recent.iter().filter(|&&f| f).count() as u32;
+                if failures >= self.config.failure_threshold {
+                    c.state = State::Open;
+                    c.recent.clear();
+                    c.rejections = 0;
+                    breaker_counters().opened.incr();
+                }
+            }
+            State::HalfOpen => {
+                // Probe failed: reopen for a fresh cooldown.
+                c.state = State::Open;
+                c.rejections = 0;
+                breaker_counters().opened.incr();
+            }
+            State::Open => {}
+        }
+    }
+
+    /// `(closed, half_open, open)` counts over every key seen so far.
+    /// Serve surfaces these as `circuit_{closed,half_open,open}` gauges.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let map = self.lock();
+        let mut counts = (0usize, 0usize, 0usize);
+        for c in map.values() {
+            match c.state {
+                State::Closed => counts.0 += 1,
+                State::HalfOpen => counts.1 += 1,
+                State::Open => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The current state of `key`'s circuit (Closed if never seen).
+    pub fn state(&self, key: K) -> State {
+        self.lock().get(&key).map_or(State::Closed, |c| c.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            window: 8,
+            cooldown: 4,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_failures_in_window() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        assert_eq!(b.admit(1), Admission::Allow);
+        b.record_failure(1);
+        b.record_failure(1);
+        assert_eq!(b.state(1), State::Closed, "two failures stay closed");
+        b.record_failure(1);
+        assert_eq!(b.state(1), State::Open, "third failure trips");
+        assert_eq!(b.admit(1), Admission::Reject);
+    }
+
+    #[test]
+    fn successes_age_failures_out_of_the_window() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        b.record_failure(1);
+        b.record_failure(1);
+        // Eight successes push both failures out of the window.
+        for _ in 0..8 {
+            b.record_success(1);
+        }
+        b.record_failure(1);
+        b.record_failure(1);
+        assert_eq!(b.state(1), State::Closed, "aged failures must not count");
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_close_on_success() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(1);
+        }
+        // Cooldown: exactly `cooldown` rejections...
+        for i in 0..4 {
+            assert_eq!(b.admit(1), Admission::Reject, "rejection {i}");
+        }
+        // ...then the single half-open probe.
+        assert_eq!(b.admit(1), Admission::Probe);
+        assert_eq!(b.state(1), State::HalfOpen);
+        // Concurrent calls are rejected while the probe is in flight.
+        assert_eq!(b.admit(1), Admission::Reject);
+        b.record_success(1);
+        assert_eq!(b.state(1), State::Closed);
+        assert_eq!(b.admit(1), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(1);
+        }
+        for _ in 0..4 {
+            assert_eq!(b.admit(1), Admission::Reject);
+        }
+        assert_eq!(b.admit(1), Admission::Probe);
+        b.record_failure(1);
+        assert_eq!(b.state(1), State::Open, "failed probe reopens");
+        // Full cooldown again before the next probe.
+        for _ in 0..4 {
+            assert_eq!(b.admit(1), Admission::Reject);
+        }
+        assert_eq!(b.admit(1), Admission::Probe);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(7);
+        }
+        assert_eq!(b.admit(7), Admission::Reject);
+        assert_eq!(b.admit(8), Admission::Allow, "other keys unaffected");
+        assert_eq!(b.state_counts(), (1, 0, 1));
+    }
+
+    #[test]
+    fn open_state_ignores_straggler_outcomes() {
+        let b: Breaker<u32> = Breaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(1);
+        }
+        // Outcomes from calls admitted before the trip must not advance
+        // or reset the cooldown.
+        b.record_success(1);
+        b.record_failure(1);
+        for _ in 0..4 {
+            assert_eq!(b.admit(1), Admission::Reject);
+        }
+        assert_eq!(b.admit(1), Admission::Probe);
+    }
+}

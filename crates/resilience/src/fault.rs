@@ -17,7 +17,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use crate::counters;
+use crate::{counters, splitmix64};
 
 /// Which simulator a fault spec targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +28,8 @@ pub enum Domain {
     Swarm,
     /// The HammerBlade manycore simulator (`sim-hb`).
     Hb,
+    /// The `ugc-serve` daemon's batch execution path.
+    Serve,
 }
 
 impl Domain {
@@ -37,6 +39,7 @@ impl Domain {
             Domain::Gpu => "gpu",
             Domain::Swarm => "swarm",
             Domain::Hb => "hb",
+            Domain::Serve => "serve",
         }
     }
 
@@ -45,6 +48,7 @@ impl Domain {
             "gpu" => Some(Domain::Gpu),
             "swarm" => Some(Domain::Swarm),
             "hb" | "hammerblade" => Some(Domain::Hb),
+            "serve" => Some(Domain::Serve),
             _ => None,
         }
     }
@@ -64,6 +68,9 @@ pub enum FaultKind {
     /// A DRAM bit error forces a redundant retry read (HammerBlade;
     /// degraded — extra DRAM cycles).
     DramBitError,
+    /// A serving batch aborts mid-traversal (Serve; fatal to the
+    /// attempt — the daemon's supervised retry loop absorbs it).
+    BatchAbort,
 }
 
 impl FaultKind {
@@ -74,6 +81,7 @@ impl FaultKind {
             FaultKind::MemStallSpike => "mem_stall_spike",
             FaultKind::TaskAbortStorm => "task_abort_storm",
             FaultKind::DramBitError => "dram_bit_error",
+            FaultKind::BatchAbort => "batch_abort",
         }
     }
 
@@ -83,6 +91,7 @@ impl FaultKind {
             "mem_stall_spike" => Some(FaultKind::MemStallSpike),
             "task_abort_storm" => Some(FaultKind::TaskAbortStorm),
             "dram_bit_error" => Some(FaultKind::DramBitError),
+            "batch_abort" => Some(FaultKind::BatchAbort),
             _ => None,
         }
     }
@@ -95,6 +104,7 @@ impl FaultKind {
                 | (Domain::Gpu, FaultKind::MemStallSpike)
                 | (Domain::Swarm, FaultKind::TaskAbortStorm)
                 | (Domain::Hb, FaultKind::DramBitError)
+                | (Domain::Serve, FaultKind::BatchAbort)
         )
     }
 }
@@ -263,13 +273,6 @@ pub fn begin_attempt(attempt: u64) {
     DRAWS.with(|d| d.set(0));
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// Rolls the injector at a fault opportunity. Returns `true` (and counts
 /// `resilience.faults_injected`) when a matching installed spec fires.
 ///
@@ -346,6 +349,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_serve_domain() {
+        let specs = parse_faults("serve:batch_abort:p=0.25:seed=11").unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].domain, Domain::Serve);
+        assert_eq!(specs[0].kind, FaultKind::BatchAbort);
+    }
+
+    #[test]
     fn parses_multi_spec_lists() {
         let specs = parse_faults(
             "gpu:kernel_launch_fail:p=0.5:seed=1, swarm:task_abort_storm:p=0.1:seed=2",
@@ -370,6 +381,8 @@ mod tests {
             "gpu:mem_stall_spike:p=0.1:seed=-3",
             "swarm:mem_stall_spike:p=0.1:seed=1",
             "hb:kernel_launch_fail:p=0.1:seed=1",
+            "serve:dram_bit_error:p=0.1:seed=1",
+            "gpu:batch_abort:p=0.1:seed=1",
         ] {
             assert!(parse_faults(bad).is_err(), "`{bad}` must be rejected");
         }

@@ -36,8 +36,19 @@ use std::sync::OnceLock;
 
 use ugc_telemetry::Counter;
 
+pub mod breaker;
 pub mod budget;
 pub mod fault;
+
+/// The workspace's standard 64-bit mixer (Steele et al.'s splitmix64
+/// finalizer). Shared by the fault injector's draw streams and the
+/// backoff jitter so both stay deterministic and seed-separable.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// The workspace error taxonomy (tentpole item 4).
 ///
@@ -110,10 +121,21 @@ pub fn count_fallback() {
     counters().fallbacks.incr();
 }
 
-/// Deterministic exponential backoff for retry `attempt` (0-based):
-/// 1ms, 2ms, 4ms, capped at 8ms. No jitter — reruns must be replayable.
-pub fn backoff_ms(attempt: u32) -> u64 {
-    (1u64 << attempt.min(3)).min(8)
+/// Deterministic jittered exponential backoff for retry `attempt`
+/// (0-based): an exponential base of 1ms, 2ms, 4ms capped at 8ms, plus
+/// a splitmix64-derived jitter in `[0, base)` drawn from the
+/// `(salt, attempt)` stream.
+///
+/// The jitter is *seeded*, not random: the same `(attempt, salt)` pair
+/// always sleeps the same number of milliseconds, so reruns replay
+/// exactly. Distinct salts desynchronize — coalesced serve lanes that
+/// hit the same injected fault retry on different schedules instead of
+/// stampeding the pool in lockstep, while the batch supervisor passes a
+/// fixed salt and keeps its historical determinism.
+pub fn backoff_ms(attempt: u32, salt: u64) -> u64 {
+    let base = (1u64 << attempt.min(3)).min(8);
+    let jitter = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0xD134_2543_DE82_EF95)) % base;
+    base + jitter
 }
 
 /// Installs (once, process-wide) a panic-hook wrapper that suppresses the
@@ -165,11 +187,30 @@ mod tests {
 
     #[test]
     fn backoff_is_deterministic_and_capped() {
-        assert_eq!(backoff_ms(0), 1);
-        assert_eq!(backoff_ms(1), 2);
-        assert_eq!(backoff_ms(2), 4);
-        assert_eq!(backoff_ms(3), 8);
-        assert_eq!(backoff_ms(30), 8);
+        // Pinned sequences: base 1/2/4/8 (capped) plus seeded jitter in
+        // [0, base). A change here is a replay-compatibility break.
+        let seq = |salt: u64| (0..6).map(|a| backoff_ms(a, salt)).collect::<Vec<_>>();
+        assert_eq!(seq(0), [1, 2, 5, 10, 14, 11]);
+        assert_eq!(seq(0x5EED), [1, 3, 5, 14, 11, 11]);
+        assert_eq!(seq(42), [1, 3, 4, 15, 8, 8]);
+        // Same stream replays; the bounds hold for every attempt.
+        for salt in [0u64, 1, 0x5EED, u64::MAX] {
+            for attempt in 0..32 {
+                let base = (1u64 << attempt.min(3)).min(8);
+                let ms = backoff_ms(attempt, salt);
+                assert_eq!(ms, backoff_ms(attempt, salt), "replayable");
+                assert!(ms >= base && ms < 2 * base, "jitter bounded by base");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_salts_desynchronize_lanes() {
+        // Two lanes retrying the same fault with different salts must not
+        // share a schedule (the thundering-herd case jitter exists for).
+        let a: Vec<u64> = (0..8).map(|n| backoff_ms(n, 1)).collect();
+        let b: Vec<u64> = (0..8).map(|n| backoff_ms(n, 2)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -3,15 +3,40 @@
 //!
 //! In-flight work is bounded by the worker count (one batch per worker);
 //! waiting work is bounded by the queue capacity, beyond which
-//! [`Gate::submit`] rejects and the connection handler replies `err busy`
-//! — backpressure the client can see instead of an unbounded pile-up.
+//! [`Gate::submit`] rejects with [`Rejected::Full`] and the connection
+//! handler replies `err busy` — backpressure the client can see instead
+//! of an unbounded pile-up. A closed (draining) gate rejects with
+//! [`Rejected::Draining`] instead, which the handler maps to
+//! `err draining`.
 //!
 //! When a worker pops a batchable head query (BFS/SSSP), it lingers for
 //! the *batch window*, collecting queries that
 //! [coalesce](crate::protocol::QuerySpec::coalesces_with) with it (same
 //! traversal, same cached graph) up to the batch cap. The window is the
 //! latency price of coalescing and is deliberately small; a window of
-//! zero degrades to strict one-query-per-traversal service.
+//! zero degrades to strict one-query-per-traversal service. The linger
+//! additionally respects the *tightest deadline* across the batch: a
+//! lane due in 3ms will not sit out a 5ms window waiting for joiners.
+//!
+//! # Close vs. in-flight `next_batch` (drain semantics)
+//!
+//! [`Gate::close`] and [`Gate::next_batch`] serialize on the gate mutex,
+//! which makes the race semantics exact:
+//!
+//! * Every `submit` that returned `Ok` before `close` acquired the lock
+//!   left its entry in the queue; `close` only flips `open` — it never
+//!   removes entries. Workers keep popping until the queue is empty and
+//!   only then observe `open == false` and return `None`.
+//! * A worker lingering in a batch window when `close` lands is woken by
+//!   the `notify_all`, takes one final coalescing pass, and dispatches
+//!   what it has.
+//!
+//! Net effect, asserted by `drain_executes_every_admitted_query` below
+//! and the regression test in `tests/serve.rs`: **an admitted query is
+//! always handed to a worker — drain may answer it `err draining`, but
+//! the gate itself never silently drops it.** The only queries that see
+//! `Rejected::Draining` are those submitted *after* close won the lock,
+//! and those are handed back to the caller, never enqueued.
 
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
@@ -29,6 +54,33 @@ pub struct Pending {
     pub reply: Sender<String>,
     /// Admission time, for the end-to-end latency histogram.
     pub enqueued: Instant,
+    /// Absolute shed deadline (from `deadline_ms=` or the server
+    /// default), or `None` for an infinitely patient request.
+    pub deadline: Option<Instant>,
+}
+
+impl Pending {
+    /// True once the deadline (if any) has passed.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// Why [`Gate::submit`] handed a query back.
+pub enum Rejected {
+    /// The waiting queue is at capacity; reply `err busy`.
+    Full(Pending),
+    /// The gate is closed (daemon draining); reply `err draining`.
+    Draining(Pending),
+}
+
+impl Rejected {
+    /// The rejected query, whatever the reason.
+    pub fn into_pending(self) -> Pending {
+        match self {
+            Rejected::Full(p) | Rejected::Draining(p) => p,
+        }
+    }
 }
 
 struct GateState {
@@ -66,12 +118,16 @@ impl Gate {
     ///
     /// # Errors
     ///
-    /// Hands the query back when the queue is full or the gate is closed
-    /// (shutting down); the caller replies `err busy`.
-    pub fn submit(&self, p: Pending) -> Result<usize, Pending> {
+    /// Hands the query back as [`Rejected::Full`] (queue at capacity,
+    /// reply `err busy`) or [`Rejected::Draining`] (gate closed, reply
+    /// `err draining`).
+    pub fn submit(&self, p: Pending) -> Result<usize, Rejected> {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if !st.open || st.queue.len() >= self.queue_cap {
-            return Err(p);
+        if !st.open {
+            return Err(Rejected::Draining(p));
+        }
+        if st.queue.len() >= self.queue_cap {
+            return Err(Rejected::Full(p));
         }
         st.queue.push_back(p);
         let depth = st.queue.len();
@@ -82,11 +138,20 @@ impl Gate {
     }
 
     /// Stops admission; workers drain what is already queued, then their
-    /// [`Gate::next_batch`] calls return `None`.
+    /// [`Gate::next_batch`] calls return `None`. Idempotent. See the
+    /// module docs for the exact close/next_batch race semantics.
     pub fn close(&self) {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.open = false;
         self.ready.notify_all();
+    }
+
+    /// Whether the gate still admits work.
+    pub fn is_open(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .open
     }
 
     /// Queries currently waiting (excludes in-flight batches).
@@ -99,8 +164,9 @@ impl Gate {
     }
 
     /// Blocks for the next unit of work: one query, plus every queued
-    /// query that coalesces with it (collected over the batch window).
-    /// Returns `None` once the gate is closed *and* drained.
+    /// query that coalesces with it (collected over the batch window,
+    /// clamped to the tightest member deadline). Returns `None` once the
+    /// gate is closed *and* drained.
     pub fn next_batch(&self) -> Option<Vec<Pending>> {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let head = loop {
@@ -114,7 +180,7 @@ impl Gate {
         };
         let mut batch = vec![head];
         if batch[0].spec.batchable() && self.batch_max > 1 {
-            let deadline = Instant::now() + self.batch_window;
+            let window_end = Instant::now() + self.batch_window;
             loop {
                 let mut i = 0;
                 while i < st.queue.len() && batch.len() < self.batch_max {
@@ -127,6 +193,15 @@ impl Gate {
                 if batch.len() >= self.batch_max || !st.open {
                     break;
                 }
+                // The linger ends at the window — or earlier, at the
+                // tightest deadline any collected lane carries. A lane
+                // about to expire must dispatch now, not wait out the
+                // window and get shed for latency the gate added.
+                let deadline = batch
+                    .iter()
+                    .filter_map(|p| p.deadline)
+                    .min()
+                    .map_or(window_end, |d| d.min(window_end));
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -165,9 +240,11 @@ mod tests {
                 source,
                 k: None,
                 max_iters: None,
+                deadline_ms: None,
             },
             reply: tx,
             enqueued: Instant::now(),
+            deadline: None,
         }
     }
 
@@ -176,9 +253,15 @@ mod tests {
         let gate = Gate::new(2, 4, Duration::ZERO);
         assert!(gate.submit(pending(Algorithm::Bfs, 0)).is_ok());
         assert!(gate.submit(pending(Algorithm::Bfs, 1)).is_ok());
-        assert!(gate.submit(pending(Algorithm::Bfs, 2)).is_err());
+        assert!(matches!(
+            gate.submit(pending(Algorithm::Bfs, 2)),
+            Err(Rejected::Full(_))
+        ));
         gate.close();
-        assert!(gate.submit(pending(Algorithm::Bfs, 3)).is_err());
+        assert!(matches!(
+            gate.submit(pending(Algorithm::Bfs, 3)),
+            Err(Rejected::Draining(_))
+        ));
         assert_eq!(gate.depth(), 2);
     }
 
@@ -211,12 +294,64 @@ mod tests {
     }
 
     #[test]
+    fn tight_deadline_clamps_the_batch_window() {
+        // A 10-second window would sink the test if the deadline clamp
+        // regressed; the 5ms lane deadline must cut the linger short.
+        let gate = Gate::new(16, 8, Duration::from_secs(10));
+        let mut p = pending(Algorithm::Bfs, 0);
+        p.deadline = Some(Instant::now() + Duration::from_millis(5));
+        gate.submit(p).ok().unwrap();
+        let start = Instant::now();
+        let batch = gate.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must clamp the linger, waited {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn drains_after_close_then_ends() {
         let gate = Gate::new(16, 8, Duration::from_millis(50));
         gate.submit(pending(Algorithm::PageRank, 0)).ok().unwrap();
         gate.close();
         assert_eq!(gate.next_batch().unwrap().len(), 1);
         assert!(gate.next_batch().is_none());
+    }
+
+    #[test]
+    fn drain_executes_every_admitted_query() {
+        // The close/next_batch race contract: whatever was admitted
+        // before close is handed to a worker afterwards — nothing is
+        // silently dropped, regardless of interleaving.
+        let gate = Arc::new(Gate::new(64, 8, Duration::from_millis(5)));
+        let admitted: usize = (0..32)
+            .map(|s| {
+                usize::from(
+                    gate.submit(pending(
+                        if s % 2 == 0 {
+                            Algorithm::Bfs
+                        } else {
+                            Algorithm::Cc
+                        },
+                        s,
+                    ))
+                    .is_ok(),
+                )
+            })
+            .sum();
+        assert_eq!(admitted, 32);
+        // Close concurrently with workers mid-drain.
+        let g = gate.clone();
+        let closer = std::thread::spawn(move || g.close());
+        let mut handed_out = 0usize;
+        while let Some(batch) = gate.next_batch() {
+            handed_out += batch.len();
+        }
+        closer.join().unwrap();
+        assert_eq!(handed_out, admitted, "close must never drop queue entries");
+        assert!(gate.next_batch().is_none(), "close is terminal");
     }
 
     #[test]

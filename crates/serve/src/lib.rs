@@ -43,14 +43,22 @@ pub mod cache;
 pub mod exec;
 pub mod gate;
 pub mod protocol;
+mod signal;
 pub mod tuned;
 
 pub use cache::GraphCache;
+pub use exec::ServeBreaker;
 pub use protocol::{QuerySpec, Request};
 pub use tuned::TunedSchedules;
 
-use gate::{Gate, Pending};
+use gate::{Gate, Pending, Rejected};
 use protocol::err_line;
+use ugc_resilience::breaker::BreakerConfig;
+
+/// Hard cap on one request line; longer lines are answered
+/// `err protocol` and the connection is closed (the daemon cannot
+/// resynchronize a frame it refused to buffer).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// A monotone counter that is readable locally (`stats` must work even
 /// with telemetry disabled) and mirrored into the [`ugc_telemetry`]
@@ -101,8 +109,25 @@ pub struct ServeCounters {
     pub ok: Stat,
     /// Queries answered `err` (including protocol errors).
     pub errors: Stat,
-    /// Queries refused by admission control (`err busy`).
+    /// Queries refused by admission control (`err busy` / `err draining`
+    /// at the gate; never enqueued, so excluded from the admitted
+    /// accounting below).
     pub rejected: Stat,
+    /// Queries accepted by the gate. Every admitted query settles as
+    /// exactly one of `ok`, `errored`, or a `shed_*` — the accounting
+    /// invariant `tests/telemetry_invariants.rs` checks.
+    pub admitted: Stat,
+    /// Admitted queries that executed and failed (classified errors and
+    /// circuit rejections; sheds are counted separately).
+    pub errored: Stat,
+    /// Admitted queries shed because their deadline expired in queue.
+    pub shed_deadline: Stat,
+    /// Admitted queries shed because the graph build would break the
+    /// cache byte cap.
+    pub shed_overload: Stat,
+    /// Admitted queries shed because the drain deadline passed before
+    /// they executed.
+    pub shed_drain: Stat,
     /// Multi-query batches executed.
     pub batches: Stat,
     /// Queries that rode another query's traversal (batch size minus one,
@@ -139,6 +164,11 @@ impl ServeCounters {
             ok: Stat::new("serve.ok"),
             errors: Stat::new("serve.errors"),
             rejected: Stat::new("serve.rejected"),
+            admitted: Stat::new("serve.admitted"),
+            errored: Stat::new("serve.errored"),
+            shed_deadline: Stat::new("serve.shed.deadline"),
+            shed_overload: Stat::new("serve.shed.overload"),
+            shed_drain: Stat::new("serve.shed.drain"),
             batches: Stat::new("serve.batches"),
             coalesced: Stat::new("serve.batch.coalesced"),
             degraded: Stat::new("serve.batch.degraded"),
@@ -181,6 +211,25 @@ pub struct ServeConfig {
     /// Per-request supervisor policy (watchdog budgets, retries,
     /// fallback chain).
     pub policy: Policy,
+    /// GraphCache byte cap (`UGC_CACHE_BYTES`); `None` is unbounded.
+    pub cache_bytes: Option<usize>,
+    /// Grace window for executing already-queued work after shutdown;
+    /// batches still queued past it are shed `err draining`.
+    pub drain: Duration,
+    /// Default deadline applied to queries that carry no `deadline_ms=`
+    /// (`repro serve --deadline-ms`); `None` leaves them unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Per-connection read timeout: a client that stalls mid-frame for
+    /// longer is disconnected instead of holding a handler thread
+    /// hostage. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Install a SIGTERM handler (self-pipe) that triggers the same
+    /// graceful drain as the wire `shutdown`. Only `repro serve` sets
+    /// this — in-process test servers must not trap process signals.
+    pub install_sigterm: bool,
+    /// Circuit-breaker tuning for the per-(algo, dataset, scale)
+    /// circuits.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -192,6 +241,12 @@ impl Default for ServeConfig {
             batch_max: 16,
             batch_window: Duration::from_millis(5),
             policy: Policy::default(),
+            cache_bytes: None,
+            drain: Duration::from_secs(2),
+            default_deadline: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            install_sigterm: false,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -222,6 +277,15 @@ impl ServeConfig {
                 ugc_algorithms::multi_source::MAX_LANES
             ));
         }
+        if self.cache_bytes == Some(0) {
+            return Err("cache byte cap must be positive (UGC_CACHE_BYTES)".into());
+        }
+        if self.default_deadline == Some(Duration::ZERO) {
+            return Err("default deadline must be positive (--deadline-ms)".into());
+        }
+        if self.drain > Duration::from_secs(600) {
+            return Err("drain window above 600000ms is not a drain (--drain-ms)".into());
+        }
         if let Bind::Unix(path) = &self.bind {
             if path.as_os_str().is_empty() {
                 return Err("socket path must not be empty (--socket)".into());
@@ -245,6 +309,30 @@ impl ServeConfig {
             }
         }
         Ok(())
+    }
+
+    /// Parses the `UGC_CACHE_BYTES` cap from the environment (`repro
+    /// serve` calls this before [`Server::start`]). Unset or empty means
+    /// unbounded.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the variable when the value is not a positive
+    /// integer; `repro` turns it into a usage error (exit 2).
+    pub fn cache_bytes_from_env() -> Result<Option<usize>, String> {
+        match std::env::var("UGC_CACHE_BYTES") {
+            Err(_) => Ok(None),
+            Ok(v) if v.trim().is_empty() => Ok(None),
+            Ok(v) => {
+                let n: u64 = v.trim().parse().map_err(|_| {
+                    format!("UGC_CACHE_BYTES must be a positive integer of bytes, got `{v}`")
+                })?;
+                if n == 0 {
+                    return Err("UGC_CACHE_BYTES must be positive (unset it for unbounded)".into());
+                }
+                Ok(Some(n as usize))
+            }
+        }
     }
 }
 
@@ -295,6 +383,13 @@ impl StreamKind {
             StreamKind::Unix(s) => s.try_clone().map(StreamKind::Unix),
         }
     }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.set_read_timeout(t),
+            StreamKind::Unix(s) => s.set_read_timeout(t),
+        }
+    }
 }
 
 impl Read for StreamKind {
@@ -327,7 +422,14 @@ struct Shared {
     gate: Gate,
     counters: Arc<ServeCounters>,
     cache: Arc<GraphCache>,
+    breaker: Arc<ServeBreaker>,
     shutting_down: AtomicBool,
+    /// Set once by [`Shared::begin_shutdown`]; executors shed queued
+    /// batches `err draining` after it passes.
+    drain_deadline: Arc<std::sync::Mutex<Option<Instant>>>,
+    drain: Duration,
+    default_deadline: Option<Duration>,
+    read_timeout: Option<Duration>,
     addr: ServeAddr,
     started: Instant,
 }
@@ -339,15 +441,25 @@ impl Shared {
     fn stats_line(&self) -> String {
         let c = &self.counters;
         let pool = ugc_runtime::pool::telemetry();
+        let (circuit_closed, circuit_half_open, circuit_open) = self.breaker.state_counts();
         format!(
-            "ok stats uptime_ms={} queries={} ok={} errors={} rejected={} queued={} \
+            "ok stats uptime_ms={} queries={} ok={} errors={} rejected={} admitted={} \
+             errored={} shed_deadline={} shed_overload={} shed_drain={} queued={} \
              batches={} coalesced={} degraded={} work={} cache_builds={} cache_hits={} \
-             resident_graphs={} pool_workers={} tuned_hits={} tuned_pending={}",
+             cache_evictions={} cache_resident_bytes={} cache_cap_bytes={} \
+             resident_graphs={} circuit_closed={circuit_closed} \
+             circuit_half_open={circuit_half_open} circuit_open={circuit_open} \
+             pool_workers={} tuned_hits={} tuned_pending={}",
             self.started.elapsed().as_millis(),
             c.queries.get(),
             c.ok.get(),
             c.errors.get(),
             c.rejected.get(),
+            c.admitted.get(),
+            c.errored.get(),
+            c.shed_deadline.get(),
+            c.shed_overload.get(),
+            c.shed_drain.get(),
             self.gate.depth(),
             c.batches.get(),
             c.coalesced.get(),
@@ -355,6 +467,9 @@ impl Shared {
             c.work.get(),
             self.cache.builds(),
             self.cache.hits(),
+            self.cache.evictions(),
+            self.cache.resident_bytes(),
+            self.cache.cap_bytes().unwrap_or(0),
             self.cache.resident(),
             pool.workers_spawned,
             c.tuned_hits.get(),
@@ -362,10 +477,22 @@ impl Shared {
         )
     }
 
-    /// Stops admission and unblocks the accept loop. Idempotent.
+    /// Stops admission, arms the drain deadline, and unblocks the accept
+    /// loop. Idempotent — the wire `shutdown`, SIGTERM, and
+    /// [`ServerHandle::shutdown`] all funnel here, and only the first
+    /// call acts.
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // Arm the drain deadline *before* closing the gate so a worker
+        // cannot observe a closed gate with an unarmed deadline.
+        {
+            let mut dd = self
+                .drain_deadline
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *dd = Some(Instant::now() + self.drain);
         }
         self.gate.close();
         // A throwaway self-connection unblocks the blocking accept().
@@ -417,16 +544,26 @@ impl Server {
             }
         };
         let counters = Arc::new(ServeCounters::new());
-        let cache = Arc::new(GraphCache::new());
+        let cache = Arc::new(GraphCache::with_cap(config.cache_bytes));
         let tuned = Arc::new(TunedSchedules::new());
+        let breaker = Arc::new(ServeBreaker::new(config.breaker));
+        let drain_deadline = Arc::new(std::sync::Mutex::new(None));
         let shared = Arc::new(Shared {
             gate: Gate::new(config.queue_cap, config.batch_max, config.batch_window),
             counters: counters.clone(),
             cache: cache.clone(),
+            breaker: breaker.clone(),
             shutting_down: AtomicBool::new(false),
+            drain_deadline: drain_deadline.clone(),
+            drain: config.drain,
+            default_deadline: config.default_deadline,
+            read_timeout: config.read_timeout,
             addr,
             started: Instant::now(),
         });
+        if config.install_sigterm {
+            signal::spawn_sigterm_drain(shared.clone())?;
+        }
         // Tuning jobs flow from the executors to one background tuner
         // thread. The sender lives only in the executors: when the gate
         // closes and the workers exit, the channel disconnects and the
@@ -441,6 +578,8 @@ impl Server {
                     counters: counters.clone(),
                     tuned: tuned.clone(),
                     tuner_tx: tuner_tx.clone(),
+                    breaker: breaker.clone(),
+                    drain_deadline: drain_deadline.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("ugc-serve-worker-{i}"))
@@ -586,56 +725,134 @@ fn accept_loop(listener: &ListenerKind, shared: &Arc<Shared>) {
     }
 }
 
+/// One bounded-read request line.
+enum LineRead {
+    /// A complete line (newline stripped, may be the unterminated tail
+    /// at EOF).
+    Line(Vec<u8>),
+    /// Clean end of stream.
+    Eof,
+    /// The line outgrew [`MAX_LINE_BYTES`] before its newline arrived.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`] — the unbounded-`read_line` OOM vector a hostile
+/// or broken client could otherwise drive.
+fn read_line_bounded<R: BufRead>(r: &mut R) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(buf)
+            });
+        }
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..nl]);
+            r.consume(nl + 1);
+            if buf.len() > MAX_LINE_BYTES {
+                return Ok(LineRead::TooLong);
+            }
+            return Ok(LineRead::Line(buf));
+        }
+        let taken = chunk.len();
+        buf.extend_from_slice(chunk);
+        r.consume(taken);
+        if buf.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
 /// One connection: read request lines, write one response line each.
-/// Returns (closing the connection) on `shutdown`, read errors, or EOF.
+/// Returns (closing the connection) on `shutdown`, read errors/timeouts,
+/// oversize frames, or EOF.
 fn handle_conn(stream: StreamKind, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(shared.read_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let raw = match read_line_bounded(&mut reader) {
+            Ok(LineRead::Line(raw)) => raw,
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                // Reply, then close: the rest of the oversize frame is
+                // still in flight and cannot be resynchronized.
+                shared.counters.errors.incr();
+                let e = err_line(
+                    "protocol",
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = writeln!(writer, "{e}").and_then(|()| writer.flush());
+                break;
+            }
+            // Read errors and timeouts (stalled client) close quietly.
+            Err(_) => break,
+        };
+        // Interior NULs and broken UTF-8 are protocol errors, not
+        // grounds to kill the connection.
+        let line = String::from_utf8_lossy(&raw);
         if line.trim().is_empty() {
             continue;
         }
         let mut close_after = false;
-        let reply = match protocol::parse_request(&line) {
-            Err(e) => {
-                shared.counters.errors.incr();
-                err_line("protocol", &e)
-            }
-            Ok(Request::Stats) => shared.stats_line(),
-            Ok(Request::Shutdown) => {
-                close_after = true;
-                "ok shutdown".to_string()
-            }
-            Ok(Request::Query(spec)) => {
-                shared.counters.queries.incr();
-                let (tx, rx) = mpsc::channel();
-                let pending = Pending {
-                    spec,
-                    reply: tx,
-                    enqueued: Instant::now(),
-                };
-                match shared.gate.submit(pending) {
-                    Ok(depth) => {
-                        shared.counters.queue_depth.record(depth as u64);
-                        match rx.recv() {
-                            Ok(answer) => answer,
-                            Err(_) => {
-                                shared.counters.errors.incr();
-                                err_line("internal", "worker dropped the reply channel")
+        let reply = if raw.contains(&0) {
+            shared.counters.errors.incr();
+            err_line("protocol", "request contains NUL bytes")
+        } else {
+            match protocol::parse_request(&line) {
+                Err(e) => {
+                    shared.counters.errors.incr();
+                    err_line("protocol", &e)
+                }
+                Ok(Request::Stats) => shared.stats_line(),
+                Ok(Request::Shutdown) => {
+                    close_after = true;
+                    "ok shutdown".to_string()
+                }
+                Ok(Request::Query(spec)) => {
+                    shared.counters.queries.incr();
+                    let (tx, rx) = mpsc::channel();
+                    let now = Instant::now();
+                    let deadline = spec
+                        .deadline_ms
+                        .map(Duration::from_millis)
+                        .or(shared.default_deadline)
+                        .map(|d| now + d);
+                    let pending = Pending {
+                        spec,
+                        reply: tx,
+                        enqueued: now,
+                        deadline,
+                    };
+                    match shared.gate.submit(pending) {
+                        Ok(depth) => {
+                            shared.counters.admitted.incr();
+                            shared.counters.queue_depth.record(depth as u64);
+                            match rx.recv() {
+                                Ok(answer) => answer,
+                                Err(_) => {
+                                    shared.counters.errors.incr();
+                                    err_line("internal", "worker dropped the reply channel")
+                                }
                             }
                         }
-                    }
-                    Err(_) => {
-                        shared.counters.rejected.incr();
-                        shared.counters.errors.incr();
-                        err_line(
-                            "busy",
-                            "admission queue full or server shutting down; retry later",
-                        )
+                        Err(Rejected::Full(_)) => {
+                            shared.counters.rejected.incr();
+                            shared.counters.errors.incr();
+                            err_line("busy", "admission queue full; retry later")
+                        }
+                        Err(Rejected::Draining(_)) => {
+                            shared.counters.rejected.incr();
+                            shared.counters.errors.incr();
+                            err_line("draining", "server shutting down; no new work admitted")
+                        }
                     }
                 }
             }

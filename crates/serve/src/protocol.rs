@@ -3,7 +3,7 @@
 //! Requests, one per line:
 //!
 //! ```text
-//! query <algo> <dataset> [source=N] [scale=tiny|small|medium] [k=N] [max_iters=N]
+//! query <algo> <dataset> [source=N] [scale=tiny|small|medium] [k=N] [max_iters=N] [deadline_ms=N]
 //! stats
 //! shutdown
 //! ```
@@ -12,15 +12,29 @@
 //! Table-8 abbreviation (`RN RC RU PK HW LJ OK IC TW SW`); both are
 //! case-insensitive. `source` defaults to 0 and `scale` to `tiny`.
 //! `k=` (kcore only, ≥1) asks for the k-core size at that level;
-//! `max_iters=` (lp only, ≥1) overrides LP's round bound. Argument
-//! validation failures are `err protocol:` replies — the connection
-//! stays open.
+//! `max_iters=` (lp only, ≥1) overrides LP's round bound.
+//! `deadline_ms=` (any algo, ≥1) bounds the request end-to-end: requests
+//! still queued when their deadline passes are shed with `err deadline`
+//! instead of executed, and the remaining allowance tightens the
+//! execution wall budget. Argument validation failures are
+//! `err protocol:` replies — the connection stays open.
 //!
 //! Responses, one line per request: `ok key=value ...` on success, or
-//! `err <kind>: <message>` where `<kind>` is `protocol` (unparsable
-//! request), `busy` (admission queue full — retry later), or a workspace
-//! [`ErrorClass`](ugc_resilience::ErrorClass) label (`permanent`,
-//! `transient`, `budget`, `invariant`) for execution failures.
+//! `err <kind>: <message>` where `<kind>` is:
+//!
+//! * `protocol` — unparsable request (also called `err parse` in older
+//!   docs); the connection stays open.
+//! * `busy` — admission queue full; retry later.
+//! * `draining` — the daemon is shutting down and no longer admits work.
+//! * `deadline` — the request's `deadline_ms=` expired before execution.
+//! * `overloaded` — building the graph would exceed `UGC_CACHE_BYTES`
+//!   while the cache is pinned by in-flight work; retry later.
+//! * `circuit_open` — the (algo, dataset, scale) circuit breaker is open
+//!   after repeated permanent/invariant failures; fail-fast without
+//!   executing.
+//! * a workspace [`ErrorClass`](ugc_resilience::ErrorClass) label
+//!   (`permanent`, `transient`, `budget`, `invariant`) for execution
+//!   failures.
 
 use ugc::Algorithm;
 use ugc_graph::{Dataset, Scale};
@@ -53,6 +67,9 @@ pub struct QuerySpec {
     pub k: Option<i64>,
     /// Round bound override (`max_iters=` — LP only).
     pub max_iters: Option<i64>,
+    /// End-to-end deadline in milliseconds (`deadline_ms=` — any algo).
+    /// Measured from admission; `None` means infinitely patient.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QuerySpec {
@@ -94,6 +111,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 source: 0,
                 k: None,
                 max_iters: None,
+                deadline_ms: None,
             };
             for kv in words {
                 let (key, value) = kv
@@ -132,6 +150,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                             return Err(format!("max_iters must be at least 1, got {mi}"));
                         }
                         spec.max_iters = Some(mi);
+                    }
+                    "deadline_ms" => {
+                        let d: u64 = value.parse().map_err(|_| {
+                            format!("deadline_ms must be a positive integer, got `{value}`")
+                        })?;
+                        if d < 1 {
+                            return Err(format!("deadline_ms must be at least 1, got {d}"));
+                        }
+                        spec.deadline_ms = Some(d);
                     }
                     other => return Err(format!("unknown query argument `{other}`")),
                 }
@@ -260,6 +287,9 @@ mod tests {
             "query lp RN max_iters=0",
             "query lp RN max_iters=-1",
             "query tc RN max_iters=5",
+            "query bfs RN deadline_ms=0",
+            "query bfs RN deadline_ms=-5",
+            "query bfs RN deadline_ms=soon",
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` must not parse");
         }
@@ -277,6 +307,11 @@ mod tests {
         };
         assert_eq!(lp.algo, Algorithm::Lp);
         assert_eq!(lp.max_iters, Some(7));
+        // deadline_ms applies to every algorithm.
+        let Request::Query(dl) = parse_request("query pr PK deadline_ms=250").unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!(dl.deadline_ms, Some(250));
         // New algorithms never coalesce into traversal batches.
         assert!(!kc.batchable());
         assert!(!lp.batchable());
@@ -297,6 +332,7 @@ mod tests {
             source: 0,
             k: None,
             max_iters: None,
+            deadline_ms: None,
         };
         let bfs = spec(Algorithm::Bfs, Dataset::RoadNetCa);
         assert!(bfs.coalesces_with(&QuerySpec { source: 9, ..bfs }));

@@ -1,0 +1,94 @@
+//! SIGTERM → graceful drain, with zero dependencies.
+//!
+//! `std` exposes no signal API, but the C runtime the workspace already
+//! links does. The classic self-pipe trick keeps the handler
+//! async-signal-safe: the handler does exactly one `write(2)` of one
+//! byte into a socketpair; a monitor thread blocks on the read end and
+//! runs the ordinary [`Shared::begin_shutdown`] drain when the byte
+//! arrives. Everything non-trivial happens on the monitor thread, never
+//! in signal context.
+//!
+//! Installation is opt-in ([`crate::ServeConfig::install_sigterm`]) and
+//! only `repro serve` opts in: an in-process test server must never trap
+//! its host process's signals. Install-once is enforced here — a second
+//! server in the same process with the flag set gets an error, not a
+//! silently re-pointed handler.
+
+use std::io::Read;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+use crate::Shared;
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// C89 `signal(2)` — present in every libc the workspace links.
+    fn signal(signum: i32, handler: usize) -> usize;
+    /// Raw `write(2)`, the only async-signal-safe thing the handler does.
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// Write end of the self-pipe; < 0 until installed.
+static PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    let fd = PIPE_WR.load(Ordering::Relaxed);
+    if fd >= 0 {
+        let byte = 1u8;
+        // A full pipe or racing close is fine — one delivered byte is
+        // all the monitor needs, and it is already draining if this one
+        // is lost.
+        unsafe {
+            let _ = write(fd, &byte, 1);
+        }
+    }
+}
+
+/// Installs the process-wide SIGTERM handler (once) and spawns the
+/// monitor thread that turns the signal into `shared.begin_shutdown()`.
+///
+/// The monitor thread is deliberately detached: on a non-signal shutdown
+/// it stays parked on the read end until the process exits, which is
+/// exactly the lifetime a process-wide signal watcher should have.
+///
+/// # Errors
+///
+/// When a handler was already installed by an earlier server in this
+/// process, or the socketpair/thread cannot be created.
+pub(crate) fn spawn_sigterm_drain(shared: Arc<Shared>) -> Result<(), String> {
+    let (mut rd, wr) = UnixStream::pair().map_err(|e| format!("sigterm self-pipe: {e}"))?;
+    if PIPE_WR
+        .compare_exchange(-1, wr.as_raw_fd(), Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return Err("SIGTERM drain handler already installed in this process".into());
+    }
+    // Keep the write end alive for the life of the process: the handler
+    // holds only the raw fd.
+    std::mem::forget(wr);
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+    std::thread::Builder::new()
+        .name("ugc-serve-sigterm".into())
+        .spawn(move || {
+            let mut byte = [0u8; 1];
+            loop {
+                match rd.read(&mut byte) {
+                    // A delivered byte: SIGTERM fired.
+                    Ok(n) if n > 0 => break,
+                    // EOF cannot happen (the write end is forgotten, not
+                    // dropped); treat it as "nothing to watch" and park.
+                    Ok(_) => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return,
+                }
+            }
+            shared.begin_shutdown();
+        })
+        .map_err(|e| format!("cannot spawn sigterm monitor: {e}"))?;
+    Ok(())
+}

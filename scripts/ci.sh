@@ -275,6 +275,37 @@ grep -q "shutdown complete" target/ci-serve-daemon.txt || {
   exit 1
 }
 
+echo "== chaos-serve smoke (daemon under faults: breaker opens, deadlines shed, clean drain)"
+# repro chaos-serve boots an in-process daemon on a unix socket under the
+# serve fault schedule, then exercises the whole failure surface: healthy
+# traffic that must survive injected batch aborts, a poisoned key that
+# must open its circuit breaker, tight deadlines that must shed in queue,
+# and fuzzed protocol frames that must end in typed errors. The driver
+# itself exits 1 unless the ok+errored+shed ledger balances against
+# admitted and pool_workers stays stable; on top of that, assert the two
+# headline events and the clean drain actually showed up in the output.
+chaos_serve_out="$(UGC_FAULTS='serve:batch_abort:p=0.9:seed=7' \
+  "$repro_bin" --scale tiny chaos-serve)"
+opened="$(printf '%s\n' "$chaos_serve_out" \
+  | grep -o 'circuit breaker: [0-9]*' | grep -o '[0-9]*' || echo 0)"
+if [ "${opened:-0}" -eq 0 ]; then
+  echo "chaos-serve smoke: no query was ever rejected by an open circuit" >&2
+  printf '%s\n' "$chaos_serve_out" >&2
+  exit 1
+fi
+shed="$(printf '%s\n' "$chaos_serve_out" \
+  | grep -o 'deadline propagation: [0-9]*' | grep -o '[0-9]*' || echo 0)"
+if [ "${shed:-0}" -eq 0 ]; then
+  echo "chaos-serve smoke: no query was ever deadline-shed in queue" >&2
+  printf '%s\n' "$chaos_serve_out" >&2
+  exit 1
+fi
+printf '%s\n' "$chaos_serve_out" | grep -q "drain complete" || {
+  echo "chaos-serve smoke: daemon never drained cleanly" >&2
+  printf '%s\n' "$chaos_serve_out" >&2
+  exit 1
+}
+
 echo "== bench snapshot smoke (tiny, output under target/)"
 # Exercise the snapshot pipeline end to end without touching the tracked
 # BENCH_<n>.json: one sample per bench, output redirected to target/.

@@ -195,6 +195,7 @@ mod repro_cli {
             "UGC_BUDGET_MS",
             "UGC_BUDGET_CYCLES",
             "UGC_FALLBACK",
+            "UGC_CACHE_BYTES",
         ] {
             cmd.env_remove(k);
         }
@@ -428,6 +429,31 @@ mod repro_cli {
     #[test]
     fn serve_unknown_socket_directory_exits_with_usage() {
         assert_usage_failure(&["serve", "--socket", "/no/such/dir/ugc.sock"]);
+    }
+
+    #[test]
+    fn serve_invalid_deadline_or_drain_exits_with_usage() {
+        // A zero default deadline would expire every query on arrival.
+        assert_usage_failure(&["serve", "--deadline-ms", "0"]);
+        assert_usage_failure(&["serve", "--deadline-ms", "soon"]);
+        assert_usage_failure(&["serve", "--deadline-ms"]);
+        assert_usage_failure(&["serve", "--drain-ms", "nope"]);
+        // A ten-minute-plus "drain" is a hang with extra steps.
+        assert_usage_failure(&["serve", "--drain-ms", "999999999"]);
+    }
+
+    #[test]
+    fn serve_invalid_cache_bytes_env_exits_with_usage() {
+        // The cap is validated before any listener binds, so a typo'd
+        // deployment fails loudly instead of serving unbounded.
+        for bad in ["banana", "0", "-5", "1.5e9"] {
+            assert_usage_failure_env(&["serve", "--port", "0"], &[("UGC_CACHE_BYTES", bad)]);
+        }
+    }
+
+    #[test]
+    fn chaos_serve_without_fault_spec_exits_with_usage() {
+        assert_usage_failure(&["chaos-serve"]);
     }
 
     #[test]

@@ -512,6 +512,96 @@ fn mixed_algorithm_soak_on_one_cached_graph() {
     handle.join();
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown vs. admission race (regression).
+// ---------------------------------------------------------------------------
+
+/// `Gate::close()` racing `next_batch()` and `submit()` must never drop
+/// an admitted query on the floor: every query the gate accepts settles
+/// as executed (`ok`), shed (`err deadline`/`err draining`), or a
+/// classified error — and `shutdown` arriving at any point in the burst
+/// only changes *which* of those it gets. Regression for the drain
+/// redesign: the close/next_batch handoff is lock-serialized, so a batch
+/// grabbed concurrently with close is executed (or drained), not lost.
+#[test]
+fn shutdown_racing_a_query_burst_never_drops_an_admitted_query() {
+    // Several rounds with different shutdown offsets to vary the
+    // interleaving: before, amid, and after the burst lands in the gate.
+    for (round, delay_us) in [0u64, 200, 2_000, 20_000].into_iter().enumerate() {
+        const CLIENTS: usize = 8;
+        let (handle, addr) = start_server(ServeConfig {
+            bind: Bind::Tcp(0),
+            admit: 1,
+            queue_cap: 16,
+            batch_max: 4,
+            batch_window: Duration::from_millis(1),
+            drain: Duration::from_millis(200),
+            ..ServeConfig::default()
+        });
+
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || -> Result<String, String> {
+                    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    barrier.wait();
+                    writeln!(s, "query bfs RN source={}", c % 4)
+                        .map_err(|e| format!("send: {e}"))?;
+                    s.flush().map_err(|e| e.to_string())?;
+                    let mut reply = String::new();
+                    BufReader::new(s)
+                        .read_line(&mut reply)
+                        .map_err(|e| format!("read: {e}"))?;
+                    if reply.is_empty() {
+                        return Err("closed without a reply".into());
+                    }
+                    Ok(reply.trim_end().to_string())
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(Duration::from_micros(delay_us));
+        handle.shutdown();
+
+        for (c, t) in clients.into_iter().enumerate() {
+            match t.join().expect("client thread") {
+                Ok(reply) => assert!(
+                    reply.starts_with("ok ") || reply.starts_with("err "),
+                    "round {round} client {c}: untyped reply: {reply}"
+                ),
+                // Connections the closed listener never accepted die at
+                // the transport layer; they were never admitted.
+                Err(e) => assert!(
+                    e.starts_with("connect:") || e.contains("closed without a reply"),
+                    "round {round} client {c}: unexpected failure: {e}"
+                ),
+            }
+        }
+
+        // Everything admitted must have settled exactly once.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let counters = handle.counters();
+            let settled = counters.ok.get()
+                + counters.errored.get()
+                + counters.shed_deadline.get()
+                + counters.shed_overload.get()
+                + counters.shed_drain.get();
+            if settled == counters.admitted.get() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "round {round}: gate dropped admitted queries (settled {settled}, admitted {})",
+                counters.admitted.get()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.join();
+    }
+}
+
 /// One connection can issue several requests; `stats` reflects them; the
 /// cache builds each dataset once.
 #[test]

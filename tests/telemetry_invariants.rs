@@ -119,6 +119,99 @@ fn disabled_telemetry_keeps_registry_empty_and_results_intact() {
     }
 }
 
+/// Serving accounting invariant: every query the admission gate accepts
+/// settles as exactly one of served (`ok`), errored, or shed — so
+/// `serve.ok + serve.errored + serve.shed.* == serve.admitted`, both on
+/// the wire `stats` line and (when telemetry is on) in the registry
+/// delta. The traffic mix deliberately spans all the ledger's columns:
+/// clean queries, permanent errors (which also trip a circuit, adding
+/// `err circuit_open` rejections to `errored`), and tight deadlines.
+#[test]
+fn serve_accounting_balances_served_plus_errored_plus_shed() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let _guard = measure_lock();
+    let col = Collector::start();
+    let handle = ugc_serve::Server::start(ugc_serve::ServeConfig {
+        bind: ugc_serve::Bind::Tcp(0),
+        admit: 1,
+        queue_cap: 32,
+        ..ugc_serve::ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = match handle.addr() {
+        ugc_serve::ServeAddr::Tcp(a) => *a,
+        other => panic!("expected TCP, bound {other}"),
+    };
+    let ask = |line: &str| -> String {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        writeln!(s, "{line}").expect("send");
+        s.flush().expect("flush");
+        let mut reply = String::new();
+        BufReader::new(s).read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    };
+
+    for q in [
+        "query bfs RN source=0",
+        "query sssp RN source=1",
+        "query bfs RN source=0 deadline_ms=30000", // generous: executes
+        "query bfs PK source=999999999",           // err permanent ×4 →
+        "query bfs PK source=999999999",           //   the circuit opens,
+        "query bfs PK source=999999999",           //   so the last one is
+        "query bfs PK source=999999999",           //   err circuit_open
+        "query cc RN",
+    ] {
+        let reply = ask(q);
+        assert!(
+            reply.starts_with("ok ") || reply.starts_with("err "),
+            "`{q}` got an untyped reply: {reply}"
+        );
+    }
+
+    let stats = ask("stats");
+    let get = |key: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no `{key}=` in stats: {stats}"))
+    };
+    let settled = get("ok")
+        + get("errored")
+        + get("shed_deadline")
+        + get("shed_overload")
+        + get("shed_drain");
+    assert_eq!(settled, get("admitted"), "wire stats imbalance: {stats}");
+    assert!(
+        get("errored") >= 4,
+        "permanent errors must be in the ledger: {stats}"
+    );
+
+    ask("shutdown");
+    handle.join();
+
+    if ugc_telemetry::enabled() {
+        let snap = col.snapshot();
+        let sum = |keys: &[&str]| -> u64 { keys.iter().map(|k| snap.get(k).unwrap_or(0)).sum() };
+        assert_eq!(
+            sum(&[
+                "serve.ok",
+                "serve.errored",
+                "serve.shed.deadline",
+                "serve.shed.overload",
+                "serve.shed.drain",
+            ]),
+            sum(&["serve.admitted"]),
+            "registry delta imbalance: {snap:?}"
+        );
+        assert!(
+            sum(&["serve.admitted"]) > 0,
+            "the soak admitted nothing — the invariant was vacuous"
+        );
+    }
+}
+
 #[test]
 fn simulator_snapshots_are_byte_stable_across_identical_runs() {
     let _guard = measure_lock();
